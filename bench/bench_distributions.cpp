@@ -1,0 +1,126 @@
+// Distribution gallery (§III-E): the induced load imbalance of every
+// initial particle distribution the specification provides — geometric
+// (with the Eq. 7/8 analysis), sinusoidal, linear, patch, uniform — and
+// the abrupt imbalance of injection/removal events (§III-E5).
+#include <cmath>
+#include <iostream>
+
+#include "comm/cart.hpp"
+#include "common.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace picprk;
+
+perfsim::ModelResult measure(const pic::InitParams& params, int cores, std::uint32_t steps,
+                             std::vector<perfsim::EventModel> events = {}) {
+  perfsim::Engine engine(bench::edison_model(),
+                         perfsim::ColumnWorkload::from_expected(params));
+  engine.set_events(std::move(events));
+  perfsim::RunConfig run;
+  run.steps = steps;
+  run.collect_series = true;
+  run.sample_every = steps / 20;
+  return engine.run_static(cores, run);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args("bench_distributions",
+                       "imbalance induced by each §III-E distribution");
+  args.add_int("cores", 48, "modeled core count");
+  args.add_int("steps", 2000, "time steps");
+  args.add_int("cells", 2998, "grid cells per dimension");
+  if (!args.parse(argc, argv)) return 0;
+
+  const int cores = static_cast<int>(args.get_int("cores"));
+  const auto steps = static_cast<std::uint32_t>(args.get_int("steps"));
+  const auto cells = args.get_int("cells");
+
+  pic::InitParams base;
+  base.grid = pic::GridSpec(cells, 1.0);
+  base.total_particles = 600000;
+
+  std::cout << "=== Distribution gallery: induced imbalance on a static "
+            << "decomposition (" << cores << " cores, model) ===\n\n";
+
+  struct Case {
+    std::string name;
+    pic::Distribution dist;
+  };
+  const std::vector<Case> cases = {
+      {"uniform", pic::Uniform{}},
+      {"geometric r=0.999", pic::Geometric{0.999}},
+      {"geometric r=0.99", pic::Geometric{0.99}},
+      {"sinusoidal", pic::Sinusoidal{}},
+      {"linear a=1 b=1", pic::Linear{1.0, 1.0}},
+      {"patch (1/16 domain)", pic::Patch{pic::CellRegion{0, cells / 4, 0, cells / 4}}},
+  };
+
+  util::Table table({"distribution", "avg imbalance", "seconds", "vs uniform"});
+  std::vector<util::Series> series;
+  double uniform_seconds = 0.0;
+  for (const auto& c : cases) {
+    pic::InitParams params = base;
+    params.distribution = c.dist;
+    const auto r = measure(params, cores, steps);
+    if (c.name == "uniform") uniform_seconds = r.seconds;
+    table.add_row({c.name, util::Table::fmt(r.avg_imbalance, 2),
+                   util::Table::fmt(r.seconds, 1),
+                   util::Table::fmt(r.seconds / uniform_seconds, 2)});
+    util::Series s;
+    s.name = "imbalance_" + c.name;
+    for (std::size_t i = 0; i < r.imbalance_series.size(); ++i) {
+      s.x.push_back(static_cast<double>(i * (steps / 20)));
+      s.y.push_back(r.imbalance_series[i]);
+    }
+    series.push_back(std::move(s));
+  }
+  table.print(std::cout);
+
+  // Eq. 7/8 check: per-block-column loads of the geometric distribution
+  // form a geometric series with ratio r^(c/P).
+  {
+    pic::InitParams params = base;
+    const double r = 0.99;
+    params.distribution = pic::Geometric{r};
+    const auto w = perfsim::ColumnWorkload::from_expected(params);
+    const auto [px, py] = comm::near_square_factors(cores);
+    const std::int64_t width = cells / px;
+    const double n0 = w.range_sum(0, width);
+    const double n1 = w.range_sum(width, 2 * width);
+    std::cout << "\nEq. 8 check (r=0.99, " << px << " block columns): measured "
+              << "N(I+1)/N(I) = " << util::Table::fmt(n1 / n0, 4) << ", predicted r^(c/P) = "
+              << util::Table::fmt(std::pow(r, static_cast<double>(width)), 4) << "\n";
+  }
+
+  // Injection/removal events: abrupt imbalance changes (§III-E5).
+  {
+    std::cout << "\n--- injection / removal events on the uniform workload ---\n";
+    pic::InitParams params = base;
+    params.distribution = pic::Uniform{};
+    const auto quiet = measure(params, cores, steps);
+    const auto burst = measure(
+        params, cores, steps,
+        {perfsim::EventModel{steps / 2, 0, cells / 8, /*inject=*/600000.0, 0.0}});
+    const auto drain = measure(
+        params, cores, steps,
+        {perfsim::EventModel{steps / 2, 0, cells / 2, 0.0, /*remove=*/0.9}});
+    util::Table table2({"scenario", "avg imbalance", "seconds"});
+    table2.add_row({"no events", util::Table::fmt(quiet.avg_imbalance, 2),
+                    util::Table::fmt(quiet.seconds, 1)});
+    table2.add_row({"inject n in 1/8 of columns at T/2",
+                    util::Table::fmt(burst.avg_imbalance, 2),
+                    util::Table::fmt(burst.seconds, 1)});
+    table2.add_row({"remove 90% of left half at T/2",
+                    util::Table::fmt(drain.avg_imbalance, 2),
+                    util::Table::fmt(drain.seconds, 1)});
+    table2.print(std::cout);
+  }
+
+  std::cout << '\n';
+  util::print_series_csv(std::cout, series);
+  return 0;
+}

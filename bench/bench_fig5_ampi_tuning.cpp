@@ -1,0 +1,83 @@
+// Reproduces Figure 5: sensitivity of the ampi implementation to the
+// load-balancer interval F and the over-decomposition degree d.
+//
+// Paper setup (§V-A): 5,998² cells, 6,400,000 particles, 6,000 steps,
+// 192 cores (8 nodes), geometric r = 0.999, k = 0. F-sweep holds d = 4
+// and scales F = 20·{1,2,4,8,16,32,64}; d-sweep holds F = 1,000 and
+// scales d = {1,2,4,8,16,32,64}.
+//
+// Paper headlines: F = 20 → 180 s vs F = 160 → 43 s (≈4.2×); d = 1 →
+// 104 s vs d = 16 → 47 s (≈2.2×). We reproduce the curve shapes (a
+// minimum at moderate F; improvement then flattening/worsening with d)
+// on the performance model; see EXPERIMENTS.md for measured numbers.
+#include <cstdint>
+#include <iostream>
+
+#include "common.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace picprk;
+
+  util::ArgParser args("bench_fig5_ampi_tuning", "Figure 5: AMPI F and d tuning");
+  args.add_int("cores", 192, "core count (paper: 192)");
+  args.add_int("steps", 6000, "time steps (paper: 6000)");
+  if (!args.parse(argc, argv)) return 0;
+
+  const int cores = static_cast<int>(args.get_int("cores"));
+  const auto run = bench::paper_run(static_cast<std::uint32_t>(args.get_int("steps")));
+
+  const perfsim::Engine engine(bench::edison_model(),
+                               perfsim::ColumnWorkload::from_expected(bench::fig5_workload()));
+
+  std::cout << "=== Figure 5: AMPI tuning (model, " << cores << " cores, "
+            << run.steps << " steps) ===\n\n";
+
+  // --- F sweep at d = 4 --------------------------------------------------
+  util::Table f_table({"F", "increase", "seconds", "imbalance", "migrations"});
+  std::vector<double> f_x, f_y;
+  double f20 = 0.0, f160 = 0.0;
+  for (int factor = 1; factor <= 64; factor *= 2) {
+    const std::uint32_t f = 20u * static_cast<std::uint32_t>(factor);
+    perfsim::VprModelParams p;
+    p.overdecomposition = 4;
+    p.lb_interval = f;
+    const auto r = engine.run_vpr(cores, run, p);
+    if (f == 20) f20 = r.seconds;
+    if (f == 160) f160 = r.seconds;
+    f_table.add_row({std::to_string(f), std::to_string(factor) + "x",
+                     util::Table::fmt(r.seconds, 1), util::Table::fmt(r.avg_imbalance, 2),
+                     util::Table::fmt_u64(r.migrations)});
+    f_x.push_back(factor);
+    f_y.push_back(r.seconds);
+  }
+  std::cout << "F sweep (d = 4 fixed; paper: 180 s @F=20 -> 43 s @F=160, 4.2x):\n";
+  f_table.print(std::cout);
+  std::cout << "model F=20/F=160 improvement: " << util::Table::fmt(f20 / f160, 2)
+            << "x (paper: 4.2x)\n\n";
+
+  // --- d sweep at F = 1000 ------------------------------------------------
+  util::Table d_table({"d", "VPs", "seconds", "imbalance", "migrations"});
+  std::vector<double> d_x, d_y;
+  double d1 = 0.0, d16 = 0.0;
+  for (int d = 1; d <= 64; d *= 2) {
+    perfsim::VprModelParams p;
+    p.overdecomposition = d;
+    p.lb_interval = 1000;
+    const auto r = engine.run_vpr(cores, run, p);
+    if (d == 1) d1 = r.seconds;
+    if (d == 16) d16 = r.seconds;
+    d_table.add_row({std::to_string(d), std::to_string(d * cores),
+                     util::Table::fmt(r.seconds, 1), util::Table::fmt(r.avg_imbalance, 2),
+                     util::Table::fmt_u64(r.migrations)});
+    d_x.push_back(d);
+    d_y.push_back(r.seconds);
+  }
+  std::cout << "d sweep (F = 1000 fixed; paper: 104 s @d=1 -> 47 s @d=16, 2.2x):\n";
+  d_table.print(std::cout);
+  std::cout << "model d=1/d=16 improvement: " << util::Table::fmt(d1 / d16, 2)
+            << "x (paper: 2.2x)\n\n";
+
+  util::print_series_csv(std::cout, {{"fig5_F_sweep", f_x, f_y}, {"fig5_d_sweep", d_x, d_y}});
+  return 0;
+}

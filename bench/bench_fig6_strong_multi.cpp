@@ -1,0 +1,64 @@
+// Reproduces Figure 6 (Right): strong scaling across nodes, 24–384
+// cores. Paper headlines: the diffusion-LB implementation scales to 384
+// cores and beats ampi by ~2× there; best speedups over serial are 179×
+// (mpi-2d-LB) and 92× (ampi).
+//
+// Same workload as Figure 6 Left (2,998² cells, 600,000 particles,
+// 6,000 steps, geometric r = 0.999, k = 0); per-point tuning.
+#include <cstdint>
+#include <iostream>
+
+#include "common.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace picprk;
+  util::ArgParser args("bench_fig6_strong_multi",
+                       "Figure 6 Right: strong scaling across nodes");
+  args.add_int("steps", 6000, "time steps (paper: 6000)");
+  args.add_string("csv", "", "optional path for machine-readable series output");
+  if (!args.parse(argc, argv)) return 0;
+
+  const auto run = bench::paper_run(static_cast<std::uint32_t>(args.get_int("steps")));
+  const perfsim::Engine engine(bench::edison_model(),
+                               perfsim::ColumnWorkload::from_expected(bench::fig6_workload()));
+  const double serial = engine.serial_seconds(run);
+
+  std::cout << "=== Figure 6 Right: strong scaling, multiple nodes (model) ===\n"
+            << "serial reference: " << util::Table::fmt(serial, 1) << " s\n\n";
+
+  util::Table table({"cores", "mpi-2d", "ampi", "mpi-2d-LB", "LB speedup", "ampi speedup",
+                     "LB/ampi"});
+  std::vector<double> xs, base_s, ampi_s, lb_s;
+  double lb384 = 0, ampi384 = 0;
+  for (int cores : {24, 48, 96, 192, 384}) {
+    const auto base = engine.run_static(cores, run);
+    const auto ampi = bench::tune_vpr(engine, cores, run).result;
+    const auto lb = bench::tune_diffusion(engine, cores, run).result;
+    table.add_row({std::to_string(cores), util::Table::fmt(base.seconds, 1),
+                   util::Table::fmt(ampi.seconds, 1), util::Table::fmt(lb.seconds, 1),
+                   util::Table::fmt(serial / lb.seconds, 0),
+                   util::Table::fmt(serial / ampi.seconds, 0),
+                   util::Table::fmt(ampi.seconds / lb.seconds, 2)});
+    xs.push_back(cores);
+    base_s.push_back(base.seconds);
+    ampi_s.push_back(ampi.seconds);
+    lb_s.push_back(lb.seconds);
+    if (cores == 384) {
+      lb384 = lb.seconds;
+      ampi384 = ampi.seconds;
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nat 384 cores (paper: LB beats ampi ~2x; speedups 179x LB / 92x ampi):\n"
+            << "  model LB speedup:      " << util::Table::fmt(serial / lb384, 0) << "x\n"
+            << "  model ampi speedup:    " << util::Table::fmt(serial / ampi384, 0) << "x\n"
+            << "  model ampi/LB ratio:   " << util::Table::fmt(ampi384 / lb384, 2) << "x\n\n";
+
+  const std::vector<util::Series> series = {{"fig6R_mpi2d", xs, base_s},
+                                            {"fig6R_ampi", xs, ampi_s},
+                                            {"fig6R_mpi2dLB", xs, lb_s}};
+  util::print_series_csv(std::cout, series);
+  bench::maybe_write_series_csv(args.get_string("csv"), series);
+  return 0;
+}

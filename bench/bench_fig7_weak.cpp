@@ -1,0 +1,67 @@
+// Reproduces Figure 7: weak scaling 48–3,072 cores. The grid is fixed at
+// 11,998² cells; particles scale proportionally with cores from 400,000
+// at 48 cores; 6,000 steps; geometric r = 0.999, k = 0.
+//
+// Paper headlines at 3,072 cores: ampi is 2.4× and diffusion-LB 1.8×
+// faster than the baseline, and ampi outperforms every other
+// implementation in weak scaling (migration of the now-tiny subgrids is
+// cheap relative to the particle work, so the runtime's better balance
+// wins despite its locality blindness).
+#include <cstdint>
+#include <iostream>
+
+#include "common.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace picprk;
+  util::ArgParser args("bench_fig7_weak", "Figure 7: weak scaling");
+  args.add_int("steps", 6000, "time steps (paper: 6000)");
+  args.add_string("csv", "", "optional path for machine-readable series output");
+  if (!args.parse(argc, argv)) return 0;
+
+  const auto run = bench::paper_run(static_cast<std::uint32_t>(args.get_int("steps")));
+
+  std::cout << "=== Figure 7: weak scaling (model) ===\n\n";
+  util::Table table({"cores", "particles", "mpi-2d", "ampi", "mpi-2d-LB", "ampi/base",
+                     "LB/base"});
+  std::vector<double> xs, base_s, ampi_s, lb_s;
+  double base3072 = 0, ampi3072 = 0, lb3072 = 0;
+
+  for (int cores : {48, 96, 192, 384, 768, 1536, 3072}) {
+    const auto workload_params = bench::fig7_workload(cores);
+    const perfsim::Engine engine(bench::edison_model(),
+                                 perfsim::ColumnWorkload::from_expected(workload_params));
+    const auto base = engine.run_static(cores, run);
+    const auto ampi = bench::tune_vpr(engine, cores, run).result;
+    const auto lb = bench::tune_diffusion(engine, cores, run).result;
+    table.add_row({std::to_string(cores),
+                   util::Table::fmt_u64(workload_params.total_particles),
+                   util::Table::fmt(base.seconds, 1), util::Table::fmt(ampi.seconds, 1),
+                   util::Table::fmt(lb.seconds, 1),
+                   util::Table::fmt(base.seconds / ampi.seconds, 2),
+                   util::Table::fmt(base.seconds / lb.seconds, 2)});
+    xs.push_back(cores);
+    base_s.push_back(base.seconds);
+    ampi_s.push_back(ampi.seconds);
+    lb_s.push_back(lb.seconds);
+    if (cores == 3072) {
+      base3072 = base.seconds;
+      ampi3072 = ampi.seconds;
+      lb3072 = lb.seconds;
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nat 3,072 cores (paper: ampi 2.4x, LB 1.8x over baseline; ampi wins):\n"
+            << "  model ampi speedup over baseline: "
+            << util::Table::fmt(base3072 / ampi3072, 2) << "x\n"
+            << "  model LB speedup over baseline:   "
+            << util::Table::fmt(base3072 / lb3072, 2) << "x\n\n";
+
+  const std::vector<util::Series> series = {{"fig7_mpi2d", xs, base_s},
+                                            {"fig7_ampi", xs, ampi_s},
+                                            {"fig7_mpi2dLB", xs, lb_s}};
+  util::print_series_csv(std::cout, series);
+  bench::maybe_write_series_csv(args.get_string("csv"), series);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// The full distributed PIC cycle (deposit → CG solve → gather/push) at
+// several rank counts — real execution on threadcomm, not the model.
+// Shows where the cycle's time goes: the CG field solve does fixed mesh
+// work per step while the push follows the particles; the PRK isolates
+// the latter (paper §III-A), and this bench shows the context it was
+// carved from.
+#include <iostream>
+
+#include "comm/world.hpp"
+#include "field/dist_pic.hpp"
+#include "pic/init.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace picprk;
+  util::ArgParser args("bench_full_cycle", "distributed PIC cycle scaling (real)");
+  args.add_int("cells", 48, "mesh cells per dimension");
+  args.add_int("particles", 6000, "global particle count");
+  args.add_int("steps", 20, "PIC cycles");
+  if (!args.parse(argc, argv)) return 0;
+
+  const auto cells = args.get_int("cells");
+  const auto steps = static_cast<std::uint32_t>(args.get_int("steps"));
+
+  // Neutral two-population plasma, geometric spatial skew.
+  pic::InitParams init;
+  init.grid = pic::GridSpec(cells, 1.0);
+  init.total_particles = static_cast<std::uint64_t>(args.get_int("particles"));
+  init.distribution = pic::Geometric{0.95};
+  std::vector<pic::Particle> all = pic::Initializer(init).create_all();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    // Small charges keep the plasma frequency well below 1/dt (explicit
+    // leapfrog stability); unit charges at this density would blow up.
+    all[i].q = (i % 2 == 0) ? 0.05 : -0.05;
+    all[i].vx = 0.2 * (static_cast<double>(i % 5) - 2.0);
+  }
+
+  field::MiniPicConfig cfg;
+  cfg.grid = init.grid;
+  cfg.dt = 0.05;
+  cfg.cg_rtol = 1e-8;
+
+  std::cout << "=== distributed PIC cycle (real threaded execution) ===\n"
+            << all.size() << " particles, " << cells << "^2 mesh, " << steps
+            << " cycles\n\n";
+  util::Table table({"ranks", "seconds", "CG iters/step", "particles exchanged",
+                     "momentum drift", "energy (kin+field)"});
+
+  for (int ranks : {1, 2, 4}) {
+    double seconds = 0;
+    int cg_iters = 0;
+    std::uint64_t exchanged = 0;
+    double drift = 0, energy = 0;
+    comm::World world(ranks);
+    world.run([&](comm::Comm& comm) {
+      field::DistributedMiniPic sim(comm, cfg,
+                                    comm.rank() == 0 ? all
+                                                     : std::vector<pic::Particle>{});
+      const auto before = sim.diagnostics();
+      util::Timer t;
+      const auto after = sim.run(steps);
+      if (comm.rank() == 0) {
+        seconds = t.elapsed();
+        cg_iters = after.cg_iterations;
+        exchanged = sim.particles_exchanged();
+        drift = std::abs(after.momentum_x - before.momentum_x) +
+                std::abs(after.momentum_y - before.momentum_y);
+        energy = after.kinetic_energy + after.field_energy;
+      }
+    });
+    table.add_row({std::to_string(ranks), util::Table::fmt(seconds, 3),
+                   std::to_string(cg_iters), util::Table::fmt_u64(exchanged),
+                   util::Table::fmt(drift, 6), util::Table::fmt(energy, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nEvery configuration runs the same physics (energies agree); the\n"
+               "CG iteration count is rank-independent because the solve is a\n"
+               "collective over the same global system.\n";
+  return 0;
+}

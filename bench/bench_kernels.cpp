@@ -1,0 +1,167 @@
+// Kernel micro-benchmarks (google-benchmark): the per-particle force and
+// move kernel in AoS, SoA and OpenMP form, particle routing, the
+// closed-form verification, initialisation and PUP serialization.
+// These measure the building blocks whose relative costs the perfsim
+// machine model abstracts (t_particle, particle_bytes, ...).
+#include <benchmark/benchmark.h>
+
+#include "par/decomposition.hpp"
+#include "pic/init.hpp"
+#include "pic/mover.hpp"
+#include "pic/simulation.hpp"
+#include "pic/verify.hpp"
+#include "vpr/pup.hpp"
+
+namespace {
+
+using namespace picprk;
+
+pic::InitParams bench_params(std::int64_t cells, std::uint64_t n) {
+  pic::InitParams p;
+  p.grid = pic::GridSpec(cells, 1.0);
+  p.total_particles = n;
+  p.distribution = pic::Geometric{0.99};
+  p.k = 1;
+  p.m = 1;
+  return p;
+}
+
+void BM_MoverAoS(benchmark::State& state) {
+  const auto params = bench_params(512, static_cast<std::uint64_t>(state.range(0)));
+  const pic::Initializer init(params);
+  auto particles = init.create_all();
+  const pic::AlternatingColumnCharges charges;
+  for (auto _ : state) {
+    pic::move_all(std::span<pic::Particle>(particles), params.grid, charges, 1.0);
+    benchmark::DoNotOptimize(particles.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(particles.size()));
+}
+BENCHMARK(BM_MoverAoS)->Arg(10000)->Arg(100000);
+
+void BM_MoverSoA(benchmark::State& state) {
+  const auto params = bench_params(512, static_cast<std::uint64_t>(state.range(0)));
+  const pic::Initializer init(params);
+  auto soa = pic::to_soa(init.create_all());
+  const pic::AlternatingColumnCharges charges;
+  for (auto _ : state) {
+    pic::move_all_soa(soa, params.grid, charges, 1.0);
+    benchmark::DoNotOptimize(soa.x.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(soa.size()));
+}
+BENCHMARK(BM_MoverSoA)->Arg(10000)->Arg(100000);
+
+void BM_MoverSlabCharges(benchmark::State& state) {
+  const auto params = bench_params(512, 100000);
+  const pic::Initializer init(params);
+  auto particles = init.create_all();
+  const auto slab = pic::ChargeSlab::sample(pic::AlternatingColumnCharges{}, 0, 0, 513, 513);
+  for (auto _ : state) {
+    pic::move_all(std::span<pic::Particle>(particles), params.grid, slab, 1.0);
+    benchmark::DoNotOptimize(particles.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(particles.size()));
+}
+BENCHMARK(BM_MoverSlabCharges);
+
+void BM_Verification(benchmark::State& state) {
+  const auto params = bench_params(512, 100000);
+  const pic::Initializer init(params);
+  const auto particles = init.create_all();
+  for (auto _ : state) {
+    auto r = pic::verify_particles(std::span<const pic::Particle>(particles), params.grid, 0);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(particles.size()));
+}
+BENCHMARK(BM_Verification);
+
+void BM_OwnerRouting(benchmark::State& state) {
+  // The bucketing step of the exchange (without communication).
+  const auto params = bench_params(512, 100000);
+  const pic::Initializer init(params);
+  auto particles = init.create_all();
+  const comm::Cart2D cart(16);
+  const par::Decomposition2D decomp(params.grid, cart);
+  std::vector<int> owners(particles.size());
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < particles.size(); ++i) {
+      owners[i] = decomp.owner_of_position(particles[i].x, particles[i].y);
+    }
+    benchmark::DoNotOptimize(owners.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(particles.size()));
+}
+BENCHMARK(BM_OwnerRouting);
+
+void BM_Initializer(benchmark::State& state) {
+  const auto params = bench_params(static_cast<std::int64_t>(state.range(0)), 100000);
+  for (auto _ : state) {
+    const pic::Initializer init(params);
+    benchmark::DoNotOptimize(init.total());
+  }
+}
+BENCHMARK(BM_Initializer)->Arg(128)->Arg(512);
+
+void BM_CreateParticles(benchmark::State& state) {
+  const auto params = bench_params(256, 100000);
+  const pic::Initializer init(params);
+  for (auto _ : state) {
+    auto particles = init.create_all();
+    benchmark::DoNotOptimize(particles.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(init.total()));
+}
+BENCHMARK(BM_CreateParticles);
+
+struct PupState {
+  std::vector<pic::Particle> particles;
+  std::vector<double> slab;
+  void pup(vpr::Pup& p) {
+    p(particles);
+    p(slab);
+  }
+};
+
+void BM_PupPackUnpack(benchmark::State& state) {
+  const auto params = bench_params(256, static_cast<std::uint64_t>(state.range(0)));
+  const pic::Initializer init(params);
+  PupState vp{init.create_all(), std::vector<double>(64 * 64, 1.0)};
+  for (auto _ : state) {
+    auto buffer = vpr::pup_pack(vp);
+    PupState out;
+    vpr::pup_unpack(out, std::move(buffer));
+    benchmark::DoNotOptimize(out.particles.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(vpr::pup_size(vp)));
+}
+BENCHMARK(BM_PupPackUnpack)->Arg(10000)->Arg(50000);
+
+void BM_SerialStep(benchmark::State& state) {
+  // One full serial simulation step including event checks.
+  pic::SimulationConfig cfg;
+  cfg.init = bench_params(256, 50000);
+  cfg.steps = 1;
+  const pic::Initializer init(cfg.init);
+  auto particles = init.create_all();
+  const pic::AlternatingColumnCharges charges;
+  for (auto _ : state) {
+    pic::serial_step(particles, cfg.init.grid, charges, 1.0);
+    benchmark::DoNotOptimize(particles.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(particles.size()));
+}
+BENCHMARK(BM_SerialStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Shared-memory runtimes on real hardware: the one benchmark in this
+// suite whose numbers are wall-clock on this machine rather than model
+// outputs. Compares, on a row-skewed workload (rotated §III-E1):
+//
+//   * static task schedule (no balancing — the shared-memory analogue of
+//     the mpi-2d baseline),
+//   * work stealing (dynamic scheduling, §VI future-work runtime style),
+//   * the OpenMP SoA mover over a flat particle array (no spatial
+//     binning: imbalance dissolves in the layout — the reason the paper
+//     targets distributed memory, where ownership is unavoidable).
+#include <iostream>
+
+#include "pic/mover.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+#include "ws/binned.hpp"
+
+int main(int argc, char** argv) {
+  using namespace picprk;
+  util::ArgParser args("bench_shared_memory", "static vs stealing vs flat-OpenMP");
+  args.add_int("cells", 256, "mesh cells per dimension");
+  args.add_int("particles", 400000, "particle count");
+  args.add_int("steps", 60, "time steps");
+  args.add_int("workers", 2, "worker threads");
+  if (!args.parse(argc, argv)) return 0;
+
+  pic::SimulationConfig cfg;
+  cfg.init.grid = pic::GridSpec(args.get_int("cells"), 1.0);
+  cfg.init.total_particles = static_cast<std::uint64_t>(args.get_int("particles"));
+  cfg.init.distribution = pic::Geometric{0.97};
+  cfg.init.rotate90 = true;  // skew the rows so binned tasks are unequal
+  cfg.steps = static_cast<std::uint32_t>(args.get_int("steps"));
+
+  const int workers = static_cast<int>(args.get_int("workers"));
+  std::cout << "=== shared-memory drivers (real wall-clock, " << workers
+            << " workers) ===\nrow-skewed geometric r=0.97, "
+            << args.get_int("particles") << " particles, " << cfg.steps << " steps\n\n";
+
+  util::Table table({"scheme", "verified", "seconds", "steals"});
+
+  ws::WsParams stat;
+  stat.workers = workers;
+  stat.stealing = false;
+  stat.rows_per_task = 4;
+  const auto r_static = ws::run_worksteal(cfg, stat);
+  table.add_row({"binned static", r_static.ok ? "yes" : "NO",
+                 util::Table::fmt(r_static.seconds, 3), util::Table::fmt_u64(r_static.steals)});
+
+  ws::WsParams steal = stat;
+  steal.stealing = true;
+  const auto r_steal = ws::run_worksteal(cfg, steal);
+  table.add_row({"binned stealing", r_steal.ok ? "yes" : "NO",
+                 util::Table::fmt(r_steal.seconds, 3), util::Table::fmt_u64(r_steal.steals)});
+
+  // Flat OpenMP mover: one array, static index partition — balanced by
+  // construction because every particle costs the same.
+  {
+    const pic::Initializer init(cfg.init);
+    auto soa = pic::to_soa(init.create_all());
+    const pic::AlternatingColumnCharges charges;
+    util::Timer t;
+    for (std::uint32_t s = 0; s < cfg.steps; ++s) {
+      pic::move_all_soa(soa, cfg.init.grid, charges, 1.0);
+    }
+    const double seconds = t.elapsed();
+    const auto aos = pic::to_aos(soa);
+    const auto verify = pic::verify_particles(std::span<const pic::Particle>(aos),
+                                              cfg.init.grid, cfg.steps);
+    table.add_row({"flat OpenMP SoA",
+                   verify.ok(pic::expected_checksum(init.total())) ? "yes" : "NO",
+                   util::Table::fmt(seconds, 3), "-"});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nstealing speedup over static: "
+            << util::Table::fmt(r_static.seconds / r_steal.seconds, 2) << "x\n";
+  return r_static.ok && r_steal.ok ? 0 : 1;
+}

@@ -1,0 +1,70 @@
+#include "comm/cart.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace picprk::comm {
+
+BlockRange block_range(std::int64_t n, int parts, int index) {
+  PICPRK_EXPECTS(parts >= 1);
+  PICPRK_EXPECTS(index >= 0 && index < parts);
+  const std::int64_t base = n / parts;
+  const std::int64_t extra = n % parts;
+  BlockRange r;
+  if (index < extra) {
+    r.lo = index * (base + 1);
+    r.hi = r.lo + base + 1;
+  } else {
+    r.lo = extra * (base + 1) + (index - extra) * base;
+    r.hi = r.lo + base;
+  }
+  return r;
+}
+
+int block_owner(std::int64_t n, int parts, std::int64_t v) {
+  PICPRK_EXPECTS(v >= 0 && v < n);
+  const std::int64_t base = n / parts;
+  const std::int64_t extra = n % parts;
+  const std::int64_t boundary = extra * (base + 1);
+  if (v < boundary) return static_cast<int>(v / (base + 1));
+  PICPRK_ASSERT_MSG(base > 0, "more parts than items beyond the remainder region");
+  return static_cast<int>(extra + (v - boundary) / base);
+}
+
+std::pair<int, int> near_square_factors(int p) {
+  PICPRK_EXPECTS(p >= 1);
+  int py = static_cast<int>(std::sqrt(static_cast<double>(p)));
+  while (p % py != 0) --py;
+  return {p / py, py};
+}
+
+Cart2D::Cart2D(int p) {
+  auto [px, py] = near_square_factors(p);
+  px_ = px;
+  py_ = py;
+}
+
+Cart2D::Cart2D(int px, int py) : px_(px), py_(py) {
+  PICPRK_EXPECTS(px >= 1 && py >= 1);
+}
+
+int Cart2D::rank_of(int cx, int cy) const {
+  PICPRK_EXPECTS(cx >= 0 && cx < px_);
+  PICPRK_EXPECTS(cy >= 0 && cy < py_);
+  return cy * px_ + cx;
+}
+
+std::pair<int, int> Cart2D::coords_of(int rank) const {
+  PICPRK_EXPECTS(rank >= 0 && rank < size());
+  return {rank % px_, rank / px_};
+}
+
+int Cart2D::neighbor(int rank, int dx, int dy) const {
+  auto [cx, cy] = coords_of(rank);
+  const int nx = ((cx + dx) % px_ + px_) % px_;
+  const int ny = ((cy + dy) % py_ + py_) % py_;
+  return rank_of(nx, ny);
+}
+
+}  // namespace picprk::comm

@@ -1,0 +1,57 @@
+// 2-D Cartesian process topology with periodic boundaries and balanced
+// block ranges — the decomposition scaffolding shared by the parallel PIC
+// drivers (paper §IV-A: "arrange the P processors in a 2D Px×Py grid").
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+namespace picprk::comm {
+
+/// Balanced 1-D block range: splits n items over p parts; part i gets
+/// floor(n/p) items plus one extra for the first n%p parts.
+struct BlockRange {
+  std::int64_t lo = 0;  ///< inclusive
+  std::int64_t hi = 0;  ///< exclusive
+
+  std::int64_t count() const { return hi - lo; }
+  bool contains(std::int64_t v) const { return v >= lo && v < hi; }
+};
+
+BlockRange block_range(std::int64_t n, int parts, int index);
+
+/// Which part owns item `v` under the balanced block split (inverse of
+/// block_range); O(1).
+int block_owner(std::int64_t n, int parts, std::int64_t v);
+
+/// Factorization of P into Px × Py with Px >= Py and the pair as close
+/// to square as possible (minimises subdomain perimeter, §IV-B).
+std::pair<int, int> near_square_factors(int p);
+
+/// 2-D periodic Cartesian topology over `p` ranks.
+class Cart2D {
+ public:
+  /// Chooses Px × Py = near_square_factors(p).
+  explicit Cart2D(int p);
+  /// Explicit process-grid shape; px*py must equal p.
+  Cart2D(int px, int py);
+
+  int px() const { return px_; }
+  int py() const { return py_; }
+  int size() const { return px_ * py_; }
+
+  /// Rank of the process at grid coordinates (cx, cy); row-major in x.
+  int rank_of(int cx, int cy) const;
+
+  /// Grid coordinates of `rank`.
+  std::pair<int, int> coords_of(int rank) const;
+
+  /// Periodic neighbor of `rank` displaced by (dx, dy) grid steps.
+  int neighbor(int rank, int dx, int dy) const;
+
+ private:
+  int px_;
+  int py_;
+};
+
+}  // namespace picprk::comm

@@ -1,0 +1,405 @@
+// Comm: the communication API of threadcomm, the thread-backed
+// message-passing runtime standing in for MPI (DESIGN.md §2).
+//
+// Semantics follow MPI where it matters for the PRK:
+//  * sends are buffered (never block, like MPI_Bsend with enough buffer);
+//  * receives block and match (source|ANY, tag|ANY) in FIFO order per
+//    (source, tag);
+//  * collectives must be called by every rank of the communicator in the
+//    same order;
+//  * Comm::split creates disjoint sub-communicators (MPI_Comm_split).
+//
+// All payloads are trivially-copyable element types moved by value between
+// rank-private address spaces — there is no shared-state shortcut, so the
+// drivers built on top are structurally identical to MPI codes.
+#pragma once
+
+#include <array>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "comm/world.hpp"
+#include "util/assert.hpp"
+
+namespace picprk::comm {
+
+namespace detail {
+
+/// Internal collective opcodes; encoded into negative tags.
+enum class Op : int {
+  Barrier = 0,
+  Bcast,
+  Reduce,
+  Allreduce,
+  Gather,
+  Allgather,
+  Alltoall,
+  Split,
+  Scan,
+  Count_,
+};
+
+inline constexpr int kNumOps = static_cast<int>(Op::Count_);
+inline constexpr int kSeqMod = 1 << 16;
+
+/// Internal tags are negative and never collide with user tags (>= 0).
+inline int internal_tag(Op op, int seq) {
+  return -(static_cast<int>(op) * kSeqMod + (seq % kSeqMod) + 1);
+}
+
+}  // namespace detail
+
+class Comm {
+ public:
+  /// World communicator over all ranks (context 0). Created by World::run.
+  Comm(WorldState* state, int world_rank);
+
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+  Comm(Comm&&) = default;
+  Comm& operator=(Comm&&) = default;
+
+  /// Rank within this communicator.
+  int rank() const { return rank_; }
+  /// Number of ranks in this communicator.
+  int size() const { return static_cast<int>(group_.size()); }
+
+  // ---------------------------------------------------------------- P2P
+
+  /// Buffered send of a span of trivially-copyable elements.
+  template <typename T>
+  void send(std::span<const T> data, int dst, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    PICPRK_EXPECTS(tag >= 0);
+    send_bytes(as_bytes_copy(data), dst, tag);
+  }
+
+  template <typename T>
+  void send(const std::vector<T>& data, int dst, int tag) {
+    send(std::span<const T>(data), dst, tag);
+  }
+
+  /// Sends a single value.
+  template <typename T>
+  void send_value(const T& value, int dst, int tag) {
+    send(std::span<const T>(&value, 1), dst, tag);
+  }
+
+  /// Blocking receive; the message length determines the element count.
+  template <typename T>
+  std::vector<T> recv(int src, int tag, Status* status = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Message msg = recv_bytes(src, tag);
+    if (status) *status = Status{group_index(msg.source), msg.tag, msg.payload.size()};
+    return from_bytes<T>(msg.payload);
+  }
+
+  /// Blocking receive of exactly one value.
+  template <typename T>
+  T recv_value(int src, int tag, Status* status = nullptr) {
+    auto v = recv<T>(src, tag, status);
+    PICPRK_ASSERT_MSG(v.size() == 1, "recv_value expected exactly one element");
+    return v.front();
+  }
+
+  /// Buffered-send + blocking-receive pair (cannot deadlock because sends
+  /// are buffered).
+  template <typename T>
+  std::vector<T> sendrecv(std::span<const T> out, int dst, int src, int tag) {
+    send(out, dst, tag);
+    return recv<T>(src, tag);
+  }
+
+  /// Blocking probe: waits for a matching envelope without consuming it.
+  Status probe(int src, int tag);
+
+  /// Non-blocking probe.
+  std::optional<Status> iprobe(int src, int tag);
+
+  // --------------------------------------------------------- collectives
+
+  /// Dissemination barrier, O(log P) rounds.
+  void barrier();
+
+  /// Binomial-tree broadcast of a whole vector (count travels with data).
+  template <typename T>
+  void bcast(std::vector<T>& data, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int tag = next_tag(detail::Op::Bcast);
+    const int vrank = (rank_ - root + size()) % size();
+    int mask = 1;
+    while (mask < size()) {
+      if (vrank & mask) {
+        Message msg = recv_internal((vrank - mask + root) % size(), tag);
+        data = from_bytes<T>(msg.payload);
+        break;
+      }
+      mask <<= 1;
+    }
+    mask >>= 1;
+    while (mask > 0) {
+      if (vrank + mask < size()) {
+        send_internal(as_bytes_copy(std::span<const T>(data)),
+                      (vrank + mask + root) % size(), tag);
+      }
+      mask >>= 1;
+    }
+  }
+
+  /// Element-wise binomial-tree reduction to `root` with a commutative
+  /// combiner `op(T,T) -> T`. Non-root ranks return an empty vector.
+  template <typename T, typename BinaryOp>
+  std::vector<T> reduce(std::span<const T> data, BinaryOp op, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int tag = next_tag(detail::Op::Reduce);
+    std::vector<T> acc(data.begin(), data.end());
+    const int vrank = (rank_ - root + size()) % size();
+    int mask = 1;
+    while (mask < size()) {
+      if ((vrank & mask) == 0) {
+        const int vsrc = vrank | mask;
+        if (vsrc < size()) {
+          Message msg = recv_internal((vsrc + root) % size(), tag);
+          auto partial = from_bytes<T>(msg.payload);
+          PICPRK_ASSERT_MSG(partial.size() == acc.size(),
+                            "reduce: mismatched vector lengths across ranks");
+          for (std::size_t i = 0; i < acc.size(); ++i)
+            acc[i] = op(acc[i], partial[i]);
+        }
+      } else {
+        send_internal(as_bytes_copy(std::span<const T>(acc)),
+                      ((vrank - mask) + root) % size(), tag);
+        break;
+      }
+      mask <<= 1;
+    }
+    if (rank_ != root) acc.clear();
+    return acc;
+  }
+
+  /// Reduce-to-0 followed by broadcast; every rank gets the result.
+  template <typename T, typename BinaryOp>
+  std::vector<T> allreduce(std::span<const T> data, BinaryOp op) {
+    auto result = reduce(data, op, 0);
+    next_tag(detail::Op::Allreduce);  // keep sequence aligned across ranks
+    bcast(result, 0);
+    return result;
+  }
+
+  template <typename T, typename BinaryOp>
+  T allreduce_value(const T& value, BinaryOp op) {
+    auto v = allreduce(std::span<const T>(&value, 1), op);
+    return v.front();
+  }
+
+  /// Gather with per-rank variable lengths. Root receives one vector per
+  /// rank (in rank order); non-root ranks return an empty outer vector.
+  template <typename T>
+  std::vector<std::vector<T>> gather(std::span<const T> data, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int tag = next_tag(detail::Op::Gather);
+    std::vector<std::vector<T>> result;
+    if (rank_ == root) {
+      result.resize(static_cast<std::size_t>(size()));
+      result[static_cast<std::size_t>(root)].assign(data.begin(), data.end());
+      for (int r = 0; r < size(); ++r) {
+        if (r == root) continue;
+        Message msg = recv_internal(r, tag);
+        result[static_cast<std::size_t>(r)] = from_bytes<T>(msg.payload);
+      }
+    } else {
+      send_internal(as_bytes_copy(data), root, tag);
+    }
+    return result;
+  }
+
+  /// Allgather with variable lengths: every rank gets every rank's vector.
+  template <typename T>
+  std::vector<std::vector<T>> allgather(std::span<const T> data) {
+    auto gathered = gather(data, 0);
+    next_tag(detail::Op::Allgather);  // sequence alignment
+    // Flatten + lengths, then broadcast both.
+    std::vector<std::uint64_t> lengths;
+    std::vector<T> flat;
+    if (rank_ == 0) {
+      for (auto& v : gathered) {
+        lengths.push_back(v.size());
+        flat.insert(flat.end(), v.begin(), v.end());
+      }
+    }
+    bcast(lengths, 0);
+    bcast(flat, 0);
+    std::vector<std::vector<T>> result(static_cast<std::size_t>(size()));
+    std::size_t offset = 0;
+    for (std::size_t r = 0; r < result.size(); ++r) {
+      result[r].assign(flat.begin() + static_cast<std::ptrdiff_t>(offset),
+                       flat.begin() + static_cast<std::ptrdiff_t>(offset + lengths[r]));
+      offset += lengths[r];
+    }
+    return result;
+  }
+
+  /// Convenience: allgather of a single value per rank.
+  template <typename T>
+  std::vector<T> allgather_value(const T& value) {
+    auto nested = allgather(std::span<const T>(&value, 1));
+    std::vector<T> flat;
+    flat.reserve(nested.size());
+    for (auto& v : nested) {
+      PICPRK_ASSERT(v.size() == 1);
+      flat.push_back(v.front());
+    }
+    return flat;
+  }
+
+  /// Full variable-size exchange (MPI_Alltoallv): `outgoing[r]` goes to
+  /// rank r; returns `incoming[r]` received from rank r. Empty vectors
+  /// are exchanged too, so matching is deterministic.
+  template <typename T>
+  std::vector<std::vector<T>> alltoall(const std::vector<std::vector<T>>& outgoing) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    PICPRK_EXPECTS(static_cast<int>(outgoing.size()) == size());
+    const int tag = next_tag(detail::Op::Alltoall);
+    // Pairwise-shifted send order spreads load; buffered sends cannot block.
+    for (int shift = 0; shift < size(); ++shift) {
+      const int dst = (rank_ + shift) % size();
+      send_internal(as_bytes_copy(std::span<const T>(outgoing[static_cast<std::size_t>(dst)])),
+                    dst, tag);
+    }
+    std::vector<std::vector<T>> incoming(static_cast<std::size_t>(size()));
+    for (int i = 0; i < size(); ++i) {
+      Message msg = recv_internal(kAnySource, tag);
+      auto& slot = incoming[static_cast<std::size_t>(group_index(msg.source))];
+      PICPRK_ASSERT_MSG(slot.empty() || msg.payload.empty(),
+                        "alltoall: duplicate message from a source");
+      slot = from_bytes<T>(msg.payload);
+    }
+    return incoming;
+  }
+
+  /// Inclusive prefix reduction (MPI_Scan): rank r receives
+  /// op(data_0, ..., data_r), element-wise. Hillis–Steele, O(log P)
+  /// rounds; correct for non-commutative ops.
+  template <typename T, typename BinaryOp>
+  std::vector<T> scan(std::span<const T> data, BinaryOp op) {
+    std::vector<T> inclusive;
+    scan_impl(data, op, inclusive, static_cast<std::vector<T>*>(nullptr));
+    return inclusive;
+  }
+
+  /// Exclusive prefix reduction (MPI_Exscan): rank r receives
+  /// op(data_0, ..., data_{r-1}); rank 0 receives nullopt.
+  template <typename T, typename BinaryOp>
+  std::optional<std::vector<T>> exscan(std::span<const T> data, BinaryOp op) {
+    std::vector<T> inclusive;
+    std::vector<T> exclusive;
+    const bool have = scan_impl(data, op, inclusive, &exclusive);
+    if (!have) return std::nullopt;
+    return exclusive;
+  }
+
+  /// Convenience single-value scans.
+  template <typename T, typename BinaryOp>
+  T scan_value(const T& value, BinaryOp op) {
+    return scan(std::span<const T>(&value, 1), op).front();
+  }
+
+  template <typename T, typename BinaryOp>
+  std::optional<T> exscan_value(const T& value, BinaryOp op) {
+    auto v = exscan(std::span<const T>(&value, 1), op);
+    if (!v) return std::nullopt;
+    return v->front();
+  }
+
+  /// Splits this communicator into sub-communicators by `color`; ranks
+  /// with the same color form a group ordered by (key, old rank).
+  Comm split(int color, int key);
+
+  // -------------------------------------------------------- diagnostics
+
+  /// Global rank in the world (for logging).
+  int world_rank() const { return world_rank_; }
+  int context() const { return context_; }
+
+ private:
+  Comm(WorldState* state, int world_rank, int context, std::vector<int> group);
+
+  template <typename T>
+  static std::vector<std::byte> as_bytes_copy(std::span<const T> data) {
+    std::vector<std::byte> bytes(data.size_bytes());
+    if (!bytes.empty()) std::memcpy(bytes.data(), data.data(), bytes.size());
+    return bytes;
+  }
+
+  template <typename T>
+  static std::vector<T> from_bytes(const std::vector<std::byte>& bytes) {
+    PICPRK_ASSERT_MSG(bytes.size() % sizeof(T) == 0,
+                      "payload length not a multiple of element size");
+    std::vector<T> out(bytes.size() / sizeof(T));
+    if (!out.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
+    return out;
+  }
+
+  /// Hillis–Steele prefix reduction. Fills `inclusive`; when `exclusive`
+  /// is non-null also accumulates the exclusive prefix there and returns
+  /// whether this rank has one (false only on rank 0).
+  template <typename T, typename BinaryOp>
+  bool scan_impl(std::span<const T> data, BinaryOp op, std::vector<T>& inclusive,
+                 std::vector<T>* exclusive) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int tag = next_tag(detail::Op::Scan);
+    inclusive.assign(data.begin(), data.end());
+    bool have_exclusive = false;
+    for (int k = 1; k < size(); k <<= 1) {
+      if (rank_ + k < size()) {
+        send_internal(as_bytes_copy(std::span<const T>(inclusive)), rank_ + k, tag);
+      }
+      if (rank_ - k >= 0) {
+        Message msg = recv_internal(rank_ - k, tag);
+        auto partial = from_bytes<T>(msg.payload);
+        PICPRK_ASSERT_MSG(partial.size() == inclusive.size(),
+                          "scan: mismatched vector lengths across ranks");
+        for (std::size_t i = 0; i < inclusive.size(); ++i) {
+          inclusive[i] = op(partial[i], inclusive[i]);
+        }
+        if (exclusive) {
+          if (!have_exclusive) {
+            *exclusive = partial;
+            have_exclusive = true;
+          } else {
+            for (std::size_t i = 0; i < exclusive->size(); ++i) {
+              (*exclusive)[i] = op(partial[i], (*exclusive)[i]);
+            }
+          }
+        }
+      }
+    }
+    return have_exclusive;
+  }
+
+  /// Index of a world rank within this communicator's group.
+  int group_index(int wrank) const;
+
+  int next_tag(detail::Op op) {
+    auto& seq = seq_[static_cast<std::size_t>(op)];
+    return detail::internal_tag(op, seq++);
+  }
+
+  /// dst/src below are ranks *within this communicator*.
+  void send_bytes(std::vector<std::byte> bytes, int dst, int tag);
+  void send_internal(std::vector<std::byte> bytes, int dst, int tag);
+  Message recv_bytes(int src, int tag);
+  Message recv_internal(int src, int tag);
+
+  WorldState* state_;
+  int world_rank_;
+  int context_;
+  int rank_;                 // my index within group_
+  std::vector<int> group_;   // world ranks of this communicator's members
+  std::array<int, detail::kNumOps> seq_{};
+};
+
+}  // namespace picprk::comm

@@ -1,0 +1,59 @@
+#include "comm/mailbox.hpp"
+
+namespace picprk::comm {
+
+void Mailbox::push(Message msg) {
+  {
+    std::scoped_lock lock(mutex_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::pop(int context, int source, int tag, const std::atomic<bool>& abort) {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (matches(*it, context, source, tag)) {
+        Message msg = std::move(*it);
+        queue_.erase(it);
+        return msg;
+      }
+    }
+    if (abort.load(std::memory_order_acquire)) throw WorldAborted{};
+    cv_.wait(lock);
+  }
+}
+
+std::optional<Status> Mailbox::probe(int context, int source, int tag) const {
+  std::scoped_lock lock(mutex_);
+  for (const auto& m : queue_) {
+    if (matches(m, context, source, tag)) {
+      return Status{m.source, m.tag, m.payload.size()};
+    }
+  }
+  return std::nullopt;
+}
+
+Status Mailbox::probe_wait(int context, int source, int tag,
+                           const std::atomic<bool>& abort) {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    for (const auto& m : queue_) {
+      if (matches(m, context, source, tag)) {
+        return Status{m.source, m.tag, m.payload.size()};
+      }
+    }
+    if (abort.load(std::memory_order_acquire)) throw WorldAborted{};
+    cv_.wait(lock);
+  }
+}
+
+std::size_t Mailbox::queued() const {
+  std::scoped_lock lock(mutex_);
+  return queue_.size();
+}
+
+void Mailbox::notify_abort() { cv_.notify_all(); }
+
+}  // namespace picprk::comm

@@ -1,0 +1,56 @@
+// Per-rank mailbox with MPI-style envelope matching: a recv with
+// (context, source|ANY, tag|ANY) takes the *earliest* matching message,
+// which gives the per-(source,tag) FIFO ordering MPI guarantees.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "comm/message.hpp"
+
+namespace picprk::comm {
+
+/// Thrown out of blocking operations when the world has been aborted
+/// (another rank threw). Prevents deadlocks in tests and drivers.
+class WorldAborted : public std::runtime_error {
+ public:
+  WorldAborted() : std::runtime_error("threadcomm world aborted by another rank") {}
+};
+
+class Mailbox {
+ public:
+  /// Enqueues a message and wakes matching receivers.
+  void push(Message msg);
+
+  /// Blocks until a message matching (context, source, tag) is available
+  /// and removes it. Throws WorldAborted if the abort flag fires.
+  Message pop(int context, int source, int tag, const std::atomic<bool>& abort);
+
+  /// Non-destructive match test; returns envelope info of the earliest
+  /// matching message, or nullopt if none is queued right now.
+  std::optional<Status> probe(int context, int source, int tag) const;
+
+  /// Blocking probe.
+  Status probe_wait(int context, int source, int tag, const std::atomic<bool>& abort);
+
+  /// Number of queued messages (test/diagnostic use).
+  std::size_t queued() const;
+
+  /// Wakes all waiters so they can observe the abort flag.
+  void notify_abort();
+
+ private:
+  static bool matches(const Message& m, int context, int source, int tag) {
+    return m.context == context && (source == kAnySource || m.source == source) &&
+           (tag == kAnyTag || m.tag == tag);
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace picprk::comm

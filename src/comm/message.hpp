@@ -1,0 +1,34 @@
+// Message envelope types for threadcomm, the thread-backed message-passing
+// runtime that stands in for MPI (see DESIGN.md §2). Messages are value
+// copies: rank state is thread-private and all inter-rank data flows
+// through these envelopes, exactly as in a distributed-memory MPI program.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace picprk::comm {
+
+/// Wildcard source for recv/probe, like MPI_ANY_SOURCE.
+inline constexpr int kAnySource = -1;
+/// Wildcard tag for recv/probe, like MPI_ANY_TAG.
+inline constexpr int kAnyTag = -0x7FFFFFFF;
+
+/// Envelope metadata returned by probe and recv.
+struct Status {
+  int source = kAnySource;
+  int tag = 0;
+  std::size_t bytes = 0;
+};
+
+/// A delivered message. `context` scopes communicators (Comm::split);
+/// user tags are non-negative, internal collective tags are negative.
+struct Message {
+  int context = 0;
+  int source = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+}  // namespace picprk::comm

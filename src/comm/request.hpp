@@ -1,0 +1,66 @@
+// Nonblocking receive requests for threadcomm, mirroring MPI_Irecv /
+// MPI_Test / MPI_Wait. Sends in threadcomm are buffered and complete
+// immediately (like MPI_Bsend), so only the receive side needs a request
+// object: post an irecv, overlap local work (e.g. moving interior
+// particles), then wait for the immigrants.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "comm/comm.hpp"
+
+namespace picprk::comm {
+
+/// Handle to a pending typed receive. Move-only; must be waited on (or
+/// abandoned — an unconsumed matching message then stays queued, exactly
+/// like a never-posted MPI receive).
+template <typename T>
+class RecvRequest {
+ public:
+  RecvRequest(Comm& comm, int src, int tag) : comm_(&comm), src_(src), tag_(tag) {}
+
+  /// True when a matching message is available; does not consume it.
+  bool test() {
+    if (done_) return true;
+    return comm_->iprobe(src_, tag_).has_value();
+  }
+
+  /// Blocks until the message arrives and returns it. Idempotent: a
+  /// second wait returns the same data.
+  const std::vector<T>& wait() {
+    if (!done_) {
+      data_ = comm_->recv<T>(src_, tag_, &status_);
+      done_ = true;
+    }
+    return data_;
+  }
+
+  /// Envelope of the completed receive (valid after wait()).
+  const Status& status() const { return status_; }
+
+ private:
+  Comm* comm_;
+  int src_;
+  int tag_;
+  bool done_ = false;
+  std::vector<T> data_;
+  Status status_{};
+};
+
+/// Posts a nonblocking typed receive.
+template <typename T>
+RecvRequest<T> irecv(Comm& comm, int src, int tag) {
+  return RecvRequest<T>(comm, src, tag);
+}
+
+/// Waits on a set of requests in any completion order (MPI_Waitall).
+template <typename T>
+std::vector<std::vector<T>> wait_all(std::vector<RecvRequest<T>>& requests) {
+  std::vector<std::vector<T>> results;
+  results.reserve(requests.size());
+  for (auto& r : requests) results.push_back(r.wait());
+  return results;
+}
+
+}  // namespace picprk::comm

@@ -1,0 +1,64 @@
+#include "comm/world.hpp"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "comm/comm.hpp"
+#include "util/assert.hpp"
+
+namespace picprk::comm {
+
+WorldState::WorldState(int size_in) : size(size_in) {
+  boxes.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) boxes.push_back(std::make_unique<Mailbox>());
+}
+
+void WorldState::signal_abort() {
+  abort.store(true, std::memory_order_release);
+  for (auto& box : boxes) box->notify_abort();
+}
+
+World::World(int size) : size_(size) {
+  PICPRK_EXPECTS(size >= 1);
+  state_ = std::make_shared<WorldState>(size);
+}
+
+void World::run(const std::function<void(Comm&)>& rank_main) {
+  // A fresh abort flag per run; mailboxes must be empty from the last run
+  // (a correct program consumes everything it is sent).
+  state_->abort.store(false, std::memory_order_release);
+
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size_));
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([this, r, &rank_main, &first_error, &error_mutex] {
+      try {
+        Comm comm(state_.get(), r);
+        rank_main(comm);
+      } catch (...) {
+        {
+          std::scoped_lock lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        state_->signal_abort();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::uint64_t World::bytes_sent() const {
+  return state_->bytes_sent.load(std::memory_order_relaxed);
+}
+
+std::uint64_t World::messages_sent() const {
+  return state_->messages_sent.load(std::memory_order_relaxed);
+}
+
+}  // namespace picprk::comm

@@ -1,0 +1,57 @@
+// World: owns the per-rank mailboxes and spawns one thread per rank.
+// This is the process-launcher half of threadcomm; Comm (comm.hpp) is the
+// communication API handed to each rank's main function.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "comm/mailbox.hpp"
+
+namespace picprk::comm {
+
+class Comm;
+
+/// Shared runtime state; lives for the duration of World::run.
+struct WorldState {
+  explicit WorldState(int size);
+
+  int size;
+  std::vector<std::unique_ptr<Mailbox>> boxes;
+  /// Abort flag set when any rank throws; blocking calls bail out.
+  std::atomic<bool> abort{false};
+  /// Allocator for communicator context ids (Comm::split).
+  std::atomic<int> next_context{1};
+  /// Total payload bytes pushed through mailboxes (diagnostics).
+  std::atomic<std::uint64_t> bytes_sent{0};
+  std::atomic<std::uint64_t> messages_sent{0};
+
+  void signal_abort();
+};
+
+/// Runs `rank_main(comm)` on `size` ranks, each on its own thread, with a
+/// world communicator (context 0) spanning all ranks. Blocks until every
+/// rank returns. If any rank throws, the world aborts (other ranks'
+/// blocking calls throw WorldAborted) and the first exception is
+/// rethrown to the caller.
+class World {
+ public:
+  explicit World(int size);
+
+  void run(const std::function<void(Comm&)>& rank_main);
+
+  int size() const { return size_; }
+
+  /// Diagnostics accumulated over all run() invocations of this World.
+  std::uint64_t bytes_sent() const;
+  std::uint64_t messages_sent() const;
+
+ private:
+  int size_;
+  std::shared_ptr<WorldState> state_;
+};
+
+}  // namespace picprk::comm

@@ -1,0 +1,201 @@
+#include "field/dist_field.hpp"
+
+#include "util/assert.hpp"
+
+namespace picprk::field {
+
+namespace {
+// User tags for halo traffic, by travel direction.
+constexpr int kWestward = 2001;   // receiver fills/folds its east side
+constexpr int kEastward = 2002;
+constexpr int kSouthward = 2003;  // rows, including x-halo entries
+constexpr int kNorthward = 2004;
+}  // namespace
+
+DistributedField::DistributedField(const pic::GridSpec& grid,
+                                   const par::Decomposition2D& decomp, int rank)
+    : decomp_(&decomp), rank_(rank), cells_(grid.cells) {
+  const pic::CellRegion block = decomp.block_of(rank);
+  x0_ = block.x0;
+  y0_ = block.y0;
+  width_ = block.width();
+  height_ = block.height();
+  const auto& cart = decomp.cart();
+  west_ = cart.neighbor(rank, -1, 0);
+  east_ = cart.neighbor(rank, 1, 0);
+  south_ = cart.neighbor(rank, 0, -1);
+  north_ = cart.neighbor(rank, 0, 1);
+  values_.assign(static_cast<std::size_t>((width_ + 2) * (height_ + 2)), 0.0);
+}
+
+double& DistributedField::at(std::int64_t gi, std::int64_t gj) {
+  std::int64_t li = pic::wrap_index(gi, cells_) - x0_;
+  std::int64_t lj = pic::wrap_index(gj, cells_) - y0_;
+  if (li < -1) li += cells_;
+  if (li > width_) li -= cells_;
+  if (lj < -1) lj += cells_;
+  if (lj > height_) lj -= cells_;
+  PICPRK_ASSERT_MSG(li >= -1 && li <= width_ && lj >= -1 && lj <= height_,
+                    "point outside owned block and halo ring");
+  return local(li, lj);
+}
+
+double DistributedField::at(std::int64_t gi, std::int64_t gj) const {
+  return const_cast<DistributedField*>(this)->at(gi, gj);
+}
+
+bool DistributedField::owns(std::int64_t gi, std::int64_t gj) const {
+  const std::int64_t i = pic::wrap_index(gi, cells_);
+  const std::int64_t j = pic::wrap_index(gj, cells_);
+  return i >= x0_ && i < x0_ + width_ && j >= y0_ && j < y0_ + height_;
+}
+
+void DistributedField::fill(double v) {
+  std::fill(values_.begin(), values_.end(), v);
+}
+
+double DistributedField::local_sum() const {
+  double s = 0.0;
+  for (std::int64_t lj = 0; lj < height_; ++lj) {
+    for (std::int64_t li = 0; li < width_; ++li) s += local(li, lj);
+  }
+  return s;
+}
+
+double DistributedField::local_dot(const DistributedField& a, const DistributedField& b) {
+  PICPRK_EXPECTS(a.width_ == b.width_ && a.height_ == b.height_);
+  double s = 0.0;
+  for (std::int64_t lj = 0; lj < a.height_; ++lj) {
+    for (std::int64_t li = 0; li < a.width_; ++li) s += a.local(li, lj) * b.local(li, lj);
+  }
+  return s;
+}
+
+void DistributedField::axpy(double alpha, const DistributedField& x) {
+  PICPRK_EXPECTS(width_ == x.width_ && height_ == x.height_);
+  for (std::int64_t lj = 0; lj < height_; ++lj) {
+    for (std::int64_t li = 0; li < width_; ++li) local(li, lj) += alpha * x.local(li, lj);
+  }
+}
+
+void DistributedField::xpby(const DistributedField& x, double beta) {
+  PICPRK_EXPECTS(width_ == x.width_ && height_ == x.height_);
+  for (std::int64_t lj = 0; lj < height_; ++lj) {
+    for (std::int64_t li = 0; li < width_; ++li) {
+      local(li, lj) = x.local(li, lj) + beta * local(li, lj);
+    }
+  }
+}
+
+void DistributedField::shift(double delta) {
+  for (std::int64_t lj = 0; lj < height_; ++lj) {
+    for (std::int64_t li = 0; li < width_; ++li) local(li, lj) += delta;
+  }
+}
+
+void DistributedField::halo_exchange(comm::Comm& comm) {
+  last_halo_bytes_ = 0;
+
+  // Phase X: owned edge columns travel to x-neighbors.
+  if (west_ == rank_) {
+    for (std::int64_t lj = 0; lj < height_; ++lj) {
+      local(-1, lj) = local(width_ - 1, lj);
+      local(width_, lj) = local(0, lj);
+    }
+  } else {
+    std::vector<double> west_edge(static_cast<std::size_t>(height_));
+    std::vector<double> east_edge(static_cast<std::size_t>(height_));
+    for (std::int64_t lj = 0; lj < height_; ++lj) {
+      west_edge[static_cast<std::size_t>(lj)] = local(0, lj);
+      east_edge[static_cast<std::size_t>(lj)] = local(width_ - 1, lj);
+    }
+    comm.send(west_edge, west_, kWestward);
+    comm.send(east_edge, east_, kEastward);
+    last_halo_bytes_ += (west_edge.size() + east_edge.size()) * sizeof(double);
+    const auto from_east = comm.recv<double>(east_, kWestward);
+    const auto from_west = comm.recv<double>(west_, kEastward);
+    PICPRK_ASSERT(from_east.size() == static_cast<std::size_t>(height_));
+    PICPRK_ASSERT(from_west.size() == static_cast<std::size_t>(height_));
+    for (std::int64_t lj = 0; lj < height_; ++lj) {
+      local(width_, lj) = from_east[static_cast<std::size_t>(lj)];
+      local(-1, lj) = from_west[static_cast<std::size_t>(lj)];
+    }
+  }
+
+  // Phase Y: full rows including the x-halos, so corners propagate.
+  if (south_ == rank_) {
+    for (std::int64_t li = -1; li <= width_; ++li) {
+      local(li, -1) = local(li, height_ - 1);
+      local(li, height_) = local(li, 0);
+    }
+  } else {
+    std::vector<double> south_edge(static_cast<std::size_t>(width_ + 2));
+    std::vector<double> north_edge(static_cast<std::size_t>(width_ + 2));
+    for (std::int64_t li = -1; li <= width_; ++li) {
+      south_edge[static_cast<std::size_t>(li + 1)] = local(li, 0);
+      north_edge[static_cast<std::size_t>(li + 1)] = local(li, height_ - 1);
+    }
+    comm.send(south_edge, south_, kSouthward);
+    comm.send(north_edge, north_, kNorthward);
+    last_halo_bytes_ += (south_edge.size() + north_edge.size()) * sizeof(double);
+    const auto from_north = comm.recv<double>(north_, kSouthward);
+    const auto from_south = comm.recv<double>(south_, kNorthward);
+    PICPRK_ASSERT(from_north.size() == static_cast<std::size_t>(width_ + 2));
+    PICPRK_ASSERT(from_south.size() == static_cast<std::size_t>(width_ + 2));
+    for (std::int64_t li = -1; li <= width_; ++li) {
+      local(li, height_) = from_north[static_cast<std::size_t>(li + 1)];
+      local(li, -1) = from_south[static_cast<std::size_t>(li + 1)];
+    }
+  }
+}
+
+void DistributedField::halo_fold(comm::Comm& comm) {
+  last_halo_bytes_ = 0;
+
+  // Phase Y first (the reverse of exchange): halo rows — including their
+  // x-halo corners — fold into the y-neighbors' x-halos/owned rows.
+  if (south_ != rank_) {
+    std::vector<double> to_south(static_cast<std::size_t>(width_ + 2));
+    std::vector<double> to_north(static_cast<std::size_t>(width_ + 2));
+    for (std::int64_t li = -1; li <= width_; ++li) {
+      to_south[static_cast<std::size_t>(li + 1)] = local(li, -1);
+      to_north[static_cast<std::size_t>(li + 1)] = local(li, height_);
+      local(li, -1) = 0.0;
+      local(li, height_) = 0.0;
+    }
+    comm.send(to_south, south_, kSouthward);
+    comm.send(to_north, north_, kNorthward);
+    last_halo_bytes_ += (to_south.size() + to_north.size()) * sizeof(double);
+    const auto from_north = comm.recv<double>(north_, kSouthward);
+    const auto from_south = comm.recv<double>(south_, kNorthward);
+    for (std::int64_t li = -1; li <= width_; ++li) {
+      local(li, height_ - 1) += from_north[static_cast<std::size_t>(li + 1)];
+      local(li, 0) += from_south[static_cast<std::size_t>(li + 1)];
+    }
+  }
+  // With a self y-neighbor, at() already aliased halo writes onto owned
+  // points, so there is nothing to fold.
+
+  // Phase X: halo columns fold into x-neighbors' owned edge columns.
+  if (west_ != rank_) {
+    std::vector<double> to_west(static_cast<std::size_t>(height_));
+    std::vector<double> to_east(static_cast<std::size_t>(height_));
+    for (std::int64_t lj = 0; lj < height_; ++lj) {
+      to_west[static_cast<std::size_t>(lj)] = local(-1, lj);
+      to_east[static_cast<std::size_t>(lj)] = local(width_, lj);
+      local(-1, lj) = 0.0;
+      local(width_, lj) = 0.0;
+    }
+    comm.send(to_west, west_, kWestward);
+    comm.send(to_east, east_, kEastward);
+    last_halo_bytes_ += (to_west.size() + to_east.size()) * sizeof(double);
+    const auto from_east = comm.recv<double>(east_, kWestward);
+    const auto from_west = comm.recv<double>(west_, kEastward);
+    for (std::int64_t lj = 0; lj < height_; ++lj) {
+      local(width_ - 1, lj) += from_east[static_cast<std::size_t>(lj)];
+      local(0, lj) += from_west[static_cast<std::size_t>(lj)];
+    }
+  }
+}
+
+}  // namespace picprk::field

@@ -1,0 +1,98 @@
+// Periodic scalar/vector fields on the PRK mesh — the substrate for the
+// full Particle-in-Cell computational cycle of paper §III-A. The PIC PRK
+// deliberately strips steps (2)–(3) of the cycle (charge deposition and
+// the field solve) to isolate load balancing; this module implements
+// them anyway so the repository contains the complete application
+// context the kernel abstracts (and the SpMV pattern the paper points
+// at via the existing PRKs).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pic/geometry.hpp"
+#include "util/assert.hpp"
+
+namespace picprk::field {
+
+/// A scalar field sampled at the C×C mesh points of a periodic grid.
+class ScalarField {
+ public:
+  ScalarField() = default;
+  explicit ScalarField(const pic::GridSpec& grid)
+      : cells_(grid.cells), h_(grid.h),
+        values_(static_cast<std::size_t>(grid.cells * grid.cells), 0.0) {}
+
+  std::int64_t cells() const { return cells_; }
+  double h() const { return h_; }
+  std::size_t size() const { return values_.size(); }
+
+  /// Access with periodic index wrapping.
+  double& at(std::int64_t i, std::int64_t j) {
+    return values_[index(i, j)];
+  }
+  double at(std::int64_t i, std::int64_t j) const { return values_[index(i, j)]; }
+
+  std::vector<double>& data() { return values_; }
+  const std::vector<double>& data() const { return values_; }
+
+  void fill(double v) { std::fill(values_.begin(), values_.end(), v); }
+
+  double sum() const {
+    double s = 0.0;
+    for (double v : values_) s += v;
+    return s;
+  }
+
+  double mean() const { return sum() / static_cast<double>(values_.size()); }
+
+  /// Subtracts the mean (projects out the periodic Laplacian nullspace).
+  void remove_mean() {
+    const double m = mean();
+    for (double& v : values_) v -= m;
+  }
+
+  /// Dot product (for the CG solver).
+  static double dot(const ScalarField& a, const ScalarField& b) {
+    PICPRK_EXPECTS(a.size() == b.size());
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.values_.size(); ++i) s += a.values_[i] * b.values_[i];
+    return s;
+  }
+
+  /// y += alpha * x
+  void axpy(double alpha, const ScalarField& x) {
+    PICPRK_EXPECTS(size() == x.size());
+    for (std::size_t i = 0; i < values_.size(); ++i) values_[i] += alpha * x.values_[i];
+  }
+
+  /// this = x + beta * this  (for CG direction updates)
+  void xpby(const ScalarField& x, double beta) {
+    PICPRK_EXPECTS(size() == x.size());
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+      values_[i] = x.values_[i] + beta * values_[i];
+    }
+  }
+
+ private:
+  std::size_t index(std::int64_t i, std::int64_t j) const {
+    const std::int64_t ii = pic::wrap_index(i, cells_);
+    const std::int64_t jj = pic::wrap_index(j, cells_);
+    return static_cast<std::size_t>(jj * cells_ + ii);
+  }
+
+  std::int64_t cells_ = 0;
+  double h_ = 1.0;
+  std::vector<double> values_;
+};
+
+/// A 2-component vector field (the electric field E = −∇φ).
+struct VectorField {
+  ScalarField x;
+  ScalarField y;
+
+  VectorField() = default;
+  explicit VectorField(const pic::GridSpec& grid) : x(grid), y(grid) {}
+};
+
+}  // namespace picprk::field

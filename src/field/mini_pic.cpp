@@ -1,0 +1,80 @@
+#include "field/mini_pic.hpp"
+
+#include "pic/geometry.hpp"
+#include "util/assert.hpp"
+
+namespace picprk::field {
+
+FieldSample interpolate(const VectorField& e, double x, double y,
+                        const pic::GridSpec& grid) {
+  const CicWeights w = cic_weights(x, y, grid);
+  FieldSample s;
+  s.ex = e.x.at(w.i, w.j) * w.w_bl + e.x.at(w.i + 1, w.j) * w.w_br +
+         e.x.at(w.i, w.j + 1) * w.w_tl + e.x.at(w.i + 1, w.j + 1) * w.w_tr;
+  s.ey = e.y.at(w.i, w.j) * w.w_bl + e.y.at(w.i + 1, w.j) * w.w_br +
+         e.y.at(w.i, w.j + 1) * w.w_tl + e.y.at(w.i + 1, w.j + 1) * w.w_tr;
+  return s;
+}
+
+MiniPic::MiniPic(MiniPicConfig config, std::vector<pic::Particle> particles)
+    : config_(config), particles_(std::move(particles)), rho_(config_.grid),
+      phi_(config_.grid), e_(config_.grid) {
+  PICPRK_EXPECTS(config_.dt > 0.0);
+  PICPRK_EXPECTS(config_.mass > 0.0);
+  recompute_fields();
+}
+
+void MiniPic::recompute_fields() {
+  rho_.fill(0.0);
+  deposit_cic(std::span<const pic::Particle>(particles_), config_.grid, rho_);
+  last_solve_ = solve_poisson(rho_, phi_, config_.cg_rtol);
+  gradient_to_field(phi_, e_);
+}
+
+MiniPicDiagnostics MiniPic::step() {
+  const double dt = config_.dt;
+  const double inv_m = 1.0 / config_.mass;
+  const double length = config_.grid.length();
+
+  // Step (1)+(4): gather E at each particle and push (kick-drift).
+  for (pic::Particle& p : particles_) {
+    const FieldSample s = interpolate(e_, p.x, p.y, config_.grid);
+    p.vx += p.q * s.ex * inv_m * dt;
+    p.vy += p.q * s.ey * inv_m * dt;
+    p.x = pic::wrap(p.x + p.vx * dt, length);
+    p.y = pic::wrap(p.y + p.vy * dt, length);
+  }
+
+  // Steps (2)+(3): new density and field for the next push.
+  recompute_fields();
+  return diagnostics();
+}
+
+MiniPicDiagnostics MiniPic::run(std::uint32_t steps) {
+  MiniPicDiagnostics d = diagnostics();
+  for (std::uint32_t s = 0; s < steps; ++s) d = step();
+  return d;
+}
+
+MiniPicDiagnostics MiniPic::diagnostics() const {
+  MiniPicDiagnostics d;
+  for (const pic::Particle& p : particles_) {
+    d.total_charge += p.q;
+    d.momentum_x += config_.mass * p.vx;
+    d.momentum_y += config_.mass * p.vy;
+    d.kinetic_energy += 0.5 * config_.mass * (p.vx * p.vx + p.vy * p.vy);
+  }
+  const double cell_area = config_.grid.h * config_.grid.h;
+  for (std::int64_t j = 0; j < config_.grid.cells; ++j) {
+    for (std::int64_t i = 0; i < config_.grid.cells; ++i) {
+      const double ex = e_.x.at(i, j);
+      const double ey = e_.y.at(i, j);
+      d.field_energy += 0.5 * (ex * ex + ey * ey) * cell_area;
+    }
+  }
+  d.cg_iterations = last_solve_.iterations;
+  d.cg_residual = last_solve_.residual_norm;
+  return d;
+}
+
+}  // namespace picprk::field

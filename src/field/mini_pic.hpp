@@ -1,0 +1,83 @@
+// The complete Particle-in-Cell computational cycle of paper §III-A —
+// the application the PRK abstracts from:
+//
+//   (1) push particles using the field at their positions,
+//   (2) deposit charge density onto the mesh (CIC),
+//   (3) solve −∇²φ = ρ and compute E = −∇φ,
+//   (4) interpolate E back to the particles (merged into the next push).
+//
+// This is a real (if minimal) electrostatic plasma simulation, provided
+// so the repository carries the context the kernel isolates its
+// load-balancing pattern from. It is NOT the PRK (the paper explains why
+// a full PIC application makes a poor benchmark: not exactly verifiable,
+// mixes performance artifacts); conservation diagnostics take the place
+// of the closed-form verification.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "field/deposit.hpp"
+#include "field/grid_field.hpp"
+#include "field/poisson.hpp"
+#include "pic/particle.hpp"
+
+namespace picprk::field {
+
+/// Bilinear interpolation of E at a position (step 4 of the cycle).
+struct FieldSample {
+  double ex = 0.0;
+  double ey = 0.0;
+};
+FieldSample interpolate(const VectorField& e, double x, double y,
+                        const pic::GridSpec& grid);
+
+struct MiniPicConfig {
+  pic::GridSpec grid{64, 1.0};
+  double dt = 0.1;
+  double mass = 1.0;
+  double cg_rtol = 1e-8;
+};
+
+struct MiniPicDiagnostics {
+  double total_charge = 0.0;     ///< ∑ q (conserved exactly)
+  double momentum_x = 0.0;       ///< ∑ m·v (conserved up to grid error)
+  double momentum_y = 0.0;
+  double kinetic_energy = 0.0;
+  double field_energy = 0.0;     ///< ½ ∑ |E|² h²
+  int cg_iterations = 0;
+  double cg_residual = 0.0;
+};
+
+/// One self-consistent PIC cycle over the particle set. `particles` are
+/// pushed in place; the fields are recomputed from the particles each
+/// step (fixed mesh charges do NOT exist here — this is the real cycle,
+/// unlike the PRK's frozen mesh).
+class MiniPic {
+ public:
+  MiniPic(MiniPicConfig config, std::vector<pic::Particle> particles);
+
+  /// Advances one cycle and returns the post-step diagnostics.
+  MiniPicDiagnostics step();
+
+  /// Runs `steps` cycles; returns the diagnostics of the last one.
+  MiniPicDiagnostics run(std::uint32_t steps);
+
+  const std::vector<pic::Particle>& particles() const { return particles_; }
+  const ScalarField& rho() const { return rho_; }
+  const VectorField& e_field() const { return e_; }
+
+  MiniPicDiagnostics diagnostics() const;
+
+ private:
+  void recompute_fields();
+
+  MiniPicConfig config_;
+  std::vector<pic::Particle> particles_;
+  ScalarField rho_;
+  ScalarField phi_;
+  VectorField e_;
+  CgResult last_solve_;
+};
+
+}  // namespace picprk::field

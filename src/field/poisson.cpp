@@ -1,0 +1,86 @@
+#include "field/poisson.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace picprk::field {
+
+void apply_neg_laplacian(const ScalarField& in, ScalarField& out) {
+  PICPRK_EXPECTS(in.cells() == out.cells());
+  const std::int64_t c = in.cells();
+  const double inv_h2 = 1.0 / (in.h() * in.h());
+  for (std::int64_t j = 0; j < c; ++j) {
+    for (std::int64_t i = 0; i < c; ++i) {
+      const double center = in.at(i, j);
+      out.at(i, j) = (4.0 * center - in.at(i - 1, j) - in.at(i + 1, j) -
+                      in.at(i, j - 1) - in.at(i, j + 1)) *
+                     inv_h2;
+    }
+  }
+}
+
+CgResult solve_poisson(const ScalarField& rho, ScalarField& phi, double rtol,
+                       int max_iterations) {
+  const pic::GridSpec grid(rho.cells(), rho.h());
+  CgResult result;
+
+  // Neutralise the RHS (project onto the operator's range).
+  ScalarField b = rho;
+  b.remove_mean();
+
+  phi = ScalarField(grid);
+  ScalarField r = b;                 // r = b − A·0
+  ScalarField p = r;
+  ScalarField ap(grid);
+
+  const double b_norm = std::sqrt(ScalarField::dot(b, b));
+  if (b_norm == 0.0) {
+    result.converged = true;
+    return result;
+  }
+  double rr = ScalarField::dot(r, r);
+
+  for (int it = 0; it < max_iterations; ++it) {
+    apply_neg_laplacian(p, ap);
+    const double p_ap = ScalarField::dot(p, ap);
+    PICPRK_ASSERT_MSG(p_ap > 0.0, "CG broke down: operator not SPD on this subspace");
+    const double alpha = rr / p_ap;
+    phi.axpy(alpha, p);
+    r.axpy(-alpha, ap);
+    const double rr_new = ScalarField::dot(r, r);
+    result.iterations = it + 1;
+    result.residual_norm = std::sqrt(rr_new);
+    if (result.residual_norm <= rtol * b_norm) {
+      result.converged = true;
+      break;
+    }
+    p.xpby(r, rr_new / rr);
+    rr = rr_new;
+    // Numerical drift can re-introduce a mean component; keep the
+    // iterates in the operator's range.
+    if ((it & 63) == 63) {
+      phi.remove_mean();
+      r.remove_mean();
+      p.remove_mean();
+    }
+  }
+  phi.remove_mean();
+  PICPRK_DEBUG("poisson CG: " << result.iterations << " iterations, residual "
+                              << result.residual_norm);
+  return result;
+}
+
+void gradient_to_field(const ScalarField& phi, VectorField& e) {
+  const std::int64_t c = phi.cells();
+  const double inv_2h = 1.0 / (2.0 * phi.h());
+  for (std::int64_t j = 0; j < c; ++j) {
+    for (std::int64_t i = 0; i < c; ++i) {
+      e.x.at(i, j) = -(phi.at(i + 1, j) - phi.at(i - 1, j)) * inv_2h;
+      e.y.at(i, j) = -(phi.at(i, j + 1) - phi.at(i, j - 1)) * inv_2h;
+    }
+  }
+}
+
+}  // namespace picprk::field

@@ -1,0 +1,35 @@
+// Step (3) of the PIC cycle (paper §III-A): "Compute the electric field
+// at the mesh points by solving the field equation, using the charge
+// densities" — the periodic Poisson problem  −∇²φ = ρ  solved with
+// conjugate gradients. The paper notes that a CG-based solve spends its
+// time in sparse matrix–vector products (the SpMV PRK); apply_laplacian
+// is exactly that 5-point SpMV.
+#pragma once
+
+#include <cstdint>
+
+#include "field/grid_field.hpp"
+
+namespace picprk::field {
+
+/// out = −∇² in  (5-point stencil, periodic boundaries). The operator is
+/// symmetric positive semi-definite with the constants as nullspace.
+void apply_neg_laplacian(const ScalarField& in, ScalarField& out);
+
+struct CgResult {
+  int iterations = 0;
+  double residual_norm = 0.0;  ///< ‖ρ + ∇²φ‖₂ at exit
+  bool converged = false;
+};
+
+/// Solves −∇²φ = ρ with CG to relative tolerance `rtol`. The right-hand
+/// side is mean-neutralised first (a periodic domain must be charge
+/// neutral; the alternating ±q mesh of the PRK is, by construction) and
+/// φ is returned with zero mean.
+CgResult solve_poisson(const ScalarField& rho, ScalarField& phi, double rtol = 1e-8,
+                       int max_iterations = 10000);
+
+/// E = −∇φ by central differences (periodic).
+void gradient_to_field(const ScalarField& phi, VectorField& e);
+
+}  // namespace picprk::field

@@ -1,0 +1,268 @@
+#include "par/ampi.hpp"
+
+#include <cstring>
+#include <memory>
+
+#include "comm/cart.hpp"
+#include "pic/charge.hpp"
+#include "pic/mover.hpp"
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+#include "vpr/runtime.hpp"
+
+namespace picprk::par {
+
+namespace {
+
+/// Problem state shared (read-only) by all VPs.
+struct SharedState {
+  pic::InitParams init_params;
+  pic::Initializer init;
+  pic::EventSchedule events;
+  comm::Cart2D vcart;  ///< VP grid (Vx × Vy)
+
+  SharedState(const DriverConfig& config, int vps)
+      : init_params(config.init), init(config.init), events(config.events), vcart(vps) {}
+
+  pic::CellRegion vp_block(int vp) const {
+    const auto [vx, vy] = vcart.coords_of(vp);
+    const auto xr = comm::block_range(init_params.grid.cells, vcart.px(), vx);
+    const auto yr = comm::block_range(init_params.grid.cells, vcart.py(), vy);
+    return pic::CellRegion{xr.lo, xr.hi, yr.lo, yr.hi};
+  }
+
+  int owner_vp(double x, double y) const {
+    const auto cx = init_params.grid.cell_of(x);
+    const auto cy = init_params.grid.cell_of(y);
+    const int vx = comm::block_owner(init_params.grid.cells, vcart.px(), cx);
+    const int vy = comm::block_owner(init_params.grid.cells, vcart.py(), cy);
+    return vcart.rank_of(vx, vy);
+  }
+};
+
+std::vector<std::byte> particles_to_bytes(const std::vector<pic::Particle>& ps) {
+  std::vector<std::byte> bytes(ps.size() * sizeof(pic::Particle));
+  if (!bytes.empty()) std::memcpy(bytes.data(), ps.data(), bytes.size());
+  return bytes;
+}
+
+std::vector<pic::Particle> particles_from_bytes(const std::vector<std::byte>& bytes) {
+  PICPRK_ASSERT(bytes.size() % sizeof(pic::Particle) == 0);
+  std::vector<pic::Particle> ps(bytes.size() / sizeof(pic::Particle));
+  if (!ps.empty()) std::memcpy(ps.data(), bytes.data(), bytes.size());
+  return ps;
+}
+
+/// One subdomain of the over-decomposed PIC problem.
+class PicVp final : public vpr::VirtualProcessor {
+ public:
+  PicVp(int id, std::shared_ptr<const SharedState> shared)
+      : VirtualProcessor(id), shared_(std::move(shared)) {
+    block_ = shared_->vp_block(id);
+    const pic::AlternatingColumnCharges pattern(shared_->init_params.mesh_q);
+    slab_ = pic::ChargeSlab::sample(pattern, block_.x0, block_.y0, block_.width() + 1,
+                                    block_.height() + 1);
+  }
+
+  /// Loads the initial particle population (called once, not on
+  /// migration — migrated state arrives via pup()).
+  void populate() {
+    particles_ = shared_->init.create_block(block_.x0, block_.x1, block_.y0, block_.y1);
+  }
+
+  void step(vpr::VpContext& ctx) override {
+    const pic::GridSpec& grid = shared_->init_params.grid;
+    const std::uint32_t step = ctx.step();
+
+    if (!shared_->events.empty()) {
+      for (std::size_t e = 0; e < shared_->events.removals().size(); ++e) {
+        if (shared_->events.removals()[e].step != step) continue;
+        const pic::CellRegion& region = shared_->events.removals()[e].region;
+        for (const pic::Particle& p : particles_) {
+          const auto cx = grid.cell_of(p.x);
+          const auto cy = grid.cell_of(p.y);
+          if (region.contains_cell(cx, cy) && shared_->events.removes(shared_->init, e, p.id)) {
+            removed_id_sum_ += p.id;
+          }
+        }
+      }
+      shared_->events.apply_step(shared_->init, step, block_.x0, block_.x1, block_.y0,
+                                 block_.y1, particles_);
+    }
+
+    pic::move_all(std::span<pic::Particle>(particles_), grid, slab_,
+                  shared_->init_params.dt);
+
+    // Route emigrants to their owner VPs (static VP decomposition).
+    std::vector<pic::Particle> keep;
+    keep.reserve(particles_.size());
+    std::vector<std::vector<pic::Particle>> buckets;
+    std::vector<int> bucket_dst;
+    for (const pic::Particle& p : particles_) {
+      const int owner = shared_->owner_vp(p.x, p.y);
+      if (owner == id()) {
+        keep.push_back(p);
+        continue;
+      }
+      std::size_t b = 0;
+      while (b < bucket_dst.size() && bucket_dst[b] != owner) ++b;
+      if (b == bucket_dst.size()) {
+        bucket_dst.push_back(owner);
+        buckets.emplace_back();
+      }
+      buckets[b].push_back(p);
+    }
+    particles_ = std::move(keep);
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      sent_particles_ += buckets[b].size();
+      ctx.send(bucket_dst[b], particles_to_bytes(buckets[b]));
+    }
+  }
+
+  void deliver(int /*src_vp*/, std::vector<std::byte> payload) override {
+    const auto incoming = particles_from_bytes(payload);
+    particles_.insert(particles_.end(), incoming.begin(), incoming.end());
+  }
+
+  double load() const override { return static_cast<double>(particles_.size()); }
+
+  std::vector<int> neighbor_vps() const override {
+    // 4-neighborhood on the periodic VP grid.
+    const auto& cart = shared_->vcart;
+    return {cart.neighbor(id(), 1, 0), cart.neighbor(id(), -1, 0),
+            cart.neighbor(id(), 0, 1), cart.neighbor(id(), 0, -1)};
+  }
+
+  void pup(vpr::Pup& p) override {
+    // Complete VP state: subdomain coordinates, the subgrid charges (the
+    // data a distributed runtime would ship), and the particles.
+    p(block_.x0);
+    p(block_.x1);
+    p(block_.y0);
+    p(block_.y1);
+    std::int64_t sx0 = slab_.x0(), sy0 = slab_.y0(), sw = slab_.width(), sh = slab_.height();
+    p(sx0);
+    p(sy0);
+    p(sw);
+    p(sh);
+    if (p.unpacking()) {
+      std::vector<double> values;
+      p(values);
+      slab_ = pic::ChargeSlab::from_values(sx0, sy0, sw, sh, std::move(values));
+    } else {
+      // Pack the live slab values in row-major order (matching
+      // from_values above).
+      std::vector<double> values;
+      values.reserve(static_cast<std::size_t>(sw * sh));
+      for (std::int64_t j = 0; j < sh; ++j)
+        for (std::int64_t i = 0; i < sw; ++i) values.push_back(slab_.at(sx0 + i, sy0 + j));
+      p(values);
+    }
+    p(particles_);
+    p(removed_id_sum_);
+    p(sent_particles_);
+  }
+
+  const std::vector<pic::Particle>& particles() const { return particles_; }
+  std::uint64_t removed_id_sum() const { return removed_id_sum_; }
+  std::uint64_t sent_particles() const { return sent_particles_; }
+
+ private:
+  std::shared_ptr<const SharedState> shared_;
+  pic::CellRegion block_;
+  pic::ChargeSlab slab_;
+  std::vector<pic::Particle> particles_;
+  std::uint64_t removed_id_sum_ = 0;
+  std::uint64_t sent_particles_ = 0;
+};
+
+}  // namespace
+
+DriverResult run_ampi(const DriverConfig& config, const AmpiParams& params) {
+  PICPRK_EXPECTS(params.workers >= 1);
+  PICPRK_EXPECTS(params.overdecomposition >= 1);
+  const int vps = params.workers * params.overdecomposition;
+
+  auto shared = std::make_shared<const SharedState>(config, vps);
+  PICPRK_EXPECTS(shared->vcart.px() <= config.init.grid.cells);
+  PICPRK_EXPECTS(shared->vcart.py() <= config.init.grid.cells);
+
+  vpr::RuntimeConfig rt_config;
+  rt_config.workers = params.workers;
+  rt_config.vps = vps;
+  rt_config.lb_interval = params.lb_interval;
+  rt_config.balancer = params.balancer;
+  rt_config.use_measured_load = params.use_measured_load;
+
+  vpr::Runtime runtime(rt_config, [shared](int vp) {
+    return std::make_unique<PicVp>(vp, shared);
+  });
+  runtime.for_each_vp([](vpr::VirtualProcessor& vp) {
+    static_cast<PicVp&>(vp).populate();
+  });
+
+  DriverResult result;
+  util::Timer wall;
+  for (std::uint32_t step = 0; step < config.steps; ++step) {
+    runtime.run(1);
+    if (config.sample_every > 0 && step % config.sample_every == 0) {
+      std::vector<double> worker_load(static_cast<std::size_t>(params.workers), 0.0);
+      double total = 0.0;
+      for (int v = 0; v < vps; ++v) {
+        const double load = static_cast<PicVp&>(runtime.vp(v)).particles().size();
+        worker_load[static_cast<std::size_t>(runtime.worker_of(v))] += load;
+        total += load;
+      }
+      const double mean = total / static_cast<double>(params.workers);
+      double max = 0.0;
+      for (double w : worker_load) max = std::max(max, w);
+      result.imbalance_series.push_back(mean > 0 ? max / mean : 1.0);
+    }
+  }
+  const double seconds = wall.elapsed();
+
+  // Verification + bookkeeping across all VPs.
+  pic::VerifyResult verify;
+  std::uint64_t removed_sum = 0, sent = 0;
+  std::vector<std::uint64_t> per_worker(static_cast<std::size_t>(params.workers), 0);
+  runtime.for_each_vp([&](vpr::VirtualProcessor& vp_base) {
+    auto& vp = static_cast<PicVp&>(vp_base);
+    verify = pic::merge(verify,
+                        pic::verify_particles(std::span<const pic::Particle>(vp.particles()),
+                                              config.init.grid, config.steps,
+                                              config.verify_epsilon));
+    removed_sum += vp.removed_id_sum();
+    sent += vp.sent_particles();
+    per_worker[static_cast<std::size_t>(runtime.worker_of(vp.id()))] +=
+        vp.particles().size();
+  });
+
+  std::uint64_t expected = pic::expected_checksum(shared->init.total());
+  for (std::size_t e = 0; e < config.events.injections().size(); ++e) {
+    const std::uint64_t first = config.events.injection_first_id(shared->init, e);
+    const std::uint64_t count = config.events.injection_total(shared->init, e);
+    if (count > 0) expected += count * first + count * (count - 1) / 2;
+  }
+  expected -= removed_sum;
+
+  const vpr::RuntimeStats& stats = runtime.stats();
+  result.verification = verify;
+  result.expected_id_checksum = expected;
+  result.ok = verify.ok(expected);
+  result.final_particles = verify.checked;
+  result.max_particles_per_rank = 0;
+  for (auto w : per_worker)
+    result.max_particles_per_rank = std::max(result.max_particles_per_rank, w);
+  result.ideal_particles_per_rank =
+      static_cast<double>(verify.checked) / static_cast<double>(params.workers);
+  result.seconds = seconds;
+  result.phases =
+      PhaseBreakdown{stats.step_seconds - stats.lb_seconds, 0.0, stats.lb_seconds};
+  result.particles_exchanged = sent;
+  result.exchange_bytes = stats.message_bytes;
+  result.lb_actions = stats.migrations;
+  result.lb_bytes = stats.migrated_bytes;
+  return result;
+}
+
+}  // namespace picprk::par

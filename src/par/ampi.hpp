@@ -1,0 +1,32 @@
+// The runtime-load-balanced implementation, "ampi" in the paper (§IV-C):
+// the same algorithm as the baseline, but over-decomposed into d·P
+// virtual processors executed by the vpr runtime, which migrates VPs
+// between workers at interval F using a Charm-style balancer. The
+// runtime is oblivious of the problem structure — the locality-agnostic
+// behaviour whose consequences the paper's Figures 6–7 dissect.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "par/driver_common.hpp"
+
+namespace picprk::par {
+
+struct AmpiParams {
+  int workers = 2;
+  /// Degree of over-decomposition d: vps = d · workers (Figure 5's d).
+  int overdecomposition = 4;
+  /// Steps between load-balancer invocations (Figure 5's F; 0 = never).
+  std::uint32_t lb_interval = 16;
+  /// vpr balancer name; the paper's choice is "greedy".
+  std::string balancer = "greedy";
+  /// Balance on measured per-VP wall time instead of particle counts.
+  bool use_measured_load = false;
+};
+
+/// Runs the ampi/vpr driver. Standalone (spawns its own workers); not
+/// collective over a Comm.
+DriverResult run_ampi(const DriverConfig& config, const AmpiParams& params);
+
+}  // namespace picprk::par

@@ -1,0 +1,62 @@
+#include "par/baseline.hpp"
+
+#include "par/decomposition.hpp"
+#include "par/exchange.hpp"
+#include "pic/charge.hpp"
+#include "pic/mover.hpp"
+#include "util/timer.hpp"
+
+namespace picprk::par {
+
+DriverResult run_baseline(comm::Comm& comm, const DriverConfig& config) {
+  const comm::Cart2D cart(comm.size());
+  const Decomposition2D decomp(config.init.grid, cart);
+  const pic::GridSpec& grid = config.init.grid;
+  const pic::CellRegion block = decomp.block_of(comm.rank());
+
+  const pic::Initializer init(config.init);
+  std::vector<pic::Particle> particles =
+      init.create_block(block.x0, block.x1, block.y0, block.y1);
+  const pic::AlternatingColumnCharges pattern(config.init.mesh_q);
+  const pic::ChargeSlab slab = pic::ChargeSlab::sample(
+      pattern, block.x0, block.y0, block.width() + 1, block.height() + 1);
+
+  EventTracker tracker(init, config.events);
+
+  DriverResult result;
+  util::PhaseTimer compute_timer, exchange_timer;
+  std::uint64_t sent = 0, bytes = 0;
+  util::Timer wall;
+
+  for (std::uint32_t step = 0; step < config.steps; ++step) {
+    if (!config.events.empty()) tracker.apply(step, block, particles);
+
+    compute_timer.start();
+    if (config.omp_mover) {
+      pic::move_all_omp(std::span<pic::Particle>(particles), grid, slab, config.init.dt);
+    } else {
+      pic::move_all(std::span<pic::Particle>(particles), grid, slab, config.init.dt);
+    }
+    compute_timer.stop();
+
+    exchange_timer.start();
+    const ExchangeStats stats = exchange_particles(comm, decomp, particles);
+    exchange_timer.stop();
+    sent += stats.sent;
+    bytes += stats.bytes;
+
+    if (config.sample_every > 0 && step % config.sample_every == 0) {
+      result.imbalance_series.push_back(sample_imbalance(comm, particles.size()));
+    }
+  }
+  const double seconds = wall.elapsed();
+
+  const pic::VerifyResult local_verify = verify_particles(
+      std::span<const pic::Particle>(particles), grid, config.steps, config.verify_epsilon);
+  finalize_result(comm, config, local_verify, tracker, particles.size(), seconds,
+                  PhaseBreakdown{compute_timer.total(), exchange_timer.total(), 0.0}, sent,
+                  bytes, 0, 0, result);
+  return result;
+}
+
+}  // namespace picprk::par

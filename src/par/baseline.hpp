@@ -1,0 +1,16 @@
+// The baseline parallel implementation, "mpi-2d" in the paper (§IV-A):
+// static 2-D block decomposition, each rank moves the particles residing
+// in its subdomain and routes emigrants to their owners after every
+// step. No load balancing — the reference the other two implementations
+// are measured against.
+#pragma once
+
+#include "par/driver_common.hpp"
+
+namespace picprk::par {
+
+/// Runs the baseline driver; collective over `comm`. The returned result
+/// is identical on every rank.
+DriverResult run_baseline(comm::Comm& comm, const DriverConfig& config);
+
+}  // namespace picprk::par

@@ -1,0 +1,68 @@
+#include "par/decomposition.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace picprk::par {
+
+Decomposition2D::Decomposition2D(const pic::GridSpec& grid, const comm::Cart2D& cart)
+    : grid_(grid), cart_(cart) {
+  PICPRK_EXPECTS(grid.cells >= cart.px());
+  PICPRK_EXPECTS(grid.cells >= cart.py());
+  x_bounds_.resize(static_cast<std::size_t>(cart.px()) + 1);
+  y_bounds_.resize(static_cast<std::size_t>(cart.py()) + 1);
+  for (int i = 0; i <= cart.px(); ++i) {
+    x_bounds_[static_cast<std::size_t>(i)] =
+        i == cart.px() ? grid.cells : comm::block_range(grid.cells, cart.px(), i).lo;
+  }
+  for (int j = 0; j <= cart.py(); ++j) {
+    y_bounds_[static_cast<std::size_t>(j)] =
+        j == cart.py() ? grid.cells : comm::block_range(grid.cells, cart.py(), j).lo;
+  }
+}
+
+void Decomposition2D::check_bounds(const std::vector<std::int64_t>& b, std::int64_t cells) {
+  PICPRK_EXPECTS(b.size() >= 2);
+  PICPRK_EXPECTS(b.front() == 0);
+  PICPRK_EXPECTS(b.back() == cells);
+  for (std::size_t i = 1; i < b.size(); ++i) PICPRK_EXPECTS(b[i] > b[i - 1]);
+}
+
+void Decomposition2D::set_x_bounds(std::vector<std::int64_t> xb) {
+  PICPRK_EXPECTS(xb.size() == x_bounds_.size());
+  check_bounds(xb, grid_.cells);
+  x_bounds_ = std::move(xb);
+}
+
+void Decomposition2D::set_y_bounds(std::vector<std::int64_t> yb) {
+  PICPRK_EXPECTS(yb.size() == y_bounds_.size());
+  check_bounds(yb, grid_.cells);
+  y_bounds_ = std::move(yb);
+}
+
+pic::CellRegion Decomposition2D::block_of(int rank) const {
+  const auto [cx, cy] = cart_.coords_of(rank);
+  return pic::CellRegion{x_bounds_[static_cast<std::size_t>(cx)],
+                         x_bounds_[static_cast<std::size_t>(cx) + 1],
+                         y_bounds_[static_cast<std::size_t>(cy)],
+                         y_bounds_[static_cast<std::size_t>(cy) + 1]};
+}
+
+int Decomposition2D::owner_of_cell(std::int64_t cx, std::int64_t cy) const {
+  PICPRK_EXPECTS(cx >= 0 && cx < grid_.cells);
+  PICPRK_EXPECTS(cy >= 0 && cy < grid_.cells);
+  // upper_bound gives the first boundary > cx; its predecessor's index is
+  // the owning column.
+  const auto ix = std::upper_bound(x_bounds_.begin(), x_bounds_.end(), cx);
+  const auto iy = std::upper_bound(y_bounds_.begin(), y_bounds_.end(), cy);
+  const int px_idx = static_cast<int>(ix - x_bounds_.begin()) - 1;
+  const int py_idx = static_cast<int>(iy - y_bounds_.begin()) - 1;
+  return cart_.rank_of(px_idx, py_idx);
+}
+
+int Decomposition2D::owner_of_position(double x, double y) const {
+  return owner_of_cell(grid_.cell_of(x), grid_.cell_of(y));
+}
+
+}  // namespace picprk::par

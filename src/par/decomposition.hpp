@@ -1,0 +1,53 @@
+// Rectangular domain decomposition with movable column boundaries — the
+// shared geometry of the paper's three parallel implementations (§IV).
+// Ranks form a Px × Py Cartesian grid; rank (I, J) owns the cell block
+// [xb[I], xb[I+1]) × [yb[J], yb[J+1]). The baseline keeps the balanced
+// boundaries fixed; the diffusion load balancer moves them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/cart.hpp"
+#include "pic/geometry.hpp"
+
+namespace picprk::par {
+
+class Decomposition2D {
+ public:
+  /// Balanced initial decomposition of `grid` over the process grid.
+  Decomposition2D(const pic::GridSpec& grid, const comm::Cart2D& cart);
+
+  const comm::Cart2D& cart() const { return cart_; }
+
+  /// Column boundaries in cells; size px+1, xb[0] = 0, xb[px] = cells.
+  const std::vector<std::int64_t>& x_bounds() const { return x_bounds_; }
+  /// Row boundaries in cells; size py+1.
+  const std::vector<std::int64_t>& y_bounds() const { return y_bounds_; }
+
+  /// Replaces boundaries (after a load-balancing decision). Boundaries
+  /// must be strictly increasing and span [0, cells].
+  void set_x_bounds(std::vector<std::int64_t> xb);
+  void set_y_bounds(std::vector<std::int64_t> yb);
+
+  /// The cell block owned by `rank`.
+  pic::CellRegion block_of(int rank) const;
+
+  /// Rank owning cell (cx, cy); O(log P).
+  int owner_of_cell(std::int64_t cx, std::int64_t cy) const;
+
+  /// Rank owning physical position (x, y) in [0, L).
+  int owner_of_position(double x, double y) const;
+
+  const pic::GridSpec& grid() const { return grid_; }
+
+ private:
+  static void check_bounds(const std::vector<std::int64_t>& b, std::int64_t cells);
+
+  pic::GridSpec grid_;
+  comm::Cart2D cart_;
+  std::vector<std::int64_t> x_bounds_;
+  std::vector<std::int64_t> y_bounds_;
+};
+
+}  // namespace picprk::par

@@ -1,0 +1,259 @@
+#include "par/diffusion.hpp"
+
+#include <algorithm>
+
+#include "comm/cart.hpp"
+#include "par/decomposition.hpp"
+#include "par/exchange.hpp"
+#include "pic/charge.hpp"
+#include "pic/mover.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace picprk::par {
+
+namespace {
+
+/// User tag reserved for mesh-column/row migration messages.
+constexpr int kMeshTag = 1000;
+
+/// Rebuilds this rank's charge slab for a new block, exchanging the mesh
+/// values that changed owner with the adjacent rank. The payloads really
+/// travel (they are the paper's "migrating the underlying subgrids" cost)
+/// and every received value is checked against the analytic pattern —
+/// a protocol error shows up immediately instead of corrupting forces.
+///
+/// `axis` is 0 for an x-boundary move, 1 for y. `old_b`/`new_b` is the
+/// moved boundary; `lower_side` says whether this rank is on the lower-
+/// index side of the boundary.
+struct MeshMigration {
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t transfers = 0;
+};
+
+void migrate_mesh_boundary(comm::Comm& comm, const pic::ChargeSlab& slab,
+                           const pic::AlternatingColumnCharges& pattern, int axis,
+                           std::int64_t old_b, std::int64_t new_b, bool lower_side,
+                           int partner, MeshMigration& stats) {
+  if (old_b == new_b) return;
+  // Ranges below are mesh-point columns/rows (half-open).
+  std::int64_t send_lo = 0, send_hi = 0, recv_lo = 0, recv_hi = 0;
+  if (new_b < old_b) {
+    // Boundary moved toward lower indices: the lower side loses cells
+    // [new_b, old_b) and ships the mesh points [new_b, old_b); the upper
+    // side already owns point old_b.
+    if (lower_side) {
+      send_lo = new_b;
+      send_hi = old_b;
+    } else {
+      recv_lo = new_b;
+      recv_hi = old_b;
+    }
+  } else {
+    // Boundary moved toward higher indices: the upper side loses cells
+    // [old_b, new_b) and ships mesh points (old_b, new_b]; the lower side
+    // already owns point old_b.
+    if (lower_side) {
+      recv_lo = old_b + 1;
+      recv_hi = new_b + 1;
+    } else {
+      send_lo = old_b + 1;
+      send_hi = new_b + 1;
+    }
+  }
+
+  if (send_hi > send_lo) {
+    const std::vector<double> payload = axis == 0
+                                            ? slab.extract_columns(send_lo, send_hi)
+                                            : slab.extract_rows(send_lo, send_hi);
+    stats.bytes_sent += payload.size() * sizeof(double);
+    ++stats.transfers;
+    comm.send(payload, partner, kMeshTag);
+  }
+  if (recv_hi > recv_lo) {
+    const auto payload = comm.recv<double>(partner, kMeshTag);
+    ++stats.transfers;
+    // Integrity check: the received subgrid must match the specification
+    // pattern (columns depend only on the point x-index).
+    const std::int64_t span0 = axis == 0 ? slab.height() : slab.width();
+    PICPRK_ASSERT_MSG(payload.size() ==
+                          static_cast<std::size_t>((recv_hi - recv_lo) * span0),
+                      "mesh migration payload has the wrong size");
+    std::size_t idx = 0;
+    for (std::int64_t line = recv_lo; line < recv_hi; ++line) {
+      for (std::int64_t j = 0; j < span0; ++j, ++idx) {
+        const double expect = axis == 0 ? pattern.at(line, slab.y0() + j)
+                                        : pattern.at(slab.x0() + j, line);
+        PICPRK_ASSERT_MSG(payload[idx] == expect,
+                          "mesh migration delivered corrupted charges");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::int64_t> diffuse_bounds(const std::vector<std::int64_t>& bounds,
+                                         const std::vector<std::uint64_t>& loads,
+                                         double abs_threshold, std::int64_t width) {
+  PICPRK_EXPECTS(bounds.size() == loads.size() + 1);
+  PICPRK_EXPECTS(width >= 1);
+  const auto parts = static_cast<std::int64_t>(loads.size());
+  std::vector<std::int64_t> out = bounds;
+  for (std::int64_t b = 1; b < parts; ++b) {
+    const double lower = static_cast<double>(loads[static_cast<std::size_t>(b - 1)]);
+    const double upper = static_cast<double>(loads[static_cast<std::size_t>(b)]);
+    std::int64_t proposed = bounds[static_cast<std::size_t>(b)];
+    if (lower - upper > abs_threshold) {
+      proposed -= width;  // lower side is overloaded: give cells rightward
+    } else if (upper - lower > abs_threshold) {
+      proposed += width;  // upper side is overloaded: take cells from it
+    }
+    // Sequential clamp keeps boundaries strictly increasing even when
+    // adjacent boundaries move in the same LB step. The lower clamp also
+    // respects the OLD boundary b−1: the sender of a left-shift ships
+    // mesh columns from its current slab, which starts at the old
+    // boundary, so a boundary may never jump past it in one step.
+    const std::int64_t lo =
+        std::max(out[static_cast<std::size_t>(b - 1)], bounds[static_cast<std::size_t>(b - 1)]) + 1;
+    const std::int64_t hi = bounds[static_cast<std::size_t>(b + 1)] - 1;
+    out[static_cast<std::size_t>(b)] = std::clamp(proposed, lo, hi);
+  }
+  return out;
+}
+
+DriverResult run_diffusion(comm::Comm& comm, const DriverConfig& config,
+                           const DiffusionParams& lb) {
+  PICPRK_EXPECTS(lb.frequency >= 1);
+  const comm::Cart2D cart(comm.size());
+  Decomposition2D decomp(config.init.grid, cart);
+  const pic::GridSpec& grid = config.init.grid;
+  const auto [my_cx, my_cy] = cart.coords_of(comm.rank());
+
+  const pic::Initializer init(config.init);
+  pic::CellRegion block = decomp.block_of(comm.rank());
+  std::vector<pic::Particle> particles =
+      init.create_block(block.x0, block.x1, block.y0, block.y1);
+  const pic::AlternatingColumnCharges pattern(config.init.mesh_q);
+  pic::ChargeSlab slab = pic::ChargeSlab::sample(
+      pattern, block.x0, block.y0, block.width() + 1, block.height() + 1);
+
+  EventTracker tracker(init, config.events);
+
+  DriverResult result;
+  util::PhaseTimer compute_timer, exchange_timer, lb_timer;
+  std::uint64_t sent = 0, bytes = 0;
+  MeshMigration mesh_stats;
+  util::Timer wall;
+
+  auto rebuild_slab = [&]() {
+    block = decomp.block_of(comm.rank());
+    slab = pic::ChargeSlab::sample(pattern, block.x0, block.y0, block.width() + 1,
+                                   block.height() + 1);
+  };
+
+  for (std::uint32_t step = 0; step < config.steps; ++step) {
+    if (!config.events.empty()) tracker.apply(step, block, particles);
+
+    compute_timer.start();
+    pic::move_all(std::span<pic::Particle>(particles), grid, slab, config.init.dt);
+    compute_timer.stop();
+
+    exchange_timer.start();
+    ExchangeStats stats = exchange_particles(comm, decomp, particles);
+    exchange_timer.stop();
+    sent += stats.sent;
+    bytes += stats.bytes;
+
+    if (step > 0 && step % lb.frequency == 0) {
+      lb_timer.start();
+
+      // Phase 1 (x): aggregate per-processor-column loads, diffuse the
+      // shared column boundaries, migrate border subgrids + particles.
+      {
+        std::vector<std::uint64_t> col_loads(static_cast<std::size_t>(cart.px()), 0);
+        col_loads[static_cast<std::size_t>(my_cx)] = particles.size();
+        col_loads = comm.allreduce(
+            std::span<const std::uint64_t>(col_loads),
+            [](std::uint64_t a, std::uint64_t b) { return a + b; });
+        std::uint64_t total = 0;
+        for (auto v : col_loads) total += v;
+        const double abs_threshold =
+            lb.threshold * static_cast<double>(total) / static_cast<double>(cart.px());
+        const auto old_xb = decomp.x_bounds();
+        const auto new_xb =
+            diffuse_bounds(old_xb, col_loads, abs_threshold, lb.border_width);
+        if (new_xb != old_xb) {
+          // Migrate mesh data across my (left, right) boundaries.
+          migrate_mesh_boundary(comm, slab, pattern, 0,
+                                old_xb[static_cast<std::size_t>(my_cx)],
+                                new_xb[static_cast<std::size_t>(my_cx)],
+                                /*lower_side=*/false, cart.neighbor(comm.rank(), -1, 0),
+                                mesh_stats);
+          migrate_mesh_boundary(comm, slab, pattern, 0,
+                                old_xb[static_cast<std::size_t>(my_cx) + 1],
+                                new_xb[static_cast<std::size_t>(my_cx) + 1],
+                                /*lower_side=*/true, cart.neighbor(comm.rank(), 1, 0),
+                                mesh_stats);
+          decomp.set_x_bounds(new_xb);
+          rebuild_slab();
+          stats = exchange_particles(comm, decomp, particles);
+          sent += stats.sent;
+          bytes += stats.bytes;
+          PICPRK_DEBUG("rank " << comm.rank() << " step " << step
+                               << ": x-diffusion moved boundaries");
+        }
+      }
+
+      // Phase 2 (y), optional: same scheme along rows.
+      if (lb.two_phase) {
+        std::vector<std::uint64_t> row_loads(static_cast<std::size_t>(cart.py()), 0);
+        row_loads[static_cast<std::size_t>(my_cy)] = particles.size();
+        row_loads = comm.allreduce(
+            std::span<const std::uint64_t>(row_loads),
+            [](std::uint64_t a, std::uint64_t b) { return a + b; });
+        std::uint64_t total = 0;
+        for (auto v : row_loads) total += v;
+        const double abs_threshold =
+            lb.threshold * static_cast<double>(total) / static_cast<double>(cart.py());
+        const auto old_yb = decomp.y_bounds();
+        const auto new_yb =
+            diffuse_bounds(old_yb, row_loads, abs_threshold, lb.border_width);
+        if (new_yb != old_yb) {
+          migrate_mesh_boundary(comm, slab, pattern, 1,
+                                old_yb[static_cast<std::size_t>(my_cy)],
+                                new_yb[static_cast<std::size_t>(my_cy)],
+                                /*lower_side=*/false, cart.neighbor(comm.rank(), 0, -1),
+                                mesh_stats);
+          migrate_mesh_boundary(comm, slab, pattern, 1,
+                                old_yb[static_cast<std::size_t>(my_cy) + 1],
+                                new_yb[static_cast<std::size_t>(my_cy) + 1],
+                                /*lower_side=*/true, cart.neighbor(comm.rank(), 0, 1),
+                                mesh_stats);
+          decomp.set_y_bounds(new_yb);
+          rebuild_slab();
+          stats = exchange_particles(comm, decomp, particles);
+          sent += stats.sent;
+          bytes += stats.bytes;
+        }
+      }
+      lb_timer.stop();
+    }
+
+    if (config.sample_every > 0 && step % config.sample_every == 0) {
+      result.imbalance_series.push_back(sample_imbalance(comm, particles.size()));
+    }
+  }
+  const double seconds = wall.elapsed();
+
+  const pic::VerifyResult local_verify = verify_particles(
+      std::span<const pic::Particle>(particles), grid, config.steps, config.verify_epsilon);
+  finalize_result(comm, config, local_verify, tracker, particles.size(), seconds,
+                  PhaseBreakdown{compute_timer.total(), exchange_timer.total(),
+                                 lb_timer.total()},
+                  sent, bytes, mesh_stats.transfers, mesh_stats.bytes_sent, result);
+  return result;
+}
+
+}  // namespace picprk::par

@@ -1,0 +1,122 @@
+#include "par/driver_common.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace picprk::par {
+
+EventTracker::EventTracker(const pic::Initializer& init, const pic::EventSchedule& events)
+    : init_(init), events_(events) {
+  base_ = pic::expected_checksum(init.total());
+  for (std::size_t e = 0; e < events_.injections().size(); ++e) {
+    const std::uint64_t first = events_.injection_first_id(init_, e);
+    const std::uint64_t count = events_.injection_total(init_, e);
+    if (count > 0) base_ += count * first + count * (count - 1) / 2;
+  }
+}
+
+void EventTracker::apply(std::uint32_t step, const pic::CellRegion& block,
+                         std::vector<pic::Particle>& particles) {
+  const pic::GridSpec& grid = init_.params().grid;
+  // Record the ids the removal events will take out of this rank's set.
+  for (std::size_t e = 0; e < events_.removals().size(); ++e) {
+    if (events_.removals()[e].step != step) continue;
+    const pic::CellRegion& region = events_.removals()[e].region;
+    for (const pic::Particle& p : particles) {
+      const auto cx = grid.cell_of(p.x);
+      const auto cy = grid.cell_of(p.y);
+      if (region.contains_cell(cx, cy) && events_.removes(init_, e, p.id)) {
+        local_removed_sum_ += p.id;
+      }
+    }
+  }
+  events_.apply_step(init_, step, block.x0, block.x1, block.y0, block.y1, particles);
+}
+
+std::uint64_t EventTracker::finalize(comm::Comm& comm) const {
+  const std::uint64_t removed = comm.allreduce_value<std::uint64_t>(
+      local_removed_sum_, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  return base_ - removed;
+}
+
+pic::VerifyResult merge_verification(comm::Comm& comm, const pic::VerifyResult& local) {
+  // Pack into a fixed-size record so one allreduce suffices.
+  struct Packed {
+    std::uint64_t checked, failures, checksum, ok;
+    double max_err;
+  };
+  const Packed mine{local.checked, local.position_failures, local.id_checksum,
+                    local.positions_ok ? 1ull : 0ull, local.max_position_error};
+  const Packed merged = comm.allreduce_value<Packed>(mine, [](Packed a, Packed b) {
+    return Packed{a.checked + b.checked, a.failures + b.failures,
+                  a.checksum + b.checksum, a.ok & b.ok, std::max(a.max_err, b.max_err)};
+  });
+  pic::VerifyResult out;
+  out.checked = merged.checked;
+  out.position_failures = merged.failures;
+  out.id_checksum = merged.checksum;
+  out.positions_ok = merged.ok != 0;
+  out.max_position_error = merged.max_err;
+  return out;
+}
+
+double sample_imbalance(comm::Comm& comm, std::uint64_t local_count) {
+  struct Pair {
+    std::uint64_t max, sum;
+  };
+  const Pair mine{local_count, local_count};
+  const Pair merged = comm.allreduce_value<Pair>(mine, [](Pair a, Pair b) {
+    return Pair{std::max(a.max, b.max), a.sum + b.sum};
+  });
+  if (merged.sum == 0) return 1.0;
+  const double mean =
+      static_cast<double>(merged.sum) / static_cast<double>(comm.size());
+  return static_cast<double>(merged.max) / mean;
+}
+
+void finalize_result(comm::Comm& comm, const DriverConfig& config,
+                     const pic::VerifyResult& local_verify, const EventTracker& tracker,
+                     std::uint64_t local_particles, double local_seconds,
+                     const PhaseBreakdown& local_phases, std::uint64_t local_sent,
+                     std::uint64_t local_bytes, std::uint64_t local_lb_actions,
+                     std::uint64_t local_lb_bytes, DriverResult& result) {
+  result.verification = merge_verification(comm, local_verify);
+  result.expected_id_checksum = tracker.finalize(comm);
+  result.ok = result.verification.ok(result.expected_id_checksum) &&
+              result.verification.checked == result.verification.checked;
+
+  struct Scalars {
+    std::uint64_t total_particles, max_particles, sent, bytes, lb_actions, lb_bytes;
+    double seconds, compute, exchange, lb;
+  };
+  const Scalars mine{local_particles, local_particles, local_sent,
+                     local_bytes,     local_lb_actions, local_lb_bytes,
+                     local_seconds,   local_phases.compute,
+                     local_phases.exchange, local_phases.lb};
+  const Scalars merged = comm.allreduce_value<Scalars>(mine, [](Scalars a, Scalars b) {
+    return Scalars{a.total_particles + b.total_particles,
+                   std::max(a.max_particles, b.max_particles),
+                   a.sent + b.sent,
+                   a.bytes + b.bytes,
+                   a.lb_actions + b.lb_actions,
+                   a.lb_bytes + b.lb_bytes,
+                   std::max(a.seconds, b.seconds),
+                   std::max(a.compute, b.compute),
+                   std::max(a.exchange, b.exchange),
+                   std::max(a.lb, b.lb)};
+  });
+  result.final_particles = merged.total_particles;
+  result.max_particles_per_rank = merged.max_particles;
+  result.ideal_particles_per_rank =
+      static_cast<double>(merged.total_particles) / static_cast<double>(comm.size());
+  result.seconds = merged.seconds;
+  result.phases = PhaseBreakdown{merged.compute, merged.exchange, merged.lb};
+  result.particles_exchanged = merged.sent;
+  result.exchange_bytes = merged.bytes;
+  result.lb_actions = merged.lb_actions;
+  result.lb_bytes = merged.lb_bytes;
+  (void)config;
+}
+
+}  // namespace picprk::par

@@ -1,0 +1,103 @@
+// Shared scaffolding of the parallel PIC drivers: configuration, result
+// records, event bookkeeping and verification merging. The three drivers
+// (baseline, diffusion-LB, ampi/vpr) share these so that their outputs
+// are directly comparable — the essence of using the PRK as a measuring
+// instrument.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "pic/events.hpp"
+#include "pic/init.hpp"
+#include "pic/verify.hpp"
+
+namespace picprk::par {
+
+struct DriverConfig {
+  pic::InitParams init;
+  std::uint32_t steps = 10;
+  pic::EventSchedule events;
+  double verify_epsilon = pic::kVerifyEpsilon;
+  /// When > 0, sample the global load imbalance (max/mean particles per
+  /// rank) every this many steps into DriverResult::imbalance_series.
+  std::uint32_t sample_every = 0;
+  /// Hybrid mode: parallelise each rank's move loop with its own OpenMP
+  /// team (the message-passing × threads configuration of the official
+  /// PRK's MPI+OpenMP variants). Results are bit-identical.
+  bool omp_mover = false;
+};
+
+struct PhaseBreakdown {
+  double compute = 0.0;   ///< force + move
+  double exchange = 0.0;  ///< particle routing
+  double lb = 0.0;        ///< load-balance decision + migration
+};
+
+struct DriverResult {
+  pic::VerifyResult verification;  ///< merged over all ranks
+  std::uint64_t expected_id_checksum = 0;
+  bool ok = false;
+
+  std::uint64_t final_particles = 0;
+  /// Max particles on any rank at the end of the run — the paper's §V-B
+  /// balance metric (62,645 baseline vs 30,585 diffusion vs 25,000 ideal).
+  std::uint64_t max_particles_per_rank = 0;
+  double ideal_particles_per_rank = 0.0;
+
+  double seconds = 0.0;  ///< wall time of the stepping loop, max over ranks
+  PhaseBreakdown phases; ///< per-phase totals, max over ranks
+
+  std::uint64_t particles_exchanged = 0;  ///< global, whole run
+  std::uint64_t exchange_bytes = 0;       ///< global, whole run
+  std::uint64_t lb_actions = 0;           ///< boundary moves / VP migrations
+  std::uint64_t lb_bytes = 0;             ///< mesh + particle bytes moved by LB
+
+  /// max/mean particle ratio sampled every `sample_every` steps.
+  std::vector<double> imbalance_series;
+};
+
+/// Tracks the expected id checksum through injections and removals.
+/// Injected id ranges are globally computable; removed ids are summed
+/// locally and reduced at the end.
+class EventTracker {
+ public:
+  EventTracker(const pic::Initializer& init, const pic::EventSchedule& events);
+
+  /// Applies the events scheduled for `step` to this rank's particles
+  /// (restricted to its block) and records removed ids.
+  void apply(std::uint32_t step, const pic::CellRegion& block,
+             std::vector<pic::Particle>& particles);
+
+  /// Expected global id checksum; collective (one allreduce).
+  std::uint64_t finalize(comm::Comm& comm) const;
+
+  /// Serial variant of finalize (no communication).
+  std::uint64_t finalize_serial() const { return base_ - local_removed_sum_; }
+
+ private:
+  const pic::Initializer& init_;
+  const pic::EventSchedule& events_;
+  std::uint64_t base_ = 0;
+  std::uint64_t local_removed_sum_ = 0;
+};
+
+/// Merges per-rank verification results into the global one (collective).
+pic::VerifyResult merge_verification(comm::Comm& comm, const pic::VerifyResult& local);
+
+/// Samples the global imbalance ratio max/mean of per-rank loads
+/// (collective; two fused allreduces).
+double sample_imbalance(comm::Comm& comm, std::uint64_t local_count);
+
+/// Reduces per-rank scalar maxima/sums into a DriverResult (collective).
+/// `local_*` are this rank's totals; the result is identical on every
+/// rank.
+void finalize_result(comm::Comm& comm, const DriverConfig& config,
+                     const pic::VerifyResult& local_verify, const EventTracker& tracker,
+                     std::uint64_t local_particles, double local_seconds,
+                     const PhaseBreakdown& local_phases, std::uint64_t local_sent,
+                     std::uint64_t local_bytes, std::uint64_t local_lb_actions,
+                     std::uint64_t local_lb_bytes, DriverResult& result);
+
+}  // namespace picprk::par

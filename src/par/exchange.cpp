@@ -1,0 +1,54 @@
+#include "par/exchange.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace picprk::par {
+
+ExchangeStats exchange_particles(comm::Comm& comm, const Decomposition2D& decomp,
+                                 std::vector<pic::Particle>& mine) {
+  const int p = comm.size();
+  const int me = comm.rank();
+
+  std::vector<std::vector<pic::Particle>> outgoing(static_cast<std::size_t>(p));
+  std::vector<pic::Particle> keep;
+  keep.reserve(mine.size());
+  for (const pic::Particle& particle : mine) {
+    const int owner = decomp.owner_of_position(particle.x, particle.y);
+    if (owner == me) {
+      keep.push_back(particle);
+    } else {
+      outgoing[static_cast<std::size_t>(owner)].push_back(particle);
+    }
+  }
+
+  ExchangeStats stats;
+  for (int r = 0; r < p; ++r) {
+    if (r == me) continue;
+    const auto& bucket = outgoing[static_cast<std::size_t>(r)];
+    stats.sent += bucket.size();
+    stats.bytes += bucket.size() * sizeof(pic::Particle);
+  }
+
+  auto incoming = comm.alltoall(outgoing);
+  mine = std::move(keep);
+  for (int r = 0; r < p; ++r) {
+    if (r == me) continue;
+    const auto& bucket = incoming[static_cast<std::size_t>(r)];
+    stats.received += bucket.size();
+    mine.insert(mine.end(), bucket.begin(), bucket.end());
+  }
+
+  // Post-condition: everything we now hold is ours.
+  const pic::CellRegion block = decomp.block_of(me);
+  for (const pic::Particle& particle : mine) {
+    const auto cx = decomp.grid().cell_of(particle.x);
+    const auto cy = decomp.grid().cell_of(particle.y);
+    PICPRK_ASSERT_MSG(block.contains_cell(cx, cy),
+                      "exchange delivered a particle to the wrong rank");
+  }
+  return stats;
+}
+
+}  // namespace picprk::par

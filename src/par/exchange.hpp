@@ -1,0 +1,66 @@
+// Particle exchange: after the move phase (or after a decomposition
+// change) every rank routes the particles that no longer belong to its
+// block to their new owner (paper §IV-A: "Each processor sends the
+// particles that left its subdomain to the appropriate remote
+// processor"). Routing is by owner lookup, not nearest-neighbor only, so
+// arbitrary particle speeds (large k, m) are handled.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "par/decomposition.hpp"
+#include "pic/particle.hpp"
+
+namespace picprk::par {
+
+struct ExchangeStats {
+  std::uint64_t sent = 0;      ///< particles shipped to other ranks
+  std::uint64_t received = 0;  ///< particles received from other ranks
+  std::uint64_t bytes = 0;     ///< payload bytes sent by this rank
+};
+
+/// Routes emigrants in `mine` to their owners and appends immigrants.
+/// Collective over `comm`. Post-condition: every particle in `mine`
+/// belongs to this rank's block.
+ExchangeStats exchange_particles(comm::Comm& comm, const Decomposition2D& decomp,
+                                 std::vector<pic::Particle>& mine);
+
+/// Generalised exchange for arbitrary ownership (e.g. the irregular
+/// 8-neighbor scheme): `owner(x, y)` maps a position to its rank.
+/// Post-condition: owner(p) == my rank for every particle kept.
+template <typename OwnerFn>
+ExchangeStats exchange_particles_by(comm::Comm& comm, OwnerFn&& owner,
+                                    std::vector<pic::Particle>& mine) {
+  const int p = comm.size();
+  const int me = comm.rank();
+  std::vector<std::vector<pic::Particle>> outgoing(static_cast<std::size_t>(p));
+  std::vector<pic::Particle> keep;
+  keep.reserve(mine.size());
+  for (const pic::Particle& particle : mine) {
+    const int dst = owner(particle.x, particle.y);
+    if (dst == me) {
+      keep.push_back(particle);
+    } else {
+      outgoing[static_cast<std::size_t>(dst)].push_back(particle);
+    }
+  }
+  ExchangeStats stats;
+  for (int r = 0; r < p; ++r) {
+    if (r == me) continue;
+    stats.sent += outgoing[static_cast<std::size_t>(r)].size();
+    stats.bytes += outgoing[static_cast<std::size_t>(r)].size() * sizeof(pic::Particle);
+  }
+  auto incoming = comm.alltoall(outgoing);
+  mine = std::move(keep);
+  for (int r = 0; r < p; ++r) {
+    if (r == me) continue;
+    stats.received += incoming[static_cast<std::size_t>(r)].size();
+    mine.insert(mine.end(), incoming[static_cast<std::size_t>(r)].begin(),
+                incoming[static_cast<std::size_t>(r)].end());
+  }
+  return stats;
+}
+
+}  // namespace picprk::par

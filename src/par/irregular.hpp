@@ -1,0 +1,89 @@
+// The §IV-B *alternative* load-balancing scheme the paper describes and
+// rejects: "have each processor exchange workload information locally
+// with its eight nearest neighbors and independently perform subgrid/
+// particle exchanges. While this approach is more flexible, the
+// resulting subdomains can have non-rectangular shapes after a few load
+// balancing steps, which in turn means that extra book-keeping
+// information is required regarding the adjacency of the subdomains.
+// Additionally, the communication pattern becomes more irregular."
+//
+// We implement it so the drawback can be *measured*: ownership is a
+// per-cell map (the "extra book-keeping"), LB trades border cells with
+// whichever adjacent owner is lighter, and the driver reports the
+// subdomain perimeter — the quantity whose growth under this scheme
+// motivated the paper's two-phase rectangular design.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/cart.hpp"
+#include "par/driver_common.hpp"
+
+namespace picprk::par {
+
+/// Per-cell ownership map, replicated on every rank and mutated by the
+/// same deterministic decisions everywhere (like the boundary vectors of
+/// the rectangular scheme, just bigger).
+class CellOwnerMap {
+ public:
+  /// Initialises to the balanced rectangular decomposition.
+  CellOwnerMap(const pic::GridSpec& grid, const comm::Cart2D& cart);
+
+  int owner(std::int64_t cx, std::int64_t cy) const {
+    return map_[index(cx, cy)];
+  }
+  void set_owner(std::int64_t cx, std::int64_t cy, int rank) {
+    map_[index(cx, cy)] = rank;
+  }
+
+  std::int64_t cells() const { return cells_; }
+  int ranks() const { return ranks_; }
+
+  /// Number of cells owned by `rank`.
+  std::int64_t count_owned(int rank) const;
+
+  /// Total perimeter of rank subdomains: cell edges whose two sides have
+  /// different owners (periodic). The fragmentation metric.
+  std::int64_t total_perimeter() const;
+
+  /// Border cells of `rank`: owned cells with at least one 4-neighbor
+  /// owned by someone else.
+  std::vector<std::pair<std::int64_t, std::int64_t>> border_cells(int rank) const;
+
+ private:
+  std::size_t index(std::int64_t cx, std::int64_t cy) const;
+
+  std::int64_t cells_;
+  int ranks_;
+  std::vector<int> map_;
+};
+
+struct IrregularParams {
+  std::uint32_t frequency = 16;  ///< steps between LB passes
+  double threshold = 0.10;       ///< relative load difference that triggers a trade
+  /// Max border cells a rank donates to one neighbor per LB pass.
+  std::int64_t quota = 8;
+};
+
+/// One deterministic LB pass over the map: every rank's border cells may
+/// be reassigned to an adjacent (8-neighborhood) owner whose load is
+/// lower by more than threshold·avg; per-cell particle counts are
+/// estimated as the donor's average. Pure function of (map, loads):
+/// every rank computes the identical new map. Exposed for tests.
+/// Returns the number of cells reassigned.
+std::int64_t irregular_lb_pass(CellOwnerMap& map, const std::vector<double>& rank_loads,
+                               const IrregularParams& params);
+
+/// Extra fields reported by the irregular driver.
+struct IrregularResult {
+  DriverResult driver;
+  std::int64_t initial_perimeter = 0;
+  std::int64_t final_perimeter = 0;  ///< fragmentation after the run
+};
+
+/// Runs the irregular-ownership driver; collective over `comm`.
+IrregularResult run_irregular(comm::Comm& comm, const DriverConfig& config,
+                              const IrregularParams& params);
+
+}  // namespace picprk::par

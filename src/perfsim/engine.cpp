@@ -1,0 +1,367 @@
+#include "perfsim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "comm/cart.hpp"
+#include "util/assert.hpp"
+#include "vpr/lb.hpp"
+
+namespace picprk::perfsim {
+
+namespace {
+
+/// Per-step accumulation helper: records makespan and imbalance.
+struct StepAccumulator {
+  const RunConfig& config;
+  ModelResult& result;
+  double imbalance_sum = 0.0;
+  std::uint32_t samples = 0;
+
+  void commit(std::uint32_t step, double max_compute, double mean_compute,
+              double makespan, double lb_part) {
+    result.seconds += makespan;
+    result.compute_seconds += max_compute;
+    result.lb_seconds += lb_part;
+    result.comm_seconds += makespan - max_compute - lb_part;
+    const double ratio = mean_compute > 0.0 ? max_compute / mean_compute : 1.0;
+    imbalance_sum += ratio;
+    ++samples;
+    if (config.collect_series && step % config.sample_every == 0) {
+      result.imbalance_series.push_back(ratio);
+    }
+  }
+
+  void finish() {
+    result.avg_imbalance = samples > 0 ? imbalance_sum / samples : 1.0;
+  }
+};
+
+}  // namespace
+
+Engine::Engine(MachineModel machine, ColumnWorkload workload)
+    : machine_(std::move(machine)), workload_(std::move(workload)) {}
+
+void Engine::apply_events(ColumnWorkload& w, std::uint32_t step) const {
+  for (const EventModel& e : events_) {
+    if (e.step != step) continue;
+    if (e.remove_fraction > 0.0) w.scale_range(e.x0, e.x1, 1.0 - e.remove_fraction);
+    if (e.inject_amount > 0.0) w.add_uniform(e.x0, e.x1, e.inject_amount);
+  }
+}
+
+double Engine::serial_seconds(const RunConfig& config) const {
+  ColumnWorkload w = workload_;
+  double seconds = 0.0;
+  for (std::uint32_t step = 0; step < config.steps; ++step) {
+    apply_events(w, step);
+    seconds += w.total() * machine_.t_particle;
+    w.advance(config.shift_per_step);
+  }
+  return seconds;
+}
+
+ModelResult Engine::run_static(int cores, const RunConfig& config) const {
+  return run_diffusion(cores, config,
+                       DiffusionModelParams{/*frequency=*/0, 0.0, 1});
+}
+
+ModelResult Engine::run_diffusion(int cores, const RunConfig& config,
+                                  const DiffusionModelParams& lb) const {
+  PICPRK_EXPECTS(cores >= 1);
+  const auto [px, py] = comm::near_square_factors(cores);
+  const std::int64_t c = workload_.columns();
+  PICPRK_EXPECTS(px <= c && py <= c);
+
+  ColumnWorkload w = workload_;
+  std::vector<std::int64_t> xb(static_cast<std::size_t>(px) + 1);
+  for (int i = 0; i < px; ++i) xb[static_cast<std::size_t>(i)] = comm::block_range(c, px, i).lo;
+  xb[static_cast<std::size_t>(px)] = c;
+  std::vector<double> rowfrac(static_cast<std::size_t>(py));
+  std::vector<std::int64_t> rows(static_cast<std::size_t>(py));
+  for (int j = 0; j < py; ++j) {
+    rows[static_cast<std::size_t>(j)] = comm::block_range(c, py, j).count();
+    rowfrac[static_cast<std::size_t>(j)] =
+        static_cast<double>(rows[static_cast<std::size_t>(j)]) / static_cast<double>(c);
+  }
+
+  ModelResult result;
+  StepAccumulator acc{config, result};
+
+  std::vector<double> colload(static_cast<std::size_t>(px));
+  std::vector<double> colout(static_cast<std::size_t>(px));
+  std::vector<double> lb_extra(static_cast<std::size_t>(cores), 0.0);
+  const std::int64_t shift = config.shift_per_step;
+  const double log2p = std::log2(std::max(2, cores));
+
+  auto rank_of = [px = px](int i, int j) { return j * px + i; };
+
+  for (std::uint32_t step = 0; step < config.steps; ++step) {
+    apply_events(w, step);
+
+    for (int i = 0; i < px; ++i) {
+      const std::int64_t lo = xb[static_cast<std::size_t>(i)];
+      const std::int64_t hi = xb[static_cast<std::size_t>(i) + 1];
+      colload[static_cast<std::size_t>(i)] = w.range_sum(lo, hi);
+      colout[static_cast<std::size_t>(i)] = w.range_sum(std::max(lo, hi - shift), hi);
+    }
+
+    // Load balancing decision happens at the same cadence as the real
+    // driver: after the move+exchange of steps that are multiples of the
+    // frequency. Its costs land on this step's lb_extra.
+    std::fill(lb_extra.begin(), lb_extra.end(), 0.0);
+    double lb_part = 0.0;
+    if (lb.frequency > 0 && step > 0 && step % lb.frequency == 0) {
+      std::vector<std::uint64_t> loads_u64(static_cast<std::size_t>(px));
+      double total = 0.0;
+      for (int i = 0; i < px; ++i) {
+        loads_u64[static_cast<std::size_t>(i)] =
+            static_cast<std::uint64_t>(colload[static_cast<std::size_t>(i)]);
+        total += colload[static_cast<std::size_t>(i)];
+      }
+      const double abs_threshold = lb.threshold * total / static_cast<double>(px);
+      const auto new_xb = par::diffuse_bounds(xb, loads_u64, abs_threshold, lb.border_width);
+      // Decision round: an allreduce over all cores.
+      const double decision = machine_.lb_decision_cost + log2p * machine_.alpha_inter;
+      for (auto& v : lb_extra) v += decision;
+      for (int b = 1; b < px; ++b) {
+        const std::int64_t oldb = xb[static_cast<std::size_t>(b)];
+        const std::int64_t newb = new_xb[static_cast<std::size_t>(b)];
+        if (oldb == newb) continue;
+        const std::int64_t m0 = std::min(oldb, newb);
+        const std::int64_t m1 = std::max(oldb, newb);
+        const double moved_particles = w.range_sum(m0, m1);
+        ++result.migrations;
+        for (int j = 0; j < py; ++j) {
+          const double mesh_bytes = static_cast<double>((m1 - m0)) *
+                                    static_cast<double>(rows[static_cast<std::size_t>(j)] + 1) *
+                                    machine_.cell_bytes;
+          const double part_bytes =
+              moved_particles * rowfrac[static_cast<std::size_t>(j)] * machine_.particle_bytes;
+          const int ra = rank_of(b - 1, j);
+          const int rb = rank_of(b, j);
+          const double cost =
+              machine_.msg_cost(mesh_bytes + part_bytes, machine_.same_node(ra, rb));
+          lb_extra[static_cast<std::size_t>(ra)] += cost;
+          lb_extra[static_cast<std::size_t>(rb)] += cost;
+          result.migrated_mbytes += (mesh_bytes + part_bytes) / 1.0e6;
+        }
+      }
+      xb = new_xb;
+      // Re-evaluate loads under the new boundaries for this step's work.
+      for (int i = 0; i < px; ++i) {
+        const std::int64_t lo = xb[static_cast<std::size_t>(i)];
+        const std::int64_t hi = xb[static_cast<std::size_t>(i) + 1];
+        colload[static_cast<std::size_t>(i)] = w.range_sum(lo, hi);
+        colout[static_cast<std::size_t>(i)] = w.range_sum(std::max(lo, hi - shift), hi);
+      }
+    }
+
+    double makespan = 0.0, max_compute = 0.0, sum_compute = 0.0, max_lb = 0.0;
+    for (int j = 0; j < py; ++j) {
+      for (int i = 0; i < px; ++i) {
+        const int r = rank_of(i, j);
+        const double n = colload[static_cast<std::size_t>(i)] * rowfrac[static_cast<std::size_t>(j)];
+        const double compute = n * machine_.t_particle / machine_.speed_of(r) *
+                               machine_.noise(r, step);
+        const double out_bytes = colout[static_cast<std::size_t>(i)] *
+                                 rowfrac[static_cast<std::size_t>(j)] * machine_.particle_bytes;
+        const int right = rank_of((i + 1) % px, j);
+        const int left = rank_of((i - 1 + px) % px, j);
+        const double in_bytes = colout[static_cast<std::size_t>((i - 1 + px) % px)] *
+                                rowfrac[static_cast<std::size_t>(j)] * machine_.particle_bytes;
+        double comm = 0.0;
+        if (px > 1) {
+          comm += machine_.msg_cost(out_bytes, machine_.same_node(r, right));
+          comm += machine_.msg_cost(in_bytes, machine_.same_node(r, left));
+          if (!machine_.same_node(r, left)) comm += machine_.remote_delivery_overhead;
+        }
+        const double lb_r = lb_extra[static_cast<std::size_t>(r)];
+        makespan = std::max(makespan, compute + comm + lb_r);
+        max_compute = std::max(max_compute, compute);
+        max_lb = std::max(max_lb, lb_r);
+        sum_compute += compute;
+      }
+    }
+    acc.commit(step, max_compute, sum_compute / static_cast<double>(cores), makespan,
+               std::min(max_lb, makespan - max_compute));
+
+    w.advance(shift);
+  }
+  acc.finish();
+
+  // Final §V-B metric: max particles per core under the final bounds.
+  double max_particles = 0.0;
+  for (int i = 0; i < px; ++i) {
+    const double coln = w.range_sum(xb[static_cast<std::size_t>(i)],
+                                    xb[static_cast<std::size_t>(i) + 1]);
+    for (int j = 0; j < py; ++j) {
+      max_particles = std::max(max_particles, coln * rowfrac[static_cast<std::size_t>(j)]);
+    }
+  }
+  result.max_particles_final = max_particles;
+  return result;
+}
+
+ModelResult Engine::run_vpr(int cores, const RunConfig& config,
+                            const VprModelParams& params) const {
+  PICPRK_EXPECTS(cores >= 1);
+  PICPRK_EXPECTS(params.overdecomposition >= 1);
+  const int vps = cores * params.overdecomposition;
+  const auto [vpx, vpy] = comm::near_square_factors(vps);
+  const std::int64_t c = workload_.columns();
+  PICPRK_EXPECTS(vpx <= c && vpy <= c);
+
+  ColumnWorkload w = workload_;
+  std::vector<std::int64_t> vxb(static_cast<std::size_t>(vpx) + 1);
+  for (int i = 0; i < vpx; ++i)
+    vxb[static_cast<std::size_t>(i)] = comm::block_range(c, vpx, i).lo;
+  vxb[static_cast<std::size_t>(vpx)] = c;
+  std::vector<double> rowfrac(static_cast<std::size_t>(vpy));
+  std::vector<std::int64_t> vrows(static_cast<std::size_t>(vpy));
+  for (int j = 0; j < vpy; ++j) {
+    vrows[static_cast<std::size_t>(j)] = comm::block_range(c, vpy, j).count();
+    rowfrac[static_cast<std::size_t>(j)] =
+        static_cast<double>(vrows[static_cast<std::size_t>(j)]) / static_cast<double>(c);
+  }
+
+  std::vector<int> map(static_cast<std::size_t>(vps));
+  for (int v = 0; v < vps; ++v) {
+    map[static_cast<std::size_t>(v)] =
+        static_cast<int>((static_cast<std::int64_t>(v) * cores) / vps);
+  }
+  auto balancer = vpr::make_load_balancer(params.balancer);
+
+  ModelResult result;
+  StepAccumulator acc{config, result};
+
+  std::vector<double> colsum(static_cast<std::size_t>(vpx));
+  std::vector<double> colout(static_cast<std::size_t>(vpx));
+  std::vector<double> compute(static_cast<std::size_t>(cores));
+  std::vector<double> comm_cost(static_cast<std::size_t>(cores));
+  std::vector<double> lb_extra(static_cast<std::size_t>(cores));
+  const std::int64_t shift = config.shift_per_step;
+
+  for (std::uint32_t step = 0; step < config.steps; ++step) {
+    apply_events(w, step);
+
+    for (int i = 0; i < vpx; ++i) {
+      const std::int64_t lo = vxb[static_cast<std::size_t>(i)];
+      const std::int64_t hi = vxb[static_cast<std::size_t>(i) + 1];
+      colsum[static_cast<std::size_t>(i)] = w.range_sum(lo, hi);
+      colout[static_cast<std::size_t>(i)] = w.range_sum(std::max(lo, hi - shift), hi);
+    }
+
+    std::fill(compute.begin(), compute.end(), 0.0);
+    std::fill(comm_cost.begin(), comm_cost.end(), 0.0);
+    std::fill(lb_extra.begin(), lb_extra.end(), 0.0);
+
+    for (int v = 0; v < vps; ++v) {
+      const int i = v % vpx;
+      const int j = v / vpx;
+      const int core = map[static_cast<std::size_t>(v)];
+      const double n =
+          colsum[static_cast<std::size_t>(i)] * rowfrac[static_cast<std::size_t>(j)];
+      compute[static_cast<std::size_t>(core)] += n * machine_.t_particle + machine_.vp_overhead;
+      if (vpx > 1) {
+        const double out_bytes = colout[static_cast<std::size_t>(i)] *
+                                 rowfrac[static_cast<std::size_t>(j)] * machine_.particle_bytes;
+        const int dst_vp = j * vpx + (i + 1) % vpx;
+        const int dst_core = map[static_cast<std::size_t>(dst_vp)];
+        if (dst_core != core) {
+          const bool intra = machine_.same_node(core, dst_core);
+          const double cost = machine_.msg_cost(out_bytes, intra);
+          comm_cost[static_cast<std::size_t>(core)] += cost;
+          comm_cost[static_cast<std::size_t>(dst_core)] += cost;
+          if (!intra) {
+            comm_cost[static_cast<std::size_t>(dst_core)] +=
+                machine_.remote_delivery_overhead;
+          }
+        }
+      }
+    }
+
+    // Runtime load balancing at interval F.
+    double lb_part_cap = 0.0;
+    if (params.lb_interval > 0 && step > 0 && step % params.lb_interval == 0) {
+      std::vector<vpr::VpLoad> loads(static_cast<std::size_t>(vps));
+      for (int v = 0; v < vps; ++v) {
+        const int i = v % vpx;
+        const int j = v / vpx;
+        const int core = map[static_cast<std::size_t>(v)];
+        double load =
+            colsum[static_cast<std::size_t>(i)] * rowfrac[static_cast<std::size_t>(j)];
+        if (params.measured_load) load /= machine_.speed_of(core);
+        loads[static_cast<std::size_t>(v)] = vpr::VpLoad{v, load, core, {}};
+        // 4-neighborhood locality hints for hint-aware balancers.
+        loads[static_cast<std::size_t>(v)].neighbors = {
+            j * vpx + (i + 1) % vpx, j * vpx + (i + vpx - 1) % vpx,
+            ((j + 1) % vpy) * vpx + i, ((j + vpy - 1) % vpy) * vpx + i};
+      }
+      const std::vector<int> remap = balancer->remap(loads, cores);
+      const double decision =
+          machine_.lb_stall_base + machine_.lb_stall_per_vp * static_cast<double>(vps);
+      for (auto& v : lb_extra) v += decision;
+      // Migration traffic is serialized through each node's shared pipe
+      // (NIC + PUP copies): accumulate per-node in+out bytes, then charge
+      // every core of a node the node's transfer time.
+      const int nodes = (cores + machine_.cores_per_node - 1) / machine_.cores_per_node;
+      std::vector<double> node_bytes(static_cast<std::size_t>(nodes), 0.0);
+      for (int v = 0; v < vps; ++v) {
+        const int from = map[static_cast<std::size_t>(v)];
+        const int to = remap[static_cast<std::size_t>(v)];
+        if (from == to) continue;
+        const int i = v % vpx;
+        const int j = v / vpx;
+        const double vp_bytes =
+            static_cast<double>((vxb[static_cast<std::size_t>(i) + 1] -
+                                 vxb[static_cast<std::size_t>(i)] + 1) *
+                                (vrows[static_cast<std::size_t>(j)] + 1)) *
+                machine_.cell_bytes +
+            loads[static_cast<std::size_t>(v)].load * machine_.particle_bytes;
+        node_bytes[static_cast<std::size_t>(machine_.node_of(from))] += vp_bytes;
+        node_bytes[static_cast<std::size_t>(machine_.node_of(to))] += vp_bytes;
+        result.migrated_mbytes += vp_bytes / 1.0e6;
+        ++result.migrations;
+      }
+      for (int core = 0; core < cores; ++core) {
+        lb_extra[static_cast<std::size_t>(core)] +=
+            node_bytes[static_cast<std::size_t>(machine_.node_of(core))] /
+            machine_.migration_bandwidth_per_node;
+      }
+      map = remap;
+    }
+
+    double makespan = 0.0, max_compute = 0.0, sum_compute = 0.0;
+    for (int core = 0; core < cores; ++core) {
+      const double comp = compute[static_cast<std::size_t>(core)] /
+                          machine_.speed_of(core) * machine_.noise(core, step);
+      const double t = comp + comm_cost[static_cast<std::size_t>(core)] +
+                       lb_extra[static_cast<std::size_t>(core)];
+      makespan = std::max(makespan, t);
+      max_compute = std::max(max_compute, comp);
+      sum_compute += comp;
+      lb_part_cap = std::max(lb_part_cap, lb_extra[static_cast<std::size_t>(core)]);
+    }
+    acc.commit(step, max_compute, sum_compute / static_cast<double>(cores), makespan,
+               std::min(lb_part_cap, makespan - max_compute));
+
+    w.advance(shift);
+  }
+  acc.finish();
+
+  // Final per-core particle counts.
+  std::vector<double> core_particles(static_cast<std::size_t>(cores), 0.0);
+  for (int v = 0; v < vps; ++v) {
+    const int i = v % vpx;
+    const int j = v / vpx;
+    core_particles[static_cast<std::size_t>(map[static_cast<std::size_t>(v)])] +=
+        w.range_sum(vxb[static_cast<std::size_t>(i)], vxb[static_cast<std::size_t>(i) + 1]) *
+        rowfrac[static_cast<std::size_t>(j)];
+  }
+  result.max_particles_final =
+      *std::max_element(core_particles.begin(), core_particles.end());
+  return result;
+}
+
+}  // namespace picprk::perfsim

@@ -1,0 +1,381 @@
+#include "perfsim/engine2d.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "comm/cart.hpp"
+#include "util/assert.hpp"
+#include "vpr/lb.hpp"
+
+namespace picprk::perfsim {
+
+Engine2D::Engine2D(MachineModel machine, Workload2D workload)
+    : machine_(std::move(machine)), workload_(std::move(workload)) {}
+
+void Engine2D::apply_events(Workload2D& w, std::uint32_t step) const {
+  for (const Event2D& e : events_) {
+    if (e.step != step) continue;
+    if (e.remove_fraction > 0.0) w.scale_region(e.region, 1.0 - e.remove_fraction);
+    if (e.inject_amount > 0.0) w.add_uniform(e.region, e.inject_amount);
+  }
+}
+
+double Engine2D::serial_seconds(const Run2DConfig& config) const {
+  Workload2D w = workload_;
+  double seconds = 0.0;
+  for (std::uint32_t step = 0; step < config.steps; ++step) {
+    apply_events(w, step);
+    seconds += w.total() * machine_.t_particle;
+    w.advance(config.shift_x, config.shift_y);
+  }
+  return seconds;
+}
+
+ModelResult Engine2D::run_static(int cores, const Run2DConfig& config) const {
+  return run_diffusion(cores, config, DiffusionModelParams{0, 0.0, 1}, false);
+}
+
+ModelResult Engine2D::run_diffusion(int cores, const Run2DConfig& config,
+                                    const DiffusionModelParams& lb,
+                                    bool two_phase) const {
+  PICPRK_EXPECTS(cores >= 1);
+  const auto [px, py] = comm::near_square_factors(cores);
+  const std::int64_t c = workload_.cells();
+  PICPRK_EXPECTS(px <= c && py <= c);
+
+  Workload2D w = workload_;
+  std::vector<std::int64_t> xb(static_cast<std::size_t>(px) + 1);
+  std::vector<std::int64_t> yb(static_cast<std::size_t>(py) + 1);
+  for (int i = 0; i <= px; ++i)
+    xb[static_cast<std::size_t>(i)] = i == px ? c : comm::block_range(c, px, i).lo;
+  for (int j = 0; j <= py; ++j)
+    yb[static_cast<std::size_t>(j)] = j == py ? c : comm::block_range(c, py, j).lo;
+
+  ModelResult result;
+  double imbalance_sum = 0.0;
+  std::uint32_t samples = 0;
+
+  std::vector<double> lb_extra(static_cast<std::size_t>(cores), 0.0);
+  const double log2p = std::log2(std::max(2, cores));
+  auto rank_of = [px = px](int i, int j) { return j * px + i; };
+
+  for (std::uint32_t step = 0; step < config.steps; ++step) {
+    apply_events(w, step);
+
+    std::fill(lb_extra.begin(), lb_extra.end(), 0.0);
+    if (lb.frequency > 0 && step > 0 && step % lb.frequency == 0) {
+      const double decision = machine_.lb_decision_cost + log2p * machine_.alpha_inter;
+      for (auto& v : lb_extra) v += decision;
+      // Phase 1: x boundaries from per-processor-column loads.
+      {
+        std::vector<std::uint64_t> col_loads(static_cast<std::size_t>(px));
+        double total = 0.0;
+        for (int i = 0; i < px; ++i) {
+          const double l = w.range_sum(xb[static_cast<std::size_t>(i)],
+                                       xb[static_cast<std::size_t>(i) + 1], 0, c);
+          col_loads[static_cast<std::size_t>(i)] = static_cast<std::uint64_t>(l);
+          total += l;
+        }
+        const auto new_xb = par::diffuse_bounds(
+            xb, col_loads, lb.threshold * total / static_cast<double>(px),
+            lb.border_width);
+        for (int b = 1; b < px; ++b) {
+          const std::int64_t oldb = xb[static_cast<std::size_t>(b)];
+          const std::int64_t newb = new_xb[static_cast<std::size_t>(b)];
+          if (oldb == newb) continue;
+          ++result.migrations;
+          const std::int64_t m0 = std::min(oldb, newb), m1 = std::max(oldb, newb);
+          for (int j = 0; j < py; ++j) {
+            const std::int64_t rows = yb[static_cast<std::size_t>(j) + 1] -
+                                      yb[static_cast<std::size_t>(j)];
+            const double bytes =
+                static_cast<double>((m1 - m0) * (rows + 1)) * machine_.cell_bytes +
+                w.range_sum(m0, m1, yb[static_cast<std::size_t>(j)],
+                            yb[static_cast<std::size_t>(j) + 1]) *
+                    machine_.particle_bytes;
+            const int ra = rank_of(b - 1, j), rb = rank_of(b, j);
+            const double cost = machine_.msg_cost(bytes, machine_.same_node(ra, rb));
+            lb_extra[static_cast<std::size_t>(ra)] += cost;
+            lb_extra[static_cast<std::size_t>(rb)] += cost;
+            result.migrated_mbytes += bytes / 1.0e6;
+          }
+        }
+        xb = new_xb;
+      }
+      // Phase 2: y boundaries from per-processor-row loads.
+      if (two_phase) {
+        std::vector<std::uint64_t> row_loads(static_cast<std::size_t>(py));
+        double total = 0.0;
+        for (int j = 0; j < py; ++j) {
+          const double l = w.range_sum(0, c, yb[static_cast<std::size_t>(j)],
+                                       yb[static_cast<std::size_t>(j) + 1]);
+          row_loads[static_cast<std::size_t>(j)] = static_cast<std::uint64_t>(l);
+          total += l;
+        }
+        const auto new_yb = par::diffuse_bounds(
+            yb, row_loads, lb.threshold * total / static_cast<double>(py),
+            lb.border_width);
+        for (int b = 1; b < py; ++b) {
+          const std::int64_t oldb = yb[static_cast<std::size_t>(b)];
+          const std::int64_t newb = new_yb[static_cast<std::size_t>(b)];
+          if (oldb == newb) continue;
+          ++result.migrations;
+          const std::int64_t m0 = std::min(oldb, newb), m1 = std::max(oldb, newb);
+          for (int i = 0; i < px; ++i) {
+            const std::int64_t cols = xb[static_cast<std::size_t>(i) + 1] -
+                                      xb[static_cast<std::size_t>(i)];
+            const double bytes =
+                static_cast<double>((m1 - m0) * (cols + 1)) * machine_.cell_bytes +
+                w.range_sum(xb[static_cast<std::size_t>(i)],
+                            xb[static_cast<std::size_t>(i) + 1], m0, m1) *
+                    machine_.particle_bytes;
+            const int ra = rank_of(i, b - 1), rb = rank_of(i, b);
+            const double cost = machine_.msg_cost(bytes, machine_.same_node(ra, rb));
+            lb_extra[static_cast<std::size_t>(ra)] += cost;
+            lb_extra[static_cast<std::size_t>(rb)] += cost;
+            result.migrated_mbytes += bytes / 1.0e6;
+          }
+        }
+        yb = new_yb;
+      }
+    }
+
+    // Per-rank step time.
+    double makespan = 0.0, max_compute = 0.0, sum_compute = 0.0, max_lb = 0.0;
+    for (int j = 0; j < py; ++j) {
+      for (int i = 0; i < px; ++i) {
+        const int r = rank_of(i, j);
+        const std::int64_t x0 = xb[static_cast<std::size_t>(i)];
+        const std::int64_t x1 = xb[static_cast<std::size_t>(i) + 1];
+        const std::int64_t y0 = yb[static_cast<std::size_t>(j)];
+        const std::int64_t y1 = yb[static_cast<std::size_t>(j) + 1];
+        const double n = w.range_sum(x0, x1, y0, y1);
+        const double compute =
+            n * machine_.t_particle / machine_.speed_of(r) * machine_.noise(r, step);
+
+        double comm = 0.0;
+        if (px > 1 && config.shift_x != 0) {
+          // Emigrants across the right x edge (drift right assumed).
+          const double out =
+              w.range_sum(std::max(x0, x1 - config.shift_x), x1, y0, y1) *
+              machine_.particle_bytes;
+          const int right = rank_of((i + 1) % px, j);
+          comm += machine_.msg_cost(out, machine_.same_node(r, right));
+          if (!machine_.same_node(r, rank_of((i + px - 1) % px, j))) {
+            comm += machine_.remote_delivery_overhead;
+          }
+          // Incoming from the left (same formula on the left block).
+          const std::int64_t lx0 = xb[static_cast<std::size_t>((i + px - 1) % px)];
+          const std::int64_t lx1 = xb[static_cast<std::size_t>((i + px - 1) % px) + 1];
+          const double in =
+              w.range_sum(std::max(lx0, lx1 - config.shift_x), lx1, y0, y1) *
+              machine_.particle_bytes;
+          comm += machine_.msg_cost(in, machine_.same_node(r, rank_of((i + px - 1) % px, j)));
+        }
+        if (py > 1 && config.shift_y != 0) {
+          const std::int64_t s = std::llabs(config.shift_y);
+          const double out = w.range_sum(x0, x1, std::max(y0, y1 - s), y1) *
+                             machine_.particle_bytes;
+          const int up = rank_of(i, (j + 1) % py);
+          comm += 2.0 * machine_.msg_cost(out, machine_.same_node(r, up));
+        }
+
+        const double lb_r = lb_extra[static_cast<std::size_t>(r)];
+        makespan = std::max(makespan, compute + comm + lb_r);
+        max_compute = std::max(max_compute, compute);
+        max_lb = std::max(max_lb, lb_r);
+        sum_compute += compute;
+      }
+    }
+    result.seconds += makespan;
+    result.compute_seconds += max_compute;
+    const double lb_part = std::min(max_lb, makespan - max_compute);
+    result.lb_seconds += lb_part;
+    result.comm_seconds += makespan - max_compute - lb_part;
+    const double ratio =
+        sum_compute > 0.0 ? max_compute / (sum_compute / static_cast<double>(cores)) : 1.0;
+    imbalance_sum += ratio;
+    ++samples;
+    if (config.collect_series && step % config.sample_every == 0) {
+      result.imbalance_series.push_back(ratio);
+    }
+
+    w.advance(config.shift_x, config.shift_y);
+  }
+  result.avg_imbalance = samples > 0 ? imbalance_sum / samples : 1.0;
+
+  double max_particles = 0.0;
+  for (int j = 0; j < py; ++j) {
+    for (int i = 0; i < px; ++i) {
+      max_particles = std::max(
+          max_particles,
+          w.range_sum(xb[static_cast<std::size_t>(i)], xb[static_cast<std::size_t>(i) + 1],
+                      yb[static_cast<std::size_t>(j)], yb[static_cast<std::size_t>(j) + 1]));
+    }
+  }
+  result.max_particles_final = max_particles;
+  return result;
+}
+
+ModelResult Engine2D::run_vpr(int cores, const Run2DConfig& config,
+                              const VprModelParams& params) const {
+  PICPRK_EXPECTS(cores >= 1);
+  PICPRK_EXPECTS(params.overdecomposition >= 1);
+  const int vps = cores * params.overdecomposition;
+  const auto [vpx, vpy] = comm::near_square_factors(vps);
+  const std::int64_t c = workload_.cells();
+  PICPRK_EXPECTS(vpx <= c && vpy <= c);
+
+  Workload2D w = workload_;
+  std::vector<std::int64_t> vxb(static_cast<std::size_t>(vpx) + 1);
+  std::vector<std::int64_t> vyb(static_cast<std::size_t>(vpy) + 1);
+  for (int i = 0; i <= vpx; ++i)
+    vxb[static_cast<std::size_t>(i)] = i == vpx ? c : comm::block_range(c, vpx, i).lo;
+  for (int j = 0; j <= vpy; ++j)
+    vyb[static_cast<std::size_t>(j)] = j == vpy ? c : comm::block_range(c, vpy, j).lo;
+
+  std::vector<int> map(static_cast<std::size_t>(vps));
+  for (int v = 0; v < vps; ++v) {
+    map[static_cast<std::size_t>(v)] =
+        static_cast<int>((static_cast<std::int64_t>(v) * cores) / vps);
+  }
+  auto balancer = vpr::make_load_balancer(params.balancer);
+
+  ModelResult result;
+  double imbalance_sum = 0.0;
+  std::uint32_t samples = 0;
+  std::vector<double> vp_load(static_cast<std::size_t>(vps));
+  std::vector<double> compute(static_cast<std::size_t>(cores));
+  std::vector<double> comm_cost(static_cast<std::size_t>(cores));
+  std::vector<double> lb_extra(static_cast<std::size_t>(cores));
+
+  auto vp_block = [&](int v) {
+    const int i = v % vpx;
+    const int j = v / vpx;
+    return std::array<std::int64_t, 4>{vxb[static_cast<std::size_t>(i)],
+                                       vxb[static_cast<std::size_t>(i) + 1],
+                                       vyb[static_cast<std::size_t>(j)],
+                                       vyb[static_cast<std::size_t>(j) + 1]};
+  };
+
+  for (std::uint32_t step = 0; step < config.steps; ++step) {
+    apply_events(w, step);
+
+    std::fill(compute.begin(), compute.end(), 0.0);
+    std::fill(comm_cost.begin(), comm_cost.end(), 0.0);
+    std::fill(lb_extra.begin(), lb_extra.end(), 0.0);
+
+    for (int v = 0; v < vps; ++v) {
+      const auto [x0, x1, y0, y1] = vp_block(v);
+      const int core = map[static_cast<std::size_t>(v)];
+      const double n = w.range_sum(x0, x1, y0, y1);
+      vp_load[static_cast<std::size_t>(v)] = n;
+      compute[static_cast<std::size_t>(core)] += n * machine_.t_particle + machine_.vp_overhead;
+      const int i = v % vpx;
+      const int j = v / vpx;
+      if (vpx > 1 && config.shift_x != 0) {
+        const double out = w.range_sum(std::max(x0, x1 - config.shift_x), x1, y0, y1) *
+                           machine_.particle_bytes;
+        const int dst = map[static_cast<std::size_t>(j * vpx + (i + 1) % vpx)];
+        if (dst != core) {
+          const bool intra = machine_.same_node(core, dst);
+          const double cost = machine_.msg_cost(out, intra);
+          comm_cost[static_cast<std::size_t>(core)] += cost;
+          comm_cost[static_cast<std::size_t>(dst)] += cost;
+          if (!intra)
+            comm_cost[static_cast<std::size_t>(dst)] += machine_.remote_delivery_overhead;
+        }
+      }
+      if (vpy > 1 && config.shift_y != 0) {
+        const std::int64_t s = std::llabs(config.shift_y);
+        const double out =
+            w.range_sum(x0, x1, std::max(y0, y1 - s), y1) * machine_.particle_bytes;
+        const int dst = map[static_cast<std::size_t>(((j + 1) % vpy) * vpx + i)];
+        if (dst != core) {
+          const double cost = machine_.msg_cost(out, machine_.same_node(core, dst));
+          comm_cost[static_cast<std::size_t>(core)] += cost;
+          comm_cost[static_cast<std::size_t>(dst)] += cost;
+        }
+      }
+    }
+
+    if (params.lb_interval > 0 && step > 0 && step % params.lb_interval == 0) {
+      std::vector<vpr::VpLoad> loads(static_cast<std::size_t>(vps));
+      for (int v = 0; v < vps; ++v) {
+        const int i = v % vpx;
+        const int j = v / vpx;
+        const int core = map[static_cast<std::size_t>(v)];
+        double load = vp_load[static_cast<std::size_t>(v)];
+        if (params.measured_load) load /= machine_.speed_of(core);
+        loads[static_cast<std::size_t>(v)] = vpr::VpLoad{
+            v, load, core,
+            {j * vpx + (i + 1) % vpx, j * vpx + (i + vpx - 1) % vpx,
+             ((j + 1) % vpy) * vpx + i, ((j + vpy - 1) % vpy) * vpx + i}};
+      }
+      const std::vector<int> remap = balancer->remap(loads, cores);
+      const double decision =
+          machine_.lb_stall_base + machine_.lb_stall_per_vp * static_cast<double>(vps);
+      for (auto& v : lb_extra) v += decision;
+      const int nodes = (cores + machine_.cores_per_node - 1) / machine_.cores_per_node;
+      std::vector<double> node_bytes(static_cast<std::size_t>(nodes), 0.0);
+      for (int v = 0; v < vps; ++v) {
+        const int from = map[static_cast<std::size_t>(v)];
+        const int to = remap[static_cast<std::size_t>(v)];
+        if (from == to) continue;
+        const auto [x0, x1, y0, y1] = vp_block(v);
+        const double vp_bytes =
+            static_cast<double>((x1 - x0 + 1) * (y1 - y0 + 1)) * machine_.cell_bytes +
+            vp_load[static_cast<std::size_t>(v)] * machine_.particle_bytes;
+        node_bytes[static_cast<std::size_t>(machine_.node_of(from))] += vp_bytes;
+        node_bytes[static_cast<std::size_t>(machine_.node_of(to))] += vp_bytes;
+        result.migrated_mbytes += vp_bytes / 1.0e6;
+        ++result.migrations;
+      }
+      for (int core = 0; core < cores; ++core) {
+        lb_extra[static_cast<std::size_t>(core)] +=
+            node_bytes[static_cast<std::size_t>(machine_.node_of(core))] /
+            machine_.migration_bandwidth_per_node;
+      }
+      map = remap;
+    }
+
+    double makespan = 0.0, max_compute = 0.0, sum_compute = 0.0, max_lb = 0.0;
+    for (int core = 0; core < cores; ++core) {
+      const double comp = compute[static_cast<std::size_t>(core)] /
+                          machine_.speed_of(core) * machine_.noise(core, step);
+      const double t = comp + comm_cost[static_cast<std::size_t>(core)] +
+                       lb_extra[static_cast<std::size_t>(core)];
+      makespan = std::max(makespan, t);
+      max_compute = std::max(max_compute, comp);
+      max_lb = std::max(max_lb, lb_extra[static_cast<std::size_t>(core)]);
+      sum_compute += comp;
+    }
+    result.seconds += makespan;
+    result.compute_seconds += max_compute;
+    const double lb_part = std::min(max_lb, makespan - max_compute);
+    result.lb_seconds += lb_part;
+    result.comm_seconds += makespan - max_compute - lb_part;
+    const double ratio =
+        sum_compute > 0.0 ? max_compute / (sum_compute / static_cast<double>(cores)) : 1.0;
+    imbalance_sum += ratio;
+    ++samples;
+    if (config.collect_series && step % config.sample_every == 0) {
+      result.imbalance_series.push_back(ratio);
+    }
+
+    w.advance(config.shift_x, config.shift_y);
+  }
+  result.avg_imbalance = samples > 0 ? imbalance_sum / samples : 1.0;
+
+  std::vector<double> core_particles(static_cast<std::size_t>(cores), 0.0);
+  for (int v = 0; v < vps; ++v) {
+    const auto [x0, x1, y0, y1] = vp_block(v);
+    core_particles[static_cast<std::size_t>(map[static_cast<std::size_t>(v)])] +=
+        w.range_sum(x0, x1, y0, y1);
+  }
+  result.max_particles_final =
+      *std::max_element(core_particles.begin(), core_particles.end());
+  return result;
+}
+
+}  // namespace picprk::perfsim

@@ -1,0 +1,100 @@
+// The machine/cost model of the performance simulator (DESIGN.md §2):
+// an Edison-like cluster abstracted to the parameters that determine the
+// *shape* of the paper's figures — per-particle compute cost, intra- vs
+// inter-node message cost, per-VP scheduling overhead, and optional
+// category-1 disturbances (per-core speed skew, OS noise).
+//
+// Absolute values are calibrated to plausible 2016-era hardware; the
+// reproduction target is orderings and crossovers, not absolute seconds
+// (EXPERIMENTS.md discusses sensitivity).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace picprk::perfsim {
+
+struct MachineModel {
+  /// Cores per node (Edison: two 12-core sockets).
+  int cores_per_node = 24;
+
+  /// Seconds per particle force+move (≈ 50 ns: a few dozen flops + one
+  /// cache-missing grid access).
+  double t_particle = 50e-9;
+
+  /// Message cost: alpha + beta · bytes.
+  double alpha_intra = 0.8e-6;   ///< same-node latency
+  double beta_intra = 0.12e-9;   ///< ~8 GB/s effective
+  double alpha_inter = 2.5e-6;   ///< cross-node latency (Aries)
+  double beta_inter = 0.30e-9;   ///< ~3.3 GB/s effective per flow
+
+  /// Payload sizes.
+  double particle_bytes = 80.0;  ///< sizeof(pic::Particle)
+  double cell_bytes = 8.0;       ///< one mesh-point charge
+
+  /// Fixed cost of one load-balancing decision round (reductions,
+  /// bookkeeping), charged to every core. Used by the application-level
+  /// diffusion scheme, whose LB step is one allreduce plus neighbor
+  /// sends.
+  double lb_decision_cost = 40e-6;
+
+  /// Stop-the-world cost of one *runtime* LB invocation (AMPI/Charm
+  /// AtSync: quiescence detection, stats collection, strategy), charged
+  /// to every core: base + per_vp · V.
+  double lb_stall_base = 20.0e-3;
+  double lb_stall_per_vp = 2.0e-6;
+
+  /// Effective per-node bandwidth for VP migration traffic (NIC
+  /// contention + PUP pack/unpack copies + container rebuild). All VPs
+  /// of a node migrate through this shared pipe, which is what makes a
+  /// greedy all-moves rebalance expensive at small F (Figure 5) — see
+  /// EXPERIMENTS.md for the calibration discussion.
+  double migration_bandwidth_per_node = 0.5e9;
+
+  /// Per-VP per-step scheduling overhead of the over-decomposed runtime
+  /// (context switch + message dispatch) — what makes very large d lose
+  /// in Figure 5.
+  double vp_overhead = 2.0e-6;
+
+  /// Relative compute-noise amplitude per (core, step): uniform in
+  /// [−a, +a] with a = noise_level·√3 (category-1 imbalance knob).
+  double noise_level = 0.0;
+  std::uint64_t noise_seed = 0x4015EEDull;
+
+  /// Optional per-core speed multipliers (<1 = slower core); empty means
+  /// homogeneous. Category-1 imbalance knob.
+  std::vector<double> core_speed;
+
+  int node_of(int core) const { return core / cores_per_node; }
+  bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
+
+  /// Software cost of delivering one cross-node message at the receiver
+  /// (progress engine / scheduler wakeup on top of the wire α-β). This
+  /// is what makes a locality-fragmented VP placement expensive per step
+  /// — the paper's §V-B explanation of why ampi loses strong scaling.
+  double remote_delivery_overhead = 20e-6;
+
+  double msg_cost(double bytes, bool intra) const {
+    return intra ? alpha_intra + beta_intra * bytes : alpha_inter + beta_inter * bytes;
+  }
+
+  double speed_of(int core) const {
+    if (core_speed.empty()) return 1.0;
+    PICPRK_EXPECTS(core >= 0 && static_cast<std::size_t>(core) < core_speed.size());
+    return core_speed[static_cast<std::size_t>(core)];
+  }
+
+  /// Deterministic noise multiplier for (core, step).
+  double noise(int core, std::uint32_t step) const {
+    if (noise_level <= 0.0) return 1.0;
+    const util::CounterRng rng(noise_seed, static_cast<std::uint64_t>(core),
+                               static_cast<std::uint64_t>(step));
+    const double u = rng.double_at(0) * 2.0 - 1.0;  // [-1, 1)
+    return 1.0 + noise_level * 1.7320508075688772 * u;
+  }
+};
+
+}  // namespace picprk::perfsim

@@ -1,0 +1,131 @@
+#include "perfsim/workload2d.hpp"
+
+#include "util/assert.hpp"
+
+namespace picprk::perfsim {
+
+Workload2D Workload2D::from_expected(const pic::InitParams& params) {
+  const std::int64_t c = params.grid.cells;
+  // Reuse the Initializer's expectation logic through a lightweight
+  // instance-free path: column weights + the row mask semantics of
+  // expected_in_cell, including rotate90.
+  const std::vector<double> weights = pic::column_cell_expectations(params);
+  std::vector<double> counts(static_cast<std::size_t>(c * c), 0.0);
+  const auto* patch = std::get_if<pic::Patch>(&params.distribution);
+  for (std::int64_t cy = 0; cy < c; ++cy) {
+    for (std::int64_t cx = 0; cx < c; ++cx) {
+      if (patch && !patch->region.contains_cell(cx, cy)) continue;
+      const std::int64_t skew = params.rotate90 ? cy : cx;
+      counts[static_cast<std::size_t>(cy * c + cx)] =
+          weights[static_cast<std::size_t>(skew)];
+    }
+  }
+  return Workload2D(c, std::move(counts));
+}
+
+Workload2D Workload2D::from_initializer(const pic::Initializer& init) {
+  const std::int64_t c = init.params().grid.cells;
+  std::vector<double> counts(static_cast<std::size_t>(c * c), 0.0);
+  for (std::int64_t cy = 0; cy < c; ++cy) {
+    for (std::int64_t cx = 0; cx < c; ++cx) {
+      counts[static_cast<std::size_t>(cy * c + cx)] =
+          static_cast<double>(init.count_in_cell(cx, cy));
+    }
+  }
+  return Workload2D(c, std::move(counts));
+}
+
+Workload2D::Workload2D(std::int64_t cells, std::vector<double> counts)
+    : cells_(cells), counts_(std::move(counts)) {
+  PICPRK_EXPECTS(cells_ >= 1);
+  PICPRK_EXPECTS(counts_.size() == static_cast<std::size_t>(cells_ * cells_));
+}
+
+std::size_t Workload2D::physical_index(std::int64_t cx, std::int64_t cy) const {
+  const std::int64_t px = pic::wrap_index(cx - offset_x_, cells_);
+  const std::int64_t py = pic::wrap_index(cy - offset_y_, cells_);
+  return static_cast<std::size_t>(py * cells_ + px);
+}
+
+double Workload2D::count(std::int64_t cx, std::int64_t cy) const {
+  PICPRK_EXPECTS(cx >= 0 && cx < cells_ && cy >= 0 && cy < cells_);
+  return counts_[physical_index(cx, cy)];
+}
+
+double Workload2D::total() const { return range_sum(0, cells_, 0, cells_); }
+
+void Workload2D::rebuild_prefix() const {
+  const std::int64_t c = cells_;
+  prefix_.assign(static_cast<std::size_t>((c + 1) * (c + 1)), 0.0);
+  for (std::int64_t y = 0; y < c; ++y) {
+    double row = 0.0;
+    for (std::int64_t x = 0; x < c; ++x) {
+      row += counts_[static_cast<std::size_t>(y * c + x)];
+      prefix_[static_cast<std::size_t>((y + 1) * (c + 1) + (x + 1))] =
+          prefix_[static_cast<std::size_t>(y * (c + 1) + (x + 1))] + row;
+    }
+  }
+  prefix_dirty_ = false;
+}
+
+double Workload2D::prefix_at(std::int64_t px, std::int64_t py) const {
+  return prefix_[static_cast<std::size_t>(py * (cells_ + 1) + px)];
+}
+
+double Workload2D::physical_rect_sum(std::int64_t px0, std::int64_t px1, std::int64_t py0,
+                                     std::int64_t py1) const {
+  if (px0 >= px1 || py0 >= py1) return 0.0;
+  return prefix_at(px1, py1) - prefix_at(px0, py1) - prefix_at(px1, py0) +
+         prefix_at(px0, py0);
+}
+
+double Workload2D::range_sum(std::int64_t x0, std::int64_t x1, std::int64_t y0,
+                             std::int64_t y1) const {
+  PICPRK_EXPECTS(x0 >= 0 && x0 <= x1 && x1 <= cells_);
+  PICPRK_EXPECTS(y0 >= 0 && y0 <= y1 && y1 <= cells_);
+  if (prefix_dirty_) rebuild_prefix();
+  // Map the logical rectangle onto physical coordinates; each axis may
+  // wrap once, giving up to 4 physical rectangles.
+  const std::int64_t px0 = pic::wrap_index(x0 - offset_x_, cells_);
+  const std::int64_t py0 = pic::wrap_index(y0 - offset_y_, cells_);
+  const std::int64_t w = x1 - x0;
+  const std::int64_t h = y1 - y0;
+
+  const std::int64_t wx1 = std::min(w, cells_ - px0);  // width before the x seam
+  const std::int64_t hy1 = std::min(h, cells_ - py0);  // height before the y seam
+
+  double sum = 0.0;
+  sum += physical_rect_sum(px0, px0 + wx1, py0, py0 + hy1);
+  sum += physical_rect_sum(0, w - wx1, py0, py0 + hy1);
+  sum += physical_rect_sum(px0, px0 + wx1, 0, h - hy1);
+  sum += physical_rect_sum(0, w - wx1, 0, h - hy1);
+  return sum;
+}
+
+void Workload2D::advance(std::int64_t dx, std::int64_t dy) {
+  offset_x_ = pic::wrap_index(offset_x_ + dx, cells_);
+  offset_y_ = pic::wrap_index(offset_y_ + dy, cells_);
+}
+
+void Workload2D::add_uniform(const pic::CellRegion& region, double amount) {
+  PICPRK_EXPECTS(region.area() > 0);
+  const double per_cell = amount / static_cast<double>(region.area());
+  for (std::int64_t cy = region.y0; cy < region.y1; ++cy) {
+    for (std::int64_t cx = region.x0; cx < region.x1; ++cx) {
+      counts_[physical_index(cx, cy)] += per_cell;
+    }
+  }
+  prefix_dirty_ = true;
+}
+
+void Workload2D::scale_region(const pic::CellRegion& region, double factor) {
+  PICPRK_EXPECTS(factor >= 0.0);
+  for (std::int64_t cy = region.y0; cy < region.y1; ++cy) {
+    for (std::int64_t cx = region.x0; cx < region.x1; ++cx) {
+      counts_[physical_index(cx, cy)] *= factor;
+    }
+  }
+  prefix_dirty_ = true;
+}
+
+}  // namespace picprk::perfsim

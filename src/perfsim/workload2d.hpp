@@ -1,0 +1,62 @@
+// Dense 2-D workload model: per-cell particle counts with their exact
+// evolution (x-shift by (2k+1) and y-shift by m per step — both pure
+// rotations under the specification). Complements ColumnWorkload, which
+// assumes y-uniformity: this model covers rotated distributions, 2-D
+// patches and y-drift, at O(cells²) memory — meant for grids up to
+// ~2,000² (the laptop-validation scale), not the 12k² paper grids.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pic/init.hpp"
+
+namespace picprk::perfsim {
+
+class Workload2D {
+ public:
+  /// Continuous expectation of any distribution (rotate90 supported).
+  static Workload2D from_expected(const pic::InitParams& params);
+
+  /// Exact realised counts of an Initializer.
+  static Workload2D from_initializer(const pic::Initializer& init);
+
+  /// Directly from a row-major counts grid (tests).
+  Workload2D(std::int64_t cells, std::vector<double> counts);
+
+  std::int64_t cells() const { return cells_; }
+  double total() const;
+
+  /// Current count in logical cell (cx, cy).
+  double count(std::int64_t cx, std::int64_t cy) const;
+
+  /// Sum over the logical rectangle [x0,x1) × [y0,y1); O(1) via a
+  /// summed-area table (which handles the rotation offsets).
+  double range_sum(std::int64_t x0, std::int64_t x1, std::int64_t y0,
+                   std::int64_t y1) const;
+
+  /// Advances one step: shifts the distribution by (dx, dy) cells.
+  void advance(std::int64_t dx, std::int64_t dy);
+
+  /// Injects `amount` uniformly over the logical rectangle.
+  void add_uniform(const pic::CellRegion& region, double amount);
+
+  /// Scales counts in the logical rectangle (removals).
+  void scale_region(const pic::CellRegion& region, double factor);
+
+ private:
+  std::size_t physical_index(std::int64_t cx, std::int64_t cy) const;
+  void rebuild_prefix() const;
+  double prefix_at(std::int64_t px, std::int64_t py) const;
+  double physical_rect_sum(std::int64_t px0, std::int64_t px1, std::int64_t py0,
+                           std::int64_t py1) const;
+
+  std::int64_t cells_ = 0;
+  std::vector<double> counts_;            // row-major physical storage
+  mutable std::vector<double> prefix_;    // (C+1)² summed-area table
+  mutable bool prefix_dirty_ = true;
+  std::int64_t offset_x_ = 0;             // logical cx -> physical (cx - ox) mod C
+  std::int64_t offset_y_ = 0;
+};
+
+}  // namespace picprk::perfsim

@@ -1,0 +1,42 @@
+#include "pic/charge.hpp"
+
+namespace picprk::pic {
+
+ChargeSlab ChargeSlab::from_values(std::int64_t x0, std::int64_t y0, std::int64_t width,
+                                   std::int64_t height, std::vector<double> values) {
+  PICPRK_EXPECTS(width >= 1 && height >= 1);
+  PICPRK_EXPECTS(values.size() == static_cast<std::size_t>(width * height));
+  ChargeSlab slab;
+  slab.x0_ = x0;
+  slab.y0_ = y0;
+  slab.width_ = width;
+  slab.height_ = height;
+  slab.values_ = std::move(values);
+  return slab;
+}
+
+std::vector<double> ChargeSlab::extract_columns(std::int64_t cx0, std::int64_t cx1) const {
+  PICPRK_EXPECTS(cx0 >= x0_ && cx1 <= x0_ + width_ && cx0 < cx1);
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>((cx1 - cx0) * height_));
+  for (std::int64_t px = cx0; px < cx1; ++px) {
+    for (std::int64_t j = 0; j < height_; ++j) {
+      out.push_back(values_[static_cast<std::size_t>(j * width_ + (px - x0_))]);
+    }
+  }
+  return out;
+}
+
+std::vector<double> ChargeSlab::extract_rows(std::int64_t ry0, std::int64_t ry1) const {
+  PICPRK_EXPECTS(ry0 >= y0_ && ry1 <= y0_ + height_ && ry0 < ry1);
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>((ry1 - ry0) * width_));
+  for (std::int64_t py = ry0; py < ry1; ++py) {
+    for (std::int64_t i = 0; i < width_; ++i) {
+      out.push_back(values_[static_cast<std::size_t>((py - y0_) * width_ + i)]);
+    }
+  }
+  return out;
+}
+
+}  // namespace picprk::pic

@@ -1,0 +1,44 @@
+// Observation helpers for the PRK: density profiles and a periodic-aware
+// summary of the particle cloud (center of mass, angular spread, drift).
+// These are measurement tools for experiments — e.g. confirming that a
+// geometric cloud drifts at exactly (2k+1) cells per step, or feeding
+// the distribution gallery — not part of the kernel specification.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pic/geometry.hpp"
+#include "pic/particle.hpp"
+
+namespace picprk::pic {
+
+/// Particle counts per cell column.
+std::vector<std::uint64_t> column_histogram(std::span<const Particle> particles,
+                                            const GridSpec& grid);
+
+/// Particle counts per cell row.
+std::vector<std::uint64_t> row_histogram(std::span<const Particle> particles,
+                                         const GridSpec& grid);
+
+/// Periodic-aware cloud summary. Positions on a ring have no ordinary
+/// mean; the center of mass is the circular mean (argument of the
+/// resultant of unit vectors at angle 2πx/L) and the concentration is
+/// the resultant length R ∈ [0, 1]: R → 1 for a point cloud, R → 0 for
+/// a uniform one.
+struct CloudSummary {
+  std::uint64_t count = 0;
+  double com_x = 0.0;  ///< circular mean position, in [0, L)
+  double com_y = 0.0;
+  double concentration_x = 0.0;  ///< resultant length R in x
+  double concentration_y = 0.0;
+};
+
+CloudSummary summarize_cloud(std::span<const Particle> particles, const GridSpec& grid);
+
+/// Signed shortest displacement from `before` to `after` on a ring of
+/// circumference L (positive = rightward): the per-step drift estimator.
+double periodic_displacement(double before, double after, double length);
+
+}  // namespace picprk::pic

@@ -1,0 +1,86 @@
+// Dynamic particle injection and removal (paper §III-E5): "at a
+// particular time t' we uniformly inject/remove particles in/from a
+// subdomain R'". These events adjust the local amount of work abruptly
+// and stress the adaptiveness of a load-balancing strategy (the paper's
+// category-2 imbalance source: local creation/destruction of work).
+//
+// Determinism contract (same as initialisation): which particles an event
+// creates in a cell, and whether an existing particle is removed, are pure
+// functions of (seed, event index, cell / particle id) — so serial and
+// parallel runs apply identical events regardless of decomposition.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pic/geometry.hpp"
+#include "pic/init.hpp"
+#include "pic/particle.hpp"
+
+namespace picprk::pic {
+
+/// Inject `count` particles uniformly over `region` at the start of time
+/// step `step`. Injected particles use the same Eq.-3/Eq.-4 state as the
+/// initial population (they verify via Eqs. 5–6 with s = T − step).
+struct InjectionEvent {
+  std::uint32_t step = 0;
+  CellRegion region;
+  std::uint64_t count = 0;
+};
+
+/// Remove, at the start of time step `step`, each particle residing in
+/// `region` with probability `fraction` (decided by a hash of the
+/// particle id, so the decision is decomposition-independent).
+struct RemovalEvent {
+  std::uint32_t step = 0;
+  CellRegion region;
+  double fraction = 0.5;
+};
+
+/// Event schedule plus the bookkeeping needed to keep ids unique and the
+/// id-checksum verifiable when the population changes (§III-D notes the
+/// plain n(n+1)/2 checksum only applies without injection/removal; the
+/// ledger tracks the expected checksum incrementally).
+class EventSchedule {
+ public:
+  EventSchedule() = default;
+  EventSchedule(std::vector<InjectionEvent> injections, std::vector<RemovalEvent> removals);
+
+  const std::vector<InjectionEvent>& injections() const { return injections_; }
+  const std::vector<RemovalEvent>& removals() const { return removals_; }
+  bool empty() const { return injections_.empty() && removals_.empty(); }
+
+  /// Deterministic number of particles event `e` injects into cell (cx,cy).
+  std::uint64_t injected_in_cell(const Initializer& init, std::size_t event_index,
+                                 std::int64_t cx, std::int64_t cy) const;
+
+  /// Exact total count injected by event `e` (sums injected_in_cell).
+  std::uint64_t injection_total(const Initializer& init, std::size_t event_index) const;
+
+  /// First id used by injection event `e`; ids continue after the initial
+  /// population and all earlier injections.
+  std::uint64_t injection_first_id(const Initializer& init, std::size_t event_index) const;
+
+  /// Appends the particles event `e` injects into cells
+  /// [cx0,cx1)×[cy0,cy1), with globally consistent ids (parallel-safe).
+  void emplace_injection_block(const Initializer& init, std::size_t event_index,
+                               std::int64_t cx0, std::int64_t cx1, std::int64_t cy0,
+                               std::int64_t cy1, std::vector<Particle>& out) const;
+
+  /// Whether removal event `e` removes a particle with this id that
+  /// resides in the event's region.
+  bool removes(const Initializer& init, std::size_t event_index, std::uint64_t id) const;
+
+  /// Applies every event scheduled for `step` to a local particle vector
+  /// restricted to the cell block [cx0,cx1)×[cy0,cy1) (the whole grid for
+  /// serial). Returns the net change in local particle count.
+  std::int64_t apply_step(const Initializer& init, std::uint32_t step, std::int64_t cx0,
+                          std::int64_t cx1, std::int64_t cy0, std::int64_t cy1,
+                          std::vector<Particle>& particles) const;
+
+ private:
+  std::vector<InjectionEvent> injections_;
+  std::vector<RemovalEvent> removals_;
+};
+
+}  // namespace picprk::pic

@@ -1,0 +1,81 @@
+// Simulation-domain geometry of the PIC PRK (paper §III-B): a periodic
+// L×L square mesh of cells of size h×h. We keep h general but the
+// canonical configuration is h = 1, dt = 1, particles at cell centers,
+// which makes per-step displacements exact integers of cells.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace picprk::pic {
+
+/// Wraps `v` into [0, L) (periodic boundary in one coordinate).
+inline double wrap(double v, double length) {
+  double r = std::fmod(v, length);
+  if (r < 0.0) r += length;
+  // fmod of a value infinitesimally below length can round up to length.
+  if (r >= length) r = 0.0;
+  return r;
+}
+
+/// Wraps an integer cell/mesh index into [0, n).
+inline std::int64_t wrap_index(std::int64_t v, std::int64_t n) {
+  std::int64_t r = v % n;
+  return r < 0 ? r + n : r;
+}
+
+/// The L×L periodic mesh. `cells` is the number of cells per dimension
+/// (the paper's c = L/h); it must be even so that the alternating column
+/// charges are consistent across the periodic seam (§III-C: "L must be
+/// an even multiple of h").
+struct GridSpec {
+  std::int64_t cells = 0;
+  double h = 1.0;
+
+  GridSpec() = default;
+  GridSpec(std::int64_t cells_in, double h_in = 1.0) : cells(cells_in), h(h_in) {
+    PICPRK_EXPECTS(cells >= 2);
+    PICPRK_EXPECTS(cells % 2 == 0);
+    PICPRK_EXPECTS(h > 0.0);
+  }
+
+  /// Physical domain extent L = cells * h.
+  double length() const { return static_cast<double>(cells) * h; }
+
+  /// Cell index containing physical coordinate `v` (already in [0, L)).
+  std::int64_t cell_of(double v) const {
+    auto c = static_cast<std::int64_t>(std::floor(v / h));
+    // Guard the v == L fringe that floating division can produce.
+    if (c >= cells) c = cells - 1;
+    if (c < 0) c = 0;
+    return c;
+  }
+
+  /// Physical coordinate of the center of cell index `c`.
+  double cell_center(std::int64_t c) const {
+    return (static_cast<double>(c) + 0.5) * h;
+  }
+
+  bool operator==(const GridSpec&) const = default;
+};
+
+/// Rectangular region of whole cells [x0, x1) × [y0, y1); used for the
+/// patch distribution and for injection/removal events (§III-E4/5).
+struct CellRegion {
+  std::int64_t x0 = 0, x1 = 0, y0 = 0, y1 = 0;
+
+  std::int64_t width() const { return x1 - x0; }
+  std::int64_t height() const { return y1 - y0; }
+  std::int64_t area() const { return width() * height(); }
+  bool contains_cell(std::int64_t cx, std::int64_t cy) const {
+    return cx >= x0 && cx < x1 && cy >= y0 && cy < y1;
+  }
+  bool valid_within(const GridSpec& grid) const {
+    return x0 >= 0 && y0 >= 0 && x1 <= grid.cells && y1 <= grid.cells &&
+           x1 > x0 && y1 > y0;
+  }
+};
+
+}  // namespace picprk::pic

@@ -1,0 +1,214 @@
+#include "pic/init.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/assert.hpp"
+
+namespace picprk::pic {
+
+double charge_base(double h, double dt, double mesh_q, double xrel) {
+  PICPRK_EXPECTS(h > 0.0 && dt > 0.0 && mesh_q != 0.0);
+  PICPRK_EXPECTS(xrel > 0.0 && xrel < h);
+  const double d1 = std::sqrt(h * h / 4.0 + xrel * xrel);
+  const double d2 = std::sqrt(h * h / 4.0 + (h - xrel) * (h - xrel));
+  const double cos_theta = xrel / d1;
+  const double cos_phi = (h - xrel) / d2;
+  const double denom = dt * dt * mesh_q * (cos_theta / (d1 * d1) + cos_phi / (d2 * d2));
+  return h / denom;
+}
+
+std::string distribution_name(const Distribution& dist) {
+  struct Visitor {
+    std::string operator()(const Geometric& g) const {
+      return "geometric(r=" + std::to_string(g.r) + ")";
+    }
+    std::string operator()(const Sinusoidal&) const { return "sinusoidal"; }
+    std::string operator()(const Linear& l) const {
+      return "linear(alpha=" + std::to_string(l.alpha) +
+             ",beta=" + std::to_string(l.beta) + ")";
+    }
+    std::string operator()(const Patch&) const { return "patch"; }
+    std::string operator()(const Uniform&) const { return "uniform"; }
+  };
+  return std::visit(Visitor{}, dist);
+}
+
+namespace {
+
+/// Distinct RNG stream labels so draws never alias across purposes.
+constexpr std::uint64_t kCountStream = 0xC0117ull;
+constexpr std::uint64_t kSignStream = 0x51617ull;
+
+}  // namespace
+
+std::vector<double> column_cell_expectations(const InitParams& params_) {
+  const auto c = params_.grid.cells;
+  PICPRK_EXPECTS(params_.total_particles > 0);
+
+  // Per-column expected count per cell. For the Patch distribution the
+  // weight additionally depends on the row; the returned vector stores
+  // the per-cell weight *inside* the patch and expected_in_cell applies
+  // the row mask.
+  std::vector<double> column_weight_(static_cast<std::size_t>(c), 0.0);
+  const double n = static_cast<double>(params_.total_particles);
+  const double dc = static_cast<double>(c);
+
+  if (const auto* g = std::get_if<Geometric>(&params_.distribution)) {
+    PICPRK_EXPECTS(g->r > 0.0);
+    if (g->r == 1.0) {
+      for (auto& w : column_weight_) w = n / (dc * dc);
+    } else {
+      // A chosen so that sum over all cells of A·r^i equals n (Eq. 7's A).
+      const double a = n * (1.0 - g->r) / (dc * (1.0 - std::pow(g->r, dc)));
+      double ri = 1.0;
+      for (std::int64_t i = 0; i < c; ++i) {
+        column_weight_[static_cast<std::size_t>(i)] = a * ri;
+        ri *= g->r;
+      }
+    }
+  } else if (std::holds_alternative<Sinusoidal>(params_.distribution)) {
+    double norm = 0.0;
+    for (std::int64_t j = 0; j < c; ++j) {
+      norm += 1.0 + std::cos(2.0 * std::numbers::pi * static_cast<double>(j) / (dc - 1.0));
+    }
+    for (std::int64_t i = 0; i < c; ++i) {
+      const double w =
+          1.0 + std::cos(2.0 * std::numbers::pi * static_cast<double>(i) / (dc - 1.0));
+      column_weight_[static_cast<std::size_t>(i)] = n * w / (dc * norm);
+    }
+  } else if (const auto* l = std::get_if<Linear>(&params_.distribution)) {
+    double norm = 0.0;
+    for (std::int64_t j = 0; j < c; ++j) {
+      const double w = l->beta - l->alpha * static_cast<double>(j) / (dc - 1.0);
+      norm += std::max(w, 0.0);
+    }
+    PICPRK_EXPECTS(norm > 0.0);
+    for (std::int64_t i = 0; i < c; ++i) {
+      const double w = l->beta - l->alpha * static_cast<double>(i) / (dc - 1.0);
+      column_weight_[static_cast<std::size_t>(i)] = n * std::max(w, 0.0) / (dc * norm);
+    }
+  } else if (const auto* p = std::get_if<Patch>(&params_.distribution)) {
+    PICPRK_EXPECTS(p->region.valid_within(params_.grid));
+    const double per_cell = n / static_cast<double>(p->region.area());
+    for (std::int64_t i = p->region.x0; i < p->region.x1; ++i) {
+      column_weight_[static_cast<std::size_t>(i)] = per_cell;
+    }
+  } else {  // Uniform
+    for (auto& w : column_weight_) w = n / (dc * dc);
+  }
+  return column_weight_;
+}
+
+Initializer::Initializer(InitParams params) : params_(std::move(params)) {
+  const auto c = params_.grid.cells;
+  q_base_ = charge_base(params_.grid.h, params_.dt, params_.mesh_q);
+  column_weight_ = column_cell_expectations(params_);
+
+  // Realised per-column totals and id prefixes.
+  column_total_.assign(static_cast<std::size_t>(c), 0);
+  column_prefix_.assign(static_cast<std::size_t>(c) + 1, 0);
+  for (std::int64_t cx = 0; cx < c; ++cx) {
+    std::uint64_t sum = 0;
+    for (std::int64_t cy = 0; cy < c; ++cy) sum += count_in_cell(cx, cy);
+    column_total_[static_cast<std::size_t>(cx)] = sum;
+    column_prefix_[static_cast<std::size_t>(cx) + 1] =
+        column_prefix_[static_cast<std::size_t>(cx)] + sum;
+  }
+  total_ = column_prefix_.back();
+}
+
+double Initializer::expected_in_cell(std::int64_t cx, std::int64_t cy) const {
+  PICPRK_EXPECTS(cx >= 0 && cx < params_.grid.cells);
+  PICPRK_EXPECTS(cy >= 0 && cy < params_.grid.cells);
+  if (const auto* p = std::get_if<Patch>(&params_.distribution)) {
+    if (!p->region.contains_cell(cx, cy)) return 0.0;
+  }
+  const std::int64_t skew_index = params_.rotate90 ? cy : cx;
+  return column_weight_[static_cast<std::size_t>(skew_index)];
+}
+
+std::uint64_t Initializer::count_in_cell(std::int64_t cx, std::int64_t cy) const {
+  const double mu = expected_in_cell(cx, cy);
+  if (mu <= 0.0) return 0;
+  const util::CounterRng rng(params_.seed ^ kCountStream, static_cast<std::uint64_t>(cx),
+                             static_cast<std::uint64_t>(cy));
+  return util::stochastic_round(mu, rng.double_at(0));
+}
+
+std::uint64_t Initializer::column_total(std::int64_t cx) const {
+  PICPRK_EXPECTS(cx >= 0 && cx < params_.grid.cells);
+  return column_total_[static_cast<std::size_t>(cx)];
+}
+
+std::uint64_t Initializer::column_first_id(std::int64_t cx) const {
+  PICPRK_EXPECTS(cx >= 0 && cx < params_.grid.cells);
+  return column_prefix_[static_cast<std::size_t>(cx)] + 1;
+}
+
+Particle Initializer::make_particle(std::int64_t cx, std::int64_t cy, std::uint64_t id,
+                                    std::uint32_t birth) const {
+  Particle p;
+  p.x = p.x0 = params_.grid.cell_center(cx);
+  p.y = p.y0 = params_.grid.cell_center(cy);
+  p.vx = 0.0;
+  p.vy = static_cast<double>(params_.m) * params_.grid.h / params_.dt;  // Eq. 4
+  p.k = params_.k;
+  p.m = params_.m;
+  p.birth = birth;
+  p.id = id;
+
+  // Charge sign per the §III-E1 rule: with the column-parity sign the
+  // whole cloud drifts +x; the opposite sign drifts −x; Random assigns a
+  // per-particle sign from a hash of the id (decomposition independent).
+  const double col_sign = (cx % 2 == 0) ? 1.0 : -1.0;
+  double drift;
+  switch (params_.sign) {
+    case ChargeSign::DriftRight:
+      drift = 1.0;
+      break;
+    case ChargeSign::DriftLeft:
+      drift = -1.0;
+      break;
+    case ChargeSign::Random: {
+      const util::CounterRng rng(params_.seed ^ kSignStream, id, 0);
+      drift = rng.double_at(0) < 0.5 ? 1.0 : -1.0;
+      break;
+    }
+  }
+  const double magnitude = static_cast<double>(2 * params_.k + 1) * q_base_;
+  p.q = drift * col_sign * magnitude;
+  p.dir = drift > 0.0 ? 1 : -1;  // sign of the initial x-acceleration
+  return p;
+}
+
+void Initializer::emplace_cell(std::int64_t cx, std::int64_t cy, std::uint64_t first_id,
+                               std::vector<Particle>& out) const {
+  const std::uint64_t count = count_in_cell(cx, cy);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    out.push_back(make_particle(cx, cy, first_id + i, /*birth=*/0));
+  }
+}
+
+std::vector<Particle> Initializer::create_all() const {
+  return create_block(0, params_.grid.cells, 0, params_.grid.cells);
+}
+
+std::vector<Particle> Initializer::create_block(std::int64_t cx0, std::int64_t cx1,
+                                                std::int64_t cy0, std::int64_t cy1) const {
+  PICPRK_EXPECTS(cx0 >= 0 && cx1 <= params_.grid.cells && cx0 <= cx1);
+  PICPRK_EXPECTS(cy0 >= 0 && cy1 <= params_.grid.cells && cy0 <= cy1);
+  std::vector<Particle> out;
+  for (std::int64_t cx = cx0; cx < cx1; ++cx) {
+    // Intra-column id offset: particles in cells below cy0 of this column.
+    std::uint64_t id = column_first_id(cx);
+    for (std::int64_t cy = 0; cy < cy0; ++cy) id += count_in_cell(cx, cy);
+    for (std::int64_t cy = cy0; cy < cy1; ++cy) {
+      emplace_cell(cx, cy, id, out);
+      id += count_in_cell(cx, cy);
+    }
+  }
+  return out;
+}
+
+}  // namespace picprk::pic

@@ -1,0 +1,134 @@
+// The computational heart of the PIC PRK (paper §III-B): for each
+// particle, sum the Coulomb forces exerted by the four charges at the
+// corners of its containing cell, then advance position and velocity by
+// the kinematic formulas (Eqs. 1–2) under periodic boundaries. ke/m = 1
+// by specification, so acceleration equals force.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+
+#include "pic/charge.hpp"
+#include "pic/geometry.hpp"
+#include "pic/particle.hpp"
+
+namespace picprk::pic {
+
+struct Force {
+  double fx = 0.0;
+  double fy = 0.0;
+};
+
+/// Coulomb force of a charge q2 at displacement (dx, dy) from a charge q1
+/// (ke = 1): magnitude q1·q2/r², directed along the joining line, repulsive
+/// for like signs. Matches the official PRK's computeCoulomb.
+inline Force coulomb(double dx, double dy, double q1, double q2) {
+  const double r2 = dx * dx + dy * dy;
+  const double r = std::sqrt(r2);
+  const double f = q1 * q2 / r2;
+  return {f * dx / r, f * dy / r};
+}
+
+/// Total force on particle `p` from the four corner charges of its cell.
+/// `charges` is any charge source exposing `double at(px, py)` for global
+/// mesh-point indices (AlternatingColumnCharges or ChargeSlab).
+template <typename Charges>
+Force total_force(const Particle& p, const GridSpec& grid, const Charges& charges) {
+  const std::int64_t cx = grid.cell_of(p.x);
+  const std::int64_t cy = grid.cell_of(p.y);
+  const double rel_x = p.x - static_cast<double>(cx) * grid.h;
+  const double rel_y = p.y - static_cast<double>(cy) * grid.h;
+
+  Force total;
+  // Corner order matches the official PRK: (cx,cy), (cx,cy+1),
+  // (cx+1,cy), (cx+1,cy+1). The fixed order keeps force summation
+  // deterministic across implementations.
+  const struct {
+    double dx, dy;
+    std::int64_t px, py;
+  } corners[4] = {
+      {rel_x, rel_y, cx, cy},
+      {rel_x, rel_y - grid.h, cx, cy + 1},
+      {rel_x - grid.h, rel_y, cx + 1, cy},
+      {rel_x - grid.h, rel_y - grid.h, cx + 1, cy + 1},
+  };
+  for (const auto& c : corners) {
+    const Force f = coulomb(c.dx, c.dy, p.q, charges.at(c.px, c.py));
+    total.fx += f.fx;
+    total.fy += f.fy;
+  }
+  return total;
+}
+
+/// Advances one particle by one time step dt given the force acting on it
+/// (Eqs. 1–2), wrapping periodically into [0, L).
+inline void advance(Particle& p, const Force& f, const GridSpec& grid, double dt) {
+  const double ax = f.fx;  // ke/m == 1 by specification
+  const double ay = f.fy;
+  const double length = grid.length();
+  p.x = wrap(p.x + p.vx * dt + 0.5 * ax * dt * dt, length);
+  p.y = wrap(p.y + p.vy * dt + 0.5 * ay * dt * dt, length);
+  p.vx += ax * dt;
+  p.vy += ay * dt;
+}
+
+/// Force + advance fused, the per-particle inner loop body.
+template <typename Charges>
+void move_particle(Particle& p, const GridSpec& grid, const Charges& charges, double dt) {
+  advance(p, total_force(p, grid, charges), grid, dt);
+}
+
+/// Moves a span of particles (the serial kernel).
+template <typename Charges>
+void move_all(std::span<Particle> particles, const GridSpec& grid, const Charges& charges,
+              double dt) {
+  for (Particle& p : particles) move_particle(p, grid, charges, dt);
+}
+
+/// AoS mover with an OpenMP-parallel loop: the per-rank thread team of a
+/// hybrid (message-passing × threads) configuration. Static scheduling
+/// is fine here — every particle costs the same, so shared-memory
+/// imbalance cannot arise from a flat particle array (which is exactly
+/// why the PRK's load-balancing problem is a distributed-memory one).
+template <typename Charges>
+void move_all_omp(std::span<Particle> particles, const GridSpec& grid,
+                  const Charges& charges, double dt) {
+  const auto n = static_cast<std::int64_t>(particles.size());
+#if defined(PICPRK_HAVE_OPENMP)
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::int64_t i = 0; i < n; ++i) {
+    move_particle(particles[static_cast<std::size_t>(i)], grid, charges, dt);
+  }
+}
+
+/// Structure-of-arrays mover; with OpenMP enabled the loop is parallel —
+/// the shared-memory reference implementation (no load-balance issue in
+/// shared memory with a static particle partition, which is exactly why
+/// the paper targets distributed memory).
+template <typename Charges>
+void move_all_soa(ParticleSoA& soa, const GridSpec& grid, const Charges& charges, double dt) {
+  const double length = grid.length();
+  const auto n = static_cast<std::int64_t>(soa.size());
+#if defined(PICPRK_HAVE_OPENMP)
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::int64_t i = 0; i < n; ++i) {
+    Particle p;
+    p.x = soa.x[static_cast<std::size_t>(i)];
+    p.y = soa.y[static_cast<std::size_t>(i)];
+    p.vx = soa.vx[static_cast<std::size_t>(i)];
+    p.vy = soa.vy[static_cast<std::size_t>(i)];
+    p.q = soa.q[static_cast<std::size_t>(i)];
+    const Force f = total_force(p, grid, charges);
+    const double ax = f.fx;
+    const double ay = f.fy;
+    soa.x[static_cast<std::size_t>(i)] = wrap(p.x + p.vx * dt + 0.5 * ax * dt * dt, length);
+    soa.y[static_cast<std::size_t>(i)] = wrap(p.y + p.vy * dt + 0.5 * ay * dt * dt, length);
+    soa.vx[static_cast<std::size_t>(i)] = p.vx + ax * dt;
+    soa.vy[static_cast<std::size_t>(i)] = p.vy + ay * dt;
+  }
+}
+
+}  // namespace picprk::pic

@@ -1,0 +1,80 @@
+// The particle record of the PIC PRK. Like the official PRK reference
+// code, each particle carries its initial condition and motion parameters
+// so that the closed-form verification (paper Eqs. 5–6) is O(1) per
+// particle at the end of the run. The struct is trivially copyable: it is
+// what travels between ranks during particle exchange and VP migration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace picprk::pic {
+
+struct Particle {
+  double x = 0.0;   ///< position, in [0, L)
+  double y = 0.0;
+  double vx = 0.0;  ///< velocity
+  double vy = 0.0;
+  double q = 0.0;   ///< signed charge, ±(2k+1)·q_base (Eq. 3)
+
+  double x0 = 0.0;  ///< position at birth (for verification)
+  double y0 = 0.0;
+
+  std::int32_t k = 0;    ///< charge multiple: horizontal speed = (2k+1) cells/step
+  std::int32_t m = 0;    ///< initial vy = m·h/dt: vertical speed = m cells/step
+  std::int32_t dir = 1;  ///< sign of the initial x-acceleration (±1)
+  std::uint32_t birth = 0;  ///< time step at which the particle entered
+
+  std::uint64_t id = 0;  ///< unique id, 1..n for the initial population
+};
+
+static_assert(sizeof(Particle) == 80, "particle exchange buffers assume 80-byte records");
+
+/// Structure-of-arrays particle container for the vectorized/OpenMP
+/// mover and for the AoS-vs-SoA micro-benchmark.
+struct ParticleSoA {
+  std::vector<double> x, y, vx, vy, q, x0, y0;
+  std::vector<std::int32_t> k, m, dir;
+  std::vector<std::uint32_t> birth;
+  std::vector<std::uint64_t> id;
+
+  std::size_t size() const { return x.size(); }
+
+  void reserve(std::size_t n) {
+    x.reserve(n); y.reserve(n); vx.reserve(n); vy.reserve(n); q.reserve(n);
+    x0.reserve(n); y0.reserve(n); k.reserve(n); m.reserve(n); dir.reserve(n);
+    birth.reserve(n); id.reserve(n);
+  }
+
+  void push_back(const Particle& p) {
+    x.push_back(p.x); y.push_back(p.y); vx.push_back(p.vx); vy.push_back(p.vy);
+    q.push_back(p.q); x0.push_back(p.x0); y0.push_back(p.y0);
+    k.push_back(p.k); m.push_back(p.m); dir.push_back(p.dir);
+    birth.push_back(p.birth); id.push_back(p.id);
+  }
+
+  Particle get(std::size_t i) const {
+    Particle p;
+    p.x = x[i]; p.y = y[i]; p.vx = vx[i]; p.vy = vy[i]; p.q = q[i];
+    p.x0 = x0[i]; p.y0 = y0[i]; p.k = k[i]; p.m = m[i]; p.dir = dir[i];
+    p.birth = birth[i]; p.id = id[i];
+    return p;
+  }
+};
+
+/// Converts between layouts (bench/test helper).
+inline ParticleSoA to_soa(const std::vector<Particle>& aos) {
+  ParticleSoA soa;
+  soa.reserve(aos.size());
+  for (const auto& p : aos) soa.push_back(p);
+  return soa;
+}
+
+inline std::vector<Particle> to_aos(const ParticleSoA& soa) {
+  std::vector<Particle> aos;
+  aos.reserve(soa.size());
+  for (std::size_t i = 0; i < soa.size(); ++i) aos.push_back(soa.get(i));
+  return aos;
+}
+
+}  // namespace picprk::pic

@@ -1,0 +1,46 @@
+#include "pic/trajectory.hpp"
+
+#include <algorithm>
+
+namespace picprk::pic {
+
+TrajectoryValidator::TrajectoryValidator(std::vector<std::uint64_t> ids, double epsilon)
+    : ids_(std::move(ids)), epsilon_(epsilon) {
+  std::sort(ids_.begin(), ids_.end());
+}
+
+bool TrajectoryValidator::tracked(std::uint64_t id) const {
+  return ids_.empty() || std::binary_search(ids_.begin(), ids_.end(), id);
+}
+
+std::size_t TrajectoryValidator::check(std::span<const Particle> particles,
+                                       const GridSpec& grid,
+                                       std::uint32_t completed_steps) {
+  std::size_t checked = 0;
+  const double length = grid.length();
+  for (const Particle& p : particles) {
+    if (!tracked(p.id)) continue;
+    if (std::binary_search(faulted_ids_.begin(), faulted_ids_.end(), p.id)) continue;
+    ++checked;
+    ++checks_;
+    const ExpectedPosition e = expected_position(p, grid, completed_steps);
+    const double err = std::max(periodic_distance(p.x, e.x, length),
+                                periodic_distance(p.y, e.y, length));
+    if (err > epsilon_) {
+      TrajectoryFault fault;
+      fault.id = p.id;
+      fault.step = completed_steps;
+      fault.error = err;
+      fault.x = p.x;
+      fault.y = p.y;
+      fault.expected_x = e.x;
+      fault.expected_y = e.y;
+      faults_.push_back(fault);
+      faulted_ids_.insert(
+          std::upper_bound(faulted_ids_.begin(), faulted_ids_.end(), p.id), p.id);
+    }
+  }
+  return checked;
+}
+
+}  // namespace picprk::pic

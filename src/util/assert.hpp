@@ -1,0 +1,69 @@
+// Contract-checking macros in the spirit of the C++ Core Guidelines
+// (I.6 Expects, I.8 Ensures). Violations throw so that unit tests can
+// assert on them; they are enabled in all build types because the PRK is
+// a correctness-measuring tool and silent corruption defeats its purpose.
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace picprk {
+
+/// Thrown when a precondition, postcondition or internal invariant fails.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const char* kind, const char* expr,
+                    const std::source_location& loc, const std::string& msg)
+      : std::logic_error(format(kind, expr, loc, msg)) {}
+
+ private:
+  static std::string format(const char* kind, const char* expr,
+                            const std::source_location& loc,
+                            const std::string& msg) {
+    std::ostringstream os;
+    os << kind << " failed: (" << expr << ") at " << loc.file_name() << ':'
+       << loc.line() << " in " << loc.function_name();
+    if (!msg.empty()) os << " — " << msg;
+    return os.str();
+  }
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const std::source_location& loc,
+                                       const std::string& msg = {}) {
+  throw ContractViolation(kind, expr, loc, msg);
+}
+}  // namespace detail
+
+}  // namespace picprk
+
+/// Precondition check: argument validation at API boundaries.
+#define PICPRK_EXPECTS(cond)                                          \
+  do {                                                                \
+    if (!(cond))                                                      \
+      ::picprk::detail::contract_fail("Precondition", #cond,          \
+                                      std::source_location::current()); \
+  } while (0)
+
+/// Postcondition check.
+#define PICPRK_ENSURES(cond)                                          \
+  do {                                                                \
+    if (!(cond))                                                      \
+      ::picprk::detail::contract_fail("Postcondition", #cond,         \
+                                      std::source_location::current()); \
+  } while (0)
+
+/// Internal invariant check with an explanatory message.
+#define PICPRK_ASSERT_MSG(cond, msg)                                  \
+  do {                                                                \
+    if (!(cond))                                                      \
+      ::picprk::detail::contract_fail("Invariant", #cond,             \
+                                      std::source_location::current(), \
+                                      (msg));                         \
+  } while (0)
+
+/// Internal invariant check.
+#define PICPRK_ASSERT(cond) PICPRK_ASSERT_MSG(cond, std::string{})

@@ -1,0 +1,137 @@
+#include "util/report.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace picprk::util {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : out_(path), columns_(header.size()) {
+  PICPRK_EXPECTS(!header.empty());
+  if (out_) write_row(header);
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  PICPRK_EXPECTS(cells.size() == columns_);
+  write_row(cells);
+  ++rows_;
+}
+
+void CsvWriter::add_row(const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) {
+    std::ostringstream os;
+    os << v;
+    cells.push_back(os.str());
+  }
+  add_row(cells);
+}
+
+std::string JsonObject::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void JsonObject::add_raw(const std::string& key, std::string rendered) {
+  members_.emplace_back(key, std::move(rendered));
+}
+
+JsonObject& JsonObject::add(const std::string& key, double value) {
+  std::ostringstream os;
+  os << value;
+  add_raw(key, os.str());
+  return *this;
+}
+
+JsonObject& JsonObject::add(const std::string& key, std::int64_t value) {
+  add_raw(key, std::to_string(value));
+  return *this;
+}
+
+JsonObject& JsonObject::add(const std::string& key, std::uint64_t value) {
+  add_raw(key, std::to_string(value));
+  return *this;
+}
+
+JsonObject& JsonObject::add(const std::string& key, bool value) {
+  add_raw(key, value ? "true" : "false");
+  return *this;
+}
+
+JsonObject& JsonObject::add(const std::string& key, const std::string& value) {
+  add_raw(key, "\"" + escape(value) + "\"");
+  return *this;
+}
+
+JsonObject& JsonObject::add(const std::string& key, const std::vector<double>& values) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) os << ',';
+    os << values[i];
+  }
+  os << ']';
+  add_raw(key, os.str());
+  return *this;
+}
+
+JsonObject& JsonObject::add(const std::string& key, const JsonObject& child) {
+  add_raw(key, child.to_string());
+  return *this;
+}
+
+std::string JsonObject::to_string(int indent) const {
+  std::ostringstream os;
+  const std::string pad(indent > 0 ? static_cast<std::size_t>(indent) : 0, ' ');
+  os << '{';
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (i) os << ',';
+    if (indent > 0) os << '\n' << pad;
+    os << '"' << escape(members_[i].first) << "\":" << (indent > 0 ? " " : "")
+       << members_[i].second;
+  }
+  if (indent > 0 && !members_.empty()) os << '\n';
+  os << '}';
+  return os.str();
+}
+
+bool write_json_file(const std::string& path, const JsonObject& object) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << object.to_string(2) << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace picprk::util

@@ -1,0 +1,66 @@
+// Machine-readable experiment output: a minimal CSV writer and a JSON
+// builder for result records, so bench runs can be archived and
+// re-plotted without scraping stdout.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace picprk::util {
+
+/// RFC-4180-ish CSV writer: quotes fields containing separators or
+/// quotes, doubles embedded quotes.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path` and writes the header row.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  /// True when the file opened successfully.
+  bool ok() const { return static_cast<bool>(out_); }
+
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Convenience for numeric rows.
+  void add_row(const std::vector<double>& values);
+
+  std::size_t rows_written() const { return rows_; }
+
+  static std::string escape(const std::string& field);
+
+ private:
+  void write_row(const std::vector<std::string>& cells);
+
+  std::ofstream out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+/// Minimal JSON value builder — enough structure for result records
+/// (objects, arrays of numbers, scalars); not a general JSON library.
+class JsonObject {
+ public:
+  JsonObject& add(const std::string& key, double value);
+  JsonObject& add(const std::string& key, std::int64_t value);
+  JsonObject& add(const std::string& key, std::uint64_t value);
+  JsonObject& add(const std::string& key, bool value);
+  JsonObject& add(const std::string& key, const std::string& value);
+  JsonObject& add(const std::string& key, const std::vector<double>& values);
+  JsonObject& add(const std::string& key, const JsonObject& child);
+
+  /// Serialises; `indent` > 0 pretty-prints.
+  std::string to_string(int indent = 0) const;
+
+  static std::string escape(const std::string& s);
+
+ private:
+  void add_raw(const std::string& key, std::string rendered);
+
+  std::vector<std::pair<std::string, std::string>> members_;
+};
+
+/// Writes a JSON document to a file; returns success.
+bool write_json_file(const std::string& path, const JsonObject& object);
+
+}  // namespace picprk::util

@@ -1,0 +1,71 @@
+// Statistics helpers used by the load-balancing logic, the benchmark
+// harnesses and the tests: running accumulators, percentiles, and the
+// imbalance metrics the paper reasons about (max/mean particle counts).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace picprk::util {
+
+/// Streaming accumulator: count/mean/variance (Welford), min/max, sum.
+class Accumulator {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const;  ///< population variance
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Load-imbalance summary over a vector of per-worker loads.
+struct LoadImbalance {
+  double max = 0.0;
+  double mean = 0.0;
+  double min = 0.0;
+  /// max/mean; 1.0 is perfect balance. The figure the paper quotes
+  /// ("max particles per core" vs ideal) is max and mean here.
+  double ratio = 1.0;
+  /// (max - mean)/max in [0,1): fraction of the critical path wasted.
+  double lost_fraction = 0.0;
+};
+
+LoadImbalance imbalance(std::span<const double> loads);
+LoadImbalance imbalance_u64(std::span<const std::uint64_t> loads);
+
+/// Percentile with linear interpolation; `p` in [0,100]. Sorts a copy.
+double percentile(std::vector<double> values, double p);
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped into
+/// the first/last bucket. Used by the distribution-gallery bench.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x, std::uint64_t weight = 1);
+  std::span<const std::uint64_t> counts() const { return counts_; }
+  double bucket_low(std::size_t i) const;
+  std::uint64_t total() const { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace picprk::util

@@ -1,0 +1,43 @@
+// ASCII table / data-series printing for the benchmark harnesses.
+// Every figure-reproduction bench prints (a) a human-readable aligned
+// table and (b) machine-parsable "# series:" CSV lines so that results
+// can be re-plotted against the paper's figures.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace picprk::util {
+
+/// Right-aligned ASCII table with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt_u64(std::uint64_t v);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// One named series of (x, y) points; printed as CSV for re-plotting.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Prints "# series,<name>,<x>,<y>" lines for each point of each series.
+void print_series_csv(std::ostream& os, const std::vector<Series>& series);
+
+}  // namespace picprk::util

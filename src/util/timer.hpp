@@ -1,0 +1,47 @@
+// Wall-clock timing helpers.
+#pragma once
+
+#include <chrono>
+
+namespace picprk::util {
+
+/// Monotonic wall-clock timer with second-granularity doubles.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double elapsed() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates time across multiple start/stop intervals; used for the
+/// per-phase breakdowns (compute / exchange / load-balance) the drivers
+/// report.
+class PhaseTimer {
+ public:
+  void start() { t_.reset(); running_ = true; }
+
+  void stop() {
+    if (running_) {
+      total_ += t_.elapsed();
+      running_ = false;
+    }
+  }
+
+  double total() const { return total_; }
+
+ private:
+  Timer t_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace picprk::util

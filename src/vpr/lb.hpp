@@ -1,0 +1,107 @@
+// Load-balancing strategies for the virtual-processor runtime — the
+// stand-ins for the Charm++ balancer collection the paper mentions
+// ("Charm++ provides not just one but a collection of load balancing
+// strategies", §IV-C). Each strategy maps VPs to workers given measured
+// per-VP loads; GreedyLB is the paper's choice ("migrates VPs from the
+// most loaded to the least loaded core").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace picprk::vpr {
+
+struct VpLoad {
+  int vp = 0;
+  double load = 0.0;  ///< abstract or measured load since the last LB
+  int worker = 0;     ///< current placement
+  /// Ids of VPs whose subdomains are adjacent (the locality hint of the
+  /// paper's closing §V-B remark: "Even a diffusion based AMPI load
+  /// balancer would not preserve the compactness of the subdomains
+  /// unless it is properly hinted"). May be empty; only hint-aware
+  /// balancers read it.
+  std::vector<int> neighbors;
+};
+
+class LoadBalancer {
+ public:
+  virtual ~LoadBalancer() = default;
+
+  /// Returns the new worker for each entry of `loads` (same order).
+  virtual std::vector<int> remap(const std::vector<VpLoad>& loads, int workers) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// No rebalancing; the over-decomposed but statically mapped baseline.
+class NullLb final : public LoadBalancer {
+ public:
+  std::vector<int> remap(const std::vector<VpLoad>& loads, int workers) override;
+  std::string name() const override { return "null"; }
+};
+
+/// Charm-style GreedyLB: VPs sorted by decreasing load, each assigned to
+/// the currently least-loaded worker. Ignores current placement (and
+/// hence locality) — the behaviour the paper's strong-scaling discussion
+/// attributes to the AMPI runtime.
+class GreedyLb final : public LoadBalancer {
+ public:
+  std::vector<int> remap(const std::vector<VpLoad>& loads, int workers) override;
+  std::string name() const override { return "greedy"; }
+};
+
+/// Charm-style RefineLB: keeps placements and only moves VPs off
+/// overloaded workers onto underloaded ones until every worker is below
+/// `tolerance` × average. Fewer migrations than GreedyLB.
+class RefineLb final : public LoadBalancer {
+ public:
+  explicit RefineLb(double tolerance = 1.05) : tolerance_(tolerance) {}
+  std::vector<int> remap(const std::vector<VpLoad>& loads, int workers) override;
+  std::string name() const override { return "refine"; }
+
+ private:
+  double tolerance_;
+};
+
+/// Diffusion among workers arranged in a ring: each worker compares with
+/// its right neighbor and sheds its lightest VPs across when the
+/// difference exceeds the threshold fraction of the average load.
+class DiffusionLb final : public LoadBalancer {
+ public:
+  explicit DiffusionLb(double threshold = 0.10) : threshold_(threshold) {}
+  std::vector<int> remap(const std::vector<VpLoad>& loads, int workers) override;
+  std::string name() const override { return "diffusion"; }
+
+ private:
+  double threshold_;
+};
+
+/// Hinted, locality-preserving balancer — the paper's §V-B future-work
+/// remark implemented: refine-style shedding that (a) sheds *border* VPs
+/// (those with the fewest same-worker neighbors) off overloaded workers
+/// and (b) places them on the underloaded worker already hosting most of
+/// their neighbors. Balances like RefineLB while keeping subdomains
+/// compact, so the per-step neighbor traffic stays local.
+class CompactLb final : public LoadBalancer {
+ public:
+  explicit CompactLb(double tolerance = 1.05) : tolerance_(tolerance) {}
+  std::vector<int> remap(const std::vector<VpLoad>& loads, int workers) override;
+  std::string name() const override { return "compact"; }
+
+ private:
+  double tolerance_;
+};
+
+/// Rotates every VP to the next worker — a pathological strategy used in
+/// tests and ablations to price migration with zero balance benefit.
+class RotateLb final : public LoadBalancer {
+ public:
+  std::vector<int> remap(const std::vector<VpLoad>& loads, int workers) override;
+  std::string name() const override { return "rotate"; }
+};
+
+/// Factory by name: "null", "greedy", "refine", "diffusion", "rotate".
+std::unique_ptr<LoadBalancer> make_load_balancer(const std::string& name);
+
+}  // namespace picprk::vpr

@@ -1,0 +1,102 @@
+// The vpr runtime: multiplexes V virtual processors onto P worker
+// threads in step-synchronous supersteps, measures per-VP load, and at a
+// configurable interval F invokes a load balancer and migrates VPs by
+// PUP pack/unpack — the execution model of Adaptive MPI that the paper's
+// "ampi" implementation relies on (§IV-C), with F and the degree of
+// over-decomposition d = V/P as the tunables of Figure 5.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vpr/lb.hpp"
+#include "vpr/vp.hpp"
+
+namespace picprk::vpr {
+
+struct RuntimeConfig {
+  int workers = 2;
+  int vps = 8;
+  /// Invoke the load balancer every `lb_interval` steps (0 = never) —
+  /// the paper's F.
+  std::uint32_t lb_interval = 0;
+  /// Balancer name: "null", "greedy", "refine", "diffusion", "rotate".
+  std::string balancer = "greedy";
+  /// Use measured wall time per VP instead of VirtualProcessor::load().
+  /// Abstract loads are the default: they are deterministic and match
+  /// the PRK's per-particle cost model.
+  bool use_measured_load = false;
+};
+
+struct RuntimeStats {
+  std::uint32_t steps = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t message_bytes = 0;
+  /// Bytes of messages whose endpoint VPs lived on different workers at
+  /// send time — the locality metric behind the paper's strong-scaling
+  /// discussion of fragmented subdomains.
+  std::uint64_t cross_worker_bytes = 0;
+  std::uint64_t lb_invocations = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t migrated_bytes = 0;
+  double step_seconds = 0.0;  ///< wall time of the superstep loop
+  double lb_seconds = 0.0;    ///< wall time inside LB + migration
+  /// max/mean worker load sampled just before each LB invocation.
+  std::vector<double> imbalance_before_lb;
+};
+
+class Runtime {
+ public:
+  using Factory = std::function<std::unique_ptr<VirtualProcessor>(int vp)>;
+
+  /// Creates the VPs via `factory` and places them blockwise on workers.
+  Runtime(RuntimeConfig config, const Factory& factory);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Executes `steps` supersteps (step → deliver → [LB]). May be called
+  /// repeatedly; stats accumulate.
+  void run(std::uint32_t steps);
+
+  const RuntimeStats& stats() const { return stats_; }
+  const RuntimeConfig& config() const { return config_; }
+
+  int worker_of(int vp) const;
+  VirtualProcessor& vp(int id);
+  int vps() const { return config_.vps; }
+
+  /// Sequential post-run iteration over all VPs (e.g. for verification).
+  template <typename F>
+  void for_each_vp(F&& fn) {
+    for (auto& vp : vps_) fn(*vp);
+  }
+
+ private:
+  struct Pool;  ///< persistent worker threads, parked between run() calls
+
+  void step_phase(int worker, std::uint32_t global_step);
+  void deliver_phase(int worker);
+  void maybe_balance(std::uint32_t global_step);
+  void superstep_worker(int worker, std::uint32_t global_step, Pool& pool);
+  void route_messages();
+  void run_load_balancer();
+
+  RuntimeConfig config_;
+  Factory factory_;
+  std::unique_ptr<LoadBalancer> balancer_;
+  std::vector<std::unique_ptr<VirtualProcessor>> vps_;
+  std::vector<int> vp_worker_;
+  std::vector<double> vp_measured_seconds_;  ///< since last LB
+  std::vector<std::vector<VpMessage>> outboxes_;  ///< per worker
+  std::vector<std::vector<VpMessage>> inboxes_;   ///< per VP
+  RuntimeStats stats_;
+  std::uint32_t current_step_ = 0;
+  std::unique_ptr<Pool> pool_;
+};
+
+}  // namespace picprk::vpr

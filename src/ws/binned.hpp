@@ -1,0 +1,44 @@
+// Cell-binned shared-memory PIC driver on the work-stealing pool.
+//
+// Particles are binned by mesh column (the natural layout when the
+// charge-deposition step of a full PIC code needs cell locality). One
+// task = one strip of columns; a skewed distribution (§III-E) makes task
+// costs unequal, so a static strip-to-thread schedule idles threads
+// exactly like the distributed baseline idles ranks — and work stealing
+// removes the imbalance without any ownership migration. This is the
+// shared-memory data point of the paper's future-work comparison (§VI).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pic/simulation.hpp"
+#include "ws/pool.hpp"
+
+namespace picprk::ws {
+
+struct WsParams {
+  int workers = 2;
+  /// Mesh rows per task; smaller = finer balancing, more scheduling.
+  std::int64_t rows_per_task = 8;
+  /// When false, tasks stay on their initial worker (static schedule).
+  bool stealing = true;
+};
+
+struct WsResult {
+  pic::VerifyResult verification;
+  std::uint64_t expected_id_checksum = 0;
+  bool ok = false;
+  std::uint64_t final_particles = 0;
+  double seconds = 0.0;
+  std::uint64_t steals = 0;
+  /// max/mean of per-worker executed-task totals over the whole run —
+  /// the scheduling-level balance metric.
+  double task_imbalance = 1.0;
+};
+
+/// Runs the cell-binned simulation. Identical physics and verification
+/// to pic::run_serial.
+WsResult run_worksteal(const pic::SimulationConfig& config, const WsParams& params);
+
+}  // namespace picprk::ws

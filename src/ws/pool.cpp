@@ -1,0 +1,129 @@
+#include "ws/pool.hpp"
+
+#include <atomic>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "comm/cart.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace picprk::ws {
+
+namespace {
+
+/// Mutex-guarded deque: owner takes from the back, thieves from the
+/// front. A lock per operation is fine at the task granularities the
+/// PIC drivers use (hundreds of cells per task).
+class TaskDeque {
+ public:
+  void push(std::size_t task) {
+    std::scoped_lock lock(mutex_);
+    deque_.push_back(task);
+  }
+
+  std::optional<std::size_t> pop_back() {
+    std::scoped_lock lock(mutex_);
+    if (deque_.empty()) return std::nullopt;
+    const std::size_t t = deque_.back();
+    deque_.pop_back();
+    return t;
+  }
+
+  std::optional<std::size_t> pop_front() {
+    std::scoped_lock lock(mutex_);
+    if (deque_.empty()) return std::nullopt;
+    const std::size_t t = deque_.front();
+    deque_.pop_front();
+    return t;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::deque<std::size_t> deque_;
+};
+
+}  // namespace
+
+WorkStealingPool::WorkStealingPool(int workers) : workers_(workers) {
+  PICPRK_EXPECTS(workers >= 1);
+}
+
+PoolStats WorkStealingPool::run(std::size_t count,
+                                const std::function<void(std::size_t, int)>& fn,
+                                bool allow_steal) {
+  PoolStats stats;
+  stats.tasks = count;
+  stats.executed_per_worker.assign(static_cast<std::size_t>(workers_), 0);
+  if (count == 0) return stats;
+
+  std::vector<TaskDeque> deques(static_cast<std::size_t>(workers_));
+  std::vector<int> initial_owner(count);
+  for (int w = 0; w < workers_; ++w) {
+    const auto range = comm::block_range(static_cast<std::int64_t>(count), workers_, w);
+    for (std::int64_t t = range.lo; t < range.hi; ++t) {
+      deques[static_cast<std::size_t>(w)].push(static_cast<std::size_t>(t));
+      initial_owner[static_cast<std::size_t>(t)] = w;
+    }
+  }
+
+  std::atomic<std::size_t> remaining{count};
+  std::atomic<std::uint64_t> steals{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::atomic<bool> failed{false};
+
+  auto worker_body = [&](int w) {
+    util::SplitMix64 rng(0xA11C0DEull + static_cast<std::uint64_t>(w));
+    std::uint64_t executed = 0;
+    try {
+      while (remaining.load(std::memory_order_acquire) > 0 &&
+             !failed.load(std::memory_order_acquire)) {
+        std::optional<std::size_t> task = deques[static_cast<std::size_t>(w)].pop_back();
+        if (!task && allow_steal && workers_ > 1) {
+          // Steal attempt from a random victim; a couple of tries, then
+          // re-check the termination condition.
+          for (int attempt = 0; attempt < 2 * workers_ && !task; ++attempt) {
+            const int victim =
+                static_cast<int>(rng.next_below(static_cast<std::uint64_t>(workers_)));
+            if (victim == w) continue;
+            task = deques[static_cast<std::size_t>(victim)].pop_front();
+          }
+        }
+        if (!task) {
+          if (!allow_steal) break;  // static schedule: own deque drained
+          std::this_thread::yield();
+          continue;
+        }
+        if (initial_owner[*task] != w) steals.fetch_add(1, std::memory_order_relaxed);
+        fn(*task, w);
+        ++executed;
+        remaining.fetch_sub(1, std::memory_order_acq_rel);
+      }
+    } catch (...) {
+      std::scoped_lock lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+      failed.store(true, std::memory_order_release);
+    }
+    stats.executed_per_worker[static_cast<std::size_t>(w)] = executed;
+  };
+
+  if (workers_ == 1) {
+    worker_body(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(workers_));
+    for (int w = 0; w < workers_; ++w) threads.emplace_back(worker_body, w);
+    for (auto& t : threads) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  PICPRK_ASSERT_MSG(failed.load() || remaining.load() == 0,
+                    "work-stealing pool lost tasks");
+  stats.steals = steals.load();
+  return stats;
+}
+
+}  // namespace picprk::ws

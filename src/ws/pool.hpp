@@ -1,0 +1,43 @@
+// A work-stealing task pool: the shared-memory counterpart of the
+// paper's dynamic-load-balancing study (§VI names task-based runtimes —
+// Charm++, HPX, X10 — as future comparison targets; this module provides
+// the minimal such runtime so the kernel can be driven by dynamic
+// scheduling instead of ownership migration).
+//
+// Tasks are indices [0, count). They are dealt blockwise to the workers'
+// deques (preserving spatial locality of adjacent tasks); each worker
+// pops from the back of its own deque and steals from the front of a
+// random victim when empty — the classic owner-LIFO/thief-FIFO policy.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace picprk::ws {
+
+struct PoolStats {
+  std::uint64_t tasks = 0;
+  std::uint64_t steals = 0;  ///< tasks executed by a non-initial owner
+  std::vector<std::uint64_t> executed_per_worker;
+};
+
+class WorkStealingPool {
+ public:
+  explicit WorkStealingPool(int workers);
+
+  int workers() const { return workers_; }
+
+  /// Runs fn(task, worker) for every task in [0, count) exactly once;
+  /// blocks until all complete. Exceptions from tasks propagate (first
+  /// one wins). When `allow_steal` is false the pool degrades to a
+  /// static blockwise schedule — the baseline the stealing is measured
+  /// against.
+  PoolStats run(std::size_t count, const std::function<void(std::size_t, int)>& fn,
+                bool allow_steal = true);
+
+ private:
+  int workers_;
+};
+
+}  // namespace picprk::ws

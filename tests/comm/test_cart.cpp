@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "comm/cart.hpp"
+#include "util/assert.hpp"
+
+namespace {
+
+using picprk::comm::block_owner;
+using picprk::comm::block_range;
+using picprk::comm::Cart2D;
+using picprk::comm::near_square_factors;
+
+TEST(BlockRange, EvenSplit) {
+  auto r0 = block_range(10, 2, 0);
+  auto r1 = block_range(10, 2, 1);
+  EXPECT_EQ(r0.lo, 0);
+  EXPECT_EQ(r0.hi, 5);
+  EXPECT_EQ(r1.lo, 5);
+  EXPECT_EQ(r1.hi, 10);
+}
+
+TEST(BlockRange, RemainderGoesToFirstParts) {
+  // 10 items over 3 parts: 4,3,3.
+  EXPECT_EQ(block_range(10, 3, 0).count(), 4);
+  EXPECT_EQ(block_range(10, 3, 1).count(), 3);
+  EXPECT_EQ(block_range(10, 3, 2).count(), 3);
+  EXPECT_EQ(block_range(10, 3, 2).hi, 10);
+}
+
+TEST(BlockRange, CoversWithoutGaps) {
+  const std::int64_t n = 37;
+  const int p = 5;
+  std::int64_t expected_lo = 0;
+  for (int i = 0; i < p; ++i) {
+    auto r = block_range(n, p, i);
+    EXPECT_EQ(r.lo, expected_lo);
+    expected_lo = r.hi;
+  }
+  EXPECT_EQ(expected_lo, n);
+}
+
+TEST(BlockOwner, InverseOfBlockRange) {
+  const std::int64_t n = 101;
+  for (int p : {1, 2, 3, 7, 10, 101}) {
+    for (std::int64_t v = 0; v < n; ++v) {
+      const int owner = block_owner(n, p, v);
+      EXPECT_TRUE(block_range(n, p, owner).contains(v))
+          << "n=" << n << " p=" << p << " v=" << v;
+    }
+  }
+}
+
+TEST(Factors, NearSquare) {
+  EXPECT_EQ(near_square_factors(1), (std::pair{1, 1}));
+  EXPECT_EQ(near_square_factors(4), (std::pair{2, 2}));
+  EXPECT_EQ(near_square_factors(12), (std::pair{4, 3}));
+  EXPECT_EQ(near_square_factors(24), (std::pair{6, 4}));
+  EXPECT_EQ(near_square_factors(7), (std::pair{7, 1}));
+  EXPECT_EQ(near_square_factors(384), (std::pair{24, 16}));
+}
+
+TEST(Cart2DTest, RankCoordRoundTrip) {
+  Cart2D cart(6, 4);
+  for (int r = 0; r < cart.size(); ++r) {
+    auto [cx, cy] = cart.coords_of(r);
+    EXPECT_EQ(cart.rank_of(cx, cy), r);
+  }
+}
+
+TEST(Cart2DTest, PeriodicNeighbors) {
+  Cart2D cart(4, 3);
+  // Right neighbor of the rightmost column wraps to column 0.
+  const int r = cart.rank_of(3, 1);
+  EXPECT_EQ(cart.neighbor(r, 1, 0), cart.rank_of(0, 1));
+  EXPECT_EQ(cart.neighbor(r, -1, 0), cart.rank_of(2, 1));
+  EXPECT_EQ(cart.neighbor(r, 0, 1), cart.rank_of(3, 2));
+  EXPECT_EQ(cart.neighbor(cart.rank_of(0, 0), -1, -1), cart.rank_of(3, 2));
+}
+
+TEST(Cart2DTest, AutoFactorization) {
+  Cart2D cart(24);
+  EXPECT_EQ(cart.px(), 6);
+  EXPECT_EQ(cart.py(), 4);
+  EXPECT_EQ(cart.size(), 24);
+}
+
+TEST(Cart2DTest, InvalidInputsThrow) {
+  EXPECT_THROW(Cart2D(0, 3), picprk::ContractViolation);
+  Cart2D cart(2, 2);
+  EXPECT_THROW(cart.rank_of(2, 0), picprk::ContractViolation);
+  EXPECT_THROW(cart.coords_of(4), picprk::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "comm/request.hpp"
+#include "comm/world.hpp"
+
+namespace {
+
+using picprk::comm::Comm;
+using picprk::comm::irecv;
+using picprk::comm::RecvRequest;
+using picprk::comm::wait_all;
+using picprk::comm::World;
+
+TEST(RecvRequestTest, OverlapComputeAndWait) {
+  World world(2);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(std::vector<int>{1, 2, 3}, 1, 5);
+    } else {
+      auto req = irecv<int>(comm, 0, 5);
+      // "Local work" happens here; then wait.
+      const auto& data = req.wait();
+      EXPECT_EQ(data, (std::vector<int>{1, 2, 3}));
+      EXPECT_EQ(req.status().source, 0);
+      EXPECT_EQ(req.status().tag, 5);
+      // Idempotent wait.
+      EXPECT_EQ(req.wait().size(), 3u);
+    }
+  });
+}
+
+TEST(RecvRequestTest, TestPollsWithoutConsuming) {
+  World world(2);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 1) {
+      auto req = irecv<double>(comm, 0, 9);
+      // Rank 0 will not send until we say go, so the probe must be empty.
+      EXPECT_FALSE(req.test());
+      comm.send_value(1, 0, 100);  // go
+      const auto& data = req.wait();
+      ASSERT_EQ(data.size(), 1u);
+      EXPECT_DOUBLE_EQ(data[0], 2.5);
+      EXPECT_TRUE(req.test());  // after completion test() stays true
+    } else {
+      (void)comm.recv_value<int>(1, 100);  // wait for go
+      comm.send_value(2.5, 1, 9);
+    }
+  });
+}
+
+TEST(RecvRequestTest, WaitAllCollectsInPostOrder) {
+  const int p = 4;
+  World world(p);
+  world.run([p](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<RecvRequest<int>> reqs;
+      for (int r = 1; r < p; ++r) reqs.push_back(irecv<int>(comm, r, 3));
+      auto results = wait_all(reqs);
+      for (int r = 1; r < p; ++r) {
+        EXPECT_EQ(results[static_cast<std::size_t>(r - 1)],
+                  std::vector<int>{r * 7});
+      }
+    } else {
+      comm.send_value(comm.rank() * 7, 0, 3);
+    }
+  });
+}
+
+class ScanRanks : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(RankCounts, ScanRanks, ::testing::Values(1, 2, 3, 4, 5, 8),
+                         [](const auto& info) { return "p" + std::to_string(info.param); });
+
+TEST_P(ScanRanks, InclusiveSum) {
+  World world(GetParam());
+  world.run([](Comm& comm) {
+    const auto r = comm.scan_value<std::int64_t>(
+        comm.rank() + 1, [](std::int64_t a, std::int64_t b) { return a + b; });
+    const std::int64_t expected =
+        static_cast<std::int64_t>(comm.rank() + 1) * (comm.rank() + 2) / 2;
+    EXPECT_EQ(r, expected);
+  });
+}
+
+TEST_P(ScanRanks, ExclusiveSum) {
+  World world(GetParam());
+  world.run([](Comm& comm) {
+    const auto r = comm.exscan_value<std::int64_t>(
+        comm.rank() + 1, [](std::int64_t a, std::int64_t b) { return a + b; });
+    if (comm.rank() == 0) {
+      EXPECT_FALSE(r.has_value());
+    } else {
+      ASSERT_TRUE(r.has_value());
+      EXPECT_EQ(*r, static_cast<std::int64_t>(comm.rank()) * (comm.rank() + 1) / 2);
+    }
+  });
+}
+
+TEST_P(ScanRanks, VectorScan) {
+  World world(GetParam());
+  world.run([](Comm& comm) {
+    const std::vector<int> mine{comm.rank(), 1};
+    auto r = comm.scan(std::span<const int>(mine), [](int a, int b) { return a + b; });
+    ASSERT_EQ(r.size(), 2u);
+    EXPECT_EQ(r[0], comm.rank() * (comm.rank() + 1) / 2);
+    EXPECT_EQ(r[1], comm.rank() + 1);
+  });
+}
+
+struct Affine {
+  // x -> a·x + b; composition is associative but NOT commutative, which
+  // is exactly what a scan must preserve (MPI requires associativity
+  // only).
+  std::int64_t a, b;
+};
+
+TEST(ScanNonCommutative, AffineCompositionOrder) {
+  World world(5);
+  world.run([](Comm& comm) {
+    const Affine mine{comm.rank() + 2, 1};
+    const auto compose = [](const Affine& f, const Affine& g) {
+      // (g ∘ f)(x): apply f (the earlier rank) first.
+      return Affine{g.a * f.a, g.a * f.b + g.b};
+    };
+    const Affine got = comm.scan_value<Affine>(mine, compose);
+    // Sequential expectation.
+    Affine expected{2, 1};
+    for (int r = 1; r <= comm.rank(); ++r) {
+      expected = compose(expected, Affine{r + 2, 1});
+    }
+    EXPECT_EQ(got.a, expected.a);
+    EXPECT_EQ(got.b, expected.b);
+  });
+}
+
+TEST(ScanUseCase, ParticleIdRanges) {
+  // The classic exscan use: assigning disjoint id ranges to ranks.
+  World world(4);
+  world.run([](Comm& comm) {
+    const std::uint64_t local_count = 10u * (static_cast<std::uint64_t>(comm.rank()) + 1);
+    const auto before = comm.exscan_value<std::uint64_t>(
+        local_count, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    const std::uint64_t first_id = before.value_or(0) + 1;
+    // Rank 0: 1; rank 1: 11; rank 2: 31; rank 3: 61.
+    const std::uint64_t expected[] = {1, 11, 31, 61};
+    EXPECT_EQ(first_id, expected[comm.rank()]);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "comm/world.hpp"
+
+namespace {
+
+using picprk::comm::Comm;
+using picprk::comm::World;
+
+TEST(Split, RowsOfAProcessGrid) {
+  // 6 ranks as a 3x2 grid; split into rows (color = y) — the pattern the
+  // two-phase diffusion load balancer uses for its per-row reductions.
+  World world(6);
+  world.run([](Comm& comm) {
+    const int px = 3;
+    const int cx = comm.rank() % px;
+    const int cy = comm.rank() / px;
+    Comm row = comm.split(cy, cx);
+    EXPECT_EQ(row.size(), 3);
+    EXPECT_EQ(row.rank(), cx);
+    // Sum of x-coordinates within a row is 0+1+2.
+    const int sum = row.allreduce_value<int>(cx, [](int a, int b) { return a + b; });
+    EXPECT_EQ(sum, 3);
+  });
+}
+
+TEST(Split, ColumnsCommunicateIndependently) {
+  World world(4);
+  world.run([](Comm& comm) {
+    const int color = comm.rank() % 2;
+    Comm sub = comm.split(color, comm.rank());
+    EXPECT_EQ(sub.size(), 2);
+    // Ping-pong within each sub-communicator using the same tags; the
+    // contexts must keep them separate.
+    if (sub.rank() == 0) {
+      sub.send_value(color * 1000, 1, 0);
+    } else {
+      EXPECT_EQ(sub.recv_value<int>(0, 0), color * 1000);
+    }
+  });
+}
+
+TEST(Split, KeyOrdersRanks) {
+  World world(4);
+  world.run([](Comm& comm) {
+    // All in one color, keys reverse the order.
+    Comm sub = comm.split(0, -comm.rank());
+    EXPECT_EQ(sub.size(), 4);
+    EXPECT_EQ(sub.rank(), 3 - comm.rank());
+  });
+}
+
+TEST(Split, SingletonGroups) {
+  World world(3);
+  world.run([](Comm& comm) {
+    Comm sub = comm.split(comm.rank(), 0);
+    EXPECT_EQ(sub.size(), 1);
+    EXPECT_EQ(sub.rank(), 0);
+    // Collectives on singleton comms work.
+    EXPECT_EQ(sub.allreduce_value<int>(41, [](int a, int b) { return a + b; }), 41);
+  });
+}
+
+TEST(Split, NestedSplits) {
+  World world(8);
+  world.run([](Comm& comm) {
+    Comm half = comm.split(comm.rank() / 4, comm.rank());
+    EXPECT_EQ(half.size(), 4);
+    Comm quarter = half.split(half.rank() / 2, half.rank());
+    EXPECT_EQ(quarter.size(), 2);
+    const int sum =
+        quarter.allreduce_value<int>(1, [](int a, int b) { return a + b; });
+    EXPECT_EQ(sum, 2);
+  });
+}
+
+TEST(Split, ParentStillUsableAfterSplit) {
+  World world(4);
+  world.run([](Comm& comm) {
+    Comm sub = comm.split(comm.rank() % 2, comm.rank());
+    (void)sub;
+    const int sum = comm.allreduce_value<int>(1, [](int a, int b) { return a + b; });
+    EXPECT_EQ(sum, 4);
+  });
+}
+
+}  // namespace

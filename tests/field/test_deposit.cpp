@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "field/deposit.hpp"
+
+namespace {
+
+using picprk::field::cic_weights;
+using picprk::field::deposit_cic;
+using picprk::field::ScalarField;
+using picprk::pic::GridSpec;
+using picprk::pic::Particle;
+
+Particle make_particle(double x, double y, double q) {
+  Particle p;
+  p.x = x;
+  p.y = y;
+  p.q = q;
+  return p;
+}
+
+TEST(CicWeightsTest, PartitionOfUnity) {
+  GridSpec grid(8, 1.0);
+  for (double x : {0.1, 0.5, 0.73, 7.999}) {
+    for (double y : {0.0, 0.25, 6.5}) {
+      const auto w = cic_weights(x, y, grid);
+      EXPECT_NEAR(w.w_bl + w.w_br + w.w_tl + w.w_tr, 1.0, 1e-14);
+      EXPECT_GE(w.w_bl, 0.0);
+      EXPECT_GE(w.w_tr, 0.0);
+    }
+  }
+}
+
+TEST(CicWeightsTest, OnMeshPointAllWeightThere) {
+  GridSpec grid(8, 1.0);
+  const auto w = cic_weights(3.0, 5.0, grid);
+  EXPECT_EQ(w.i, 3);
+  EXPECT_EQ(w.j, 5);
+  EXPECT_DOUBLE_EQ(w.w_bl, 1.0);
+  EXPECT_DOUBLE_EQ(w.w_br + w.w_tl + w.w_tr, 0.0);
+}
+
+TEST(CicWeightsTest, CellCenterQuarters) {
+  GridSpec grid(8, 1.0);
+  const auto w = cic_weights(2.5, 4.5, grid);
+  EXPECT_DOUBLE_EQ(w.w_bl, 0.25);
+  EXPECT_DOUBLE_EQ(w.w_br, 0.25);
+  EXPECT_DOUBLE_EQ(w.w_tl, 0.25);
+  EXPECT_DOUBLE_EQ(w.w_tr, 0.25);
+}
+
+TEST(DepositTest, ConservesTotalCharge) {
+  GridSpec grid(16, 1.0);
+  ScalarField rho(grid);
+  std::vector<Particle> particles;
+  double total_q = 0;
+  for (int i = 0; i < 50; ++i) {
+    const double q = (i % 2 == 0) ? 1.5 : -0.5;
+    particles.push_back(make_particle(0.3 + 0.31 * i, 0.7 + 0.17 * i, q));
+    particles.back().x = picprk::pic::wrap(particles.back().x, 16.0);
+    particles.back().y = picprk::pic::wrap(particles.back().y, 16.0);
+    total_q += q;
+  }
+  deposit_cic(std::span<const Particle>(particles), grid, rho);
+  // ∑ρ·h² == total charge.
+  EXPECT_NEAR(rho.sum() * grid.h * grid.h, total_q, 1e-10);
+}
+
+TEST(DepositTest, PeriodicSeamWrapsContributions) {
+  GridSpec grid(8, 1.0);
+  ScalarField rho(grid);
+  // Particle in the last cell near the corner: deposits onto points
+  // (7,7), (0,7), (7,0), (0,0) through the periodic wrap.
+  const auto particles = std::vector<Particle>{make_particle(7.75, 7.75, 4.0)};
+  deposit_cic(std::span<const Particle>(particles), grid, rho);
+  EXPECT_GT(rho.at(0, 0), 0.0);
+  EXPECT_GT(rho.at(7, 0), 0.0);
+  EXPECT_GT(rho.at(0, 7), 0.0);
+  EXPECT_NEAR(rho.sum(), 4.0, 1e-12);
+}
+
+TEST(DepositTest, NonUnitCellAreaScaling) {
+  GridSpec grid(8, 2.0);
+  ScalarField rho(grid);
+  const auto particles = std::vector<Particle>{make_particle(4.0, 4.0, 1.0)};
+  deposit_cic(std::span<const Particle>(particles), grid, rho);
+  // Density integrates to the charge: ∑ρ·h² = q.
+  EXPECT_NEAR(rho.sum() * 4.0, 1.0, 1e-12);
+}
+
+TEST(DepositTest, AccumulatesOverCalls) {
+  GridSpec grid(8, 1.0);
+  ScalarField rho(grid);
+  const auto particles = std::vector<Particle>{make_particle(1.0, 1.0, 1.0)};
+  deposit_cic(std::span<const Particle>(particles), grid, rho);
+  deposit_cic(std::span<const Particle>(particles), grid, rho);
+  EXPECT_DOUBLE_EQ(rho.at(1, 1), 2.0);
+}
+
+}  // namespace

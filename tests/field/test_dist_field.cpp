@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "comm/world.hpp"
+#include "field/dist_field.hpp"
+
+namespace {
+
+using picprk::comm::Cart2D;
+using picprk::comm::Comm;
+using picprk::comm::World;
+using picprk::field::DistributedField;
+using picprk::par::Decomposition2D;
+using picprk::pic::GridSpec;
+
+/// A recognisable global test function.
+double pattern(std::int64_t gi, std::int64_t gj) {
+  return static_cast<double>(gi * 1000 + gj);
+}
+
+class DistFieldRanks : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(RankCounts, DistFieldRanks, ::testing::Values(1, 2, 4, 6),
+                         [](const auto& info) { return "p" + std::to_string(info.param); });
+
+TEST_P(DistFieldRanks, HaloExchangeDeliversNeighborValues) {
+  World world(GetParam());
+  world.run([](Comm& comm) {
+    GridSpec grid(12, 1.0);
+    Cart2D cart(comm.size());
+    Decomposition2D decomp(grid, cart);
+    DistributedField f(grid, decomp, comm.rank());
+
+    for (std::int64_t lj = 0; lj < f.height(); ++lj) {
+      for (std::int64_t li = 0; li < f.width(); ++li) {
+        f.at(f.x0() + li, f.y0() + lj) = pattern(f.x0() + li, f.y0() + lj);
+      }
+    }
+    f.halo_exchange(comm);
+
+    // Every halo point (including corners) now holds the global pattern
+    // value of the periodic point it mirrors.
+    for (std::int64_t gj = f.y0() - 1; gj <= f.y0() + f.height(); ++gj) {
+      for (std::int64_t gi = f.x0() - 1; gi <= f.x0() + f.width(); ++gi) {
+        const auto wi = picprk::pic::wrap_index(gi, 12);
+        const auto wj = picprk::pic::wrap_index(gj, 12);
+        EXPECT_DOUBLE_EQ(f.at(gi, gj), pattern(wi, wj))
+            << "point (" << gi << "," << gj << ")";
+      }
+    }
+  });
+}
+
+TEST_P(DistFieldRanks, HaloFoldAccumulatesIntoOwners) {
+  World world(GetParam());
+  world.run([](Comm& comm) {
+    GridSpec grid(12, 1.0);
+    Cart2D cart(comm.size());
+    Decomposition2D decomp(grid, cart);
+    DistributedField f(grid, decomp, comm.rank());
+
+    // Every rank adds 1 to every point of its block AND its halo ring
+    // (as CIC deposition does at block borders). After folding, each
+    // point must hold exactly the number of blocks it is adjacent to.
+    for (std::int64_t gj = f.y0() - 1; gj <= f.y0() + f.height(); ++gj) {
+      for (std::int64_t gi = f.x0() - 1; gi <= f.x0() + f.width(); ++gi) {
+        f.at(gi, gj) += 1.0;
+      }
+    }
+    f.halo_fold(comm);
+
+    // Total over all owned points must equal the global number of
+    // (point, adjacent-ring) incidences: every rank wrote
+    // (w+2)(h+2) points.
+    const double local_expected_writes =
+        static_cast<double>((f.width() + 2) * (f.height() + 2));
+    const double total_written = comm.allreduce_value<double>(
+        local_expected_writes, [](double a, double b) { return a + b; });
+    const double total_after_fold = comm.allreduce_value<double>(
+        f.local_sum(), [](double a, double b) { return a + b; });
+    EXPECT_NEAR(total_after_fold, total_written, 1e-9);
+  });
+}
+
+TEST(DistFieldSingle, SingleRankAliasesPeriodically) {
+  World world(1);
+  world.run([](Comm& comm) {
+    GridSpec grid(8, 1.0);
+    Cart2D cart(1);
+    Decomposition2D decomp(grid, cart);
+    DistributedField f(grid, decomp, comm.rank());
+    f.at(0, 0) = 5.0;
+    // Periodic aliases read the same storage on a single rank.
+    EXPECT_DOUBLE_EQ(f.at(8, 0), 5.0);
+    EXPECT_DOUBLE_EQ(f.at(0, 8), 5.0);
+    EXPECT_DOUBLE_EQ(f.at(-8, -8), 5.0);
+  });
+}
+
+TEST_P(DistFieldRanks, LinearAlgebraOps) {
+  World world(GetParam());
+  world.run([](Comm& comm) {
+    GridSpec grid(12, 1.0);
+    Cart2D cart(comm.size());
+    Decomposition2D decomp(grid, cart);
+    DistributedField a(grid, decomp, comm.rank());
+    DistributedField b(grid, decomp, comm.rank());
+    a.fill(2.0);
+    b.fill(3.0);
+    const double dot = comm.allreduce_value<double>(
+        DistributedField::local_dot(a, b), [](double x, double y) { return x + y; });
+    EXPECT_DOUBLE_EQ(dot, 6.0 * 144.0);
+    a.axpy(2.0, b);  // 2 + 6 = 8 on owned points
+    EXPECT_DOUBLE_EQ(a.at(a.x0(), a.y0()), 8.0);
+    const double total = comm.allreduce_value<double>(
+        a.local_sum(), [](double x, double y) { return x + y; });
+    EXPECT_DOUBLE_EQ(total, 8.0 * 144.0);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "field/grid_field.hpp"
+
+namespace {
+
+using picprk::field::ScalarField;
+using picprk::field::VectorField;
+using picprk::pic::GridSpec;
+
+TEST(ScalarFieldTest, IndexingAndPeriodicWrap) {
+  ScalarField f(GridSpec(8, 1.0));
+  f.at(3, 5) = 2.5;
+  EXPECT_DOUBLE_EQ(f.at(3, 5), 2.5);
+  // Periodic: index -5 wraps to 3, index 13 wraps to 5.
+  EXPECT_DOUBLE_EQ(f.at(-5, 13), 2.5);
+  EXPECT_DOUBLE_EQ(f.at(11, -3), 2.5);
+}
+
+TEST(ScalarFieldTest, FillSumMean) {
+  ScalarField f(GridSpec(4, 1.0));
+  f.fill(3.0);
+  EXPECT_DOUBLE_EQ(f.sum(), 48.0);
+  EXPECT_DOUBLE_EQ(f.mean(), 3.0);
+  f.remove_mean();
+  EXPECT_NEAR(f.sum(), 0.0, 1e-12);
+}
+
+TEST(ScalarFieldTest, DotAndAxpy) {
+  GridSpec grid(4, 1.0);
+  ScalarField a(grid), b(grid);
+  a.fill(2.0);
+  b.fill(3.0);
+  EXPECT_DOUBLE_EQ(ScalarField::dot(a, b), 2.0 * 3.0 * 16.0);
+  a.axpy(0.5, b);  // a = 2 + 1.5
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 3.5);
+  a.xpby(b, 2.0);  // a = 3 + 2*3.5 = 10
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 10.0);
+}
+
+TEST(ScalarFieldTest, NonUnitSpacing) {
+  ScalarField f(GridSpec(4, 0.5));
+  EXPECT_DOUBLE_EQ(f.h(), 0.5);
+  EXPECT_EQ(f.cells(), 4);
+}
+
+TEST(VectorFieldTest, TwoComponents) {
+  VectorField e(GridSpec(6, 1.0));
+  e.x.at(1, 1) = 1.0;
+  e.y.at(1, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(e.x.at(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(e.y.at(1, 1), -2.0);
+}
+
+}  // namespace

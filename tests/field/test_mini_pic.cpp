@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "field/mini_pic.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using picprk::field::interpolate;
+using picprk::field::MiniPic;
+using picprk::field::MiniPicConfig;
+using picprk::field::VectorField;
+using picprk::pic::GridSpec;
+using picprk::pic::Particle;
+
+Particle make_particle(double x, double y, double q, double vx = 0, double vy = 0) {
+  Particle p;
+  p.x = x;
+  p.y = y;
+  p.q = q;
+  p.vx = vx;
+  p.vy = vy;
+  return p;
+}
+
+TEST(Interpolate, ReproducesConstantField) {
+  GridSpec grid(8, 1.0);
+  VectorField e(grid);
+  e.x.fill(3.0);
+  e.y.fill(-1.0);
+  for (double x : {0.1, 3.7, 7.9}) {
+    const auto s = interpolate(e, x, 2.3, grid);
+    EXPECT_NEAR(s.ex, 3.0, 1e-12);
+    EXPECT_NEAR(s.ey, -1.0, 1e-12);
+  }
+}
+
+TEST(Interpolate, BilinearBetweenPoints) {
+  GridSpec grid(8, 1.0);
+  VectorField e(grid);
+  e.x.at(2, 2) = 0.0;
+  e.x.at(3, 2) = 4.0;
+  // Midway in x between the two points, on the j = 2 row.
+  const auto s = interpolate(e, 2.5, 2.0, grid);
+  EXPECT_NEAR(s.ex, 2.0, 1e-12);
+}
+
+TEST(MiniPicTest, NeutralUniformPlasmaStaysQuiet) {
+  // Equal + and − charges at the same positions: zero density, zero
+  // field, particles drift ballistically.
+  GridSpec grid(16, 1.0);
+  std::vector<Particle> particles;
+  for (int i = 0; i < 8; ++i) {
+    particles.push_back(make_particle(i + 0.5, 8.5, +1.0, 0.5, 0.0));
+    particles.push_back(make_particle(i + 0.5, 8.5, -1.0, 0.5, 0.0));
+  }
+  MiniPicConfig cfg;
+  cfg.grid = grid;
+  cfg.dt = 0.1;
+  MiniPic sim(cfg, std::move(particles));
+  const auto d = sim.run(20);
+  EXPECT_NEAR(d.field_energy, 0.0, 1e-12);
+  for (const auto& p : sim.particles()) {
+    EXPECT_NEAR(p.vx, 0.5, 1e-12);  // never accelerated
+    EXPECT_NEAR(p.vy, 0.0, 1e-12);
+  }
+}
+
+TEST(MiniPicTest, LikeChargesRepel) {
+  GridSpec grid(32, 1.0);
+  std::vector<Particle> particles{make_particle(14.0, 16.0, 1.0),
+                                  make_particle(18.0, 16.0, 1.0)};
+  MiniPicConfig cfg;
+  cfg.grid = grid;
+  cfg.dt = 0.2;
+  MiniPic sim(cfg, std::move(particles));
+  sim.run(10);
+  const auto& ps = sim.particles();
+  // They move apart in x, symmetrically.
+  EXPECT_LT(ps[0].vx, -1e-6);
+  EXPECT_GT(ps[1].vx, 1e-6);
+  EXPECT_NEAR(ps[0].vx, -ps[1].vx, 1e-9);
+}
+
+TEST(MiniPicTest, OppositeChargesAttract) {
+  GridSpec grid(32, 1.0);
+  std::vector<Particle> particles{make_particle(14.0, 16.0, 1.0),
+                                  make_particle(18.0, 16.0, -1.0)};
+  MiniPicConfig cfg;
+  cfg.grid = grid;
+  MiniPic sim(cfg, std::move(particles));
+  sim.run(10);
+  const auto& ps = sim.particles();
+  EXPECT_GT(ps[0].vx, 1e-6);
+  EXPECT_LT(ps[1].vx, -1e-6);
+}
+
+TEST(MiniPicTest, ChargeAndMomentumConserved) {
+  GridSpec grid(24, 1.0);
+  picprk::util::SplitMix64 rng(404);
+  std::vector<Particle> particles;
+  for (int i = 0; i < 60; ++i) {
+    particles.push_back(make_particle(rng.next_double() * 24.0, rng.next_double() * 24.0,
+                                      i % 2 == 0 ? 1.0 : -1.0,
+                                      rng.next_double() - 0.5, rng.next_double() - 0.5));
+  }
+  MiniPicConfig cfg;
+  cfg.grid = grid;
+  cfg.dt = 0.05;
+  MiniPic sim(cfg, std::move(particles));
+  const auto before = sim.diagnostics();
+  const auto after = sim.run(40);
+  EXPECT_DOUBLE_EQ(after.total_charge, before.total_charge);
+  // CIC deposition + bilinear gather conserve momentum up to grid error.
+  EXPECT_NEAR(after.momentum_x, before.momentum_x,
+              0.05 * (std::fabs(before.momentum_x) + 1.0));
+  EXPECT_NEAR(after.momentum_y, before.momentum_y,
+              0.05 * (std::fabs(before.momentum_y) + 1.0));
+}
+
+TEST(MiniPicTest, CloudExpansionConvertsFieldToKineticEnergy) {
+  // A compact like-charged cloud blows apart: field energy decreases,
+  // kinetic energy grows.
+  GridSpec grid(32, 1.0);
+  std::vector<Particle> particles;
+  picprk::util::SplitMix64 rng(7);
+  for (int i = 0; i < 40; ++i) {
+    particles.push_back(make_particle(15.0 + rng.next_double() * 2.0,
+                                      15.0 + rng.next_double() * 2.0, 0.5));
+  }
+  MiniPicConfig cfg;
+  cfg.grid = grid;
+  cfg.dt = 0.05;
+  MiniPic sim(cfg, std::move(particles));
+  const auto before = sim.diagnostics();
+  const auto after = sim.run(30);
+  EXPECT_GT(after.kinetic_energy, before.kinetic_energy);
+  EXPECT_GT(before.field_energy, 0.0);
+}
+
+TEST(MiniPicTest, SolverConvergesEachStep) {
+  GridSpec grid(16, 1.0);
+  std::vector<Particle> particles{make_particle(4.5, 4.5, 2.0),
+                                  make_particle(11.5, 11.5, -2.0)};
+  MiniPicConfig cfg;
+  cfg.grid = grid;
+  MiniPic sim(cfg, std::move(particles));
+  for (int s = 0; s < 5; ++s) {
+    const auto d = sim.step();
+    EXPECT_GT(d.cg_iterations, 0);
+    EXPECT_LT(d.cg_residual, 1e-5);
+  }
+}
+
+}  // namespace

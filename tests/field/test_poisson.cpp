@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "field/poisson.hpp"
+
+namespace {
+
+using picprk::field::apply_neg_laplacian;
+using picprk::field::gradient_to_field;
+using picprk::field::ScalarField;
+using picprk::field::solve_poisson;
+using picprk::field::VectorField;
+using picprk::pic::GridSpec;
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// Fills f(i,j) = sin(2π·kx·i/C)·cos(2π·ky·j/C).
+ScalarField make_mode(const GridSpec& grid, int kx, int ky) {
+  ScalarField f(grid);
+  const double c = static_cast<double>(grid.cells);
+  for (std::int64_t j = 0; j < grid.cells; ++j) {
+    for (std::int64_t i = 0; i < grid.cells; ++i) {
+      f.at(i, j) = std::sin(kTwoPi * kx * static_cast<double>(i) / c) *
+                   std::cos(kTwoPi * ky * static_cast<double>(j) / c);
+    }
+  }
+  return f;
+}
+
+/// Discrete eigenvalue of −∇² for mode (kx, ky) on a C-periodic grid.
+double discrete_eigenvalue(const GridSpec& grid, int kx, int ky) {
+  const double c = static_cast<double>(grid.cells);
+  const double lx = 2.0 - 2.0 * std::cos(kTwoPi * kx / c);
+  const double ly = 2.0 - 2.0 * std::cos(kTwoPi * ky / c);
+  return (lx + ly) / (grid.h * grid.h);
+}
+
+TEST(Laplacian, AnnihilatesConstants) {
+  GridSpec grid(16, 1.0);
+  ScalarField f(grid), out(grid);
+  f.fill(7.0);
+  apply_neg_laplacian(f, out);
+  for (std::int64_t j = 0; j < 16; ++j) {
+    for (std::int64_t i = 0; i < 16; ++i) EXPECT_NEAR(out.at(i, j), 0.0, 1e-12);
+  }
+}
+
+TEST(Laplacian, FourierModesAreEigenfunctions) {
+  GridSpec grid(32, 1.0);
+  for (int kx : {1, 3}) {
+    for (int ky : {0, 2}) {
+      const ScalarField f = make_mode(grid, kx, ky);
+      ScalarField out(grid);
+      apply_neg_laplacian(f, out);
+      const double lambda = discrete_eigenvalue(grid, kx, ky);
+      for (std::int64_t j = 0; j < 32; j += 5) {
+        for (std::int64_t i = 0; i < 32; i += 5) {
+          EXPECT_NEAR(out.at(i, j), lambda * f.at(i, j), 1e-10)
+              << "mode (" << kx << "," << ky << ") at (" << i << "," << j << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(Laplacian, RespectsSpacing) {
+  GridSpec fine(16, 0.5);
+  const ScalarField f = make_mode(fine, 1, 0);
+  ScalarField out(fine);
+  apply_neg_laplacian(f, out);
+  const double lambda = discrete_eigenvalue(fine, 1, 0);
+  EXPECT_NEAR(out.at(3, 3), lambda * f.at(3, 3), 1e-10);
+}
+
+TEST(PoissonSolve, RecoversKnownSolution) {
+  // −∇²φ = λ·mode  has solution φ = mode (discrete-exact).
+  GridSpec grid(32, 1.0);
+  const ScalarField mode = make_mode(grid, 2, 1);
+  const double lambda = discrete_eigenvalue(grid, 2, 1);
+  ScalarField rho = mode;
+  for (auto& v : rho.data()) v *= lambda;
+
+  ScalarField phi;
+  const auto r = solve_poisson(rho, phi, 1e-10);
+  EXPECT_TRUE(r.converged);
+  for (std::int64_t j = 0; j < 32; j += 3) {
+    for (std::int64_t i = 0; i < 32; i += 3) {
+      EXPECT_NEAR(phi.at(i, j), mode.at(i, j), 1e-7);
+    }
+  }
+}
+
+TEST(PoissonSolve, ResidualBelowTolerance) {
+  GridSpec grid(24, 1.0);
+  ScalarField rho(grid);
+  // An arbitrary neutral-ish charge blob; solver neutralises anyway.
+  rho.at(5, 5) = 10.0;
+  rho.at(15, 15) = -6.0;
+  ScalarField phi;
+  const auto r = solve_poisson(rho, phi, 1e-9);
+  EXPECT_TRUE(r.converged);
+
+  // Check the residual directly: −∇²φ must equal the neutralised rho.
+  ScalarField b = rho;
+  b.remove_mean();
+  ScalarField ap(grid);
+  apply_neg_laplacian(phi, ap);
+  double err2 = 0, b2 = 0;
+  for (std::size_t i = 0; i < b.data().size(); ++i) {
+    const double d = ap.data()[i] - b.data()[i];
+    err2 += d * d;
+    b2 += b.data()[i] * b.data()[i];
+  }
+  EXPECT_LT(std::sqrt(err2), 1e-8 * std::sqrt(b2) + 1e-12);
+}
+
+TEST(PoissonSolve, ZeroRhsTrivial) {
+  GridSpec grid(8, 1.0);
+  ScalarField rho(grid);
+  ScalarField phi;
+  const auto r = solve_poisson(rho, phi);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 0);
+  EXPECT_NEAR(phi.sum(), 0.0, 1e-12);
+}
+
+TEST(PoissonSolve, SolutionHasZeroMean) {
+  GridSpec grid(16, 1.0);
+  ScalarField rho(grid);
+  rho.at(3, 4) = 5.0;
+  ScalarField phi;
+  (void)solve_poisson(rho, phi);
+  EXPECT_NEAR(phi.mean(), 0.0, 1e-10);
+}
+
+TEST(Gradient, LinearInModeAmplitude) {
+  GridSpec grid(32, 1.0);
+  const ScalarField phi = make_mode(grid, 1, 0);
+  VectorField e(grid);
+  gradient_to_field(phi, e);
+  // E_x = −∂φ/∂x: for sin(2πi/C) the central difference gives
+  // −cos(2πi/C)·sin(2π/C)/h at each point.
+  const double c = 32.0;
+  const double factor = std::sin(kTwoPi / c);
+  for (std::int64_t i = 0; i < 32; i += 4) {
+    const double expected = -std::cos(kTwoPi * static_cast<double>(i) / c) * factor;
+    EXPECT_NEAR(e.x.at(i, 0), expected, 1e-12);
+    EXPECT_NEAR(e.y.at(i, 0), 0.0, 1e-12);  // no y variation for ky = 0
+  }
+}
+
+}  // namespace

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "comm/world.hpp"
+#include "par/exchange.hpp"
+#include "pic/init.hpp"
+#include "pic/verify.hpp"
+
+namespace {
+
+using picprk::comm::Cart2D;
+using picprk::comm::Comm;
+using picprk::comm::World;
+using picprk::par::Decomposition2D;
+using picprk::par::exchange_particles;
+using picprk::pic::GridSpec;
+using picprk::pic::InitParams;
+using picprk::pic::Initializer;
+using picprk::pic::Particle;
+
+TEST(Exchange, RoutesDisplacedParticlesToOwners) {
+  const int p = 4;
+  World world(p);
+  world.run([](Comm& comm) {
+    GridSpec grid(16, 1.0);
+    Cart2D cart(comm.size());
+    Decomposition2D decomp(grid, cart);
+    const auto block = decomp.block_of(comm.rank());
+
+    InitParams params;
+    params.grid = grid;
+    params.total_particles = 800;
+    const Initializer init(params);
+    auto mine = init.create_block(block.x0, block.x1, block.y0, block.y1);
+    const std::uint64_t local_before = mine.size();
+
+    // Shift every particle 5 cells right (wrapped): most leave the block.
+    for (auto& particle : mine) particle.x = picprk::pic::wrap(particle.x + 5.0, 16.0);
+
+    const auto stats = exchange_particles(comm, decomp, mine);
+
+    // Global particle count is conserved.
+    const std::uint64_t total_after = comm.allreduce_value<std::uint64_t>(
+        mine.size(), [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    const std::uint64_t total_before = comm.allreduce_value<std::uint64_t>(
+        local_before, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    EXPECT_EQ(total_after, total_before);
+
+    // Everything this rank holds is in its block (also asserted inside).
+    for (const auto& particle : mine) {
+      EXPECT_TRUE(block.contains_cell(grid.cell_of(particle.x), grid.cell_of(particle.y)));
+    }
+
+    // Id checksum is conserved.
+    std::uint64_t local_sum = 0;
+    for (const auto& particle : mine) local_sum += particle.id;
+    const std::uint64_t sum = comm.allreduce_value<std::uint64_t>(
+        local_sum, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    EXPECT_EQ(sum, picprk::pic::expected_checksum(init.total()));
+    (void)stats;
+  });
+}
+
+TEST(Exchange, NoMovementMeansNoTraffic) {
+  World world(4);
+  world.run([](Comm& comm) {
+    GridSpec grid(8, 1.0);
+    Cart2D cart(comm.size());
+    Decomposition2D decomp(grid, cart);
+    const auto block = decomp.block_of(comm.rank());
+
+    InitParams params;
+    params.grid = grid;
+    params.total_particles = 200;
+    const Initializer init(params);
+    auto mine = init.create_block(block.x0, block.x1, block.y0, block.y1);
+
+    const auto stats = exchange_particles(comm, decomp, mine);
+    EXPECT_EQ(stats.sent, 0u);
+    EXPECT_EQ(stats.received, 0u);
+  });
+}
+
+TEST(Exchange, LongJumpsRouteAcrossMultipleRanks) {
+  // A 1-wide process grid in x: moving +9 cells crosses two owners.
+  World world(3);
+  world.run([](Comm& comm) {
+    GridSpec grid(12, 1.0);
+    Cart2D cart(3, 1);
+    Decomposition2D decomp(grid, cart);
+    const auto block = decomp.block_of(comm.rank());
+
+    std::vector<Particle> mine;
+    if (comm.rank() == 0) {
+      Particle p;
+      p.x = 0.5;
+      p.y = 6.5;
+      p.id = 7;
+      mine.push_back(p);
+      mine.back().x = picprk::pic::wrap(0.5 + 9.0, 12.0);  // lands in rank 2
+    }
+    const auto stats = exchange_particles(comm, decomp, mine);
+    if (comm.rank() == 2) {
+      ASSERT_EQ(mine.size(), 1u);
+      EXPECT_EQ(mine.front().id, 7u);
+    } else {
+      EXPECT_TRUE(mine.empty());
+    }
+    (void)stats;
+    (void)block;
+  });
+}
+
+TEST(Exchange, ByteAccountingMatchesTraffic) {
+  World world(2);
+  world.run([](Comm& comm) {
+    GridSpec grid(8, 1.0);
+    Cart2D cart(2, 1);
+    Decomposition2D decomp(grid, cart);
+
+    std::vector<Particle> mine;
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 10; ++i) {
+        Particle p;
+        p.x = 6.5;  // belongs to rank 1
+        p.y = 0.5;
+        p.id = static_cast<std::uint64_t>(i + 1);
+        mine.push_back(p);
+      }
+    }
+    const auto stats = exchange_particles(comm, decomp, mine);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(stats.sent, 10u);
+      EXPECT_EQ(stats.bytes, 10u * sizeof(Particle));
+    } else {
+      EXPECT_EQ(stats.received, 10u);
+    }
+  });
+}
+
+}  // namespace

@@ -1,0 +1,79 @@
+// Hybrid (threadcomm ranks × OpenMP threads) configuration tests.
+#include <gtest/gtest.h>
+
+#include "comm/world.hpp"
+#include "par/baseline.hpp"
+#include "pic/mover.hpp"
+
+namespace {
+
+using picprk::comm::Comm;
+using picprk::comm::World;
+using picprk::par::DriverConfig;
+using picprk::pic::AlternatingColumnCharges;
+using picprk::pic::GridSpec;
+using picprk::pic::InitParams;
+using picprk::pic::Initializer;
+using picprk::pic::Particle;
+
+TEST(HybridMover, OmpLoopMatchesSerialLoop) {
+  GridSpec grid(24, 1.0);
+  InitParams params;
+  params.grid = grid;
+  params.total_particles = 2000;
+  params.distribution = picprk::pic::Geometric{0.9};
+  params.k = 1;
+  params.m = -1;
+  const Initializer init(params);
+  auto serial = init.create_all();
+  auto omp = serial;
+  const AlternatingColumnCharges charges;
+  for (int step = 0; step < 10; ++step) {
+    picprk::pic::move_all(std::span<Particle>(serial), grid, charges, 1.0);
+    picprk::pic::move_all_omp(std::span<Particle>(omp), grid, charges, 1.0);
+  }
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(omp[i].x, serial[i].x) << i;
+    EXPECT_DOUBLE_EQ(omp[i].y, serial[i].y) << i;
+    EXPECT_DOUBLE_EQ(omp[i].vx, serial[i].vx) << i;
+  }
+}
+
+TEST(HybridDriver, RanksTimesThreadsVerifies) {
+  DriverConfig cfg;
+  cfg.init.grid = GridSpec(24, 1.0);
+  cfg.init.total_particles = 1200;
+  cfg.init.distribution = picprk::pic::Geometric{0.85};
+  cfg.steps = 30;
+  cfg.omp_mover = true;
+  World world(2);  // 2 ranks, each with its own OpenMP team
+  world.run([&](Comm& comm) {
+    const auto r = picprk::par::run_baseline(comm, cfg);
+    EXPECT_TRUE(r.ok);
+  });
+}
+
+TEST(HybridDriver, SameChecksumAsPlainDriver) {
+  DriverConfig cfg;
+  cfg.init.grid = GridSpec(20, 1.0);
+  cfg.init.total_particles = 800;
+  cfg.steps = 20;
+
+  std::uint64_t plain_checksum = 0, hybrid_checksum = 0;
+  World world(2);
+  world.run([&](Comm& comm) {
+    const auto plain = picprk::par::run_baseline(comm, cfg);
+    DriverConfig hybrid_cfg = cfg;
+    hybrid_cfg.omp_mover = true;
+    const auto hybrid = picprk::par::run_baseline(comm, hybrid_cfg);
+    if (comm.rank() == 0) {
+      plain_checksum = plain.verification.id_checksum;
+      hybrid_checksum = hybrid.verification.id_checksum;
+    }
+    EXPECT_TRUE(plain.ok);
+    EXPECT_TRUE(hybrid.ok);
+  });
+  EXPECT_EQ(plain_checksum, hybrid_checksum);
+}
+
+}  // namespace

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "perfsim/engine.hpp"
+
+namespace {
+
+using picprk::perfsim::ColumnWorkload;
+using picprk::perfsim::DiffusionModelParams;
+using picprk::perfsim::Engine;
+using picprk::perfsim::EventModel;
+using picprk::perfsim::MachineModel;
+using picprk::perfsim::ModelResult;
+using picprk::perfsim::RunConfig;
+using picprk::perfsim::VprModelParams;
+using picprk::pic::Geometric;
+using picprk::pic::GridSpec;
+using picprk::pic::InitParams;
+using picprk::pic::Uniform;
+
+ColumnWorkload skewed_workload(std::int64_t cells = 600, std::uint64_t n = 600000,
+                               double r = 0.99) {
+  InitParams params;
+  params.grid = GridSpec(cells, 1.0);
+  params.total_particles = n;
+  params.distribution = Geometric{r};
+  return ColumnWorkload::from_expected(params);
+}
+
+ColumnWorkload uniform_workload(std::int64_t cells = 600, std::uint64_t n = 600000) {
+  InitParams params;
+  params.grid = GridSpec(cells, 1.0);
+  params.total_particles = n;
+  params.distribution = Uniform{};
+  return ColumnWorkload::from_expected(params);
+}
+
+RunConfig short_run(std::uint32_t steps = 200) {
+  RunConfig c;
+  c.steps = steps;
+  return c;
+}
+
+TEST(EngineTest, SerialTimeProportionalToWork) {
+  Engine engine(MachineModel{}, uniform_workload());
+  const double t1 = engine.serial_seconds(short_run(100));
+  const double t2 = engine.serial_seconds(short_run(200));
+  EXPECT_NEAR(t2 / t1, 2.0, 1e-9);
+}
+
+TEST(EngineTest, Deterministic) {
+  Engine engine(MachineModel{}, skewed_workload());
+  const auto a = engine.run_static(24, short_run());
+  const auto b = engine.run_static(24, short_run());
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+  EXPECT_DOUBLE_EQ(a.avg_imbalance, b.avg_imbalance);
+}
+
+TEST(EngineTest, UniformWorkloadIsBalanced) {
+  Engine engine(MachineModel{}, uniform_workload());
+  const auto r = engine.run_static(24, short_run());
+  EXPECT_NEAR(r.avg_imbalance, 1.0, 0.02);
+}
+
+TEST(EngineTest, SkewedWorkloadIsImbalancedWithoutLb) {
+  Engine engine(MachineModel{}, skewed_workload());
+  const auto r = engine.run_static(24, short_run());
+  EXPECT_GT(r.avg_imbalance, 1.5);
+}
+
+TEST(EngineTest, StaticScalesButSublinearlyUnderSkew) {
+  Engine engine(MachineModel{}, skewed_workload());
+  const auto serial = engine.serial_seconds(short_run());
+  const auto p24 = engine.run_static(24, short_run());
+  const double speedup = serial / p24.seconds;
+  EXPECT_GT(speedup, 4.0);
+  EXPECT_LT(speedup, 24.0);  // imbalance forbids ideal scaling
+}
+
+TEST(EngineTest, DiffusionBeatsStaticOnSkew) {
+  Engine engine(MachineModel{}, skewed_workload());
+  DiffusionModelParams lb;
+  lb.frequency = 16;
+  lb.threshold = 0.05;
+  lb.border_width = 2;
+  const auto base = engine.run_static(24, short_run(400));
+  const auto diff = engine.run_diffusion(24, short_run(400), lb);
+  EXPECT_LT(diff.seconds, base.seconds);
+  EXPECT_LT(diff.avg_imbalance, base.avg_imbalance);
+  EXPECT_GT(diff.migrations, 0u);
+  EXPECT_LT(diff.max_particles_final, base.max_particles_final);
+}
+
+TEST(EngineTest, VprGreedyBeatsStaticOnSkew) {
+  Engine engine(MachineModel{}, skewed_workload());
+  VprModelParams params;
+  params.overdecomposition = 4;
+  // LB sparse enough that the stop-the-world stalls amortize over the
+  // (laptop-scale) run — the co-tuning requirement of Figure 5.
+  params.lb_interval = 100;
+  const auto base = engine.run_static(24, short_run(400));
+  const auto vpr = engine.run_vpr(24, short_run(400), params);
+  EXPECT_LT(vpr.seconds, base.seconds);
+  EXPECT_GT(vpr.migrations, 0u);
+}
+
+TEST(EngineTest, VprWithoutLbPaysOverheadOnly) {
+  Engine engine(MachineModel{}, uniform_workload());
+  VprModelParams params;
+  params.overdecomposition = 4;
+  params.lb_interval = 0;
+  const auto base = engine.run_static(24, short_run());
+  const auto vpr = engine.run_vpr(24, short_run(), params);
+  EXPECT_EQ(vpr.migrations, 0u);
+  // On a uniform workload over-decomposition only costs overhead.
+  EXPECT_GT(vpr.seconds, base.seconds * 0.99);
+}
+
+TEST(EngineTest, ExtremeOverdecompositionCostsMore) {
+  // The right side of Figure 5's d-curve: too many VPs hurt.
+  Engine engine(MachineModel{}, skewed_workload());
+  VprModelParams d4;
+  d4.overdecomposition = 4;
+  d4.lb_interval = 32;
+  VprModelParams d64 = d4;
+  d64.overdecomposition = 64;
+  const auto r4 = engine.run_vpr(24, short_run(400), d4);
+  const auto r64 = engine.run_vpr(24, short_run(400), d64);
+  EXPECT_GT(r64.seconds, r4.seconds);
+}
+
+TEST(EngineTest, TooFrequentLbCostsMore) {
+  // The left side of Figure 5's F-curve: balancing every few steps pays
+  // migration cost without new imbalance to remove.
+  Engine engine(MachineModel{}, skewed_workload());
+  VprModelParams fast;
+  fast.overdecomposition = 4;
+  fast.lb_interval = 2;
+  VprModelParams slow = fast;
+  slow.lb_interval = 64;
+  const auto rf = engine.run_vpr(24, short_run(400), fast);
+  const auto rs = engine.run_vpr(24, short_run(400), slow);
+  EXPECT_GT(rf.seconds, rs.seconds);
+}
+
+TEST(EngineTest, NoiseRaisesMakespan) {
+  MachineModel noisy;
+  noisy.noise_level = 0.2;
+  Engine quiet_engine(MachineModel{}, uniform_workload());
+  Engine noisy_engine(noisy, uniform_workload());
+  const auto quiet = quiet_engine.run_static(24, short_run());
+  const auto loud = noisy_engine.run_static(24, short_run());
+  EXPECT_GT(loud.seconds, quiet.seconds);
+  EXPECT_GT(loud.avg_imbalance, 1.05);
+}
+
+TEST(EngineTest, SlowCoreCreatesImbalance) {
+  MachineModel skew;
+  skew.core_speed.assign(24, 1.0);
+  skew.core_speed[7] = 0.5;  // one core at half speed (category-1 source)
+  Engine engine(skew, uniform_workload());
+  const auto r = engine.run_static(24, short_run());
+  EXPECT_NEAR(r.avg_imbalance, 2.0, 0.1);
+}
+
+TEST(EngineTest, EventsChangeWork) {
+  Engine engine(MachineModel{}, uniform_workload(600, 100000));
+  Engine with_events(MachineModel{}, uniform_workload(600, 100000));
+  with_events.set_events({EventModel{50, 0, 600, /*inject=*/100000.0, 0.0}});
+  const auto plain = engine.run_static(8, short_run(100));
+  const auto bursty = with_events.run_static(8, short_run(100));
+  EXPECT_GT(bursty.seconds, plain.seconds * 1.2);
+}
+
+TEST(EngineTest, RemovalEventReducesWork) {
+  Engine with_removal(MachineModel{}, uniform_workload(600, 100000));
+  with_removal.set_events({EventModel{10, 0, 600, 0.0, /*remove=*/0.5}});
+  Engine plain(MachineModel{}, uniform_workload(600, 100000));
+  EXPECT_LT(with_removal.serial_seconds(short_run(100)),
+            plain.serial_seconds(short_run(100)) * 0.7);
+}
+
+TEST(EngineTest, ImbalanceSeriesCollected) {
+  Engine engine(MachineModel{}, skewed_workload());
+  RunConfig cfg = short_run(50);
+  cfg.collect_series = true;
+  cfg.sample_every = 10;
+  const auto r = engine.run_static(8, cfg);
+  EXPECT_EQ(r.imbalance_series.size(), 5u);
+}
+
+TEST(EngineTest, SingleCoreDegenerates) {
+  Engine engine(MachineModel{}, skewed_workload(100, 10000, 0.9));
+  const auto r = engine.run_static(1, short_run(50));
+  EXPECT_NEAR(r.avg_imbalance, 1.0, 1e-9);
+  EXPECT_NEAR(r.seconds, engine.serial_seconds(short_run(50)), 1e-9);
+}
+
+TEST(EngineTest, BreakdownSumsToTotal) {
+  Engine engine(MachineModel{}, skewed_workload());
+  DiffusionModelParams lb;
+  lb.frequency = 16;
+  const auto r = engine.run_diffusion(24, short_run(200), lb);
+  EXPECT_NEAR(r.compute_seconds + r.comm_seconds + r.lb_seconds, r.seconds, 1e-9);
+}
+
+}  // namespace

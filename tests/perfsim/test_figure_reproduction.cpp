@@ -1,0 +1,183 @@
+// Reproduction guards: the qualitative claims of the paper's evaluation,
+// pinned as tests at reduced step counts so a regression in any model or
+// policy component that would change a figure's *shape* fails CI. The
+// full-scale numbers live in the bench harnesses; these tests assert the
+// orderings and crossovers (what the PRK is designed to measure).
+#include <gtest/gtest.h>
+
+#include "perfsim/engine.hpp"
+
+namespace {
+
+using picprk::perfsim::ColumnWorkload;
+using picprk::perfsim::DiffusionModelParams;
+using picprk::perfsim::Engine;
+using picprk::perfsim::MachineModel;
+using picprk::perfsim::RunConfig;
+using picprk::perfsim::VprModelParams;
+using picprk::pic::Geometric;
+using picprk::pic::GridSpec;
+using picprk::pic::InitParams;
+
+MachineModel edison() {
+  MachineModel m;
+  m.t_particle = 140e-9;
+  return m;
+}
+
+/// Figure-6 workload (2,998² cells, 600 k particles, r = 0.999, k = 0).
+Engine fig6_engine() {
+  InitParams p;
+  p.grid = GridSpec(2998, 1.0);
+  p.total_particles = 600000;
+  p.distribution = Geometric{0.999};
+  return Engine(edison(), ColumnWorkload::from_expected(p));
+}
+
+/// Figure-7 workload at a given core count (11,998² cells, scaled n).
+Engine fig7_engine(int cores) {
+  InitParams p;
+  p.grid = GridSpec(11998, 1.0);
+  p.total_particles =
+      static_cast<std::uint64_t>(400000.0 * static_cast<double>(cores) / 48.0);
+  p.distribution = Geometric{0.999};
+  return Engine(edison(), ColumnWorkload::from_expected(p));
+}
+
+RunConfig steps(std::uint32_t n) {
+  RunConfig c;
+  c.steps = n;
+  return c;
+}
+
+TEST(Fig5Guard, FSweepIsUShaped) {
+  // Too-frequent LB loses to moderate F; far-too-rare F loses again.
+  InitParams p;
+  p.grid = GridSpec(5998, 1.0);
+  p.total_particles = 6400000;
+  p.distribution = Geometric{0.999};
+  const Engine engine(edison(), ColumnWorkload::from_expected(p));
+  auto run_f = [&](std::uint32_t f) {
+    VprModelParams v;
+    v.overdecomposition = 4;
+    v.lb_interval = f;
+    return engine.run_vpr(192, steps(1500), v).seconds;
+  };
+  const double f20 = run_f(20);
+  const double f160 = run_f(160);
+  const double f1280 = run_f(1280);
+  EXPECT_GT(f20, f160);    // left side of the U (paper: 180 s vs 43 s)
+  EXPECT_GT(f1280, f160);  // right side of the U
+}
+
+TEST(Fig5Guard, OverdecompositionHelps) {
+  InitParams p;
+  p.grid = GridSpec(5998, 1.0);
+  p.total_particles = 6400000;
+  p.distribution = Geometric{0.999};
+  const Engine engine(edison(), ColumnWorkload::from_expected(p));
+  auto run_d = [&](int d) {
+    VprModelParams v;
+    v.overdecomposition = d;
+    v.lb_interval = 1000;
+    return engine.run_vpr(192, steps(1500), v).seconds;
+  };
+  // Paper: d=1 → 104 s, d=16 → 47 s (≈2.2×).
+  EXPECT_GT(run_d(1), 1.5 * run_d(16));
+}
+
+TEST(Fig6LeftGuard, OrderingAt24Cores) {
+  const Engine engine = fig6_engine();
+  const auto base = engine.run_static(24, steps(1500));
+  DiffusionModelParams lb{8, 0.02, 16};
+  const auto diff = engine.run_diffusion(24, steps(1500), lb);
+  VprModelParams v;
+  v.overdecomposition = 4;
+  v.lb_interval = 320;
+  const auto ampi = engine.run_vpr(24, steps(1500), v);
+  // Paper: LB 1.6×, ampi 1.3× over baseline — both beat the baseline,
+  // diffusion beats ampi.
+  EXPECT_LT(diff.seconds, base.seconds);
+  EXPECT_LT(ampi.seconds, base.seconds);
+  EXPECT_LT(diff.seconds, ampi.seconds);
+}
+
+TEST(Fig6LeftGuard, MaxParticlesPerCoreStatistic) {
+  // §V-B: 62,645 baseline vs ~30,585 diffusion vs 25,000 ideal. The
+  // baseline value is a pure workload/decomposition consequence, so the
+  // model must land within a couple of percent.
+  const Engine engine = fig6_engine();
+  const auto base = engine.run_static(24, steps(1500));
+  EXPECT_NEAR(base.max_particles_final, 62645.0, 2500.0);
+  DiffusionModelParams lb{8, 0.02, 16};
+  const auto diff = engine.run_diffusion(24, steps(1500), lb);
+  EXPECT_LT(diff.max_particles_final, 40000.0);
+  EXPECT_GE(diff.max_particles_final, 25000.0 * 0.95);
+}
+
+TEST(Fig6RightGuard, DiffusionWinsStrongScalingAt384) {
+  const Engine engine = fig6_engine();
+  DiffusionModelParams lb{8, 0.02, 16};
+  const auto diff = engine.run_diffusion(384, steps(1500), lb);
+  VprModelParams v;
+  v.overdecomposition = 4;
+  v.lb_interval = 640;
+  const auto ampi = engine.run_vpr(384, steps(1500), v);
+  const auto base = engine.run_static(384, steps(1500));
+  EXPECT_LT(diff.seconds, ampi.seconds);  // paper: LB beats ampi (~2×)
+  EXPECT_LT(ampi.seconds, base.seconds);
+}
+
+// The paper tunes each implementation per point (§V-B); a fixed
+// parameter choice can flip close calls, so the guards tune over the
+// same small grids the bench harnesses use.
+double best_diffusion_seconds(const Engine& engine, int cores, const RunConfig& run) {
+  double best = 1e300;
+  for (std::uint32_t freq : {4u, 8u, 16u, 32u}) {
+    for (double tau : {0.02, 0.10}) {
+      for (std::int64_t width : {std::int64_t{4}, std::int64_t{16}, std::int64_t{64}}) {
+        best = std::min(best,
+                        engine.run_diffusion(cores, run, DiffusionModelParams{freq, tau, width})
+                            .seconds);
+      }
+    }
+  }
+  return best;
+}
+
+double best_vpr_seconds(const Engine& engine, int cores, const RunConfig& run) {
+  double best = 1e300;
+  for (int d : {2, 4, 8}) {
+    for (std::uint32_t f : {160u, 320u, 640u, 1280u}) {
+      VprModelParams v;
+      v.overdecomposition = d;
+      v.lb_interval = f;
+      best = std::min(best, engine.run_vpr(cores, run, v).seconds);
+    }
+  }
+  return best;
+}
+
+TEST(Fig7Guard, AmpiWinsWeakScalingAt3072) {
+  const Engine engine = fig7_engine(3072);
+  const RunConfig run = steps(6000);
+  const auto base = engine.run_static(3072, run);
+  const double diff = best_diffusion_seconds(engine, 3072, run);
+  const double ampi = best_vpr_seconds(engine, 3072, run);
+  // Paper: ampi 2.4×, LB 1.8× over baseline; ampi best.
+  EXPECT_LT(ampi, base.seconds);
+  EXPECT_LT(diff, base.seconds);
+  EXPECT_LT(ampi, diff);
+}
+
+TEST(Fig7Guard, CrossoverExists) {
+  // At small scale diffusion wins; ampi overtakes by 3,072 cores (the
+  // Figure 6R vs Figure 7 contrast in one test).
+  const RunConfig run = steps(6000);
+  const Engine small = fig7_engine(48);
+  EXPECT_LT(best_diffusion_seconds(small, 48, run), best_vpr_seconds(small, 48, run));
+  const Engine big = fig7_engine(3072);
+  EXPECT_GT(best_diffusion_seconds(big, 3072, run), best_vpr_seconds(big, 3072, run));
+}
+
+}  // namespace

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "perfsim/machine.hpp"
+
+namespace {
+
+using picprk::perfsim::MachineModel;
+
+TEST(MachineModelTest, NodeMapping) {
+  MachineModel m;
+  m.cores_per_node = 24;
+  EXPECT_EQ(m.node_of(0), 0);
+  EXPECT_EQ(m.node_of(23), 0);
+  EXPECT_EQ(m.node_of(24), 1);
+  EXPECT_EQ(m.node_of(383), 15);
+  EXPECT_TRUE(m.same_node(0, 23));
+  EXPECT_FALSE(m.same_node(23, 24));
+}
+
+TEST(MachineModelTest, MessageCostsOrdered) {
+  MachineModel m;
+  // Inter-node strictly slower than intra-node for any size.
+  for (double bytes : {0.0, 100.0, 1e6}) {
+    EXPECT_GT(m.msg_cost(bytes, false), m.msg_cost(bytes, true));
+  }
+  // Cost grows with size.
+  EXPECT_GT(m.msg_cost(1e6, true), m.msg_cost(10, true));
+}
+
+TEST(MachineModelTest, HomogeneousSpeedDefault) {
+  MachineModel m;
+  EXPECT_DOUBLE_EQ(m.speed_of(0), 1.0);
+  EXPECT_DOUBLE_EQ(m.speed_of(1000), 1.0);
+}
+
+TEST(MachineModelTest, ExplicitSpeeds) {
+  MachineModel m;
+  m.core_speed = {1.0, 0.5, 2.0};
+  EXPECT_DOUBLE_EQ(m.speed_of(1), 0.5);
+  EXPECT_DOUBLE_EQ(m.speed_of(2), 2.0);
+  EXPECT_THROW(m.speed_of(3), picprk::ContractViolation);
+}
+
+TEST(MachineModelTest, NoiseDisabledByDefault) {
+  MachineModel m;
+  EXPECT_DOUBLE_EQ(m.noise(3, 17), 1.0);
+}
+
+TEST(MachineModelTest, NoiseDeterministicAndBounded) {
+  MachineModel m;
+  m.noise_level = 0.1;
+  const double a = m.noise(3, 17);
+  EXPECT_DOUBLE_EQ(a, m.noise(3, 17));           // deterministic
+  EXPECT_NE(a, m.noise(3, 18));                  // varies by step
+  EXPECT_NE(a, m.noise(4, 17));                  // varies by core
+  for (int core = 0; core < 50; ++core) {
+    for (std::uint32_t step = 0; step < 50; ++step) {
+      const double v = m.noise(core, step);
+      EXPECT_GE(v, 1.0 - 0.1 * 1.7321);
+      EXPECT_LE(v, 1.0 + 0.1 * 1.7321);
+    }
+  }
+}
+
+TEST(MachineModelTest, NoiseMeanNearOne) {
+  MachineModel m;
+  m.noise_level = 0.2;
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += m.noise(i % 97, static_cast<std::uint32_t>(i / 97));
+  EXPECT_NEAR(sum / n, 1.0, 0.01);
+}
+
+}  // namespace

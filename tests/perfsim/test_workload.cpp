@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "perfsim/workload.hpp"
+
+namespace {
+
+using picprk::perfsim::ColumnWorkload;
+using picprk::pic::Geometric;
+using picprk::pic::GridSpec;
+using picprk::pic::InitParams;
+using picprk::pic::Initializer;
+using picprk::pic::Patch;
+using picprk::pic::Uniform;
+
+TEST(ColumnWorkloadTest, DirectCountsAndSums) {
+  ColumnWorkload w({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(w.total(), 10.0);
+  EXPECT_DOUBLE_EQ(w.count(2), 3.0);
+  EXPECT_DOUBLE_EQ(w.range_sum(1, 3), 5.0);
+  EXPECT_DOUBLE_EQ(w.range_sum(0, 4), 10.0);
+  EXPECT_DOUBLE_EQ(w.range_sum(2, 2), 0.0);
+}
+
+TEST(ColumnWorkloadTest, AdvanceRotatesRight) {
+  ColumnWorkload w({1, 2, 3, 4});
+  w.advance(1);
+  // Column 0 now holds what used to be in column 3.
+  EXPECT_DOUBLE_EQ(w.count(0), 4.0);
+  EXPECT_DOUBLE_EQ(w.count(1), 1.0);
+  EXPECT_DOUBLE_EQ(w.total(), 10.0);
+}
+
+TEST(ColumnWorkloadTest, AdvanceWrapsAndAccumulates) {
+  ColumnWorkload w({1, 2, 3, 4});
+  w.advance(3);
+  w.advance(3);  // net 6 ≡ 2 (mod 4)
+  EXPECT_DOUBLE_EQ(w.count(2), 1.0);
+  EXPECT_DOUBLE_EQ(w.count(3), 2.0);
+  w.advance(-2);
+  EXPECT_DOUBLE_EQ(w.count(0), 1.0);
+}
+
+TEST(ColumnWorkloadTest, WrappedRangeSum) {
+  ColumnWorkload w({1, 2, 3, 4});
+  w.advance(2);  // logical: [3,4,1,2]
+  EXPECT_DOUBLE_EQ(w.count(0), 3.0);
+  EXPECT_DOUBLE_EQ(w.range_sum(0, 2), 7.0);
+  EXPECT_DOUBLE_EQ(w.range_sum(1, 4), 7.0);
+}
+
+TEST(ColumnWorkloadTest, InjectionAndRemoval) {
+  ColumnWorkload w({10, 10, 10, 10});
+  w.add_uniform(0, 2, 6.0);
+  EXPECT_DOUBLE_EQ(w.count(0), 13.0);
+  EXPECT_DOUBLE_EQ(w.total(), 46.0);
+  w.scale_range(0, 4, 0.5);
+  EXPECT_DOUBLE_EQ(w.total(), 23.0);
+}
+
+TEST(ColumnWorkloadTest, EventsComposeWithRotation) {
+  ColumnWorkload w({1, 1, 1, 1});
+  w.advance(1);
+  w.add_uniform(0, 1, 5.0);  // logical column 0 after rotation
+  EXPECT_DOUBLE_EQ(w.count(0), 6.0);
+  w.advance(1);
+  EXPECT_DOUBLE_EQ(w.count(1), 6.0);  // the bump travels with the flow
+}
+
+TEST(ColumnWorkloadTest, FromExpectedMatchesRequestTotal) {
+  InitParams params;
+  params.grid = GridSpec(100, 1.0);
+  params.total_particles = 50000;
+  params.distribution = Geometric{0.95};
+  const auto w = ColumnWorkload::from_expected(params);
+  EXPECT_EQ(w.columns(), 100);
+  EXPECT_NEAR(w.total(), 50000.0, 1.0);
+}
+
+TEST(ColumnWorkloadTest, FromExpectedPatchMassInsideRegion) {
+  InitParams params;
+  params.grid = GridSpec(40, 1.0);
+  params.total_particles = 8000;
+  params.distribution = Patch{{10, 20, 5, 15}};
+  const auto w = ColumnWorkload::from_expected(params);
+  EXPECT_NEAR(w.total(), 8000.0, 1.0);
+  EXPECT_DOUBLE_EQ(w.count(0), 0.0);
+  EXPECT_GT(w.count(12), 0.0);
+}
+
+TEST(ColumnWorkloadTest, FromInitializerMatchesRealColumnTotals) {
+  InitParams params;
+  params.grid = GridSpec(50, 1.0);
+  params.total_particles = 5000;
+  params.distribution = Geometric{0.9};
+  const Initializer init(params);
+  const auto w = ColumnWorkload::from_initializer(init);
+  EXPECT_DOUBLE_EQ(w.total(), static_cast<double>(init.total()));
+  for (std::int64_t cx = 0; cx < 50; cx += 7) {
+    EXPECT_DOUBLE_EQ(w.count(cx), static_cast<double>(init.column_total(cx)));
+  }
+}
+
+TEST(ColumnWorkloadTest, ExpectedTracksInitializerClosely) {
+  InitParams params;
+  params.grid = GridSpec(60, 1.0);
+  params.total_particles = 60000;
+  params.distribution = Geometric{0.93};
+  const Initializer init(params);
+  const auto exact = ColumnWorkload::from_initializer(init);
+  const auto model = ColumnWorkload::from_expected(params);
+  // Stochastic rounding deviates by O(√cells) per column at most.
+  for (std::int64_t cx = 0; cx < 60; ++cx) {
+    EXPECT_NEAR(model.count(cx), exact.count(cx), 40.0) << "column " << cx;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "perfsim/workload.hpp"
+#include "perfsim/workload2d.hpp"
+
+namespace {
+
+using picprk::perfsim::ColumnWorkload;
+using picprk::perfsim::Workload2D;
+using picprk::pic::CellRegion;
+using picprk::pic::Geometric;
+using picprk::pic::GridSpec;
+using picprk::pic::InitParams;
+using picprk::pic::Initializer;
+using picprk::pic::Patch;
+
+TEST(Workload2DTest, CountsAndTotal) {
+  // 2x2 grid: counts row-major [1 2; 3 4].
+  Workload2D w(2, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(w.count(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(w.count(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(w.count(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(w.count(1, 1), 4.0);
+  EXPECT_DOUBLE_EQ(w.total(), 10.0);
+}
+
+TEST(Workload2DTest, RectSums) {
+  Workload2D w(4, {1, 0, 0, 0,  //
+                   0, 2, 0, 0,  //
+                   0, 0, 3, 0,  //
+                   0, 0, 0, 4});
+  EXPECT_DOUBLE_EQ(w.range_sum(0, 2, 0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(w.range_sum(1, 4, 1, 4), 9.0);
+  EXPECT_DOUBLE_EQ(w.range_sum(0, 4, 0, 4), 10.0);
+  EXPECT_DOUBLE_EQ(w.range_sum(2, 2, 0, 4), 0.0);
+}
+
+TEST(Workload2DTest, AdvanceShiftsBothAxes) {
+  Workload2D w(3, {1, 0, 0,  //
+                   0, 0, 0,  //
+                   0, 0, 0});
+  w.advance(1, 2);
+  EXPECT_DOUBLE_EQ(w.count(1, 2), 1.0);
+  EXPECT_DOUBLE_EQ(w.count(0, 0), 0.0);
+  w.advance(2, 1);  // wraps both axes back to (0, 0)
+  EXPECT_DOUBLE_EQ(w.count(0, 0), 1.0);
+}
+
+TEST(Workload2DTest, WrappedRectSumAfterAdvance) {
+  Workload2D w(4, {1, 1, 1, 1,  //
+                   1, 1, 1, 1,  //
+                   1, 1, 1, 1,  //
+                   1, 1, 1, 1});
+  w.advance(3, 3);
+  // Any rectangle sums to its area regardless of the wrap position.
+  EXPECT_DOUBLE_EQ(w.range_sum(2, 4, 2, 4), 4.0);
+  EXPECT_DOUBLE_EQ(w.range_sum(1, 4, 0, 2), 6.0);
+}
+
+TEST(Workload2DTest, EventsComposeWithRotation) {
+  Workload2D w(4, std::vector<double>(16, 1.0));
+  w.advance(1, 1);
+  w.add_uniform(CellRegion{0, 2, 0, 2}, 4.0);  // logical lower-left quarter
+  EXPECT_DOUBLE_EQ(w.count(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(w.range_sum(0, 2, 0, 2), 8.0);
+  w.scale_region(CellRegion{0, 2, 0, 2}, 0.5);
+  EXPECT_DOUBLE_EQ(w.range_sum(0, 2, 0, 2), 4.0);
+  // The bump travels with subsequent rotation.
+  w.advance(2, 0);
+  EXPECT_DOUBLE_EQ(w.range_sum(2, 4, 0, 2), 4.0);
+}
+
+TEST(Workload2DTest, MatchesColumnModelForYUniform) {
+  InitParams params;
+  params.grid = GridSpec(32, 1.0);
+  params.total_particles = 32000;
+  params.distribution = Geometric{0.9};
+  const auto w2 = Workload2D::from_expected(params);
+  const auto wc = ColumnWorkload::from_expected(params);
+  for (std::int64_t cx = 0; cx < 32; cx += 3) {
+    EXPECT_NEAR(w2.range_sum(cx, cx + 1, 0, 32), wc.range_sum(cx, cx + 1), 1e-9);
+  }
+}
+
+TEST(Workload2DTest, RotatedSkewInY) {
+  InitParams params;
+  params.grid = GridSpec(32, 1.0);
+  params.total_particles = 32000;
+  params.distribution = Geometric{0.8};
+  params.rotate90 = true;
+  const auto w = Workload2D::from_expected(params);
+  EXPECT_GT(w.range_sum(0, 32, 0, 8), 10.0 * w.range_sum(0, 32, 24, 32));
+  // Columns are flat.
+  EXPECT_NEAR(w.range_sum(0, 8, 0, 32), w.range_sum(24, 32, 0, 32), 1e-6);
+}
+
+TEST(Workload2DTest, PatchMassConfined) {
+  InitParams params;
+  params.grid = GridSpec(24, 1.0);
+  params.total_particles = 4800;
+  params.distribution = Patch{CellRegion{4, 10, 12, 20}};
+  const auto w = Workload2D::from_expected(params);
+  EXPECT_NEAR(w.total(), 4800.0, 1e-9);
+  EXPECT_DOUBLE_EQ(w.range_sum(0, 4, 0, 24), 0.0);
+  EXPECT_NEAR(w.range_sum(4, 10, 12, 20), 4800.0, 1e-9);
+}
+
+TEST(Workload2DTest, FromInitializerExact) {
+  InitParams params;
+  params.grid = GridSpec(20, 1.0);
+  params.total_particles = 2000;
+  params.distribution = Geometric{0.9};
+  const Initializer init(params);
+  const auto w = Workload2D::from_initializer(init);
+  EXPECT_DOUBLE_EQ(w.total(), static_cast<double>(init.total()));
+  EXPECT_DOUBLE_EQ(w.count(3, 7), static_cast<double>(init.count_in_cell(3, 7)));
+}
+
+}  // namespace

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "pic/charge.hpp"
+#include "pic/init.hpp"
+#include "util/assert.hpp"
+
+namespace {
+
+using picprk::pic::AlternatingColumnCharges;
+using picprk::pic::charge_base;
+using picprk::pic::ChargeSlab;
+
+TEST(AlternatingColumns, ParityPattern) {
+  AlternatingColumnCharges charges(2.0);
+  EXPECT_DOUBLE_EQ(charges.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(charges.at(1, 0), -2.0);
+  EXPECT_DOUBLE_EQ(charges.at(2, 5), 2.0);
+  EXPECT_DOUBLE_EQ(charges.at(7, 123), -2.0);
+}
+
+TEST(AlternatingColumns, IndependentOfRow) {
+  AlternatingColumnCharges charges;
+  for (std::int64_t py = 0; py < 10; ++py) {
+    EXPECT_DOUBLE_EQ(charges.at(4, py), charges.at(4, 0));
+  }
+}
+
+TEST(ChargeBase, CanonicalValue) {
+  // h=1, dt=1, q=1, x=1/2: q_pi = 1 / (2*sqrt(2)) (see DESIGN.md §5).
+  EXPECT_NEAR(charge_base(), 1.0 / (2.0 * std::sqrt(2.0)), 1e-15);
+}
+
+TEST(ChargeBase, ScalesWithMeshCharge) {
+  // Doubling q halves the particle charge needed for the same hop.
+  EXPECT_NEAR(charge_base(1.0, 1.0, 2.0), charge_base() / 2.0, 1e-15);
+}
+
+TEST(ChargeBase, OffCenterPlacementFinite) {
+  const double q = charge_base(1.0, 1.0, 1.0, 0.25);
+  EXPECT_GT(q, 0.0);
+  EXPECT_TRUE(std::isfinite(q));
+}
+
+TEST(ChargeBase, InvalidArgumentsThrow) {
+  EXPECT_THROW(charge_base(0.0, 1.0, 1.0, 0.5), picprk::ContractViolation);
+  EXPECT_THROW(charge_base(1.0, 1.0, 1.0, 0.0), picprk::ContractViolation);
+  EXPECT_THROW(charge_base(1.0, 1.0, 1.0, 1.0), picprk::ContractViolation);
+}
+
+TEST(ChargeSlabTest, SamplesPattern) {
+  AlternatingColumnCharges pattern(1.0);
+  ChargeSlab slab = ChargeSlab::sample(pattern, 3, 5, 4, 3);
+  EXPECT_TRUE(slab.contains(3, 5));
+  EXPECT_TRUE(slab.contains(6, 7));
+  EXPECT_FALSE(slab.contains(7, 5));
+  EXPECT_FALSE(slab.contains(3, 8));
+  for (std::int64_t px = 3; px < 7; ++px) {
+    for (std::int64_t py = 5; py < 8; ++py) {
+      EXPECT_DOUBLE_EQ(slab.at(px, py), pattern.at(px, py));
+    }
+  }
+}
+
+TEST(ChargeSlabTest, OutOfRangeAccessThrows) {
+  ChargeSlab slab = ChargeSlab::sample(AlternatingColumnCharges{}, 0, 0, 2, 2);
+  EXPECT_THROW(slab.at(2, 0), picprk::ContractViolation);
+}
+
+TEST(ChargeSlabTest, ExtractColumnsRoundTrip) {
+  AlternatingColumnCharges pattern(1.0);
+  ChargeSlab slab = ChargeSlab::sample(pattern, 0, 0, 5, 4);
+  auto cols = slab.extract_columns(2, 4);
+  ASSERT_EQ(cols.size(), 2u * 4u);
+  // Rebuild a slab from the extracted columns and compare values.
+  ChargeSlab rebuilt = ChargeSlab::from_values(2, 0, 2, 4, cols);
+  // from_values expects row-major (width*height); extract_columns emits
+  // column-major, so reconstruct by sampling instead and compare.
+  for (std::int64_t j = 0; j < 4; ++j) {
+    EXPECT_DOUBLE_EQ(cols[static_cast<std::size_t>(j)], pattern.at(2, j));
+    EXPECT_DOUBLE_EQ(cols[static_cast<std::size_t>(4 + j)], pattern.at(3, j));
+  }
+  (void)rebuilt;
+}
+
+TEST(ChargeSlabTest, BytesAccounting) {
+  ChargeSlab slab = ChargeSlab::sample(AlternatingColumnCharges{}, 0, 0, 10, 20);
+  EXPECT_EQ(slab.bytes(), 200u * sizeof(double));
+}
+
+}  // namespace

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "pic/diagnostics.hpp"
+#include "pic/mover.hpp"
+#include "pic/init.hpp"
+
+namespace {
+
+using picprk::pic::column_histogram;
+using picprk::pic::Geometric;
+using picprk::pic::GridSpec;
+using picprk::pic::InitParams;
+using picprk::pic::Initializer;
+using picprk::pic::Particle;
+using picprk::pic::Patch;
+using picprk::pic::periodic_displacement;
+using picprk::pic::row_histogram;
+using picprk::pic::summarize_cloud;
+using picprk::pic::Uniform;
+
+TEST(Histograms, CountsMatchInitializer) {
+  InitParams params;
+  params.grid = GridSpec(20, 1.0);
+  params.total_particles = 2000;
+  params.distribution = Geometric{0.9};
+  const Initializer init(params);
+  const auto particles = init.create_all();
+  const auto cols = column_histogram(std::span<const Particle>(particles), params.grid);
+  for (std::int64_t cx = 0; cx < 20; ++cx) {
+    EXPECT_EQ(cols[static_cast<std::size_t>(cx)], init.column_total(cx));
+  }
+  const auto rows = row_histogram(std::span<const Particle>(particles), params.grid);
+  std::uint64_t total = 0;
+  for (auto v : rows) total += v;
+  EXPECT_EQ(total, particles.size());
+}
+
+TEST(CloudSummaryTest, PointCloudFullyConcentrated) {
+  GridSpec grid(16, 1.0);
+  std::vector<Particle> particles(10);
+  for (auto& p : particles) {
+    p.x = 4.5;
+    p.y = 11.5;
+  }
+  const auto s = summarize_cloud(std::span<const Particle>(particles), grid);
+  EXPECT_EQ(s.count, 10u);
+  EXPECT_NEAR(s.com_x, 4.5, 1e-9);
+  EXPECT_NEAR(s.com_y, 11.5, 1e-9);
+  EXPECT_NEAR(s.concentration_x, 1.0, 1e-12);
+  EXPECT_NEAR(s.concentration_y, 1.0, 1e-12);
+}
+
+TEST(CloudSummaryTest, UniformCloudUnconcentrated) {
+  InitParams params;
+  params.grid = GridSpec(32, 1.0);
+  params.total_particles = 10000;
+  params.distribution = Uniform{};
+  const Initializer init(params);
+  const auto particles = init.create_all();
+  const auto s = summarize_cloud(std::span<const Particle>(particles), params.grid);
+  EXPECT_LT(s.concentration_x, 0.05);
+  EXPECT_LT(s.concentration_y, 0.05);
+}
+
+TEST(CloudSummaryTest, SeamStraddlingCloudHasCorrectCom) {
+  // Half the particles just left of the seam, half just right: a naive
+  // arithmetic mean would put the c.o.m. at L/2; the circular mean puts
+  // it at the seam.
+  GridSpec grid(16, 1.0);
+  std::vector<Particle> particles;
+  for (int i = 0; i < 5; ++i) {
+    Particle a;
+    a.x = 15.5;
+    a.y = 0.5;
+    particles.push_back(a);
+    Particle b;
+    b.x = 0.5;
+    b.y = 0.5;
+    particles.push_back(b);
+  }
+  const auto s = summarize_cloud(std::span<const Particle>(particles), grid);
+  const double dist_to_seam = std::min(s.com_x, 16.0 - s.com_x);
+  EXPECT_LT(dist_to_seam, 0.51);
+}
+
+TEST(CloudSummaryTest, EmptyCloud) {
+  GridSpec grid(8, 1.0);
+  const auto s = summarize_cloud({}, grid);
+  EXPECT_EQ(s.count, 0u);
+}
+
+TEST(PeriodicDisplacement, ShortestSignedPath) {
+  EXPECT_DOUBLE_EQ(periodic_displacement(2.0, 5.0, 10.0), 3.0);
+  EXPECT_DOUBLE_EQ(periodic_displacement(5.0, 2.0, 10.0), -3.0);
+  EXPECT_DOUBLE_EQ(periodic_displacement(9.0, 1.0, 10.0), 2.0);   // across the seam
+  EXPECT_DOUBLE_EQ(periodic_displacement(1.0, 9.0, 10.0), -2.0);
+  EXPECT_DOUBLE_EQ(periodic_displacement(3.0, 3.0, 10.0), 0.0);
+}
+
+TEST(Drift, CloudDriftsAtSpecifiedSpeed) {
+  // The §III-E1 claim, measured with the diagnostics: a DriftRight
+  // geometric cloud moves (2k+1) cells per step.
+  InitParams params;
+  params.grid = GridSpec(32, 1.0);
+  params.total_particles = 3000;
+  params.distribution = Patch{{4, 12, 0, 32}};
+  params.k = 1;  // 3 cells per step
+  const Initializer init(params);
+  auto particles = init.create_all();
+  const picprk::pic::AlternatingColumnCharges charges;
+
+  auto before = summarize_cloud(std::span<const Particle>(particles), params.grid);
+  for (int step = 0; step < 4; ++step) {
+    picprk::pic::move_all(std::span<Particle>(particles), params.grid, charges, 1.0);
+    const auto after = summarize_cloud(std::span<const Particle>(particles), params.grid);
+    EXPECT_NEAR(periodic_displacement(before.com_x, after.com_x, 32.0), 3.0, 1e-6);
+    EXPECT_NEAR(periodic_displacement(before.com_y, after.com_y, 32.0), 0.0, 1e-6);
+    before = after;
+  }
+}
+
+}  // namespace

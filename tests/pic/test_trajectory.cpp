@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "pic/mover.hpp"
+#include "pic/init.hpp"
+#include "pic/trajectory.hpp"
+
+namespace {
+
+using picprk::pic::AlternatingColumnCharges;
+using picprk::pic::GridSpec;
+using picprk::pic::InitParams;
+using picprk::pic::Initializer;
+using picprk::pic::Particle;
+using picprk::pic::TrajectoryValidator;
+
+std::vector<Particle> make_particles(std::int64_t cells, std::uint64_t n, int k = 0,
+                                     int m = 0) {
+  InitParams params;
+  params.grid = GridSpec(cells, 1.0);
+  params.total_particles = n;
+  params.k = k;
+  params.m = m;
+  return Initializer(params).create_all();
+}
+
+TEST(TrajectoryValidatorTest, CleanRunHasNoFaults) {
+  GridSpec grid(20, 1.0);
+  auto particles = make_particles(20, 300, 1, -1);
+  AlternatingColumnCharges charges;
+  TrajectoryValidator validator;
+  for (std::uint32_t step = 1; step <= 30; ++step) {
+    picprk::pic::move_all(std::span<Particle>(particles), grid, charges, 1.0);
+    validator.check(std::span<const Particle>(particles), grid, step);
+  }
+  EXPECT_TRUE(validator.ok());
+  EXPECT_EQ(validator.checks_performed(), 30u * particles.size());
+}
+
+TEST(TrajectoryValidatorTest, PinpointsTheFaultingStep) {
+  GridSpec grid(20, 1.0);
+  auto particles = make_particles(20, 100);
+  AlternatingColumnCharges charges;
+  TrajectoryValidator validator;
+  for (std::uint32_t step = 1; step <= 20; ++step) {
+    picprk::pic::move_all(std::span<Particle>(particles), grid, charges, 1.0);
+    if (step == 7) {
+      particles[13].x = picprk::pic::wrap(particles[13].x + 0.125, 20.0);
+    }
+    validator.check(std::span<const Particle>(particles), grid, step);
+  }
+  ASSERT_FALSE(validator.ok());
+  ASSERT_EQ(validator.faults().size(), 1u);  // one fault, reported once
+  EXPECT_EQ(validator.faults()[0].step, 7u);
+  EXPECT_EQ(validator.faults()[0].id, particles[13].id);
+  EXPECT_NEAR(validator.faults()[0].error, 0.125, 1e-9);
+}
+
+TEST(TrajectoryValidatorTest, TracksOnlyRequestedIds) {
+  GridSpec grid(16, 1.0);
+  auto particles = make_particles(16, 64);
+  AlternatingColumnCharges charges;
+  TrajectoryValidator validator({particles[0].id, particles[5].id});
+  picprk::pic::move_all(std::span<Particle>(particles), grid, charges, 1.0);
+  const std::size_t checked =
+      validator.check(std::span<const Particle>(particles), grid, 1);
+  EXPECT_EQ(checked, 2u);
+}
+
+TEST(TrajectoryValidatorTest, CorruptedUntrackedParticleIgnored) {
+  GridSpec grid(16, 1.0);
+  auto particles = make_particles(16, 64);
+  AlternatingColumnCharges charges;
+  TrajectoryValidator validator({particles[0].id});
+  picprk::pic::move_all(std::span<Particle>(particles), grid, charges, 1.0);
+  particles[10].x = 0.123;  // corrupt an untracked particle
+  validator.check(std::span<const Particle>(particles), grid, 1);
+  EXPECT_TRUE(validator.ok());
+}
+
+TEST(TrajectoryValidatorTest, FaultExpectedPositionIsClosedForm) {
+  GridSpec grid(16, 1.0);
+  auto particles = make_particles(16, 10);
+  AlternatingColumnCharges charges;
+  TrajectoryValidator validator;
+  picprk::pic::move_all(std::span<Particle>(particles), grid, charges, 1.0);
+  const double good_x = particles[3].x;
+  particles[3].x = picprk::pic::wrap(particles[3].x + 1.0, 16.0);  // one cell off
+  validator.check(std::span<const Particle>(particles), grid, 1);
+  ASSERT_FALSE(validator.ok());
+  EXPECT_NEAR(validator.faults()[0].expected_x, good_x, 1e-9);
+}
+
+}  // namespace

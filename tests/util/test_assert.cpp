@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace {
+
+using picprk::ContractViolation;
+
+int checked_divide(int a, int b) {
+  PICPRK_EXPECTS(b != 0);
+  return a / b;
+}
+
+TEST(Contracts, ExpectsPassesOnValidInput) { EXPECT_EQ(checked_divide(10, 2), 5); }
+
+TEST(Contracts, ExpectsThrowsOnViolation) {
+  EXPECT_THROW(checked_divide(1, 0), ContractViolation);
+}
+
+TEST(Contracts, MessageNamesTheExpression) {
+  try {
+    checked_divide(1, 0);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("b != 0"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("Precondition"), std::string::npos);
+  }
+}
+
+TEST(Contracts, EnsuresThrows) {
+  auto broken = [] {
+    int result = -1;
+    PICPRK_ENSURES(result >= 0);
+    return result;
+  };
+  EXPECT_THROW(broken(), ContractViolation);
+}
+
+TEST(Contracts, AssertMsgCarriesMessage) {
+  try {
+    PICPRK_ASSERT_MSG(false, "custom detail 42");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("custom detail 42"), std::string::npos);
+  }
+}
+
+}  // namespace

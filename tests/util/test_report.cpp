@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/report.hpp"
+
+namespace {
+
+using picprk::util::CsvWriter;
+using picprk::util::JsonObject;
+using picprk::util::write_json_file;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const char* name) : path(std::string("/tmp/picprk_test_") + name) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+TEST(CsvWriterTest, HeaderAndRows) {
+  TempFile f("basic.csv");
+  {
+    CsvWriter csv(f.path, {"cores", "seconds"});
+    ASSERT_TRUE(csv.ok());
+    csv.add_row(std::vector<std::string>{"24", "43.5"});
+    csv.add_row(std::vector<double>{48, 21.7});
+    EXPECT_EQ(csv.rows_written(), 2u);
+  }
+  EXPECT_EQ(read_file(f.path), "cores,seconds\n24,43.5\n48,21.7\n");
+}
+
+TEST(CsvWriterTest, EscapesSpecials) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(CsvWriterTest, WrongWidthThrows) {
+  TempFile f("width.csv");
+  CsvWriter csv(f.path, {"a", "b"});
+  EXPECT_THROW(csv.add_row(std::vector<std::string>{"only"}), picprk::ContractViolation);
+}
+
+TEST(JsonObjectTest, ScalarsAndArrays) {
+  JsonObject o;
+  o.add("name", std::string("fig7"))
+      .add("cores", std::int64_t{3072})
+      .add("ok", true)
+      .add("seconds", 16.25)
+      .add("series", std::vector<double>{1.0, 2.5});
+  EXPECT_EQ(o.to_string(),
+            "{\"name\":\"fig7\",\"cores\":3072,\"ok\":true,"
+            "\"seconds\":16.25,\"series\":[1,2.5]}");
+}
+
+TEST(JsonObjectTest, NestedObjects) {
+  JsonObject child;
+  child.add("f", std::int64_t{160});
+  JsonObject o;
+  o.add("params", child);
+  EXPECT_EQ(o.to_string(), "{\"params\":{\"f\":160}}");
+}
+
+TEST(JsonObjectTest, EscapesStrings) {
+  JsonObject o;
+  o.add("msg", std::string("line1\n\"quoted\""));
+  EXPECT_EQ(o.to_string(), "{\"msg\":\"line1\\n\\\"quoted\\\"\"}");
+}
+
+TEST(JsonObjectTest, PrettyPrintRoundTrips) {
+  JsonObject o;
+  o.add("a", std::int64_t{1}).add("b", 2.0);
+  const std::string pretty = o.to_string(2);
+  EXPECT_NE(pretty.find("\n  \"a\": 1"), std::string::npos);
+}
+
+TEST(JsonFileTest, WriteAndReadBack) {
+  TempFile f("out.json");
+  JsonObject o;
+  o.add("experiment", std::string("fig5")).add("points", std::vector<double>{1, 2, 4});
+  ASSERT_TRUE(write_json_file(f.path, o));
+  const std::string content = read_file(f.path);
+  EXPECT_NE(content.find("\"experiment\": \"fig5\""), std::string::npos);
+  EXPECT_NE(content.find("[1,2,4]"), std::string::npos);
+}
+
+TEST(JsonFileTest, BadPathFails) {
+  JsonObject o;
+  EXPECT_FALSE(write_json_file("/nonexistent_dir_xyz/file.json", o));
+}
+
+}  // namespace

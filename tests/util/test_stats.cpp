@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace {
+
+using picprk::util::Accumulator;
+using picprk::util::Histogram;
+using picprk::util::imbalance;
+using picprk::util::percentile;
+
+TEST(AccumulatorTest, BasicMoments) {
+  Accumulator acc;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) acc.add(v);
+  EXPECT_EQ(acc.count(), 4u);
+  EXPECT_DOUBLE_EQ(acc.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+  EXPECT_NEAR(acc.variance(), 1.25, 1e-12);
+}
+
+TEST(AccumulatorTest, EmptyIsSafe) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(ImbalanceTest, PerfectBalance) {
+  std::vector<double> loads{5, 5, 5, 5};
+  auto r = imbalance(loads);
+  EXPECT_DOUBLE_EQ(r.ratio, 1.0);
+  EXPECT_DOUBLE_EQ(r.lost_fraction, 0.0);
+}
+
+TEST(ImbalanceTest, SkewedLoads) {
+  // Mirrors the paper's §V-B observation: max 62645 vs ideal 25000.
+  std::vector<double> loads(24, 0.0);
+  loads[23] = 62645;
+  double rest = (600000.0 - 62645.0) / 23.0;
+  for (int i = 0; i < 23; ++i) loads[static_cast<std::size_t>(i)] = rest;
+  auto r = imbalance(loads);
+  EXPECT_NEAR(r.mean, 25000.0, 1.0);
+  EXPECT_NEAR(r.ratio, 62645.0 / 25000.0, 1e-3);
+}
+
+TEST(PercentileTest, MedianAndExtremes) {
+  std::vector<double> v{9, 1, 5, 3, 7};
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 9.0);
+}
+
+TEST(PercentileTest, Interpolates) {
+  std::vector<double> v{0, 10};
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.5);
+}
+
+TEST(HistogramTest, CountsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.99);
+  h.add(-5.0);   // clamps into the first bucket
+  h.add(42.0);   // clamps into the last bucket
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.counts()[0], 2u);
+  EXPECT_EQ(h.counts()[9], 2u);
+}
+
+TEST(HistogramTest, WeightedAdd) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.1, 7);
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_EQ(h.counts()[0], 7u);
+}
+
+}  // namespace

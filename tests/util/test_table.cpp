@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using picprk::util::print_series_csv;
+using picprk::util::Series;
+using picprk::util::Table;
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"cores", "seconds"});
+  t.add_row({"1", "512.3"});
+  t.add_row({"384", "2.9"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("cores"), std::string::npos);
+  EXPECT_NE(out.find("512.3"), std::string::npos);
+  // Header separator line exists.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TableTest, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), picprk::ContractViolation);
+}
+
+TEST(TableTest, FormatHelpers) {
+  EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::fmt_u64(42), "42");
+}
+
+TEST(SeriesTest, CsvFormat) {
+  Series s{"ampi", {24, 48}, {10.5, 5.25}};
+  std::ostringstream os;
+  print_series_csv(os, {s});
+  EXPECT_EQ(os.str(), "# series,ampi,24,10.5\n# series,ampi,48,5.25\n");
+}
+
+TEST(SeriesTest, MismatchedLengthsThrow) {
+  Series s{"bad", {1.0}, {}};
+  std::ostringstream os;
+  EXPECT_THROW(print_series_csv(os, {s}), picprk::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+// Property tests over all balancer strategies with randomized inputs:
+// a remap must always be a valid placement, never increase the maximum
+// worker load for the improving strategies, and be deterministic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+#include "vpr/lb.hpp"
+
+namespace {
+
+using picprk::util::SplitMix64;
+using picprk::vpr::make_load_balancer;
+using picprk::vpr::VpLoad;
+
+std::vector<VpLoad> random_loads(SplitMix64& rng, int vps, int workers) {
+  std::vector<VpLoad> loads(static_cast<std::size_t>(vps));
+  for (int v = 0; v < vps; ++v) {
+    auto& l = loads[static_cast<std::size_t>(v)];
+    l.vp = v;
+    l.load = static_cast<double>(rng.next_below(1000));
+    l.worker = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(workers)));
+    // Ring neighbors as generic locality hints.
+    l.neighbors = {(v + 1) % vps, (v + vps - 1) % vps};
+  }
+  return loads;
+}
+
+double max_load(const std::vector<VpLoad>& loads, const std::vector<int>& placement,
+                int workers) {
+  std::vector<double> w(static_cast<std::size_t>(workers), 0.0);
+  for (std::size_t i = 0; i < loads.size(); ++i)
+    w[static_cast<std::size_t>(placement[i])] += loads[i].load;
+  return *std::max_element(w.begin(), w.end());
+}
+
+class LbProperty : public ::testing::TestWithParam<const char*> {};
+INSTANTIATE_TEST_SUITE_P(Strategies, LbProperty,
+                         ::testing::Values("null", "greedy", "refine", "diffusion",
+                                           "compact", "rotate"),
+                         [](const auto& info) { return std::string(info.param); });
+
+TEST_P(LbProperty, ValidPlacementOnRandomInputs) {
+  auto lb = make_load_balancer(GetParam());
+  SplitMix64 rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int workers = 1 + static_cast<int>(rng.next_below(8));
+    const int vps = workers + static_cast<int>(rng.next_below(40));
+    const auto loads = random_loads(rng, vps, workers);
+    const auto placement = lb->remap(loads, workers);
+    ASSERT_EQ(placement.size(), loads.size());
+    for (int w : placement) {
+      EXPECT_GE(w, 0);
+      EXPECT_LT(w, workers);
+    }
+  }
+}
+
+TEST_P(LbProperty, Deterministic) {
+  auto lb = make_load_balancer(GetParam());
+  SplitMix64 rng(99);
+  const auto loads = random_loads(rng, 30, 4);
+  EXPECT_EQ(lb->remap(loads, 4), lb->remap(loads, 4));
+}
+
+class ImprovingLbProperty : public ::testing::TestWithParam<const char*> {};
+INSTANTIATE_TEST_SUITE_P(Strategies, ImprovingLbProperty,
+                         ::testing::Values("greedy", "refine", "compact"),
+                         [](const auto& info) { return std::string(info.param); });
+
+TEST_P(ImprovingLbProperty, NeverWorsensTheMaximum) {
+  auto lb = make_load_balancer(GetParam());
+  SplitMix64 rng(123);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int workers = 2 + static_cast<int>(rng.next_below(6));
+    const int vps = workers * (1 + static_cast<int>(rng.next_below(8)));
+    const auto loads = random_loads(rng, vps, workers);
+    std::vector<int> orig;
+    for (const auto& l : loads) orig.push_back(l.worker);
+    const auto placement = lb->remap(loads, workers);
+    EXPECT_LE(max_load(loads, placement, workers),
+              max_load(loads, orig, workers) + 1e-9)
+        << GetParam() << " trial " << trial;
+  }
+}
+
+TEST_P(ImprovingLbProperty, SubstantiallyImprovesConcentratedLoad) {
+  auto lb = make_load_balancer(GetParam());
+  // Everything on worker 0.
+  std::vector<VpLoad> loads(16);
+  for (int v = 0; v < 16; ++v) {
+    loads[static_cast<std::size_t>(v)] =
+        VpLoad{v, 10.0, 0, {(v + 1) % 16, (v + 15) % 16}};
+  }
+  const auto placement = lb->remap(loads, 4);
+  EXPECT_LE(max_load(loads, placement, 4), 0.5 * 160.0);
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "pic/simulation.hpp"
+#include "ws/binned.hpp"
+
+namespace {
+
+using picprk::pic::CellRegion;
+using picprk::pic::EventSchedule;
+using picprk::pic::Geometric;
+using picprk::pic::GridSpec;
+using picprk::pic::InjectionEvent;
+using picprk::pic::RemovalEvent;
+using picprk::pic::SimulationConfig;
+using picprk::ws::run_worksteal;
+using picprk::ws::WsParams;
+
+SimulationConfig base_config(std::int64_t cells, std::uint64_t n, std::uint32_t steps) {
+  SimulationConfig cfg;
+  cfg.init.grid = GridSpec(cells, 1.0);
+  cfg.init.total_particles = n;
+  cfg.steps = steps;
+  return cfg;
+}
+
+class WsWorkers : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, WsWorkers, ::testing::Values(1, 2, 4),
+                         [](const auto& info) { return "w" + std::to_string(info.param); });
+
+TEST_P(WsWorkers, UniformVerifies) {
+  auto cfg = base_config(40, 3000, 40);
+  WsParams params;
+  params.workers = GetParam();
+  const auto r = run_worksteal(cfg, params);
+  EXPECT_TRUE(r.ok) << "failures=" << r.verification.position_failures;
+  EXPECT_EQ(r.final_particles, r.verification.checked);
+}
+
+TEST_P(WsWorkers, RotatedSkewVerifies) {
+  auto cfg = base_config(40, 4000, 40);
+  cfg.init.distribution = Geometric{0.85};
+  cfg.init.rotate90 = true;  // skew the rows: unequal task costs
+  cfg.init.k = 1;
+  WsParams params;
+  params.workers = GetParam();
+  params.rows_per_task = 4;
+  EXPECT_TRUE(run_worksteal(cfg, params).ok);
+}
+
+TEST(WsBinned, VerticalMotionRebinsCorrectly) {
+  auto cfg = base_config(32, 2000, 60);
+  cfg.init.m = 3;  // rows change every step: the re-bin path
+  WsParams params;
+  params.workers = 2;
+  EXPECT_TRUE(run_worksteal(cfg, params).ok);
+}
+
+TEST(WsBinned, NegativeVerticalMotion) {
+  auto cfg = base_config(32, 1500, 50);
+  cfg.init.m = -2;
+  WsParams params;
+  params.workers = 2;
+  EXPECT_TRUE(run_worksteal(cfg, params).ok);
+}
+
+TEST(WsBinned, MatchesSerialResult) {
+  auto cfg = base_config(36, 2500, 30);
+  cfg.init.distribution = Geometric{0.9};
+  cfg.init.m = 1;
+  const auto serial = picprk::pic::run_serial(cfg);
+  WsParams params;
+  params.workers = 2;
+  const auto ws = run_worksteal(cfg, params);
+  EXPECT_TRUE(serial.ok());
+  EXPECT_TRUE(ws.ok);
+  EXPECT_EQ(ws.final_particles, serial.final_particles);
+  EXPECT_EQ(ws.verification.id_checksum, serial.verification.id_checksum);
+}
+
+TEST(WsBinned, StealingOccursOnRowSkew) {
+  auto cfg = base_config(64, 30000, 20);
+  cfg.init.distribution = Geometric{0.8};
+  cfg.init.rotate90 = true;
+  WsParams on;
+  on.workers = 2;
+  on.rows_per_task = 2;
+  const auto r = run_worksteal(cfg, on);
+  EXPECT_TRUE(r.ok);
+  EXPECT_GT(r.steals, 0u);
+}
+
+TEST(WsBinned, StaticModeVerifiesWithoutSteals) {
+  auto cfg = base_config(40, 3000, 20);
+  cfg.init.distribution = Geometric{0.85};
+  cfg.init.rotate90 = true;
+  WsParams params;
+  params.workers = 2;
+  params.stealing = false;
+  const auto r = run_worksteal(cfg, params);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.steals, 0u);
+}
+
+TEST(WsBinned, EventsVerify) {
+  auto cfg = base_config(32, 1500, 40);
+  cfg.events = EventSchedule({InjectionEvent{10, CellRegion{4, 28, 4, 28}, 800}},
+                             {RemovalEvent{25, CellRegion{0, 32, 0, 16}, 0.5}});
+  cfg.init.m = 1;
+  WsParams params;
+  params.workers = 2;
+  const auto r = run_worksteal(cfg, params);
+  EXPECT_TRUE(r.ok);
+}
+
+TEST(WsBinned, FineTasksVerify) {
+  auto cfg = base_config(32, 1000, 20);
+  WsParams params;
+  params.workers = 4;
+  params.rows_per_task = 1;
+  EXPECT_TRUE(run_worksteal(cfg, params).ok);
+}
+
+}  // namespace

@@ -1,0 +1,212 @@
+// picprk — the command-line front end to the PIC PRK, in the spirit of
+// the official Parallel Research Kernels binaries: every knob of the
+// specification (§III) and of the three reference implementations (§IV)
+// is a flag, and the run ends with the verification verdict.
+//
+// Examples:
+//   picprk --impl serial --cells 400 --particles 200000 --steps 400
+//   picprk --impl diffusion --ranks 6 --dist geometric --r 0.98 \
+//          --lb-frequency 8 --lb-border 4 --two-phase
+//   picprk --impl ampi --workers 2 --d 8 --F 16 --balancer compact
+//   picprk --impl model --cores 384 --steps 6000   # performance model
+#include <iostream>
+
+#include "comm/world.hpp"
+#include "par/ampi.hpp"
+#include "par/baseline.hpp"
+#include "par/diffusion.hpp"
+#include "perfsim/engine.hpp"
+#include "pic/simulation.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace picprk;
+
+pic::Distribution parse_distribution(const util::ArgParser& args) {
+  const std::string name = args.get_string("dist");
+  if (name == "uniform") return pic::Uniform{};
+  if (name == "geometric") return pic::Geometric{args.get_double("r")};
+  if (name == "sinusoidal") return pic::Sinusoidal{};
+  if (name == "linear")
+    return pic::Linear{args.get_double("alpha"), args.get_double("beta")};
+  if (name == "patch") {
+    const auto cells = args.get_int("cells");
+    return pic::Patch{pic::CellRegion{args.get_int("patch-x0"),
+                                      std::min(args.get_int("patch-x1"), cells),
+                                      args.get_int("patch-y0"),
+                                      std::min(args.get_int("patch-y1"), cells)}};
+  }
+  throw std::invalid_argument("unknown --dist: " + name +
+                              " (uniform|geometric|sinusoidal|linear|patch)");
+}
+
+pic::EventSchedule parse_events(const util::ArgParser& args, std::int64_t cells) {
+  std::vector<pic::InjectionEvent> injections;
+  std::vector<pic::RemovalEvent> removals;
+  if (args.get_int("inject-count") > 0) {
+    injections.push_back(pic::InjectionEvent{
+        static_cast<std::uint32_t>(args.get_int("inject-step")),
+        pic::CellRegion{0, cells / 2, 0, cells / 2},
+        static_cast<std::uint64_t>(args.get_int("inject-count"))});
+  }
+  if (args.get_double("remove-fraction") > 0) {
+    removals.push_back(pic::RemovalEvent{
+        static_cast<std::uint32_t>(args.get_int("remove-step")),
+        pic::CellRegion{0, cells, 0, cells}, args.get_double("remove-fraction")});
+  }
+  return pic::EventSchedule(std::move(injections), std::move(removals));
+}
+
+int report(const char* impl, bool ok, std::uint64_t particles, double seconds,
+           const std::string& extra = {}) {
+  std::cout << impl << ": " << (ok ? "VERIFIED" : "VERIFICATION FAILED") << " — "
+            << particles << " particles, " << util::Table::fmt(seconds, 3) << " s";
+  if (!extra.empty()) std::cout << " (" << extra << ')';
+  std::cout << '\n';
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  util::ArgParser args("picprk", "the PIC Parallel Research Kernel");
+  args.add_string("impl", "serial",
+                  "serial | baseline | diffusion | ampi | model");
+  args.add_int("cells", 200, "mesh cells per dimension (even)");
+  args.add_int("particles", 100000, "requested particle count");
+  args.add_int("steps", 200, "time steps");
+  args.add_int("k", 0, "charge multiple: (2k+1) cells/step in x");
+  args.add_int("m", 0, "initial vertical speed: m cells/step");
+  args.add_int("seed", 0x5EEDF00D, "initialisation seed");
+  args.add_flag("rotate90", false, "rotate the distribution by 90 degrees");
+  // Distribution.
+  args.add_string("dist", "geometric", "uniform|geometric|sinusoidal|linear|patch");
+  args.add_double("r", 0.99, "geometric ratio");
+  args.add_double("alpha", 1.0, "linear distribution alpha");
+  args.add_double("beta", 1.0, "linear distribution beta");
+  args.add_int("patch-x0", 0, "patch region x0 (cells)");
+  args.add_int("patch-x1", 100, "patch region x1");
+  args.add_int("patch-y0", 0, "patch region y0");
+  args.add_int("patch-y1", 100, "patch region y1");
+  // Events.
+  args.add_int("inject-count", 0, "particles injected into the lower-left quarter");
+  args.add_int("inject-step", 0, "injection time step");
+  args.add_double("remove-fraction", 0.0, "fraction removed domain-wide");
+  args.add_int("remove-step", 0, "removal time step");
+  // Parallel knobs.
+  args.add_int("ranks", 4, "threadcomm ranks (baseline/diffusion)");
+  args.add_int("lb-frequency", 16, "diffusion: steps between LB attempts");
+  args.add_double("lb-threshold", 0.1, "diffusion: trigger threshold tau");
+  args.add_int("lb-border", 1, "diffusion: border cell-columns per action");
+  args.add_flag("two-phase", false, "diffusion: balance y as well as x");
+  args.add_int("workers", 2, "ampi: worker threads");
+  args.add_int("d", 4, "ampi: over-decomposition degree");
+  args.add_int("F", 16, "ampi: LB interval (0 = never)");
+  args.add_string("balancer", "greedy", "ampi: null|greedy|refine|diffusion|compact|rotate");
+  args.add_flag("measured-load", false, "ampi: balance on measured time");
+  // Performance model.
+  args.add_int("cores", 96, "model: core count");
+  if (!args.parse(argc, argv)) return 0;
+
+  pic::InitParams init;
+  init.grid = pic::GridSpec(args.get_int("cells"), 1.0);
+  init.total_particles = static_cast<std::uint64_t>(args.get_int("particles"));
+  init.distribution = parse_distribution(args);
+  init.k = static_cast<std::int32_t>(args.get_int("k"));
+  init.m = static_cast<std::int32_t>(args.get_int("m"));
+  init.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  init.rotate90 = args.get_flag("rotate90");
+  const auto steps = static_cast<std::uint32_t>(args.get_int("steps"));
+  const std::string impl = args.get_string("impl");
+
+  if (impl == "serial") {
+    pic::SimulationConfig cfg;
+    cfg.init = init;
+    cfg.steps = steps;
+    cfg.events = parse_events(args, init.grid.cells);
+    const auto r = pic::run_serial(cfg);
+    return report("serial", r.ok(), r.final_particles, r.seconds,
+                  "max err " + util::Table::fmt(r.verification.max_position_error, 9));
+  }
+
+  if (impl == "model") {
+    perfsim::MachineModel machine;
+    machine.t_particle = 140e-9;
+    const perfsim::Engine engine(machine, perfsim::ColumnWorkload::from_expected(init));
+    perfsim::RunConfig run;
+    run.steps = steps;
+    run.shift_per_step = 2 * init.k + 1;
+    const int cores = static_cast<int>(args.get_int("cores"));
+    const auto base = engine.run_static(cores, run);
+    const auto diff = engine.run_diffusion(
+        cores, run,
+        perfsim::DiffusionModelParams{
+            static_cast<std::uint32_t>(args.get_int("lb-frequency")),
+            args.get_double("lb-threshold"), args.get_int("lb-border")});
+    perfsim::VprModelParams vp;
+    vp.overdecomposition = static_cast<int>(args.get_int("d"));
+    vp.lb_interval = static_cast<std::uint32_t>(args.get_int("F"));
+    vp.balancer = args.get_string("balancer");
+    const auto ampi = engine.run_vpr(cores, run, vp);
+    util::Table table({"impl", "seconds", "avg imbalance", "max particles/core"});
+    table.add_row({"mpi-2d", util::Table::fmt(base.seconds, 2),
+                   util::Table::fmt(base.avg_imbalance, 2),
+                   util::Table::fmt(base.max_particles_final, 0)});
+    table.add_row({"mpi-2d-LB", util::Table::fmt(diff.seconds, 2),
+                   util::Table::fmt(diff.avg_imbalance, 2),
+                   util::Table::fmt(diff.max_particles_final, 0)});
+    table.add_row({"ampi", util::Table::fmt(ampi.seconds, 2),
+                   util::Table::fmt(ampi.avg_imbalance, 2),
+                   util::Table::fmt(ampi.max_particles_final, 0)});
+    table.print(std::cout);
+    return 0;
+  }
+
+  par::DriverConfig cfg;
+  cfg.init = init;
+  cfg.steps = steps;
+  cfg.events = parse_events(args, init.grid.cells);
+
+  if (impl == "ampi") {
+    par::AmpiParams params;
+    params.workers = static_cast<int>(args.get_int("workers"));
+    params.overdecomposition = static_cast<int>(args.get_int("d"));
+    params.lb_interval = static_cast<std::uint32_t>(args.get_int("F"));
+    params.balancer = args.get_string("balancer");
+    params.use_measured_load = args.get_flag("measured-load");
+    const auto r = par::run_ampi(cfg, params);
+    return report("ampi", r.ok, r.final_particles, r.seconds,
+                  std::to_string(r.lb_actions) + " migrations, max/worker " +
+                      std::to_string(r.max_particles_per_rank));
+  }
+
+  if (impl == "baseline" || impl == "diffusion") {
+    par::DriverResult result;
+    comm::World world(static_cast<int>(args.get_int("ranks")));
+    world.run([&](comm::Comm& comm) {
+      par::DriverResult r;
+      if (impl == "baseline") {
+        r = par::run_baseline(comm, cfg);
+      } else {
+        par::DiffusionParams lb;
+        lb.frequency = static_cast<std::uint32_t>(args.get_int("lb-frequency"));
+        lb.threshold = args.get_double("lb-threshold");
+        lb.border_width = args.get_int("lb-border");
+        lb.two_phase = args.get_flag("two-phase");
+        r = par::run_diffusion(comm, cfg, lb);
+      }
+      if (comm.rank() == 0) result = r;
+    });
+    return report(impl.c_str(), result.ok, result.final_particles, result.seconds,
+                  std::to_string(result.particles_exchanged) + " exchanged, max/rank " +
+                      std::to_string(result.max_particles_per_rank));
+  }
+
+  std::cerr << "unknown --impl: " << impl << "\n" << args.usage();
+  return 2;
+} catch (const std::exception& e) {
+  std::cerr << "picprk: " << e.what() << '\n';
+  return 2;
+}
