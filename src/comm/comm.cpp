@@ -1,7 +1,9 @@
 #include "comm/comm.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
+#include <thread>
 #include <tuple>
 
 namespace picprk::comm {
@@ -34,10 +36,37 @@ void Comm::send_bytes(std::vector<std::byte> bytes, int dst, int tag) {
 void Comm::send_internal(std::vector<std::byte> bytes, int dst, int tag) {
   PICPRK_EXPECTS(dst >= 0 && dst < size());
   const int wdst = group_[static_cast<std::size_t>(dst)];
-  state_->bytes_sent.fetch_add(bytes.size(), std::memory_order_relaxed);
-  state_->messages_sent.fetch_add(1, std::memory_order_relaxed);
-  state_->boxes[static_cast<std::size_t>(wdst)]->push(
-      Message{context_, world_rank_, tag, std::move(bytes)});
+  int copies = 1;
+  if (FaultHook* hook = state_->options.fault_hook) {
+    const FaultDecision decision = hook->on_send(world_rank_, wdst, tag, bytes.size());
+    switch (decision.kind) {
+      case FaultDecision::Kind::Deliver:
+        break;
+      case FaultDecision::Kind::Drop:
+        return;  // lost on the wire; the watchdog surfaces the hang
+      case FaultDecision::Kind::Duplicate:
+        copies = 2;
+        break;
+      case FaultDecision::Kind::Delay: {
+        // Sender-side latency; chunked so an abort cuts it short.
+        auto remaining = std::chrono::milliseconds(decision.delay_ms);
+        while (remaining.count() > 0) {
+          if (state_->abort.load(std::memory_order_acquire)) throw WorldAborted{};
+          const auto slice = std::min(remaining, std::chrono::milliseconds(5));
+          std::this_thread::sleep_for(slice);
+          remaining -= slice;
+        }
+        break;
+      }
+    }
+  }
+  for (int c = 0; c < copies; ++c) {
+    state_->bytes_sent.fetch_add(bytes.size(), std::memory_order_relaxed);
+    state_->messages_sent.fetch_add(1, std::memory_order_relaxed);
+    state_->boxes[static_cast<std::size_t>(wdst)]->push(
+        Message{context_, world_rank_, tag,
+                c + 1 < copies ? bytes : std::move(bytes)});
+  }
 }
 
 Message Comm::recv_bytes(int src, int tag) { return recv_internal(src, tag); }
@@ -46,7 +75,7 @@ Message Comm::recv_internal(int src, int tag) {
   PICPRK_EXPECTS(src == kAnySource || (src >= 0 && src < size()));
   const int wsrc = src == kAnySource ? kAnySource : group_[static_cast<std::size_t>(src)];
   Message msg = state_->boxes[static_cast<std::size_t>(world_rank_)]->pop(
-      context_, wsrc, tag, state_->abort);
+      context_, wsrc, tag, state_->wait_params(world_rank_));
   // Translate the source back into this communicator's rank space for
   // user-facing receives; internal callers use group_index explicitly.
   return msg;
@@ -56,7 +85,7 @@ Status Comm::probe(int src, int tag) {
   PICPRK_EXPECTS(src == kAnySource || (src >= 0 && src < size()));
   const int wsrc = src == kAnySource ? kAnySource : group_[static_cast<std::size_t>(src)];
   Status st = state_->boxes[static_cast<std::size_t>(world_rank_)]->probe_wait(
-      context_, wsrc, tag, state_->abort);
+      context_, wsrc, tag, state_->wait_params(world_rank_));
   st.source = group_index(st.source);
   return st;
 }

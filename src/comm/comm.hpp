@@ -324,6 +324,10 @@ class Comm {
   int world_rank() const { return world_rank_; }
   int context() const { return context_; }
 
+  /// The world abort flag — lets long-running non-comm code (e.g. an
+  /// injected slow-rank stall) observe a shutdown and bail out.
+  const std::atomic<bool>& abort_flag() const { return state_->abort; }
+
  private:
   Comm(WorldState* state, int world_rank, int context, std::vector<int> group);
 

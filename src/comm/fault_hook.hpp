@@ -1,0 +1,36 @@
+// Fault-injection hook interface of threadcomm. The comm layer calls an
+// installed hook on every message send so a fault model (src/ft) can
+// perturb delivery — drop, duplicate or delay messages — without the
+// comm layer depending on the fault-tolerance library. A null hook costs
+// one pointer test per send; the default world installs none.
+#pragma once
+
+#include <cstddef>
+
+namespace picprk::comm {
+
+/// What the hook wants done with one outgoing message.
+struct FaultDecision {
+  enum class Kind {
+    Deliver,    ///< normal delivery
+    Drop,       ///< silently lose the message (a hang downstream is the
+                ///< *intended* symptom; the watchdog must surface it)
+    Duplicate,  ///< deliver twice (network-level retransmission bug)
+    Delay,      ///< sleep `delay_ms` in the sender, then deliver
+  };
+  Kind kind = Kind::Deliver;
+  int delay_ms = 0;
+};
+
+/// Implemented by the fault injector; installed via WorldOptions.
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+
+  /// Called on every message send, collectives included. Endpoints are
+  /// world ranks; `tag` is the wire tag (negative = collective traffic).
+  /// Must be thread-safe: every rank thread calls it concurrently.
+  virtual FaultDecision on_send(int src, int dst, int tag, std::size_t bytes) = 0;
+};
+
+}  // namespace picprk::comm

@@ -1,6 +1,60 @@
 #include "comm/mailbox.hpp"
 
+#include <sstream>
+
 namespace picprk::comm {
+
+namespace {
+
+/// RAII publisher of a rank's blocked state. Constructed just before the
+/// first cv wait (the fast path never touches the registry); the odd
+/// generation marks the rank blocked until destruction restores even.
+class BlockScope {
+ public:
+  BlockScope(BlockedSlot* slot, int kind, int context, int source, int tag)
+      : slot_(slot) {
+    if (!slot_) return;
+    slot_->context.store(context, std::memory_order_relaxed);
+    slot_->source.store(source, std::memory_order_relaxed);
+    slot_->tag.store(tag, std::memory_order_relaxed);
+    slot_->kind.store(kind, std::memory_order_relaxed);
+    slot_->generation.fetch_add(1, std::memory_order_release);  // -> odd
+  }
+
+  ~BlockScope() {
+    if (!slot_) return;
+    slot_->kind.store(0, std::memory_order_relaxed);
+    slot_->generation.fetch_add(1, std::memory_order_release);  // -> even
+  }
+
+  BlockScope(const BlockScope&) = delete;
+  BlockScope& operator=(const BlockScope&) = delete;
+
+ private:
+  BlockedSlot* slot_;
+};
+
+[[noreturn]] void throw_timeout(const char* op, std::chrono::milliseconds deadline,
+                                int context, int source, int tag) {
+  std::ostringstream os;
+  os << "threadcomm " << op << " timed out after " << deadline.count()
+     << " ms (context " << context << ", source ";
+  if (source == kAnySource) {
+    os << "ANY";
+  } else {
+    os << source;
+  }
+  os << ", tag ";
+  if (tag == kAnyTag) {
+    os << "ANY";
+  } else {
+    os << tag;
+  }
+  os << ')';
+  throw CommTimeout(os.str(), context, source, tag);
+}
+
+}  // namespace
 
 void Mailbox::push(Message msg) {
   {
@@ -10,8 +64,10 @@ void Mailbox::push(Message msg) {
   cv_.notify_all();
 }
 
-Message Mailbox::pop(int context, int source, int tag, const std::atomic<bool>& abort) {
+Message Mailbox::pop(int context, int source, int tag, const WaitParams& wait) {
   std::unique_lock lock(mutex_);
+  std::optional<BlockScope> blocked;
+  const auto deadline_at = std::chrono::steady_clock::now() + wait.deadline;
   for (;;) {
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
       if (matches(*it, context, source, tag)) {
@@ -20,8 +76,25 @@ Message Mailbox::pop(int context, int source, int tag, const std::atomic<bool>& 
         return msg;
       }
     }
-    if (abort.load(std::memory_order_acquire)) throw WorldAborted{};
-    cv_.wait(lock);
+    if (wait.abort && wait.abort->load(std::memory_order_acquire)) throw WorldAborted{};
+    if (!blocked) blocked.emplace(wait.slot, 1, context, source, tag);
+    if (wait.deadline.count() > 0) {
+      if (cv_.wait_until(lock, deadline_at) == std::cv_status::timeout) {
+        // Re-scan once: a matching push may have raced the timeout.
+        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+          if (matches(*it, context, source, tag)) {
+            Message msg = std::move(*it);
+            queue_.erase(it);
+            return msg;
+          }
+        }
+        if (wait.abort && wait.abort->load(std::memory_order_acquire))
+          throw WorldAborted{};
+        throw_timeout("recv", wait.deadline, context, source, tag);
+      }
+    } else {
+      cv_.wait(lock);
+    }
   }
 }
 
@@ -35,23 +108,46 @@ std::optional<Status> Mailbox::probe(int context, int source, int tag) const {
   return std::nullopt;
 }
 
-Status Mailbox::probe_wait(int context, int source, int tag,
-                           const std::atomic<bool>& abort) {
+Status Mailbox::probe_wait(int context, int source, int tag, const WaitParams& wait) {
   std::unique_lock lock(mutex_);
+  std::optional<BlockScope> blocked;
+  const auto deadline_at = std::chrono::steady_clock::now() + wait.deadline;
   for (;;) {
     for (const auto& m : queue_) {
       if (matches(m, context, source, tag)) {
         return Status{m.source, m.tag, m.payload.size()};
       }
     }
-    if (abort.load(std::memory_order_acquire)) throw WorldAborted{};
-    cv_.wait(lock);
+    if (wait.abort && wait.abort->load(std::memory_order_acquire)) throw WorldAborted{};
+    if (!blocked) blocked.emplace(wait.slot, 2, context, source, tag);
+    if (wait.deadline.count() > 0) {
+      if (cv_.wait_until(lock, deadline_at) == std::cv_status::timeout) {
+        for (const auto& m : queue_) {
+          if (matches(m, context, source, tag)) {
+            return Status{m.source, m.tag, m.payload.size()};
+          }
+        }
+        if (wait.abort && wait.abort->load(std::memory_order_acquire))
+          throw WorldAborted{};
+        throw_timeout("probe", wait.deadline, context, source, tag);
+      }
+    } else {
+      cv_.wait(lock);
+    }
   }
 }
 
 std::size_t Mailbox::queued() const {
   std::scoped_lock lock(mutex_);
   return queue_.size();
+}
+
+std::vector<Message> Mailbox::drain() {
+  std::scoped_lock lock(mutex_);
+  std::vector<Message> out(std::make_move_iterator(queue_.begin()),
+                           std::make_move_iterator(queue_.end()));
+  queue_.clear();
+  return out;
 }
 
 void Mailbox::notify_abort() { cv_.notify_all(); }

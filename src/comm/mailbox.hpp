@@ -1,13 +1,21 @@
 // Per-rank mailbox with MPI-style envelope matching: a recv with
 // (context, source|ANY, tag|ANY) takes the *earliest* matching message,
 // which gives the per-(source,tag) FIFO ordering MPI guarantees.
+//
+// Blocking waits are watchdog-aware: they honour the world abort flag,
+// an optional per-call deadline (a hang becomes a typed CommTimeout
+// instead of a stuck process), and publish the caller's blocked state to
+// a registry the world-level deadlock detector reads.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "comm/message.hpp"
 
@@ -20,24 +28,73 @@ class WorldAborted : public std::runtime_error {
   WorldAborted() : std::runtime_error("threadcomm world aborted by another rank") {}
 };
 
+/// Thrown out of a blocking recv/probe when the configured deadline
+/// expires before a matching message arrives — the watchdog's per-call
+/// conversion of a hang into a typed, catchable error.
+class CommTimeout : public std::runtime_error {
+ public:
+  CommTimeout(const std::string& what, int context, int source, int tag)
+      : std::runtime_error(what), context_(context), source_(source), tag_(tag) {}
+
+  int context() const noexcept { return context_; }
+  /// Requested source (world rank, or kAnySource).
+  int source() const noexcept { return source_; }
+  int tag() const noexcept { return tag_; }
+
+ private:
+  int context_;
+  int source_;
+  int tag_;
+};
+
+/// One rank's entry in the world's blocked-state registry. `generation`
+/// is bumped when a rank enters (odd) and leaves (even) a blocking wait;
+/// the deadlock detector declares a deadlock when every live rank's
+/// generation is odd and unchanged across a full detection window.
+struct BlockedSlot {
+  std::atomic<std::uint64_t> generation{0};
+  /// 0 = running, 1 = blocked in recv, 2 = blocked in probe,
+  /// -1 = finished (returned from rank_main).
+  std::atomic<int> kind{0};
+  std::atomic<int> context{0};
+  std::atomic<int> source{0};
+  std::atomic<int> tag{0};
+};
+
 class Mailbox {
  public:
+  /// Parameters of a blocking wait, bundled so call sites stay stable as
+  /// watchdog features grow.
+  struct WaitParams {
+    const std::atomic<bool>* abort = nullptr;
+    /// Zero = wait forever (legacy behaviour).
+    std::chrono::milliseconds deadline{0};
+    /// Registry entry of the waiting rank (may be null).
+    BlockedSlot* slot = nullptr;
+  };
+
   /// Enqueues a message and wakes matching receivers.
   void push(Message msg);
 
   /// Blocks until a message matching (context, source, tag) is available
-  /// and removes it. Throws WorldAborted if the abort flag fires.
-  Message pop(int context, int source, int tag, const std::atomic<bool>& abort);
+  /// and removes it. Throws WorldAborted if the abort flag fires and
+  /// CommTimeout if the deadline expires first.
+  Message pop(int context, int source, int tag, const WaitParams& wait);
 
   /// Non-destructive match test; returns envelope info of the earliest
   /// matching message, or nullopt if none is queued right now.
   std::optional<Status> probe(int context, int source, int tag) const;
 
-  /// Blocking probe.
-  Status probe_wait(int context, int source, int tag, const std::atomic<bool>& abort);
+  /// Blocking probe with the same abort/deadline semantics as pop.
+  Status probe_wait(int context, int source, int tag, const WaitParams& wait);
 
   /// Number of queued messages (test/diagnostic use).
   std::size_t queued() const;
+
+  /// Removes and returns everything queued — used by World::run to clear
+  /// residual messages after an aborted run instead of leaking them into
+  /// the next one.
+  std::vector<Message> drain();
 
   /// Wakes all waiters so they can observe the abort flag.
   void notify_abort();

@@ -1,0 +1,180 @@
+#include "ft/fault.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <tuple>
+
+#include "comm/mailbox.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace picprk::ft {
+
+namespace {
+
+/// Upper bound on world size for the per-source sequence table.
+constexpr int kMaxRanks = 4096;
+
+bool is_step_fault(FaultKind kind) {
+  return kind == FaultKind::Kill || kind == FaultKind::Stall;
+}
+
+FaultKind parse_kind(const std::string& name) {
+  if (name == "kill") return FaultKind::Kill;
+  if (name == "stall") return FaultKind::Stall;
+  if (name == "drop") return FaultKind::Drop;
+  if (name == "dup") return FaultKind::Duplicate;
+  if (name == "delay") return FaultKind::Delay;
+  throw std::invalid_argument("fault plan: unknown fault kind '" + name +
+                              "' (kill|stall|drop|dup|delay)");
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::Kill: return "kill";
+    case FaultKind::Stall: return "stall";
+    case FaultKind::Drop: return "drop";
+    case FaultKind::Duplicate: return "dup";
+    case FaultKind::Delay: return "delay";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::parse(const std::string& text, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t end = std::min(text.find(';', pos), text.size());
+    const std::string entry = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+
+    const std::size_t colon = entry.find(':');
+    FaultSpec spec;
+    spec.kind = parse_kind(entry.substr(0, colon));
+    std::size_t p = colon == std::string::npos ? entry.size() : colon + 1;
+    while (p < entry.size()) {
+      const std::size_t comma = std::min(entry.find(',', p), entry.size());
+      const std::string kv = entry.substr(p, comma - p);
+      p = comma + 1;
+      if (kv.empty()) continue;
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos) {
+        throw std::invalid_argument("fault plan: expected key=value, got '" + kv + "'");
+      }
+      const std::string key = kv.substr(0, eq);
+      const std::string value = kv.substr(eq + 1);
+      if (key == "rank") {
+        spec.rank = std::stoi(value);
+      } else if (key == "step") {
+        spec.step = static_cast<std::uint32_t>(std::stoul(value));
+      } else if (key == "ms") {
+        spec.ms = value == "inf" ? -1 : std::stoi(value);
+      } else if (key == "prob") {
+        spec.probability = std::stod(value);
+      } else if (key == "src") {
+        spec.src = std::stoi(value);
+      } else if (key == "dst") {
+        spec.dst = std::stoi(value);
+      } else {
+        throw std::invalid_argument("fault plan: unknown key '" + key + "'");
+      }
+    }
+    if (is_step_fault(spec.kind) && spec.rank < 0) {
+      throw std::invalid_argument(std::string("fault plan: ") + to_string(spec.kind) +
+                                  " requires rank=");
+    }
+    if (!is_step_fault(spec.kind) &&
+        (spec.probability < 0.0 || spec.probability > 1.0)) {
+      throw std::invalid_argument("fault plan: prob must be in [0, 1]");
+    }
+    plan.specs.push_back(spec);
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)),
+      fired_(plan_.specs.size()),
+      send_seq_(static_cast<std::size_t>(kMaxRanks), 0) {}
+
+void FaultInjector::begin_step(int rank, std::uint32_t step,
+                               const std::atomic<bool>* abort) {
+  for (std::size_t i = 0; i < plan_.specs.size(); ++i) {
+    const FaultSpec& spec = plan_.specs[i];
+    if (!is_step_fault(spec.kind) || spec.rank != rank || spec.step != step) continue;
+    if (fired_[i].exchange(true, std::memory_order_acq_rel)) continue;  // one-shot
+    record(FaultEvent{spec.kind, rank, -1, step, 0});
+    if (spec.kind == FaultKind::Stall) {
+      stalls_.fetch_add(1, std::memory_order_relaxed);
+      const bool forever = spec.ms <= 0;
+      const auto until =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(spec.ms);
+      for (;;) {
+        if (abort && abort->load(std::memory_order_acquire)) throw comm::WorldAborted{};
+        if (!forever && std::chrono::steady_clock::now() >= until) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    } else {
+      kills_.fetch_add(1, std::memory_order_relaxed);
+      throw RankKilled(rank, step);
+    }
+  }
+}
+
+comm::FaultDecision FaultInjector::on_send(int src, int dst, int /*tag*/,
+                                           std::size_t /*bytes*/) {
+  PICPRK_EXPECTS(src >= 0 && src < kMaxRanks);
+  // One sequence number per send, shared by all specs: each rank thread
+  // is the sole writer of its slot, so the sequence — and therefore the
+  // whole fault trace — is a pure function of the plan seed.
+  const std::uint64_t seq = send_seq_[static_cast<std::size_t>(src)]++;
+  for (std::size_t i = 0; i < plan_.specs.size(); ++i) {
+    const FaultSpec& spec = plan_.specs[i];
+    if (is_step_fault(spec.kind) || spec.probability <= 0.0) continue;
+    if (spec.src >= 0 && spec.src != src) continue;
+    if (spec.dst >= 0 && spec.dst != dst) continue;
+    const util::CounterRng rng(plan_.seed, i, static_cast<std::uint64_t>(src));
+    if (rng.double_at(seq) >= spec.probability) continue;
+    record(FaultEvent{spec.kind, src, dst, 0, seq});
+    comm::FaultDecision decision;
+    switch (spec.kind) {
+      case FaultKind::Drop:
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        decision.kind = comm::FaultDecision::Kind::Drop;
+        break;
+      case FaultKind::Duplicate:
+        duplicated_.fetch_add(1, std::memory_order_relaxed);
+        decision.kind = comm::FaultDecision::Kind::Duplicate;
+        break;
+      default:
+        delayed_.fetch_add(1, std::memory_order_relaxed);
+        decision.kind = comm::FaultDecision::Kind::Delay;
+        decision.delay_ms = std::max(spec.ms, 1);
+        break;
+    }
+    return decision;  // first matching spec wins
+  }
+  return comm::FaultDecision{};
+}
+
+void FaultInjector::record(FaultEvent event) {
+  std::scoped_lock lock(trace_mutex_);
+  trace_.push_back(event);
+}
+
+std::vector<FaultEvent> FaultInjector::trace() const {
+  std::scoped_lock lock(trace_mutex_);
+  std::vector<FaultEvent> out = trace_;
+  std::sort(out.begin(), out.end(), [](const FaultEvent& a, const FaultEvent& b) {
+    return std::tie(a.rank, a.seq, a.step, a.kind) <
+           std::tie(b.rank, b.seq, b.step, b.kind);
+  });
+  return out;
+}
+
+}  // namespace picprk::ft

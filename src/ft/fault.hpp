@@ -1,0 +1,141 @@
+// Deterministic, scripted fault model for the PIC PRK — the disturbance
+// generator of the resilience axis (docs/RESILIENCE.md). A FaultPlan
+// scripts two families of faults:
+//
+//  * step faults — rank death (Kill) and slow-rank stalls (Stall) firing
+//    at an exact (rank, step); drivers poll them via begin_step();
+//  * message faults — Drop / Duplicate / Delay applied probabilistically
+//    per message, decided by a counter-based hash of (seed, spec, src,
+//    per-source sequence number), so the same seed always yields the
+//    same fault trace regardless of thread scheduling.
+//
+// The injector implements comm::FaultHook, so a World with the hook
+// installed perturbs every message — collectives included — while a
+// plan-less run pays only a null-pointer test per send.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "comm/fault_hook.hpp"
+
+namespace picprk::ft {
+
+enum class FaultKind { Kill, Stall, Drop, Duplicate, Delay };
+
+const char* to_string(FaultKind kind);
+
+/// One scripted fault. Kill/Stall use (rank, step[, ms]); message kinds
+/// use probability plus optional src/dst endpoint filters.
+struct FaultSpec {
+  FaultKind kind = FaultKind::Kill;
+  /// Target rank (world rank, or VP id under the vpr driver). Kill/Stall.
+  int rank = -1;
+  /// Fire step. Kill/Stall.
+  std::uint32_t step = 0;
+  /// Stall duration or per-message delay in ms. Stall with ms <= 0 means
+  /// "stall until the world aborts" (the infinite-hang scenario the
+  /// watchdog must convert into a CommTimeout).
+  int ms = 0;
+  /// Per-message fault probability in [0, 1]. Drop/Duplicate/Delay.
+  double probability = 0.0;
+  /// Endpoint filters for message faults (-1 = any world rank).
+  int src = -1;
+  int dst = -1;
+};
+
+/// A seeded script of faults. parse() accepts the CLI grammar:
+///   spec  := entry (';' entry)*
+///   entry := kind ':' key '=' value (',' key '=' value)*
+///   kind  := kill | stall | drop | dup | delay
+///   key   := rank | step | ms | prob | src | dst     (ms=inf allowed)
+/// e.g. "kill:rank=1,step=40;drop:prob=0.01,src=0;stall:rank=2,step=5,ms=inf"
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<FaultSpec> specs;
+
+  bool empty() const { return specs.empty(); }
+
+  static FaultPlan parse(const std::string& text, std::uint64_t seed);
+};
+
+/// Thrown out of FaultInjector::begin_step when a Kill fires: the typed
+/// "this rank just died" signal the recovery loop catches.
+class RankKilled : public std::runtime_error {
+ public:
+  RankKilled(int rank, std::uint32_t step)
+      : std::runtime_error("rank " + std::to_string(rank) +
+                           " killed by fault injection at step " +
+                           std::to_string(step)),
+        rank_(rank),
+        step_(step) {}
+
+  int rank() const noexcept { return rank_; }
+  std::uint32_t step() const noexcept { return step_; }
+
+ private:
+  int rank_;
+  std::uint32_t step_;
+};
+
+/// One fired fault, for the deterministic trace. Message faults record
+/// the per-source sequence number; step faults record the step.
+struct FaultEvent {
+  FaultKind kind = FaultKind::Kill;
+  int rank = -1;  ///< victim rank (step faults) or sender (message faults)
+  int peer = -1;  ///< receiver (message faults only)
+  std::uint32_t step = 0;
+  std::uint64_t seq = 0;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+class FaultInjector final : public comm::FaultHook {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Called by a driver at the top of every step. Fires matching Kill
+  /// (throws RankKilled) and Stall (sleeps; checks `abort` so a dying
+  /// world cuts the stall short) specs. Step faults fire exactly once,
+  /// so a recovery rerun proceeds past them.
+  void begin_step(int rank, std::uint32_t step,
+                  const std::atomic<bool>* abort = nullptr);
+
+  /// comm::FaultHook: decides the fate of one outgoing message.
+  comm::FaultDecision on_send(int src, int dst, int tag, std::size_t bytes) override;
+
+  /// Deterministic fired-fault trace, sorted (rank, seq, step, kind) so
+  /// two runs of the same seeded plan compare equal.
+  std::vector<FaultEvent> trace() const;
+
+  const FaultPlan& plan() const { return plan_; }
+
+  std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  std::uint64_t duplicated() const { return duplicated_.load(std::memory_order_relaxed); }
+  std::uint64_t delayed() const { return delayed_.load(std::memory_order_relaxed); }
+  std::uint64_t kills() const { return kills_.load(std::memory_order_relaxed); }
+  std::uint64_t stalls() const { return stalls_.load(std::memory_order_relaxed); }
+
+ private:
+  void record(FaultEvent event);
+
+  FaultPlan plan_;
+  /// One-shot latches for step faults (index-aligned with plan_.specs).
+  std::vector<std::atomic<bool>> fired_;
+  /// Per-source-rank message sequence numbers; each slot is written only
+  /// by its own rank's thread.
+  std::vector<std::uint64_t> send_seq_;
+  mutable std::mutex trace_mutex_;
+  std::vector<FaultEvent> trace_;
+  std::atomic<std::uint64_t> dropped_{0}, duplicated_{0}, delayed_{0}, kills_{0},
+      stalls_{0};
+};
+
+}  // namespace picprk::ft

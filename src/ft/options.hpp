@@ -1,0 +1,30 @@
+// Per-driver fault-tolerance options, embedded in par::DriverConfig.
+// Pointer-only so that including this header pulls in no machinery;
+// drivers with all fields defaulted pay a single branch per step.
+#pragma once
+
+#include <cstdint>
+
+namespace picprk::ft {
+
+class FaultInjector;
+class CheckpointStore;
+
+struct FtOptions {
+  /// Step-level fault source (kills, stalls); also installed as the
+  /// world's message-level hook by the recovery wrapper. Not owned.
+  FaultInjector* injector = nullptr;
+  /// Snapshot destination; must outlive the world so recovery can read
+  /// it after an abort. Not owned.
+  CheckpointStore* store = nullptr;
+  /// Checkpoint at the start of every N-th step (0 = never).
+  std::uint32_t checkpoint_every = 0;
+  /// This run is a recovery attempt: restore from the store's last
+  /// consistent checkpoint before stepping.
+  bool resume = false;
+
+  bool checkpointing() const { return store != nullptr && checkpoint_every > 0; }
+  bool active() const { return injector != nullptr || checkpointing(); }
+};
+
+}  // namespace picprk::ft

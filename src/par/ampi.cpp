@@ -4,10 +4,13 @@
 #include <memory>
 
 #include "comm/cart.hpp"
+#include "ft/checkpoint.hpp"
+#include "ft/fault.hpp"
 #include "pic/charge.hpp"
 #include "pic/mover.hpp"
 #include "util/assert.hpp"
 #include "util/timer.hpp"
+#include "vpr/pup.hpp"
 #include "vpr/runtime.hpp"
 
 namespace picprk::par {
@@ -20,9 +23,14 @@ struct SharedState {
   pic::Initializer init;
   pic::EventSchedule events;
   comm::Cart2D vcart;  ///< VP grid (Vx × Vy)
+  ft::FtOptions ft;    ///< fault/checkpoint hooks; rank space = VP ids
 
   SharedState(const DriverConfig& config, int vps)
-      : init_params(config.init), init(config.init), events(config.events), vcart(vps) {}
+      : init_params(config.init),
+        init(config.init),
+        events(config.events),
+        vcart(vps),
+        ft(config.ft) {}
 
   pic::CellRegion vp_block(int vp) const {
     const auto [vx, vy] = vcart.coords_of(vp);
@@ -73,6 +81,13 @@ class PicVp final : public vpr::VirtualProcessor {
   void step(vpr::VpContext& ctx) override {
     const pic::GridSpec& grid = shared_->init_params.grid;
     const std::uint32_t step = ctx.step();
+
+    // Scripted step faults address VPs here (there are no world ranks).
+    // No abort flag exists under vpr, so finite stalls sleep in full;
+    // infinite stalls (ms=inf) are a threadcomm-only scenario.
+    if (shared_->ft.injector != nullptr) {
+      shared_->ft.injector->begin_step(id(), step);
+    }
 
     if (!shared_->events.empty()) {
       for (std::size_t e = 0; e < shared_->events.removals().size(); ++e) {
@@ -202,9 +217,45 @@ DriverResult run_ampi(const DriverConfig& config, const AmpiParams& params) {
   });
 
   DriverResult result;
+  const bool checkpointing = config.ft.checkpointing();
+  std::uint64_t checkpoint_rounds = 0, checkpoint_bytes = 0;
+  std::uint32_t recoveries = 0;
+  /// Rollback attempts before an injected VP death is rethrown.
+  constexpr std::uint32_t kMaxVpRecoveries = 3;
+
   util::Timer wall;
-  for (std::uint32_t step = 0; step < config.steps; ++step) {
-    runtime.run(1);
+  for (std::uint32_t step = 0; step < config.steps;) {
+    if (checkpointing && step % config.ft.checkpoint_every == 0) {
+      // Double in-memory checkpoint per VP: primary + buddy copy, both
+      // keyed by the VP id (the "rank" of this driver).
+      for (int v = 0; v < vps; ++v) {
+        std::vector<std::byte> packed = vpr::pup_pack(runtime.vp(v));
+        checkpoint_bytes += 2 * packed.size();
+        config.ft.store->save_buddy(v, step, packed);
+        config.ft.store->save(v, step, std::move(packed));
+      }
+      ++checkpoint_rounds;
+    }
+    try {
+      runtime.run(1);
+    } catch (const ft::RankKilled& e) {
+      if (!checkpointing) throw;
+      config.ft.store->drop_primary(e.rank());
+      const auto consistent = config.ft.store->consistent_step(vps);
+      if (!consistent || recoveries >= kMaxVpRecoveries) throw;
+      // In-process rollback: rewind the superstep clock, discard pending
+      // messages, and rebuild every VP from its surviving snapshot copy.
+      runtime.rewind(*consistent);
+      for (int v = 0; v < vps; ++v) {
+        auto bytes = config.ft.store->load(v, *consistent);
+        PICPRK_ASSERT_MSG(bytes.has_value(),
+                          "consistent checkpoint is missing a vp snapshot");
+        vpr::pup_unpack(runtime.vp(v), std::move(*bytes));
+      }
+      step = *consistent;
+      ++recoveries;
+      continue;
+    }
     if (config.sample_every > 0 && step % config.sample_every == 0) {
       std::vector<double> worker_load(static_cast<std::size_t>(params.workers), 0.0);
       double total = 0.0;
@@ -218,6 +269,7 @@ DriverResult run_ampi(const DriverConfig& config, const AmpiParams& params) {
       for (double w : worker_load) max = std::max(max, w);
       result.imbalance_series.push_back(mean > 0 ? max / mean : 1.0);
     }
+    ++step;
   }
   const double seconds = wall.elapsed();
 
@@ -262,6 +314,9 @@ DriverResult run_ampi(const DriverConfig& config, const AmpiParams& params) {
   result.exchange_bytes = stats.message_bytes;
   result.lb_actions = stats.migrations;
   result.lb_bytes = stats.migrated_bytes;
+  result.checkpoints = checkpoint_rounds;
+  result.checkpoint_bytes = checkpoint_bytes;
+  result.recoveries = recoveries;
   return result;
 }
 

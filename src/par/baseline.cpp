@@ -2,6 +2,7 @@
 
 #include "par/decomposition.hpp"
 #include "par/exchange.hpp"
+#include "par/resilient.hpp"
 #include "pic/charge.hpp"
 #include "pic/mover.hpp"
 #include "util/timer.hpp"
@@ -26,9 +27,37 @@ DriverResult run_baseline(comm::Comm& comm, const DriverConfig& config) {
   DriverResult result;
   util::PhaseTimer compute_timer, exchange_timer;
   std::uint64_t sent = 0, bytes = 0;
-  util::Timer wall;
 
-  for (std::uint32_t step = 0; step < config.steps; ++step) {
+  std::uint32_t start_step = 0;
+  std::uint64_t checkpoint_rounds = 0, checkpoint_bytes = 0;
+  if (config.ft.resume && config.ft.store != nullptr) {
+    if (auto snap = restore_snapshot(comm.rank(), comm.size(), *config.ft.store)) {
+      start_step = snap->step;
+      particles = std::move(snap->particles);
+      tracker.restore_removed_sum(snap->removed_sum);
+      sent = snap->sent;
+      bytes = snap->bytes;
+    }
+  }
+
+  util::Timer wall;
+  for (std::uint32_t step = start_step; step < config.steps; ++step) {
+    // Snapshot the start-of-step state, then poll scripted step faults;
+    // a kill at a checkpoint step therefore rolls back to that step.
+    if (config.ft.checkpointing() && step % config.ft.checkpoint_every == 0) {
+      DriverSnapshot snap;
+      snap.step = step;
+      snap.particles = particles;
+      snap.removed_sum = tracker.removed_sum();
+      snap.sent = sent;
+      snap.bytes = bytes;
+      checkpoint_bytes += checkpoint_exchange(comm, *config.ft.store, snap);
+      ++checkpoint_rounds;
+    }
+    if (config.ft.injector != nullptr) {
+      config.ft.injector->begin_step(comm.world_rank(), step, &comm.abort_flag());
+    }
+
     if (!config.events.empty()) tracker.apply(step, block, particles);
 
     compute_timer.start();
@@ -56,6 +85,11 @@ DriverResult run_baseline(comm::Comm& comm, const DriverConfig& config) {
   finalize_result(comm, config, local_verify, tracker, particles.size(), seconds,
                   PhaseBreakdown{compute_timer.total(), exchange_timer.total(), 0.0}, sent,
                   bytes, 0, 0, result);
+  if (config.ft.active()) {
+    result.checkpoints = checkpoint_rounds;
+    result.checkpoint_bytes = comm.allreduce_value(
+        checkpoint_bytes, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  }
   return result;
 }
 

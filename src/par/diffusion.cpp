@@ -5,6 +5,7 @@
 #include "comm/cart.hpp"
 #include "par/decomposition.hpp"
 #include "par/exchange.hpp"
+#include "par/resilient.hpp"
 #include "pic/charge.hpp"
 #include "pic/mover.hpp"
 #include "util/assert.hpp"
@@ -153,7 +154,44 @@ DriverResult run_diffusion(comm::Comm& comm, const DriverConfig& config,
                                    block.height() + 1);
   };
 
-  for (std::uint32_t step = 0; step < config.steps; ++step) {
+  std::uint32_t start_step = 0;
+  std::uint64_t checkpoint_rounds = 0, checkpoint_bytes = 0;
+  if (config.ft.resume && config.ft.store != nullptr) {
+    if (auto snap = restore_snapshot(comm.rank(), comm.size(), *config.ft.store)) {
+      start_step = snap->step;
+      // The decomposition moves under this driver: restore the boundary
+      // vectors first, then rebuild the block and charge slab for them.
+      decomp.set_x_bounds(snap->x_bounds);
+      decomp.set_y_bounds(snap->y_bounds);
+      rebuild_slab();
+      particles = std::move(snap->particles);
+      tracker.restore_removed_sum(snap->removed_sum);
+      sent = snap->sent;
+      bytes = snap->bytes;
+      mesh_stats.transfers = snap->lb_actions;
+      mesh_stats.bytes_sent = snap->lb_bytes;
+    }
+  }
+
+  for (std::uint32_t step = start_step; step < config.steps; ++step) {
+    if (config.ft.checkpointing() && step % config.ft.checkpoint_every == 0) {
+      DriverSnapshot snap;
+      snap.step = step;
+      snap.x_bounds = decomp.x_bounds();
+      snap.y_bounds = decomp.y_bounds();
+      snap.particles = particles;
+      snap.removed_sum = tracker.removed_sum();
+      snap.sent = sent;
+      snap.bytes = bytes;
+      snap.lb_actions = mesh_stats.transfers;
+      snap.lb_bytes = mesh_stats.bytes_sent;
+      checkpoint_bytes += checkpoint_exchange(comm, *config.ft.store, snap);
+      ++checkpoint_rounds;
+    }
+    if (config.ft.injector != nullptr) {
+      config.ft.injector->begin_step(comm.world_rank(), step, &comm.abort_flag());
+    }
+
     if (!config.events.empty()) tracker.apply(step, block, particles);
 
     compute_timer.start();
@@ -253,6 +291,11 @@ DriverResult run_diffusion(comm::Comm& comm, const DriverConfig& config,
                   PhaseBreakdown{compute_timer.total(), exchange_timer.total(),
                                  lb_timer.total()},
                   sent, bytes, mesh_stats.transfers, mesh_stats.bytes_sent, result);
+  if (config.ft.active()) {
+    result.checkpoints = checkpoint_rounds;
+    result.checkpoint_bytes = comm.allreduce_value(
+        checkpoint_bytes, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  }
   return result;
 }
 

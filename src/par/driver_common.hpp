@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "comm/comm.hpp"
+#include "ft/options.hpp"
 #include "pic/events.hpp"
 #include "pic/init.hpp"
 #include "pic/verify.hpp"
@@ -27,6 +28,9 @@ struct DriverConfig {
   /// team (the message-passing × threads configuration of the official
   /// PRK's MPI+OpenMP variants). Results are bit-identical.
   bool omp_mover = false;
+  /// Fault-tolerance hooks: injector, checkpoint cadence, resume flag.
+  /// All defaulted = legacy behaviour at the cost of one branch per step.
+  ft::FtOptions ft;
 };
 
 struct PhaseBreakdown {
@@ -54,6 +58,11 @@ struct DriverResult {
   std::uint64_t lb_actions = 0;           ///< boundary moves / VP migrations
   std::uint64_t lb_bytes = 0;             ///< mesh + particle bytes moved by LB
 
+  /// Resilience bookkeeping (zero when DriverConfig::ft is inactive).
+  std::uint64_t checkpoints = 0;       ///< checkpoint rounds completed
+  std::uint64_t checkpoint_bytes = 0;  ///< snapshot bytes packed + shipped, global
+  std::uint32_t recoveries = 0;        ///< rollbacks/restarts behind this result
+
   /// max/mean particle ratio sampled every `sample_every` steps.
   std::vector<double> imbalance_series;
 };
@@ -75,6 +84,11 @@ class EventTracker {
 
   /// Serial variant of finalize (no communication).
   std::uint64_t finalize_serial() const { return base_ - local_removed_sum_; }
+
+  /// Checkpoint/restart access to the only mutable tracker state: the
+  /// sum of ids this rank has removed so far.
+  std::uint64_t removed_sum() const { return local_removed_sum_; }
+  void restore_removed_sum(std::uint64_t sum) { local_removed_sum_ = sum; }
 
  private:
   const pic::Initializer& init_;

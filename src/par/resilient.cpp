@@ -1,0 +1,135 @@
+#include "par/resilient.hpp"
+
+#include <utility>
+
+#include "comm/comm.hpp"
+#include "comm/world.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace picprk::par {
+
+void DriverSnapshot::pup(vpr::Pup& p) {
+  p(step);
+  p(x_bounds);
+  p(y_bounds);
+  p(particles);
+  p(removed_sum);
+  p(sent);
+  p(bytes);
+  p(lb_actions);
+  p(lb_bytes);
+}
+
+std::uint64_t checkpoint_exchange(comm::Comm& comm, ft::CheckpointStore& store,
+                                  DriverSnapshot& snap) {
+  std::vector<std::byte> packed = vpr::pup_pack(snap);
+  const std::uint64_t size = packed.size();
+  if (comm.size() == 1) {
+    store.save(comm.rank(), snap.step, std::move(packed));
+    return size;
+  }
+  const int buddy = (comm.rank() + 1) % comm.size();
+  const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+  // Ship first (buffered send never blocks), then keep the primary.
+  comm.send(std::span<const std::byte>(packed), buddy, kCheckpointTag);
+  store.save(comm.rank(), snap.step, std::move(packed));
+  // Receive prev's snapshot and hold it as prev's buddy copy. All ranks
+  // checkpoint the same step, so the incoming copy is tagged snap.step.
+  std::vector<std::byte> incoming = comm.recv<std::byte>(prev, kCheckpointTag);
+  store.save_buddy(prev, snap.step, std::move(incoming));
+  return 2 * size;  // packed locally + shipped to the buddy
+}
+
+std::optional<DriverSnapshot> restore_snapshot(int rank, int slots,
+                                               const ft::CheckpointStore& store) {
+  const std::optional<std::uint32_t> step = store.consistent_step(slots);
+  if (!step) return std::nullopt;
+  std::optional<std::vector<std::byte>> bytes = store.load(rank, *step);
+  if (!bytes) return std::nullopt;
+  DriverSnapshot snap;
+  vpr::pup_unpack(snap, std::move(*bytes));
+  PICPRK_ASSERT_MSG(snap.step == *step, "checkpoint snapshot tagged with wrong step");
+  return snap;
+}
+
+DriverResult run_resilient(int ranks, const DriverConfig& config,
+                           const ResilienceOptions& options, const DriverFn& driver,
+                           ResilienceTelemetry* telemetry) {
+  PICPRK_EXPECTS(ranks >= 1);
+
+  ft::FaultInjector injector(options.plan);
+  ft::CheckpointStore store;
+
+  comm::WorldOptions world_options;
+  world_options.timeout_ms = options.timeout_ms;
+  world_options.deadlock_ms = options.deadlock_ms;
+  world_options.fault_hook = options.plan.empty() ? nullptr : &injector;
+  comm::World world(ranks, world_options);
+
+  DriverConfig cfg = config;
+  cfg.ft.injector = options.plan.empty() ? nullptr : &injector;
+  cfg.ft.store = options.checkpoint_every > 0 ? &store : nullptr;
+  cfg.ft.checkpoint_every = options.checkpoint_every;
+  cfg.ft.resume = false;
+
+  std::uint32_t recoveries = 0;
+  std::uint64_t residual = 0;
+  std::vector<std::string> failures;
+
+  const auto can_recover = [&] {
+    return cfg.ft.checkpointing() && recoveries < options.max_recoveries &&
+           store.consistent_step(ranks).has_value();
+  };
+  const auto note_failure = [&](const char* kind, const std::exception& e) {
+    failures.emplace_back(std::string(kind) + ": " + e.what());
+    PICPRK_WARN("resilient run failed (" << kind << "): " << e.what()
+                                         << (can_recover() ? " -- rolling back"
+                                                           : " -- not recoverable"));
+  };
+
+  DriverResult result;
+  for (;;) {
+    try {
+      world.run([&](comm::Comm& comm) {
+        DriverResult local = driver(comm, cfg);
+        // Results are identical on every rank; rank 0 publishes.
+        if (comm.rank() == 0) result = std::move(local);
+      });
+      break;
+    } catch (const ft::RankKilled& e) {
+      // The dead rank's memory is gone: only buddy copies of its
+      // snapshots survive into the recovery attempt.
+      store.drop_primary(e.rank());
+      note_failure("rank-killed", e);
+      if (!can_recover()) throw;
+    } catch (const comm::CommTimeout& e) {
+      note_failure("comm-timeout", e);
+      if (!can_recover()) throw;
+    } catch (const comm::DeadlockDetected& e) {
+      note_failure("deadlock", e);
+      if (!can_recover()) throw;
+    }
+    // A clean rerun resets the world's counter: record the drain now.
+    residual += world.residual_messages();
+    ++recoveries;
+    cfg.ft.resume = true;
+  }
+
+  result.recoveries = recoveries;
+  if (telemetry) {
+    telemetry->recoveries = recoveries;
+    telemetry->trace = injector.trace();
+    telemetry->dropped = injector.dropped();
+    telemetry->duplicated = injector.duplicated();
+    telemetry->delayed = injector.delayed();
+    telemetry->kills = injector.kills();
+    telemetry->stalls = injector.stalls();
+    telemetry->checkpoint_saves = store.saves();
+    telemetry->residual_messages = residual;
+    telemetry->failures = std::move(failures);
+  }
+  return result;
+}
+
+}  // namespace picprk::par

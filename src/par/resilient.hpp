@@ -1,0 +1,95 @@
+// Driver-level checkpoint/recovery for the threadcomm drivers
+// (docs/RESILIENCE.md). A DriverSnapshot is the complete per-rank state
+// of the stepping loop at the start of a step; checkpoint_exchange()
+// buddy-replicates it (primary copy in the rank's own store slot, one
+// copy shipped to rank+1 mod P), and run_resilient() re-runs a driver
+// through a fresh World after an injected failure, rolling every rank
+// back to the store's last consistent checkpoint.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ft/checkpoint.hpp"
+#include "ft/fault.hpp"
+#include "par/driver_common.hpp"
+#include "pic/particle.hpp"
+#include "vpr/pup.hpp"
+
+namespace picprk::par {
+
+/// User tag reserved for buddy-checkpoint payloads (mesh migration owns
+/// 1000; see diffusion.cpp).
+inline constexpr int kCheckpointTag = 1001;
+
+/// Everything a rank needs to re-enter the stepping loop at `step`.
+/// Bounds vectors are empty for drivers with a static decomposition.
+struct DriverSnapshot {
+  std::uint32_t step = 0;
+  std::vector<std::int64_t> x_bounds;
+  std::vector<std::int64_t> y_bounds;
+  std::vector<pic::Particle> particles;
+  std::uint64_t removed_sum = 0;  ///< EventTracker local removed-id sum
+  std::uint64_t sent = 0;         ///< particles exchanged so far
+  std::uint64_t bytes = 0;        ///< exchange bytes so far
+  std::uint64_t lb_actions = 0;   ///< mesh transfers so far (diffusion)
+  std::uint64_t lb_bytes = 0;     ///< mesh bytes so far (diffusion)
+
+  void pup(vpr::Pup& p);
+};
+
+/// Buddy checkpoint round: packs `snap`, keeps the primary in this
+/// rank's slot and ships one copy to (rank+1) mod P (stored under this
+/// rank's slot as the buddy copy). Collective over `comm`; all ranks
+/// must pass the same snap.step. Returns the bytes this rank packed and
+/// shipped (for DriverResult::checkpoint_bytes).
+std::uint64_t checkpoint_exchange(comm::Comm& comm, ft::CheckpointStore& store,
+                                  DriverSnapshot& snap);
+
+/// Restores `rank`'s snapshot at the store's consistent step over
+/// `slots` ranks (primary preferred, buddy fallback). nullopt when the
+/// store has no consistent line or no copy survived for this rank.
+std::optional<DriverSnapshot> restore_snapshot(int rank, int slots,
+                                               const ft::CheckpointStore& store);
+
+/// Knobs of one resilient run; defaults = no faults, no checkpoints.
+struct ResilienceOptions {
+  ft::FaultPlan plan;
+  /// Checkpoint at the start of every N-th step (0 = never).
+  std::uint32_t checkpoint_every = 0;
+  /// Per-call blocking-recv deadline in ms (0 = wait forever).
+  int timeout_ms = 0;
+  /// Deadlock-detector window in ms (0 = off).
+  int deadlock_ms = 0;
+  /// Give up (rethrow) after this many rollbacks.
+  std::uint32_t max_recoveries = 3;
+};
+
+/// What the recovery loop observed — for tools and tests.
+struct ResilienceTelemetry {
+  std::uint32_t recoveries = 0;
+  std::vector<ft::FaultEvent> trace;  ///< deterministic fired-fault trace
+  std::uint64_t dropped = 0, duplicated = 0, delayed = 0, kills = 0, stalls = 0;
+  std::uint64_t checkpoint_saves = 0;
+  std::uint64_t residual_messages = 0;  ///< drained over all aborted runs
+  std::vector<std::string> failures;    ///< what() of every caught failure
+};
+
+using DriverFn = std::function<DriverResult(comm::Comm&, const DriverConfig&)>;
+
+/// Runs `driver` on `ranks` threadcomm ranks under fault injection with
+/// buddy checkpointing. On an injected failure (RankKilled, CommTimeout,
+/// DeadlockDetected) the aborted world is drained, the dead rank's
+/// primary snapshots are discarded, and the driver is re-run with
+/// DriverConfig::ft.resume set so every rank restarts from the last
+/// consistent checkpoint. Rethrows when recovery is impossible (no
+/// consistent checkpoint, max_recoveries exceeded, or a non-injected
+/// error).
+DriverResult run_resilient(int ranks, const DriverConfig& config,
+                           const ResilienceOptions& options, const DriverFn& driver,
+                           ResilienceTelemetry* telemetry = nullptr);
+
+}  // namespace picprk::par

@@ -159,6 +159,14 @@ VirtualProcessor& Runtime::vp(int id) {
   return *vps_[static_cast<std::size_t>(id)];
 }
 
+void Runtime::rewind(std::uint32_t step) {
+  PICPRK_EXPECTS(step <= current_step_);
+  current_step_ = step;
+  for (auto& inbox : inboxes_) inbox.clear();
+  for (auto& outbox : outboxes_) outbox.clear();
+  std::fill(vp_measured_seconds_.begin(), vp_measured_seconds_.end(), 0.0);
+}
+
 void Runtime::run(std::uint32_t steps) {
   util::Timer wall;
   if (config_.workers == 1) {

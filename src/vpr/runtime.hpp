@@ -70,6 +70,15 @@ class Runtime {
   VirtualProcessor& vp(int id);
   int vps() const { return config_.vps; }
 
+  /// Next step run() will execute.
+  std::uint32_t current_step() const { return current_step_; }
+
+  /// Rolls the superstep clock back to `step` and discards all pending
+  /// (undelivered) messages and partial load measurements — the runtime
+  /// half of a checkpoint rollback. The caller is responsible for
+  /// restoring VP state (pup_unpack from a checkpoint) afterwards.
+  void rewind(std::uint32_t step);
+
   /// Sequential post-run iteration over all VPs (e.g. for verification).
   template <typename F>
   void for_each_vp(F&& fn) {

@@ -1,0 +1,86 @@
+// CheckpointStore: history eviction, buddy fallback after a dropped
+// primary, and the consistent-recovery-line computation.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "ft/checkpoint.hpp"
+
+namespace {
+
+using picprk::ft::CheckpointStore;
+
+std::vector<std::byte> blob(unsigned char fill, std::size_t n = 8) {
+  return std::vector<std::byte>(n, std::byte{fill});
+}
+
+TEST(CheckpointStore, SaveAndLoadRoundTrip) {
+  CheckpointStore store;
+  store.save(0, 10, blob(0xAA));
+  const auto loaded = store.load(0, 10);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, blob(0xAA));
+  EXPECT_FALSE(store.load(0, 11).has_value());
+  EXPECT_FALSE(store.load(1, 10).has_value());
+}
+
+TEST(CheckpointStore, HistoryKeepsOnlyTheNewestTwo) {
+  CheckpointStore store;
+  store.save(0, 10, blob(1));
+  store.save(0, 20, blob(2));
+  store.save(0, 30, blob(3));
+  EXPECT_FALSE(store.load(0, 10).has_value());  // evicted
+  EXPECT_TRUE(store.load(0, 20).has_value());
+  EXPECT_TRUE(store.load(0, 30).has_value());
+}
+
+TEST(CheckpointStore, SameStepOverwritesInsteadOfEvicting) {
+  CheckpointStore store;
+  store.save(0, 10, blob(1));
+  store.save(0, 20, blob(2));
+  store.save(0, 20, blob(9));  // recovery rerun re-checkpoints step 20
+  EXPECT_EQ(*store.load(0, 20), blob(9));
+  EXPECT_TRUE(store.load(0, 10).has_value());  // not evicted by overwrite
+}
+
+TEST(CheckpointStore, ConsistentStepIsNewestCommonStep) {
+  CheckpointStore store;
+  EXPECT_FALSE(store.consistent_step(2).has_value());
+  store.save(0, 10, blob(1));
+  EXPECT_FALSE(store.consistent_step(2).has_value());  // slot 1 has nothing
+  store.save(1, 10, blob(2));
+  EXPECT_EQ(store.consistent_step(2), 10u);
+  // Slot 0 advances alone: the line stays at the last common step.
+  store.save(0, 20, blob(3));
+  EXPECT_EQ(store.consistent_step(2), 10u);
+  store.save(1, 20, blob(4));
+  EXPECT_EQ(store.consistent_step(2), 20u);
+}
+
+TEST(CheckpointStore, BuddyCopySurvivesDroppedPrimary) {
+  CheckpointStore store;
+  store.save(0, 10, blob(1));
+  store.save(1, 10, blob(2));
+  store.save_buddy(0, 10, blob(1));  // rank 1 holds rank 0's copy
+  store.drop_primary(0);             // rank 0 "died"
+  // Primary gone, buddy still answers; the line survives.
+  EXPECT_EQ(*store.load(0, 10), blob(1));
+  EXPECT_EQ(store.consistent_step(2), 10u);
+  // Without the buddy copy the line would have been lost entirely.
+  store.drop_primary(1);
+  EXPECT_FALSE(store.consistent_step(2).has_value());
+}
+
+TEST(CheckpointStore, AccountingTracksBytesAndSaves) {
+  CheckpointStore store;
+  EXPECT_EQ(store.stored_bytes(), 0u);
+  store.save(0, 1, blob(1, 16));
+  store.save_buddy(0, 1, blob(1, 16));
+  EXPECT_EQ(store.stored_bytes(), 32u);
+  EXPECT_EQ(store.saves(), 2u);
+  store.clear();
+  EXPECT_EQ(store.stored_bytes(), 0u);
+}
+
+}  // namespace

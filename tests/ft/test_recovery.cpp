@@ -1,0 +1,158 @@
+// End-to-end recovery: kill a rank (or VP) mid-run and require the
+// driver to roll back to the last consistent buddy checkpoint, replay,
+// and still pass the closed-form verification and id-checksum test —
+// the acceptance criterion of the resilience layer.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "comm/comm.hpp"
+#include "ft/fault.hpp"
+#include "par/ampi.hpp"
+#include "par/baseline.hpp"
+#include "par/diffusion.hpp"
+#include "par/resilient.hpp"
+
+namespace {
+
+using namespace picprk;
+
+par::DriverConfig small_config(std::uint32_t steps = 40) {
+  par::DriverConfig cfg;
+  cfg.init.grid = pic::GridSpec(64, 1.0);
+  cfg.init.total_particles = 6000;
+  cfg.init.distribution = pic::Geometric{0.98};
+  cfg.steps = steps;
+  return cfg;
+}
+
+par::ResilienceOptions kill_plan(int rank, std::uint32_t step,
+                                 std::uint32_t checkpoint_every = 8) {
+  par::ResilienceOptions opts;
+  opts.plan = ft::FaultPlan::parse(
+      "kill:rank=" + std::to_string(rank) + ",step=" + std::to_string(step), 1);
+  opts.checkpoint_every = checkpoint_every;
+  opts.timeout_ms = 10000;  // safety net: fail fast instead of hanging CI
+  return opts;
+}
+
+TEST(Recovery, BaselineSurvivesRankDeath) {
+  const auto cfg = small_config();
+  par::ResilienceTelemetry telemetry;
+  const auto result = par::run_resilient(
+      4, cfg, kill_plan(1, 25),
+      [](comm::Comm& comm, const par::DriverConfig& dc) {
+        return par::run_baseline(comm, dc);
+      },
+      &telemetry);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.verification.id_checksum, result.expected_id_checksum);
+  EXPECT_EQ(result.recoveries, 1u);
+  EXPECT_EQ(telemetry.kills, 1u);
+  ASSERT_EQ(telemetry.trace.size(), 1u);
+  EXPECT_EQ(telemetry.trace[0].kind, ft::FaultKind::Kill);
+  EXPECT_EQ(telemetry.trace[0].rank, 1);
+}
+
+TEST(Recovery, BaselineRecoversWithEventsInFlight) {
+  // Injection + removal events across the kill step: the restored
+  // EventTracker sum must keep the checksum exact through the replay.
+  auto cfg = small_config();
+  cfg.events = pic::EventSchedule(
+      {pic::InjectionEvent{12, pic::CellRegion{0, 32, 0, 32}, 500}},
+      {pic::RemovalEvent{28, pic::CellRegion{0, 64, 0, 64}, 0.1}});
+  const auto result = par::run_resilient(
+      4, cfg, kill_plan(2, 30),
+      [](comm::Comm& comm, const par::DriverConfig& dc) {
+        return par::run_baseline(comm, dc);
+      });
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.recoveries, 1u);
+}
+
+TEST(Recovery, DiffusionSurvivesRankDeath) {
+  // The kill lands after LB has moved boundaries, so the restored
+  // decomposition must match the checkpointed boundary vectors.
+  const auto cfg = small_config();
+  par::DiffusionParams lb;
+  lb.frequency = 6;
+  const auto result = par::run_resilient(
+      4, cfg, kill_plan(1, 27),
+      [&lb](comm::Comm& comm, const par::DriverConfig& dc) {
+        return par::run_diffusion(comm, dc, lb);
+      });
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.verification.id_checksum, result.expected_id_checksum);
+  EXPECT_EQ(result.recoveries, 1u);
+}
+
+TEST(Recovery, AmpiSurvivesVpDeath) {
+  auto cfg = small_config();
+  ft::FaultInjector injector(ft::FaultPlan::parse("kill:rank=3,step=21", 1));
+  ft::CheckpointStore store;
+  cfg.ft.injector = &injector;
+  cfg.ft.store = &store;
+  cfg.ft.checkpoint_every = 8;
+
+  par::AmpiParams params;
+  params.workers = 2;
+  params.overdecomposition = 3;
+  params.lb_interval = 5;
+  const auto result = par::run_ampi(cfg, params);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.verification.id_checksum, result.expected_id_checksum);
+  EXPECT_EQ(result.recoveries, 1u);
+  EXPECT_EQ(injector.kills(), 1u);
+}
+
+TEST(Recovery, UnrecoverableWithoutCheckpointsRethrows) {
+  const auto cfg = small_config();
+  par::ResilienceOptions opts;
+  opts.plan = ft::FaultPlan::parse("kill:rank=0,step=5", 1);
+  // checkpoint_every = 0: nothing to roll back to.
+  EXPECT_THROW(par::run_resilient(2, cfg, opts,
+                                  [](comm::Comm& comm, const par::DriverConfig& dc) {
+                                    return par::run_baseline(comm, dc);
+                                  }),
+               ft::RankKilled);
+}
+
+TEST(Recovery, ResultsMatchFaultFreeRun) {
+  // The recovered run must produce the same verification numbers as an
+  // undisturbed one — rollback is invisible to the physics.
+  const auto cfg = small_config();
+  const par::DriverFn driver = [](comm::Comm& comm, const par::DriverConfig& dc) {
+    return par::run_baseline(comm, dc);
+  };
+  const auto clean = par::run_resilient(4, cfg, par::ResilienceOptions{}, driver);
+  const auto recovered = par::run_resilient(4, cfg, kill_plan(3, 19), driver);
+  EXPECT_TRUE(clean.ok);
+  EXPECT_TRUE(recovered.ok);
+  EXPECT_EQ(clean.verification.id_checksum, recovered.verification.id_checksum);
+  EXPECT_EQ(clean.final_particles, recovered.final_particles);
+  EXPECT_EQ(clean.max_particles_per_rank, recovered.max_particles_per_rank);
+}
+
+TEST(Recovery, StallWithTimeoutRollsBackAndCompletes) {
+  // An infinite stall surfaces as CommTimeout; with checkpoints on, the
+  // wrapper rolls back and the (one-shot) stall does not re-fire.
+  const auto cfg = small_config();
+  par::ResilienceOptions opts;
+  opts.plan = ft::FaultPlan::parse("stall:rank=2,step=18,ms=inf", 1);
+  opts.checkpoint_every = 8;
+  opts.timeout_ms = 300;
+  par::ResilienceTelemetry telemetry;
+  const auto result = par::run_resilient(
+      4, cfg, opts,
+      [](comm::Comm& comm, const par::DriverConfig& dc) {
+        return par::run_baseline(comm, dc);
+      },
+      &telemetry);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.recoveries, 1u);
+  EXPECT_EQ(telemetry.stalls, 1u);
+  ASSERT_EQ(telemetry.failures.size(), 1u);
+  EXPECT_NE(telemetry.failures[0].find("comm-timeout"), std::string::npos);
+}
+
+}  // namespace

@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
 #include "util/assert.hpp"
 
 namespace {
@@ -43,6 +48,49 @@ TEST(Contracts, AssertMsgCarriesMessage) {
   } catch (const ContractViolation& e) {
     EXPECT_NE(std::string(e.what()).find("custom detail 42"), std::string::npos);
   }
+}
+
+TEST(Contracts, AssertionErrorIsTypedAndCatchable) {
+  // The historical alias and the new name are the same type, rooted in
+  // std::logic_error so generic handlers still work.
+  static_assert(std::is_same_v<ContractViolation, picprk::util::AssertionError>);
+  EXPECT_THROW(checked_divide(1, 0), picprk::util::AssertionError);
+  EXPECT_THROW(checked_divide(1, 0), std::logic_error);
+}
+
+TEST(Contracts, AccessorsExposeStructuredLocation) {
+  try {
+    checked_divide(1, 0);
+    FAIL() << "expected AssertionError";
+  } catch (const picprk::util::AssertionError& e) {
+    EXPECT_STREQ(e.kind(), "Precondition");
+    EXPECT_STREQ(e.expression(), "b != 0");
+    EXPECT_NE(std::string(e.file()).find("test_assert.cpp"), std::string::npos);
+    EXPECT_GT(e.line(), 0u);
+    EXPECT_TRUE(e.message().empty());
+  }
+  try {
+    PICPRK_ASSERT_MSG(1 == 2, "impossible arithmetic");
+    FAIL() << "expected AssertionError";
+  } catch (const picprk::util::AssertionError& e) {
+    EXPECT_STREQ(e.kind(), "Invariant");
+    EXPECT_EQ(e.message(), "impossible arithmetic");
+  }
+}
+
+TEST(ContractsDeathTest, EnvSwitchTurnsViolationsIntoAborts) {
+#ifdef PICPRK_ASSERT_ABORT
+  GTEST_SKIP() << "compile-time abort mode is already on";
+#else
+  // assert_aborts() caches the env read, so flip the variable in a child
+  // process (death test) where the first read sees it set.
+  EXPECT_DEATH(
+      {
+        setenv("PICPRK_ASSERT_ABORT", "1", 1);
+        checked_divide(1, 0);
+      },
+      "Precondition failed");
+#endif
 }
 
 }  // namespace

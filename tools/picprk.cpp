@@ -9,12 +9,22 @@
 //          --lb-frequency 8 --lb-border 4 --two-phase
 //   picprk --impl ampi --workers 2 --d 8 --F 16 --balancer compact
 //   picprk --impl model --cores 384 --steps 6000   # performance model
+//   picprk --impl baseline --ranks 4 --faults kill:rank=1,step=40 \
+//          --checkpoint-every 16 --timeout-ms 2000   # resilience drill
+//
+// Exit codes: 0 verified, 1 verification failed, 2 usage/unhandled error,
+// 3 comm timeout, 4 deadlock detected, 5 unrecovered rank death. Every
+// run additionally prints one machine-readable "RESULT key=value ..."
+// line on stdout for harnesses to parse.
 #include <iostream>
 
 #include "comm/world.hpp"
+#include "ft/checkpoint.hpp"
+#include "ft/fault.hpp"
 #include "par/ampi.hpp"
 #include "par/baseline.hpp"
 #include "par/diffusion.hpp"
+#include "par/resilient.hpp"
 #include "perfsim/engine.hpp"
 #include "pic/simulation.hpp"
 #include "util/cli.hpp"
@@ -60,12 +70,38 @@ pic::EventSchedule parse_events(const util::ArgParser& args, std::int64_t cells)
 }
 
 int report(const char* impl, bool ok, std::uint64_t particles, double seconds,
-           const std::string& extra = {}) {
+           const std::string& extra = {}, const std::string& machine_extra = {}) {
   std::cout << impl << ": " << (ok ? "VERIFIED" : "VERIFICATION FAILED") << " — "
             << particles << " particles, " << util::Table::fmt(seconds, 3) << " s";
   if (!extra.empty()) std::cout << " (" << extra << ')';
   std::cout << '\n';
+  // One-line machine-readable summary (stable key=value grammar).
+  std::cout << "RESULT impl=" << impl << " status=" << (ok ? "pass" : "fail")
+            << " particles=" << particles << " seconds="
+            << util::Table::fmt(seconds, 6);
+  if (!machine_extra.empty()) std::cout << ' ' << machine_extra;
+  std::cout << '\n';
   return ok ? 0 : 1;
+}
+
+/// RESULT trailer shared by the threadcomm/vpr drivers.
+std::string driver_machine_extra(const picprk::par::DriverResult& r) {
+  return "checksum=" + std::to_string(r.verification.id_checksum) +
+         " expected=" + std::to_string(r.expected_id_checksum) +
+         " exchanged=" + std::to_string(r.particles_exchanged) +
+         " checkpoints=" + std::to_string(r.checkpoints) +
+         " checkpoint_bytes=" + std::to_string(r.checkpoint_bytes) +
+         " recoveries=" + std::to_string(r.recoveries);
+}
+
+/// Selected implementation, for the RESULT line of a faulted run.
+std::string g_impl = "unknown";
+
+/// Machine-readable failure line + exit code for a typed fault outcome.
+int report_fault(const char* status, const std::string& what, int code) {
+  std::cerr << "picprk: " << what << '\n';
+  std::cout << "RESULT impl=" << g_impl << " status=" << status << '\n';
+  return code;
 }
 
 }  // namespace
@@ -106,6 +142,14 @@ int main(int argc, char** argv) try {
   args.add_int("F", 16, "ampi: LB interval (0 = never)");
   args.add_string("balancer", "greedy", "ampi: null|greedy|refine|diffusion|compact|rotate");
   args.add_flag("measured-load", false, "ampi: balance on measured time");
+  // Resilience (docs/RESILIENCE.md).
+  args.add_string("faults", "",
+                  "fault plan, e.g. kill:rank=1,step=40;drop:prob=0.01,src=0");
+  args.add_int("fault-seed", 1, "seed for probabilistic message faults");
+  args.add_int("checkpoint-every", 0, "buddy-checkpoint every N steps (0 = off)");
+  args.add_int("timeout-ms", 0, "blocking recv/probe deadline in ms (0 = none)");
+  args.add_int("deadlock-ms", 0, "deadlock-detector window in ms (0 = off)");
+  args.add_int("max-recoveries", 3, "rollbacks before giving up");
   // Performance model.
   args.add_int("cores", 96, "model: core count");
   if (!args.parse(argc, argv)) return 0;
@@ -120,6 +164,7 @@ int main(int argc, char** argv) try {
   init.rotate90 = args.get_flag("rotate90");
   const auto steps = static_cast<std::uint32_t>(args.get_int("steps"));
   const std::string impl = args.get_string("impl");
+  g_impl = impl;
 
   if (impl == "serial") {
     pic::SimulationConfig cfg;
@@ -169,6 +214,14 @@ int main(int argc, char** argv) try {
   cfg.steps = steps;
   cfg.events = parse_events(args, init.grid.cells);
 
+  const std::string fault_text = args.get_string("faults");
+  const auto checkpoint_every =
+      static_cast<std::uint32_t>(args.get_int("checkpoint-every"));
+  const int timeout_ms = static_cast<int>(args.get_int("timeout-ms"));
+  const int deadlock_ms = static_cast<int>(args.get_int("deadlock-ms"));
+  const bool resilient =
+      !fault_text.empty() || checkpoint_every > 0 || timeout_ms > 0 || deadlock_ms > 0;
+
   if (impl == "ampi") {
     par::AmpiParams params;
     params.workers = static_cast<int>(args.get_int("workers"));
@@ -176,36 +229,66 @@ int main(int argc, char** argv) try {
     params.lb_interval = static_cast<std::uint32_t>(args.get_int("F"));
     params.balancer = args.get_string("balancer");
     params.use_measured_load = args.get_flag("measured-load");
+    // Under vpr there is no World: install the hooks directly; the driver
+    // recovers in-process (rewind + pup_unpack).
+    ft::FaultInjector injector(ft::FaultPlan::parse(
+        fault_text, static_cast<std::uint64_t>(args.get_int("fault-seed"))));
+    ft::CheckpointStore store;
+    if (resilient) {
+      cfg.ft.injector = fault_text.empty() ? nullptr : &injector;
+      cfg.ft.store = checkpoint_every > 0 ? &store : nullptr;
+      cfg.ft.checkpoint_every = checkpoint_every;
+    }
     const auto r = par::run_ampi(cfg, params);
     return report("ampi", r.ok, r.final_particles, r.seconds,
                   std::to_string(r.lb_actions) + " migrations, max/worker " +
-                      std::to_string(r.max_particles_per_rank));
+                      std::to_string(r.max_particles_per_rank),
+                  driver_machine_extra(r));
   }
 
   if (impl == "baseline" || impl == "diffusion") {
+    const int ranks = static_cast<int>(args.get_int("ranks"));
+    par::DiffusionParams lb;
+    lb.frequency = static_cast<std::uint32_t>(args.get_int("lb-frequency"));
+    lb.threshold = args.get_double("lb-threshold");
+    lb.border_width = args.get_int("lb-border");
+    lb.two_phase = args.get_flag("two-phase");
+    const par::DriverFn driver = [&](comm::Comm& comm, const par::DriverConfig& dc) {
+      return impl == "baseline" ? par::run_baseline(comm, dc)
+                                : par::run_diffusion(comm, dc, lb);
+    };
+
     par::DriverResult result;
-    comm::World world(static_cast<int>(args.get_int("ranks")));
-    world.run([&](comm::Comm& comm) {
-      par::DriverResult r;
-      if (impl == "baseline") {
-        r = par::run_baseline(comm, cfg);
-      } else {
-        par::DiffusionParams lb;
-        lb.frequency = static_cast<std::uint32_t>(args.get_int("lb-frequency"));
-        lb.threshold = args.get_double("lb-threshold");
-        lb.border_width = args.get_int("lb-border");
-        lb.two_phase = args.get_flag("two-phase");
-        r = par::run_diffusion(comm, cfg, lb);
-      }
-      if (comm.rank() == 0) result = r;
-    });
+    if (resilient) {
+      par::ResilienceOptions ropts;
+      ropts.plan = ft::FaultPlan::parse(
+          fault_text, static_cast<std::uint64_t>(args.get_int("fault-seed")));
+      ropts.checkpoint_every = checkpoint_every;
+      ropts.timeout_ms = timeout_ms;
+      ropts.deadlock_ms = deadlock_ms;
+      ropts.max_recoveries = static_cast<std::uint32_t>(args.get_int("max-recoveries"));
+      result = par::run_resilient(ranks, cfg, ropts, driver);
+    } else {
+      comm::World world(ranks);
+      world.run([&](comm::Comm& comm) {
+        par::DriverResult r = driver(comm, cfg);
+        if (comm.rank() == 0) result = r;
+      });
+    }
     return report(impl.c_str(), result.ok, result.final_particles, result.seconds,
                   std::to_string(result.particles_exchanged) + " exchanged, max/rank " +
-                      std::to_string(result.max_particles_per_rank));
+                      std::to_string(result.max_particles_per_rank),
+                  driver_machine_extra(result));
   }
 
   std::cerr << "unknown --impl: " << impl << "\n" << args.usage();
   return 2;
+} catch (const picprk::comm::CommTimeout& e) {
+  return report_fault("comm-timeout", e.what(), 3);
+} catch (const picprk::comm::DeadlockDetected& e) {
+  return report_fault("deadlock", e.what(), 4);
+} catch (const picprk::ft::RankKilled& e) {
+  return report_fault("rank-killed", e.what(), 5);
 } catch (const std::exception& e) {
   std::cerr << "picprk: " << e.what() << '\n';
   return 2;
