@@ -6,10 +6,12 @@
 // carved from.
 #include <iostream>
 
+#include "bench_json.hpp"
 #include "comm/world.hpp"
 #include "field/dist_pic.hpp"
 #include "pic/init.hpp"
 #include "util/cli.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -19,6 +21,8 @@ int main(int argc, char** argv) {
   args.add_int("cells", 48, "mesh cells per dimension");
   args.add_int("particles", 6000, "global particle count");
   args.add_int("steps", 20, "PIC cycles");
+  args.add_flag("json", false, "also write BENCH_full_cycle.json (schema picprk-bench-v1)");
+  args.add_string("json-path", "BENCH_full_cycle.json", "output path for --json");
   if (!args.parse(argc, argv)) return 0;
 
   const auto cells = args.get_int("cells");
@@ -48,19 +52,28 @@ int main(int argc, char** argv) {
   util::Table table({"ranks", "seconds", "CG iters/step", "particles exchanged",
                      "momentum drift", "energy (kin+field)"});
 
+  std::vector<util::JsonObject> cases;
   for (int ranks : {1, 2, 4}) {
     double seconds = 0;
     int cg_iters = 0;
     std::uint64_t exchanged = 0;
     double drift = 0, energy = 0;
+    std::vector<double> step_seconds;
     comm::World world(ranks);
     world.run([&](comm::Comm& comm) {
       field::DistributedMiniPic sim(comm, cfg,
                                     comm.rank() == 0 ? all
                                                      : std::vector<pic::Particle>{});
       const auto before = sim.diagnostics();
+      field::MiniPicDiagnostics after;
       util::Timer t;
-      const auto after = sim.run(steps);
+      // Stepped loop (not run(steps)) so rank 0 can collect the per-step
+      // wall-time distribution for the JSON p50/p99 fields.
+      for (std::uint32_t s = 0; s < steps; ++s) {
+        util::Timer step_t;
+        after = sim.step();
+        if (comm.rank() == 0) step_seconds.push_back(step_t.elapsed());
+      }
       if (comm.rank() == 0) {
         seconds = t.elapsed();
         cg_iters = after.cg_iterations;
@@ -73,10 +86,37 @@ int main(int argc, char** argv) {
     table.add_row({std::to_string(ranks), util::Table::fmt(seconds, 3),
                    std::to_string(cg_iters), util::Table::fmt_u64(exchanged),
                    util::Table::fmt(drift, 6), util::Table::fmt(energy, 2)});
+
+    util::JsonObject c;
+    c.add("ranks", static_cast<std::int64_t>(ranks));
+    c.add("seconds", seconds);
+    c.add("particles_per_sec",
+          seconds > 0 ? static_cast<double>(all.size()) * steps / seconds : 0.0);
+    c.add("particles_exchanged", exchanged);
+    c.add("exchange_bytes", exchanged * static_cast<std::uint64_t>(sizeof(pic::Particle)));
+    c.add("step_seconds_p50", util::percentile(step_seconds, 50.0));
+    c.add("step_seconds_p99", util::percentile(step_seconds, 99.0));
+    c.add("cg_iterations_last_step", static_cast<std::int64_t>(cg_iters));
+    c.add("momentum_drift", drift);
+    c.add("total_energy", energy);
+    cases.push_back(std::move(c));
   }
   table.print(std::cout);
   std::cout << "\nEvery configuration runs the same physics (energies agree); the\n"
                "CG iteration count is rank-independent because the solve is a\n"
                "collective over the same global system.\n";
+
+  if (args.get_flag("json")) {
+    util::JsonObject config;
+    config.add("cells", args.get_int("cells"));
+    config.add("particles", args.get_int("particles"));
+    config.add("steps", args.get_int("steps"));
+    const std::string path = args.get_string("json-path");
+    if (!bench::write_bench_json(path, "bench_full_cycle", config, cases)) {
+      std::cerr << "failed to write " << path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << path << "\n";
+  }
   return 0;
 }

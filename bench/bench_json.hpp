@@ -1,0 +1,44 @@
+// Shared schema for machine-readable benchmark output (--json modes).
+// Every BENCH_*.json document has the same top-level shape so runs can
+// be archived and diffed by tools/compare_bench.py-style scripts:
+//
+//   {
+//     "schema":    "picprk-bench-v1",
+//     "benchmark": "<tool name>",
+//     "config":    { <the knobs this run was invoked with> },
+//     "results":   [ { <one object per measured case> }, ... ]
+//   }
+//
+// Case objects carry benchmark-specific keys; the common ones are
+// "particles_per_sec", "exchange_bytes", "step_seconds_p50" and
+// "step_seconds_p99" (see docs/PERFORMANCE.md for the full schema).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/report.hpp"
+
+namespace picprk::bench {
+
+inline constexpr const char* kBenchSchema = "picprk-bench-v1";
+
+inline util::JsonObject bench_document(const std::string& name,
+                                       const util::JsonObject& config,
+                                       const std::vector<util::JsonObject>& results) {
+  util::JsonObject doc;
+  doc.add("schema", std::string(kBenchSchema));
+  doc.add("benchmark", name);
+  doc.add("config", config);
+  doc.add("results", results);
+  return doc;
+}
+
+/// Writes the standard document to `path`; returns success.
+inline bool write_bench_json(const std::string& path, const std::string& name,
+                             const util::JsonObject& config,
+                             const std::vector<util::JsonObject>& results) {
+  return util::write_json_file(path, bench_document(name, config, results));
+}
+
+}  // namespace picprk::bench

@@ -5,11 +5,19 @@
 // machine model abstracts (t_particle, particle_bytes, ...).
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "bench_json.hpp"
 #include "par/decomposition.hpp"
 #include "pic/init.hpp"
 #include "pic/mover.hpp"
 #include "pic/simulation.hpp"
 #include "pic/verify.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
 #include "vpr/pup.hpp"
 
 namespace {
@@ -162,6 +170,92 @@ void BM_SerialStep(benchmark::State& state) {
 }
 BENCHMARK(BM_SerialStep);
 
+// ------------------------------------------------------------- --json
+// Hand-timed mover subset with the standard picprk-bench-v1 document
+// (google-benchmark's own JSON reporter has a different shape; this one
+// matches the other BENCH_*.json emitters, see docs/PERFORMANCE.md).
+
+util::JsonObject time_kernel(const std::string& name, std::size_t particles, int passes,
+                             const std::function<void()>& pass) {
+  std::vector<double> pass_seconds;
+  pass_seconds.reserve(static_cast<std::size_t>(passes));
+  for (int i = 0; i < passes; ++i) {
+    util::Timer t;
+    pass();
+    pass_seconds.push_back(t.elapsed());
+  }
+  double total = 0.0;
+  for (double s : pass_seconds) total += s;
+  util::JsonObject c;
+  c.add("kernel", name);
+  c.add("particles", static_cast<std::uint64_t>(particles));
+  c.add("passes", static_cast<std::int64_t>(passes));
+  c.add("particles_per_sec",
+        total > 0 ? static_cast<double>(particles) * passes / total : 0.0);
+  c.add("pass_seconds_p50", util::percentile(pass_seconds, 50.0));
+  c.add("pass_seconds_p99", util::percentile(pass_seconds, 99.0));
+  return c;
+}
+
+int run_json_mode(const std::string& path) {
+  constexpr std::uint64_t kParticles = 100000;
+  constexpr int kPasses = 50;
+  const auto params = bench_params(512, kParticles);
+  const pic::Initializer init(params);
+  const pic::AlternatingColumnCharges charges;
+  const auto slab = pic::ChargeSlab::sample(charges, 0, 0, 513, 513);
+
+  auto aos_ref = init.create_all();
+  auto aos = init.create_all();
+  auto aos_slab = init.create_all();
+  auto soa = pic::to_soa(init.create_all());
+
+  std::vector<util::JsonObject> cases;
+  cases.push_back(time_kernel("mover_aos_reference", aos_ref.size(), kPasses, [&] {
+    pic::reference::move_all(std::span<pic::Particle>(aos_ref), params.grid, charges, 1.0);
+  }));
+  cases.push_back(time_kernel("mover_aos", aos.size(), kPasses, [&] {
+    pic::move_all(std::span<pic::Particle>(aos), params.grid, charges, 1.0);
+  }));
+  cases.push_back(time_kernel("mover_aos_slab", aos_slab.size(), kPasses, [&] {
+    pic::move_all(std::span<pic::Particle>(aos_slab), params.grid, slab, 1.0);
+  }));
+  cases.push_back(time_kernel("mover_soa", soa.size(), kPasses, [&] {
+    pic::move_all_soa(soa, params.grid, charges, 1.0);
+  }));
+
+  util::JsonObject config;
+  config.add("particles", kParticles);
+  config.add("cells", static_cast<std::int64_t>(512));
+  config.add("passes", static_cast<std::int64_t>(kPasses));
+  if (!bench::write_bench_json(path, "bench_kernels", config, cases)) {
+    std::cerr << "failed to write " << path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << path << "\n";
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // --json diverts to the schema emitter; anything else flows through to
+  // google-benchmark (--benchmark_filter etc. keep working).
+  bool json = false;
+  std::string json_path = "BENCH_kernels.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strncmp(argv[i], "--json-path=", 12) == 0) {
+      json = true;
+      json_path = argv[i] + 12;
+    }
+  }
+  if (json) return run_json_mode(json_path);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -39,6 +39,7 @@ enum class Op : int {
   Alltoall,
   Split,
   Scan,
+  Alltoallv,
   Count_,
 };
 
@@ -51,6 +52,62 @@ inline int internal_tag(Op op, int seq) {
 }
 
 }  // namespace detail
+
+/// Recycles message byte buffers between the receive and send sides of a
+/// collective: payload vectors taken off the mailbox are `release`d here
+/// and `acquire` hands them back as send staging, so steady-state
+/// communication (stable message sizes, symmetric traffic) performs no
+/// heap allocation. `allocations()` counts the acquires that had to grow
+/// or create a buffer — the benchmark/test hook for the zero-allocation
+/// claim.
+class BufferPool {
+ public:
+  /// Returns a buffer of exactly `size` bytes, reusing pooled capacity
+  /// when possible. Best-fit (smallest sufficient buffer): first-fit
+  /// would let tiny requests (8-byte count messages) consume the large
+  /// payload buffers and force a fresh payload allocation every step.
+  std::vector<std::byte> acquire(std::size_t size) {
+    std::size_t best = free_.size();
+    for (std::size_t i = 0; i < free_.size(); ++i) {
+      if (free_[i].capacity() < size) continue;
+      if (best == free_.size() || free_[i].capacity() < free_[best].capacity()) best = i;
+    }
+    std::vector<std::byte> buf;
+    if (best < free_.size()) {
+      buf = std::move(free_[best]);
+      free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(best));
+    } else {
+      ++allocations_;
+      if (!free_.empty()) {  // grow the smallest pooled buffer rather than leak it
+        std::size_t smallest = 0;
+        for (std::size_t i = 1; i < free_.size(); ++i) {
+          if (free_[i].capacity() < free_[smallest].capacity()) smallest = i;
+        }
+        buf = std::move(free_[smallest]);
+        free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(smallest));
+      }
+      // Grow with 50% headroom so bounded step-to-step fluctuation in
+      // message sizes settles after one growth instead of reallocating
+      // every time a new maximum is seen.
+      buf.reserve(size + size / 2);
+    }
+    buf.resize(size);
+    return buf;
+  }
+
+  void release(std::vector<std::byte> buf) {
+    if (buf.capacity() > 0) free_.push_back(std::move(buf));
+  }
+
+  /// Number of acquires that required a fresh heap allocation.
+  std::uint64_t allocations() const { return allocations_; }
+
+  std::size_t pooled() const { return free_.size(); }
+
+ private:
+  std::vector<std::vector<std::byte>> free_;
+  std::uint64_t allocations_ = 0;
+};
 
 class Comm {
  public:
@@ -88,6 +145,15 @@ class Comm {
     send(std::span<const T>(&value, 1), dst, tag);
   }
 
+  /// Zero-copy send: moves the caller's byte buffer straight into the
+  /// destination mailbox instead of copying it (`as_bytes_copy`). The
+  /// buffer must already hold the packed payload; receivers see an
+  /// ordinary typed message.
+  void send_buffer(std::vector<std::byte>&& bytes, int dst, int tag) {
+    PICPRK_EXPECTS(tag >= 0);
+    send_bytes(std::move(bytes), dst, tag);
+  }
+
   /// Blocking receive; the message length determines the element count.
   template <typename T>
   std::vector<T> recv(int src, int tag, Status* status = nullptr) {
@@ -95,6 +161,22 @@ class Comm {
     Message msg = recv_bytes(src, tag);
     if (status) *status = Status{group_index(msg.source), msg.tag, msg.payload.size()};
     return from_bytes<T>(msg.payload);
+  }
+
+  /// Blocking receive into a caller-owned vector, reusing its capacity:
+  /// the allocation-free counterpart of `recv` for per-step receives.
+  /// Returns the number of elements received.
+  template <typename T>
+  std::size_t recv_into(std::vector<T>& out, int src, int tag, Status* status = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Message msg = recv_bytes(src, tag);
+    if (status) *status = Status{group_index(msg.source), msg.tag, msg.payload.size()};
+    PICPRK_ASSERT_MSG(msg.payload.size() % sizeof(T) == 0,
+                      "payload length not a multiple of element size");
+    const std::size_t count = msg.payload.size() / sizeof(T);
+    out.resize(count);
+    if (count > 0) std::memcpy(out.data(), msg.payload.data(), msg.payload.size());
+    return count;
   }
 
   /// Blocking receive of exactly one value.
@@ -278,6 +360,96 @@ class Comm {
       slot = from_bytes<T>(msg.payload);
     }
     return incoming;
+  }
+
+  /// Flat-buffer variable alltoall (MPI_Alltoallv; the hot-path
+  /// counterpart of `alltoall`'s vector-of-vectors): `send_data` holds
+  /// the payload packed in destination-rank order, `send_counts[r]`
+  /// elements for rank r. On return `recv_data` holds the received
+  /// elements grouped by source rank in ascending order (this rank's own
+  /// `send_counts[rank()]` slice is copied locally into position
+  /// `rank()`), and `recv_counts[r]` is the element count from rank r.
+  ///
+  /// Wire protocol: one fixed 8-byte count message per peer, then one
+  /// packed payload message per peer with a non-zero count — empty peers
+  /// cost a count envelope but no payload, and payloads are moved (not
+  /// copied) into the mailbox. Buffers are acquired from and released to
+  /// `pool` when given, so steady-state calls with stable message sizes
+  /// perform no heap allocation on this thread.
+  template <typename T>
+  void alltoallv(std::span<const T> send_data, std::span<const std::uint64_t> send_counts,
+                 std::vector<T>& recv_data, std::vector<std::uint64_t>& recv_counts,
+                 BufferPool* pool = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int p = size();
+    PICPRK_EXPECTS(static_cast<int>(send_counts.size()) == p);
+    std::uint64_t total_out = 0;
+    for (const std::uint64_t c : send_counts) total_out += c;
+    PICPRK_EXPECTS(send_data.size() == total_out);
+    const int tag = next_tag(detail::Op::Alltoallv);
+
+    // Round 1: per-peer element counts. Pairwise-shifted send order
+    // spreads mailbox pressure; buffered sends cannot block.
+    for (int shift = 1; shift < p; ++shift) {
+      const int dst = (rank_ + shift) % p;
+      std::vector<std::byte> buf = pool ? pool->acquire(sizeof(std::uint64_t))
+                                        : std::vector<std::byte>(sizeof(std::uint64_t));
+      const std::uint64_t count = send_counts[static_cast<std::size_t>(dst)];
+      std::memcpy(buf.data(), &count, sizeof count);
+      send_bytes(std::move(buf), dst, tag);
+    }
+    recv_counts.assign(static_cast<std::size_t>(p), 0);
+    recv_counts[static_cast<std::size_t>(rank_)] =
+        send_counts[static_cast<std::size_t>(rank_)];
+    for (int shift = 1; shift < p; ++shift) {
+      const int src = (rank_ - shift + p) % p;
+      Message msg = recv_internal(src, tag);
+      PICPRK_ASSERT_MSG(msg.payload.size() == sizeof(std::uint64_t),
+                        "alltoallv: malformed count message");
+      std::memcpy(&recv_counts[static_cast<std::size_t>(src)], msg.payload.data(),
+                  sizeof(std::uint64_t));
+      if (pool) pool->release(std::move(msg.payload));
+    }
+
+    // Round 2: payloads, skipping empty peers. Per-(source, tag) FIFO
+    // matching guarantees each peer's count message was consumed before
+    // its payload even though both share the tag.
+    for (int shift = 1; shift < p; ++shift) {
+      const int dst = (rank_ + shift) % p;
+      const std::uint64_t count = send_counts[static_cast<std::size_t>(dst)];
+      if (count == 0) continue;
+      std::size_t offset = 0;  // O(P) per peer beats an O(P) scratch allocation
+      for (int r = 0; r < dst; ++r) offset += send_counts[static_cast<std::size_t>(r)];
+      const std::size_t bytes = static_cast<std::size_t>(count) * sizeof(T);
+      std::vector<std::byte> buf =
+          pool ? pool->acquire(bytes) : std::vector<std::byte>(bytes);
+      std::memcpy(buf.data(), send_data.data() + offset, bytes);
+      send_bytes(std::move(buf), dst, tag);
+    }
+
+    // Deterministic reassembly: sources in ascending rank order, so the
+    // result layout is independent of message arrival order.
+    std::uint64_t total_in = 0;
+    for (const std::uint64_t c : recv_counts) total_in += c;
+    recv_data.resize(static_cast<std::size_t>(total_in));
+    std::size_t base = 0;
+    for (int src = 0; src < p; ++src) {
+      const std::uint64_t count = recv_counts[static_cast<std::size_t>(src)];
+      if (count == 0) continue;
+      const std::size_t bytes = static_cast<std::size_t>(count) * sizeof(T);
+      if (src == rank_) {
+        std::size_t offset = 0;
+        for (int r = 0; r < rank_; ++r) offset += send_counts[static_cast<std::size_t>(r)];
+        std::memcpy(recv_data.data() + base, send_data.data() + offset, bytes);
+      } else {
+        Message msg = recv_internal(src, tag);
+        PICPRK_ASSERT_MSG(msg.payload.size() == bytes,
+                          "alltoallv: payload size disagrees with its announced count");
+        std::memcpy(recv_data.data() + base, msg.payload.data(), bytes);
+        if (pool) pool->release(std::move(msg.payload));
+      }
+      base += static_cast<std::size_t>(count);
+    }
   }
 
   /// Inclusive prefix reduction (MPI_Scan): rank r receives

@@ -103,8 +103,10 @@ void DistributedField::halo_exchange(comm::Comm& comm) {
       local(width_, lj) = local(0, lj);
     }
   } else {
-    std::vector<double> west_edge(static_cast<std::size_t>(height_));
-    std::vector<double> east_edge(static_cast<std::size_t>(height_));
+    std::vector<double>& west_edge = edge_a_;
+    std::vector<double>& east_edge = edge_b_;
+    west_edge.resize(static_cast<std::size_t>(height_));
+    east_edge.resize(static_cast<std::size_t>(height_));
     for (std::int64_t lj = 0; lj < height_; ++lj) {
       west_edge[static_cast<std::size_t>(lj)] = local(0, lj);
       east_edge[static_cast<std::size_t>(lj)] = local(width_ - 1, lj);
@@ -112,10 +114,12 @@ void DistributedField::halo_exchange(comm::Comm& comm) {
     comm.send(west_edge, west_, kWestward);
     comm.send(east_edge, east_, kEastward);
     last_halo_bytes_ += (west_edge.size() + east_edge.size()) * sizeof(double);
-    const auto from_east = comm.recv<double>(east_, kWestward);
-    const auto from_west = comm.recv<double>(west_, kEastward);
-    PICPRK_ASSERT(from_east.size() == static_cast<std::size_t>(height_));
-    PICPRK_ASSERT(from_west.size() == static_cast<std::size_t>(height_));
+    const std::size_t n_east = comm.recv_into(from_a_, east_, kWestward);
+    const std::size_t n_west = comm.recv_into(from_b_, west_, kEastward);
+    const auto& from_east = from_a_;
+    const auto& from_west = from_b_;
+    PICPRK_ASSERT(n_east == static_cast<std::size_t>(height_));
+    PICPRK_ASSERT(n_west == static_cast<std::size_t>(height_));
     for (std::int64_t lj = 0; lj < height_; ++lj) {
       local(width_, lj) = from_east[static_cast<std::size_t>(lj)];
       local(-1, lj) = from_west[static_cast<std::size_t>(lj)];
@@ -129,8 +133,10 @@ void DistributedField::halo_exchange(comm::Comm& comm) {
       local(li, height_) = local(li, 0);
     }
   } else {
-    std::vector<double> south_edge(static_cast<std::size_t>(width_ + 2));
-    std::vector<double> north_edge(static_cast<std::size_t>(width_ + 2));
+    std::vector<double>& south_edge = edge_a_;
+    std::vector<double>& north_edge = edge_b_;
+    south_edge.resize(static_cast<std::size_t>(width_ + 2));
+    north_edge.resize(static_cast<std::size_t>(width_ + 2));
     for (std::int64_t li = -1; li <= width_; ++li) {
       south_edge[static_cast<std::size_t>(li + 1)] = local(li, 0);
       north_edge[static_cast<std::size_t>(li + 1)] = local(li, height_ - 1);
@@ -138,10 +144,12 @@ void DistributedField::halo_exchange(comm::Comm& comm) {
     comm.send(south_edge, south_, kSouthward);
     comm.send(north_edge, north_, kNorthward);
     last_halo_bytes_ += (south_edge.size() + north_edge.size()) * sizeof(double);
-    const auto from_north = comm.recv<double>(north_, kSouthward);
-    const auto from_south = comm.recv<double>(south_, kNorthward);
-    PICPRK_ASSERT(from_north.size() == static_cast<std::size_t>(width_ + 2));
-    PICPRK_ASSERT(from_south.size() == static_cast<std::size_t>(width_ + 2));
+    const std::size_t n_north = comm.recv_into(from_a_, north_, kSouthward);
+    const std::size_t n_south = comm.recv_into(from_b_, south_, kNorthward);
+    const auto& from_north = from_a_;
+    const auto& from_south = from_b_;
+    PICPRK_ASSERT(n_north == static_cast<std::size_t>(width_ + 2));
+    PICPRK_ASSERT(n_south == static_cast<std::size_t>(width_ + 2));
     for (std::int64_t li = -1; li <= width_; ++li) {
       local(li, height_) = from_north[static_cast<std::size_t>(li + 1)];
       local(li, -1) = from_south[static_cast<std::size_t>(li + 1)];
@@ -155,8 +163,10 @@ void DistributedField::halo_fold(comm::Comm& comm) {
   // Phase Y first (the reverse of exchange): halo rows — including their
   // x-halo corners — fold into the y-neighbors' x-halos/owned rows.
   if (south_ != rank_) {
-    std::vector<double> to_south(static_cast<std::size_t>(width_ + 2));
-    std::vector<double> to_north(static_cast<std::size_t>(width_ + 2));
+    std::vector<double>& to_south = edge_a_;
+    std::vector<double>& to_north = edge_b_;
+    to_south.resize(static_cast<std::size_t>(width_ + 2));
+    to_north.resize(static_cast<std::size_t>(width_ + 2));
     for (std::int64_t li = -1; li <= width_; ++li) {
       to_south[static_cast<std::size_t>(li + 1)] = local(li, -1);
       to_north[static_cast<std::size_t>(li + 1)] = local(li, height_);
@@ -166,8 +176,10 @@ void DistributedField::halo_fold(comm::Comm& comm) {
     comm.send(to_south, south_, kSouthward);
     comm.send(to_north, north_, kNorthward);
     last_halo_bytes_ += (to_south.size() + to_north.size()) * sizeof(double);
-    const auto from_north = comm.recv<double>(north_, kSouthward);
-    const auto from_south = comm.recv<double>(south_, kNorthward);
+    comm.recv_into(from_a_, north_, kSouthward);
+    comm.recv_into(from_b_, south_, kNorthward);
+    const auto& from_north = from_a_;
+    const auto& from_south = from_b_;
     for (std::int64_t li = -1; li <= width_; ++li) {
       local(li, height_ - 1) += from_north[static_cast<std::size_t>(li + 1)];
       local(li, 0) += from_south[static_cast<std::size_t>(li + 1)];
@@ -178,8 +190,10 @@ void DistributedField::halo_fold(comm::Comm& comm) {
 
   // Phase X: halo columns fold into x-neighbors' owned edge columns.
   if (west_ != rank_) {
-    std::vector<double> to_west(static_cast<std::size_t>(height_));
-    std::vector<double> to_east(static_cast<std::size_t>(height_));
+    std::vector<double>& to_west = edge_a_;
+    std::vector<double>& to_east = edge_b_;
+    to_west.resize(static_cast<std::size_t>(height_));
+    to_east.resize(static_cast<std::size_t>(height_));
     for (std::int64_t lj = 0; lj < height_; ++lj) {
       to_west[static_cast<std::size_t>(lj)] = local(-1, lj);
       to_east[static_cast<std::size_t>(lj)] = local(width_, lj);
@@ -189,8 +203,10 @@ void DistributedField::halo_fold(comm::Comm& comm) {
     comm.send(to_west, west_, kWestward);
     comm.send(to_east, east_, kEastward);
     last_halo_bytes_ += (to_west.size() + to_east.size()) * sizeof(double);
-    const auto from_east = comm.recv<double>(east_, kWestward);
-    const auto from_west = comm.recv<double>(west_, kEastward);
+    comm.recv_into(from_a_, east_, kWestward);
+    comm.recv_into(from_b_, west_, kEastward);
+    const auto& from_east = from_a_;
+    const auto& from_west = from_b_;
     for (std::int64_t lj = 0; lj < height_; ++lj) {
       local(width_ - 1, lj) += from_east[static_cast<std::size_t>(lj)];
       local(0, lj) += from_west[static_cast<std::size_t>(lj)];

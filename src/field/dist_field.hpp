@@ -80,6 +80,9 @@ class DistributedField {
   int west_, east_, north_, south_;  ///< neighbor ranks
   std::vector<double> values_;       ///< (width+2) × (height+2), halo ring
   std::uint64_t last_halo_bytes_ = 0;
+  // Reusable staging for the per-step halo sends/receives (recv_into):
+  // halo traffic is allocation-free after the first exchange.
+  std::vector<double> edge_a_, edge_b_, from_a_, from_b_;
 };
 
 }  // namespace picprk::field

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "comm/cart.hpp"
+#include "comm/comm.hpp"
 #include "ft/checkpoint.hpp"
 #include "ft/fault.hpp"
 #include "pic/charge.hpp"
@@ -47,19 +48,6 @@ struct SharedState {
     return vcart.rank_of(vx, vy);
   }
 };
-
-std::vector<std::byte> particles_to_bytes(const std::vector<pic::Particle>& ps) {
-  std::vector<std::byte> bytes(ps.size() * sizeof(pic::Particle));
-  if (!bytes.empty()) std::memcpy(bytes.data(), ps.data(), bytes.size());
-  return bytes;
-}
-
-std::vector<pic::Particle> particles_from_bytes(const std::vector<std::byte>& bytes) {
-  PICPRK_ASSERT(bytes.size() % sizeof(pic::Particle) == 0);
-  std::vector<pic::Particle> ps(bytes.size() / sizeof(pic::Particle));
-  if (!ps.empty()) std::memcpy(ps.data(), bytes.data(), bytes.size());
-  return ps;
-}
 
 /// One subdomain of the over-decomposed PIC problem.
 class PicVp final : public vpr::VirtualProcessor {
@@ -108,35 +96,44 @@ class PicVp final : public vpr::VirtualProcessor {
     pic::move_all(std::span<pic::Particle>(particles_), grid, slab_,
                   shared_->init_params.dt);
 
-    // Route emigrants to their owner VPs (static VP decomposition).
-    std::vector<pic::Particle> keep;
-    keep.reserve(particles_.size());
-    std::vector<std::vector<pic::Particle>> buckets;
-    std::vector<int> bucket_dst;
+    // Route emigrants to their owner VPs (static VP decomposition). All
+    // routing scratch is VP-owned and reused every step; outgoing byte
+    // payloads come from the pool that recycles delivered messages, so
+    // steady-state routing allocates nothing.
+    route_keep_.clear();
+    route_dst_.clear();
     for (const pic::Particle& p : particles_) {
       const int owner = shared_->owner_vp(p.x, p.y);
       if (owner == id()) {
-        keep.push_back(p);
+        route_keep_.push_back(p);
         continue;
       }
       std::size_t b = 0;
-      while (b < bucket_dst.size() && bucket_dst[b] != owner) ++b;
-      if (b == bucket_dst.size()) {
-        bucket_dst.push_back(owner);
-        buckets.emplace_back();
+      while (b < route_dst_.size() && route_dst_[b] != owner) ++b;
+      if (b == route_dst_.size()) {
+        route_dst_.push_back(owner);
+        if (route_buckets_.size() < route_dst_.size()) route_buckets_.emplace_back();
+        route_buckets_[b].clear();
       }
-      buckets[b].push_back(p);
+      route_buckets_[b].push_back(p);
     }
-    particles_ = std::move(keep);
-    for (std::size_t b = 0; b < buckets.size(); ++b) {
-      sent_particles_ += buckets[b].size();
-      ctx.send(bucket_dst[b], particles_to_bytes(buckets[b]));
+    std::swap(particles_, route_keep_);
+    for (std::size_t b = 0; b < route_dst_.size(); ++b) {
+      const std::vector<pic::Particle>& bucket = route_buckets_[b];
+      sent_particles_ += bucket.size();
+      std::vector<std::byte> bytes = byte_pool_.acquire(bucket.size() * sizeof(pic::Particle));
+      std::memcpy(bytes.data(), bucket.data(), bytes.size());
+      ctx.send(route_dst_[b], std::move(bytes));
     }
   }
 
   void deliver(int /*src_vp*/, std::vector<std::byte> payload) override {
-    const auto incoming = particles_from_bytes(payload);
-    particles_.insert(particles_.end(), incoming.begin(), incoming.end());
+    PICPRK_ASSERT(payload.size() % sizeof(pic::Particle) == 0);
+    const std::size_t count = payload.size() / sizeof(pic::Particle);
+    const std::size_t old_size = particles_.size();
+    particles_.resize(old_size + count);
+    if (count > 0) std::memcpy(particles_.data() + old_size, payload.data(), payload.size());
+    byte_pool_.release(std::move(payload));  // becomes next step's send staging
   }
 
   double load() const override { return static_cast<double>(particles_.size()); }
@@ -189,6 +186,12 @@ class PicVp final : public vpr::VirtualProcessor {
   std::vector<pic::Particle> particles_;
   std::uint64_t removed_id_sum_ = 0;
   std::uint64_t sent_particles_ = 0;
+  // Transient routing scratch — deliberately not pup'd; a migrated VP
+  // simply re-warms its buffers.
+  std::vector<pic::Particle> route_keep_;
+  std::vector<std::vector<pic::Particle>> route_buckets_;
+  std::vector<int> route_dst_;
+  comm::BufferPool byte_pool_;
 };
 
 }  // namespace

@@ -27,6 +27,7 @@ DriverResult run_baseline(comm::Comm& comm, const DriverConfig& config) {
   DriverResult result;
   util::PhaseTimer compute_timer, exchange_timer;
   std::uint64_t sent = 0, bytes = 0;
+  ExchangeBuffers exchange_buffers;  // steady-state exchange allocates nothing
 
   std::uint32_t start_step = 0;
   std::uint64_t checkpoint_rounds = 0, checkpoint_bytes = 0;
@@ -69,7 +70,7 @@ DriverResult run_baseline(comm::Comm& comm, const DriverConfig& config) {
     compute_timer.stop();
 
     exchange_timer.start();
-    const ExchangeStats stats = exchange_particles(comm, decomp, particles);
+    const ExchangeStats stats = exchange_particles(comm, decomp, particles, exchange_buffers);
     exchange_timer.stop();
     sent += stats.sent;
     bytes += stats.bytes;

@@ -1,54 +1,34 @@
 #include "par/exchange.hpp"
 
-#include <algorithm>
-
 #include "util/assert.hpp"
 
 namespace picprk::par {
 
 ExchangeStats exchange_particles(comm::Comm& comm, const Decomposition2D& decomp,
-                                 std::vector<pic::Particle>& mine) {
-  const int p = comm.size();
-  const int me = comm.rank();
+                                 std::vector<pic::Particle>& mine,
+                                 ExchangeBuffers& buffers) {
+  ExchangeStats stats = exchange_particles_by(
+      comm, [&decomp](double x, double y) { return decomp.owner_of_position(x, y); }, mine,
+      buffers);
 
-  std::vector<std::vector<pic::Particle>> outgoing(static_cast<std::size_t>(p));
-  std::vector<pic::Particle> keep;
-  keep.reserve(mine.size());
-  for (const pic::Particle& particle : mine) {
-    const int owner = decomp.owner_of_position(particle.x, particle.y);
-    if (owner == me) {
-      keep.push_back(particle);
-    } else {
-      outgoing[static_cast<std::size_t>(owner)].push_back(particle);
-    }
-  }
-
-  ExchangeStats stats;
-  for (int r = 0; r < p; ++r) {
-    if (r == me) continue;
-    const auto& bucket = outgoing[static_cast<std::size_t>(r)];
-    stats.sent += bucket.size();
-    stats.bytes += bucket.size() * sizeof(pic::Particle);
-  }
-
-  auto incoming = comm.alltoall(outgoing);
-  mine = std::move(keep);
-  for (int r = 0; r < p; ++r) {
-    if (r == me) continue;
-    const auto& bucket = incoming[static_cast<std::size_t>(r)];
-    stats.received += bucket.size();
-    mine.insert(mine.end(), bucket.begin(), bucket.end());
-  }
-
-  // Post-condition: everything we now hold is ours.
-  const pic::CellRegion block = decomp.block_of(me);
+#if defined(PICPRK_EXPENSIVE_CHECKS)
+  // Post-condition: everything we now hold is ours. O(n) per step, so
+  // only compiled into PICPRK_EXPENSIVE_CHECKS builds.
+  const pic::CellRegion block = decomp.block_of(comm.rank());
   for (const pic::Particle& particle : mine) {
     const auto cx = decomp.grid().cell_of(particle.x);
     const auto cy = decomp.grid().cell_of(particle.y);
     PICPRK_ASSERT_MSG(block.contains_cell(cx, cy),
                       "exchange delivered a particle to the wrong rank");
   }
+#endif
   return stats;
+}
+
+ExchangeStats exchange_particles(comm::Comm& comm, const Decomposition2D& decomp,
+                                 std::vector<pic::Particle>& mine) {
+  ExchangeBuffers buffers;
+  return exchange_particles(comm, decomp, mine, buffers);
 }
 
 }  // namespace picprk::par

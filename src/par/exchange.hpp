@@ -4,9 +4,20 @@
 // particles that left its subdomain to the appropriate remote
 // processor"). Routing is by owner lookup, not nearest-neighbor only, so
 // arbitrary particle speeds (large k, m) are handled.
+//
+// Hot path: keepers are compacted in place (in steady state almost every
+// particle stays put), emigrants are counting-sorted into one flat
+// buffer grouped by destination rank and shipped with the flat-buffer
+// `Comm::alltoallv` (counts + one packed payload per non-empty peer,
+// buffers moved into the mailbox, byte buffers recycled through a pool).
+// All scratch lives in a caller-owned ExchangeBuffers workspace, so
+// steady-state exchange performs no heap allocation —
+// `ExchangeBuffers::allocations()` is the test hook that proves it.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "comm/comm.hpp"
@@ -21,46 +32,131 @@ struct ExchangeStats {
   std::uint64_t bytes = 0;     ///< payload bytes sent by this rank
 };
 
-/// Routes emigrants in `mine` to their owners and appends immigrants.
-/// Collective over `comm`. Post-condition: every particle in `mine`
-/// belongs to this rank's block.
-ExchangeStats exchange_particles(comm::Comm& comm, const Decomposition2D& decomp,
-                                 std::vector<pic::Particle>& mine);
+/// Reusable per-rank exchange workspace. Owned by a driver and passed to
+/// every exchange_particles call; all buffers grow to their steady-state
+/// high-water mark during warm-up and are reused afterwards.
+/// `allocations()` counts every buffer growth (including the byte-buffer
+/// pool shared with the comm layer), so a test can assert that it stops
+/// increasing once traffic reaches steady state.
+struct ExchangeBuffers {
+  std::vector<std::uint64_t> send_counts;   ///< per-destination particle counts
+  std::vector<std::uint64_t> recv_counts;   ///< per-source particle counts
+  std::vector<std::uint64_t> cursor;        ///< counting-sort write cursors
+  std::vector<int> owner;                   ///< per-particle destination cache
+  std::vector<pic::Particle> packed;        ///< emigrant payload grouped by destination
+  std::vector<pic::Particle> received;      ///< immigrants, appended to `mine`
+  comm::BufferPool pool;                    ///< recycled message byte buffers
 
-/// Generalised exchange for arbitrary ownership (e.g. the irregular
-/// 8-neighbor scheme): `owner(x, y)` maps a position to its rank.
-/// Post-condition: owner(p) == my rank for every particle kept.
+  /// Total buffer growths so far (workspace vectors + pooled byte
+  /// buffers). Constant across steps once traffic is steady.
+  std::uint64_t allocations() const { return growths_ + pool.allocations(); }
+
+  /// Resizes `v` to `n`, counting a growth when capacity was
+  /// insufficient. Grows with 50% headroom so bounded step-to-step
+  /// fluctuation settles after one growth.
+  template <typename V>
+  void fit(V& v, std::size_t n) {
+    if (v.capacity() < n) {
+      ++growths_;
+      v.reserve(n + n / 2);
+    }
+    v.resize(n);
+  }
+
+  /// Records a buffer growth observed outside `fit` (e.g. `received`
+  /// grown inside the collective).
+  void note_growth() { ++growths_; }
+
+ private:
+  std::uint64_t growths_ = 0;
+};
+
+/// Generalised flat-buffer exchange for arbitrary ownership:
+/// `owner_of(x, y)` maps a position to its rank. Post-condition:
+/// owner_of(p) == my rank for every particle kept. The result order is
+/// deterministic: keepers first in their original order (they never
+/// leave `mine` — in steady state the overwhelming majority of particles
+/// stay put, so only emigrants are packed and shipped), then immigrants
+/// in ascending source-rank order.
 template <typename OwnerFn>
-ExchangeStats exchange_particles_by(comm::Comm& comm, OwnerFn&& owner,
-                                    std::vector<pic::Particle>& mine) {
-  const int p = comm.size();
-  const int me = comm.rank();
-  std::vector<std::vector<pic::Particle>> outgoing(static_cast<std::size_t>(p));
-  std::vector<pic::Particle> keep;
-  keep.reserve(mine.size());
-  for (const pic::Particle& particle : mine) {
-    const int dst = owner(particle.x, particle.y);
-    if (dst == me) {
-      keep.push_back(particle);
+ExchangeStats exchange_particles_by(comm::Comm& comm, OwnerFn&& owner_of,
+                                    std::vector<pic::Particle>& mine,
+                                    ExchangeBuffers& buffers) {
+  const auto p = static_cast<std::size_t>(comm.size());
+  const auto me = static_cast<std::size_t>(comm.rank());
+  const std::size_t n = mine.size();
+
+  // Pass 1: destination of every particle + per-destination counts.
+  buffers.fit(buffers.owner, n);
+  buffers.fit(buffers.send_counts, p);
+  buffers.fit(buffers.cursor, p);
+  buffers.fit(buffers.recv_counts, p);
+  std::fill(buffers.send_counts.begin(), buffers.send_counts.end(), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int dst = owner_of(mine[i].x, mine[i].y);
+    buffers.owner[i] = dst;
+    ++buffers.send_counts[static_cast<std::size_t>(dst)];
+  }
+  const std::uint64_t keepers = buffers.send_counts[me];
+  buffers.send_counts[me] = 0;  // keepers are not traffic
+
+  // Pass 2: compact keepers in place (stable) and counting-sort the
+  // emigrants into the packed send buffer, grouped by destination.
+  std::uint64_t offset = 0;
+  for (std::size_t r = 0; r < p; ++r) {
+    buffers.cursor[r] = offset;
+    offset += buffers.send_counts[r];
+  }
+  buffers.fit(buffers.packed, n - static_cast<std::size_t>(keepers));
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (buffers.owner[i] == static_cast<int>(me)) {
+      if (w != i) mine[w] = mine[i];
+      ++w;
     } else {
-      outgoing[static_cast<std::size_t>(dst)].push_back(particle);
+      buffers.packed[buffers.cursor[static_cast<std::size_t>(buffers.owner[i])]++] =
+          mine[i];
     }
   }
+  mine.resize(w);  // shrink: never reallocates
+
+  const std::size_t recv_capacity = buffers.received.capacity();
+  comm.alltoallv(std::span<const pic::Particle>(buffers.packed),
+                 std::span<const std::uint64_t>(buffers.send_counts), buffers.received,
+                 buffers.recv_counts, &buffers.pool);
+  if (buffers.received.capacity() > recv_capacity) buffers.note_growth();
+
+  const std::size_t mine_capacity = mine.capacity();
+  mine.insert(mine.end(), buffers.received.begin(), buffers.received.end());
+  if (mine.capacity() > mine_capacity) buffers.note_growth();
+
   ExchangeStats stats;
-  for (int r = 0; r < p; ++r) {
-    if (r == me) continue;
-    stats.sent += outgoing[static_cast<std::size_t>(r)].size();
-    stats.bytes += outgoing[static_cast<std::size_t>(r)].size() * sizeof(pic::Particle);
-  }
-  auto incoming = comm.alltoall(outgoing);
-  mine = std::move(keep);
-  for (int r = 0; r < p; ++r) {
-    if (r == me) continue;
-    stats.received += incoming[static_cast<std::size_t>(r)].size();
-    mine.insert(mine.end(), incoming[static_cast<std::size_t>(r)].begin(),
-                incoming[static_cast<std::size_t>(r)].end());
-  }
+  stats.sent = static_cast<std::uint64_t>(n) - keepers;
+  stats.bytes = stats.sent * sizeof(pic::Particle);
+  stats.received = buffers.received.size();
   return stats;
 }
+
+/// Convenience overload with a throwaway workspace (tests, one-shot
+/// callers). Drivers should own an ExchangeBuffers instead.
+template <typename OwnerFn>
+ExchangeStats exchange_particles_by(comm::Comm& comm, OwnerFn&& owner_of,
+                                    std::vector<pic::Particle>& mine) {
+  ExchangeBuffers buffers;
+  return exchange_particles_by(comm, std::forward<OwnerFn>(owner_of), mine, buffers);
+}
+
+/// Routes emigrants in `mine` to their owners and appends immigrants.
+/// Collective over `comm`. Post-condition: every particle in `mine`
+/// belongs to this rank's block (verified exhaustively only under
+/// PICPRK_EXPENSIVE_CHECKS builds — the O(n) sweep would distort release
+/// timings).
+ExchangeStats exchange_particles(comm::Comm& comm, const Decomposition2D& decomp,
+                                 std::vector<pic::Particle>& mine,
+                                 ExchangeBuffers& buffers);
+
+/// Convenience overload with a throwaway workspace.
+ExchangeStats exchange_particles(comm::Comm& comm, const Decomposition2D& decomp,
+                                 std::vector<pic::Particle>& mine);
 
 }  // namespace picprk::par

@@ -142,6 +142,7 @@ IrregularResult run_irregular(comm::Comm& comm, const DriverConfig& config,
 
   util::PhaseTimer compute_timer, exchange_timer, lb_timer;
   std::uint64_t sent = 0, bytes = 0, lb_actions = 0;
+  ExchangeBuffers exchange_buffers;  // steady-state exchange allocates nothing
   util::Timer wall;
 
   // Events need the rank's owned region; with irregular ownership we
@@ -157,7 +158,8 @@ IrregularResult run_irregular(comm::Comm& comm, const DriverConfig& config,
     compute_timer.stop();
 
     exchange_timer.start();
-    const ExchangeStats stats = exchange_particles_by(comm, owner_of, particles);
+    const ExchangeStats stats =
+        exchange_particles_by(comm, owner_of, particles, exchange_buffers);
     exchange_timer.stop();
     sent += stats.sent;
     bytes += stats.bytes;
@@ -173,7 +175,8 @@ IrregularResult run_irregular(comm::Comm& comm, const DriverConfig& config,
       const std::int64_t moved = irregular_lb_pass(map, loads, params);
       if (moved > 0) {
         lb_actions += static_cast<std::uint64_t>(moved);
-        const ExchangeStats lb_stats = exchange_particles_by(comm, owner_of, particles);
+        const ExchangeStats lb_stats =
+            exchange_particles_by(comm, owner_of, particles, exchange_buffers);
         sent += lb_stats.sent;
         bytes += lb_stats.bytes;
       }

@@ -23,11 +23,22 @@
 
 namespace picprk::pic {
 
+/// The four mesh-point charges at the corners of one cell, in the fixed
+/// corner order of the mover: (cx,cy), (cx,cy+1), (cx+1,cy), (cx+1,cy+1).
+/// Charge sources that can produce all four cheaper than four `at` calls
+/// expose `corners(cx, cy)`; the mover detects and prefers it.
+struct CornerCharges {
+  double q00 = 0.0;  ///< (cx,   cy)
+  double q01 = 0.0;  ///< (cx,   cy+1)
+  double q10 = 0.0;  ///< (cx+1, cy)
+  double q11 = 0.0;  ///< (cx+1, cy+1)
+};
+
 /// Analytic alternating-column pattern: charge(px, py) = ±q by parity of
 /// the mesh-point x-index.
 class AlternatingColumnCharges {
  public:
-  explicit AlternatingColumnCharges(double q = 1.0) : q_(q) {}
+  explicit AlternatingColumnCharges(double q = 1.0) : by_parity_{q, -q}, q_(q) {}
 
   double q() const { return q_; }
 
@@ -35,10 +46,20 @@ class AlternatingColumnCharges {
   /// pass cell corners, which are always in range after wrapping).
   double at(std::int64_t px, std::int64_t py) const {
     (void)py;
-    return (px % 2 == 0) ? q_ : -q_;
+    return by_parity_[static_cast<std::size_t>(px & 1)];
+  }
+
+  /// Hot-path corner lookup: both corners of a mesh-point column carry
+  /// the same charge and the right column is the negation of the left,
+  /// so one parity test yields all four values. Branch-free (table
+  /// indexed by the low bit), which keeps the SoA mover vectorizable.
+  CornerCharges corners(std::int64_t cx, std::int64_t /*cy*/) const {
+    const double left = by_parity_[static_cast<std::size_t>(cx & 1)];
+    return {left, left, -left, -left};
   }
 
  private:
+  double by_parity_[2];
   double q_;
 };
 
@@ -81,6 +102,17 @@ class ChargeSlab {
   double at(std::int64_t px, std::int64_t py) const {
     PICPRK_ASSERT_MSG(contains(px, py), "mesh point outside owned slab");
     return values_[static_cast<std::size_t>((py - y0_) * width_ + (px - x0_))];
+  }
+
+  /// Hot-path corner lookup: one bounds check for the whole 2×2 block
+  /// and a single base-index computation instead of four `at` calls.
+  CornerCharges corners(std::int64_t cx, std::int64_t cy) const {
+    PICPRK_ASSERT_MSG(contains(cx, cy) && contains(cx + 1, cy + 1),
+                      "cell corners outside owned slab");
+    const auto base = static_cast<std::size_t>((cy - y0_) * width_ + (cx - x0_));
+    const auto stride = static_cast<std::size_t>(width_);
+    return {values_[base], values_[base + stride], values_[base + 1],
+            values_[base + stride + 1]};
   }
 
   bool contains(std::int64_t px, std::int64_t py) const {

@@ -11,13 +11,36 @@
 
 namespace picprk::pic {
 
-/// Wraps `v` into [0, L) (periodic boundary in one coordinate).
-inline double wrap(double v, double length) {
+/// Full-range periodic wrap via fmod; the slow path of `wrap` and the
+/// pre-optimization hot-path form (preserved verbatim as
+/// pic::reference's wrap in mover.hpp).
+inline double wrap_fmod(double v, double length) {
   double r = std::fmod(v, length);
   if (r < 0.0) r += length;
   // fmod of a value infinitesimally below length can round up to length.
   if (r >= length) r = 0.0;
   return r;
+}
+
+/// Wraps `v` into [0, L) (periodic boundary in one coordinate).
+///
+/// Fast path: a per-step displacement almost never exceeds one domain
+/// length, so the common cases are "already in range" (no work) and "one
+/// period out" (one add/sub — exact, and bit-identical to fmod: for
+/// v ∈ [L, 2L) Sterbenz's lemma makes v−L exact, and for v ∈ [−L, 0)
+/// fmod returns v itself before the +L correction, so both forms compute
+/// the same sum). Anything further out falls back to fmod.
+inline double wrap(double v, double length) {
+  if (v >= length) {
+    v -= length;
+    if (v >= length) return wrap_fmod(v, length);
+  } else if (v < 0.0) {
+    v += length;
+    if (v < 0.0) return wrap_fmod(v, length);
+  }
+  // A tiny negative plus L can round up to exactly L; fold it to 0.
+  if (v >= length) v = 0.0;
+  return v;
 }
 
 /// Wraps an integer cell/mesh index into [0, n).
@@ -33,9 +56,15 @@ inline std::int64_t wrap_index(std::int64_t v, std::int64_t n) {
 struct GridSpec {
   std::int64_t cells = 0;
   double h = 1.0;
+  /// Cached 1/h: turns the two per-particle cell_of divides into
+  /// multiplies. Derived from h in the constructor; h is never mutated
+  /// after construction. In the canonical h = 1 configuration inv_h is
+  /// exactly 1.0, so cell_of is bit-identical to the divide form.
+  double inv_h = 1.0;
 
   GridSpec() = default;
-  GridSpec(std::int64_t cells_in, double h_in = 1.0) : cells(cells_in), h(h_in) {
+  GridSpec(std::int64_t cells_in, double h_in = 1.0)
+      : cells(cells_in), h(h_in), inv_h(1.0 / h_in) {
     PICPRK_EXPECTS(cells >= 2);
     PICPRK_EXPECTS(cells % 2 == 0);
     PICPRK_EXPECTS(h > 0.0);
@@ -46,8 +75,8 @@ struct GridSpec {
 
   /// Cell index containing physical coordinate `v` (already in [0, L)).
   std::int64_t cell_of(double v) const {
-    auto c = static_cast<std::int64_t>(std::floor(v / h));
-    // Guard the v == L fringe that floating division can produce.
+    auto c = static_cast<std::int64_t>(std::floor(v * inv_h));
+    // Guard the v == L fringe that floating rounding can produce.
     if (c >= cells) c = cells - 1;
     if (c < 0) c = 0;
     return c;

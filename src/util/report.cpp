@@ -112,6 +112,18 @@ JsonObject& JsonObject::add(const std::string& key, const JsonObject& child) {
   return *this;
 }
 
+JsonObject& JsonObject::add(const std::string& key, const std::vector<JsonObject>& children) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    if (i) os << ',';
+    os << children[i].to_string();
+  }
+  os << ']';
+  add_raw(key, os.str());
+  return *this;
+}
+
 std::string JsonObject::to_string(int indent) const {
   std::ostringstream os;
   const std::string pad(indent > 0 ? static_cast<std::size_t>(indent) : 0, ' ');

@@ -48,6 +48,7 @@ class JsonObject {
   JsonObject& add(const std::string& key, const std::string& value);
   JsonObject& add(const std::string& key, const std::vector<double>& values);
   JsonObject& add(const std::string& key, const JsonObject& child);
+  JsonObject& add(const std::string& key, const std::vector<JsonObject>& children);
 
   /// Serialises; `indent` > 0 pretty-prints.
   std::string to_string(int indent = 0) const;

@@ -5,6 +5,7 @@
 #include "comm/world.hpp"
 #include "par/exchange.hpp"
 #include "pic/init.hpp"
+#include "pic/mover.hpp"
 #include "pic/verify.hpp"
 
 namespace {
@@ -109,6 +110,85 @@ TEST(Exchange, LongJumpsRouteAcrossMultipleRanks) {
     }
     (void)stats;
     (void)block;
+  });
+}
+
+TEST(Exchange, WorkspaceReusePerformsNoSteadyStateAllocations) {
+  // The zero-allocation contract of the hot path: drive steady,
+  // stationary traffic (uniform particles hopping exact cell distances
+  // every step) through a reused ExchangeBuffers workspace and assert
+  // the growth counter stops moving once the buffers reach their
+  // high-water marks.
+  World world(4);
+  world.run([](Comm& comm) {
+    GridSpec grid(32, 1.0);
+    Cart2D cart(comm.size());
+    Decomposition2D decomp(grid, cart);
+    const auto block = decomp.block_of(comm.rank());
+
+    InitParams params;
+    params.grid = grid;
+    params.total_particles = 8000;
+    params.distribution = picprk::pic::Uniform{};
+    params.k = 1;
+    params.m = 1;
+    const Initializer init(params);
+    auto mine = init.create_block(block.x0, block.x1, block.y0, block.y1);
+
+    const picprk::pic::AlternatingColumnCharges charges;
+    picprk::par::ExchangeBuffers buffers;
+    const std::uint32_t warmup = 10, steady = 30;
+    for (std::uint32_t s = 0; s < warmup; ++s) {
+      picprk::pic::move_all(std::span<Particle>(mine), grid, charges, params.dt);
+      exchange_particles(comm, decomp, mine, buffers);
+    }
+    const std::uint64_t after_warmup = buffers.allocations();
+    std::uint64_t traffic = 0;
+    for (std::uint32_t s = 0; s < steady; ++s) {
+      picprk::pic::move_all(std::span<Particle>(mine), grid, charges, params.dt);
+      traffic += exchange_particles(comm, decomp, mine, buffers).sent;
+    }
+    EXPECT_GT(traffic, 0u) << "test must actually exercise the send path";
+    EXPECT_EQ(buffers.allocations(), after_warmup)
+        << "steady-state exchange must reuse the workspace";
+  });
+}
+
+TEST(Exchange, WorkspaceAndThrowawayOverloadsAgree) {
+  // Same traffic through a reused workspace and through the throwaway
+  // convenience overload: identical particle sets, identical order
+  // (keepers first in original order, then immigrants by source rank).
+  World world(4);
+  world.run([](Comm& comm) {
+    GridSpec grid(16, 1.0);
+    Cart2D cart(comm.size());
+    Decomposition2D decomp(grid, cart);
+    const auto block = decomp.block_of(comm.rank());
+
+    InitParams params;
+    params.grid = grid;
+    params.total_particles = 1200;
+    params.distribution = picprk::pic::Geometric{0.95};
+    const Initializer init(params);
+    auto with_workspace = init.create_block(block.x0, block.x1, block.y0, block.y1);
+    auto throwaway = with_workspace;
+    for (auto& particle : with_workspace)
+      particle.x = picprk::pic::wrap(particle.x + 3.0, grid.length());
+    for (auto& particle : throwaway)
+      particle.x = picprk::pic::wrap(particle.x + 3.0, grid.length());
+
+    picprk::par::ExchangeBuffers buffers;
+    const auto a = exchange_particles(comm, decomp, with_workspace, buffers);
+    const auto b = exchange_particles(comm, decomp, throwaway);
+
+    EXPECT_EQ(a.sent, b.sent);
+    EXPECT_EQ(a.received, b.received);
+    ASSERT_EQ(with_workspace.size(), throwaway.size());
+    for (std::size_t i = 0; i < with_workspace.size(); ++i) {
+      EXPECT_EQ(with_workspace[i].id, throwaway[i].id);
+      EXPECT_EQ(with_workspace[i].x, throwaway[i].x);
+      EXPECT_EQ(with_workspace[i].y, throwaway[i].y);
+    }
   });
 }
 
