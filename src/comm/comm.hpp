@@ -15,11 +15,17 @@
 #pragma once
 
 #include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <optional>
 #include <span>
 #include <type_traits>
 #include <vector>
+#if defined(PICPRK_EXPENSIVE_CHECKS)
+#include <thread>
+#endif
 
 #include "comm/world.hpp"
 #include "util/assert.hpp"
@@ -60,6 +66,11 @@ inline int internal_tag(Op op, int seq) {
 /// heap allocation. `allocations()` counts the acquires that had to grow
 /// or create a buffer — the benchmark/test hook for the zero-allocation
 /// claim.
+///
+/// Thread-confined, deliberately: each rank thread owns its pool, so the
+/// hot path carries no lock. The confinement is an enforced invariant,
+/// not a comment — PICPRK_EXPENSIVE_CHECKS builds assert that every
+/// acquire/release comes from the thread that first used the pool.
 class BufferPool {
  public:
   /// Returns a buffer of exactly `size` bytes, reusing pooled capacity
@@ -67,6 +78,7 @@ class BufferPool {
   /// would let tiny requests (8-byte count messages) consume the large
   /// payload buffers and force a fresh payload allocation every step.
   std::vector<std::byte> acquire(std::size_t size) {
+    check_owner();
     std::size_t best = free_.size();
     for (std::size_t i = 0; i < free_.size(); ++i) {
       if (free_[i].capacity() < size) continue;
@@ -96,6 +108,7 @@ class BufferPool {
   }
 
   void release(std::vector<std::byte> buf) {
+    check_owner();
     if (buf.capacity() > 0) free_.push_back(std::move(buf));
   }
 
@@ -105,6 +118,18 @@ class BufferPool {
   std::size_t pooled() const { return free_.size(); }
 
  private:
+#if defined(PICPRK_EXPENSIVE_CHECKS)
+  void check_owner() {
+    if (owner_ == std::thread::id{}) owner_ = std::this_thread::get_id();
+    PICPRK_ASSERT_MSG(owner_ == std::this_thread::get_id(),
+                      "BufferPool used from a second thread — pools are "
+                      "thread-confined (one per rank)");
+  }
+  std::thread::id owner_{};
+#else
+  void check_owner() {}
+#endif
+
   std::vector<std::vector<std::byte>> free_;
   std::uint64_t allocations_ = 0;
 };

@@ -1,6 +1,7 @@
 #include "comm/mailbox.hpp"
 
 #include <sstream>
+#include <utility>
 
 namespace picprk::comm {
 
@@ -56,50 +57,18 @@ class BlockScope {
 
 }  // namespace
 
-void Mailbox::push(Message msg) {
-  {
-    std::scoped_lock lock(mutex_);
-    queue_.push_back(std::move(msg));
-  }
-  cv_.notify_all();
-}
-
-Message Mailbox::pop(int context, int source, int tag, const WaitParams& wait) {
-  std::unique_lock lock(mutex_);
-  std::optional<BlockScope> blocked;
-  const auto deadline_at = std::chrono::steady_clock::now() + wait.deadline;
-  for (;;) {
-    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      if (matches(*it, context, source, tag)) {
-        Message msg = std::move(*it);
-        queue_.erase(it);
-        return msg;
-      }
-    }
-    if (wait.abort && wait.abort->load(std::memory_order_acquire)) throw WorldAborted{};
-    if (!blocked) blocked.emplace(wait.slot, 1, context, source, tag);
-    if (wait.deadline.count() > 0) {
-      if (cv_.wait_until(lock, deadline_at) == std::cv_status::timeout) {
-        // Re-scan once: a matching push may have raced the timeout.
-        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-          if (matches(*it, context, source, tag)) {
-            Message msg = std::move(*it);
-            queue_.erase(it);
-            return msg;
-          }
-        }
-        if (wait.abort && wait.abort->load(std::memory_order_acquire))
-          throw WorldAborted{};
-        throw_timeout("recv", wait.deadline, context, source, tag);
-      }
-    } else {
-      cv_.wait(lock);
+std::optional<Message> Mailbox::take_match(int context, int source, int tag) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (matches(*it, context, source, tag)) {
+      Message msg = std::move(*it);
+      queue_.erase(it);
+      return msg;
     }
   }
+  return std::nullopt;
 }
 
-std::optional<Status> Mailbox::probe(int context, int source, int tag) const {
-  std::scoped_lock lock(mutex_);
+std::optional<Status> Mailbox::find_match(int context, int source, int tag) const {
   for (const auto& m : queue_) {
     if (matches(m, context, source, tag)) {
       return Status{m.source, m.tag, m.payload.size()};
@@ -108,42 +77,69 @@ std::optional<Status> Mailbox::probe(int context, int source, int tag) const {
   return std::nullopt;
 }
 
-Status Mailbox::probe_wait(int context, int source, int tag, const WaitParams& wait) {
-  std::unique_lock lock(mutex_);
+void Mailbox::push(Message msg) {
+  {
+    util::LockGuard lock(mutex_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::pop(int context, int source, int tag, const WaitParams& wait) {
+  util::LockGuard lock(mutex_);
   std::optional<BlockScope> blocked;
   const auto deadline_at = std::chrono::steady_clock::now() + wait.deadline;
   for (;;) {
-    for (const auto& m : queue_) {
-      if (matches(m, context, source, tag)) {
-        return Status{m.source, m.tag, m.payload.size()};
+    if (auto msg = take_match(context, source, tag)) return std::move(*msg);
+    if (wait.abort && wait.abort->load(std::memory_order_acquire)) throw WorldAborted{};
+    if (!blocked) blocked.emplace(wait.slot, 1, context, source, tag);
+    if (wait.deadline.count() > 0) {
+      if (cv_.wait_until(mutex_, deadline_at) == std::cv_status::timeout) {
+        // Re-scan once: a matching push may have raced the timeout.
+        if (auto msg = take_match(context, source, tag)) return std::move(*msg);
+        if (wait.abort && wait.abort->load(std::memory_order_acquire))
+          throw WorldAborted{};
+        throw_timeout("recv", wait.deadline, context, source, tag);
       }
+    } else {
+      cv_.wait(mutex_);
     }
+  }
+}
+
+std::optional<Status> Mailbox::probe(int context, int source, int tag) const {
+  util::LockGuard lock(mutex_);
+  return find_match(context, source, tag);
+}
+
+Status Mailbox::probe_wait(int context, int source, int tag, const WaitParams& wait) {
+  util::LockGuard lock(mutex_);
+  std::optional<BlockScope> blocked;
+  const auto deadline_at = std::chrono::steady_clock::now() + wait.deadline;
+  for (;;) {
+    if (auto status = find_match(context, source, tag)) return *status;
     if (wait.abort && wait.abort->load(std::memory_order_acquire)) throw WorldAborted{};
     if (!blocked) blocked.emplace(wait.slot, 2, context, source, tag);
     if (wait.deadline.count() > 0) {
-      if (cv_.wait_until(lock, deadline_at) == std::cv_status::timeout) {
-        for (const auto& m : queue_) {
-          if (matches(m, context, source, tag)) {
-            return Status{m.source, m.tag, m.payload.size()};
-          }
-        }
+      if (cv_.wait_until(mutex_, deadline_at) == std::cv_status::timeout) {
+        if (auto status = find_match(context, source, tag)) return *status;
         if (wait.abort && wait.abort->load(std::memory_order_acquire))
           throw WorldAborted{};
         throw_timeout("probe", wait.deadline, context, source, tag);
       }
     } else {
-      cv_.wait(lock);
+      cv_.wait(mutex_);
     }
   }
 }
 
 std::size_t Mailbox::queued() const {
-  std::scoped_lock lock(mutex_);
+  util::LockGuard lock(mutex_);
   return queue_.size();
 }
 
 std::vector<Message> Mailbox::drain() {
-  std::scoped_lock lock(mutex_);
+  util::LockGuard lock(mutex_);
   std::vector<Message> out(std::make_move_iterator(queue_.begin()),
                            std::make_move_iterator(queue_.end()));
   queue_.clear();

@@ -10,14 +10,16 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "comm/message.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace picprk::comm {
 
@@ -105,9 +107,17 @@ class Mailbox {
            (tag == kAnyTag || m.tag == tag);
   }
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<Message> queue_;
+  /// Removes and returns the earliest matching message, if any queued.
+  std::optional<Message> take_match(int context, int source, int tag)
+      PICPRK_REQUIRES(mutex_);
+
+  /// Envelope of the earliest matching message, without consuming it.
+  std::optional<Status> find_match(int context, int source, int tag) const
+      PICPRK_REQUIRES(mutex_);
+
+  mutable util::Mutex mutex_;
+  util::CondVar cv_;
+  std::deque<Message> queue_ PICPRK_GUARDED_BY(mutex_);
 };
 
 }  // namespace picprk::comm

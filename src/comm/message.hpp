@@ -15,6 +15,25 @@ inline constexpr int kAnySource = -1;
 /// Wildcard tag for recv/probe, like MPI_ANY_TAG.
 inline constexpr int kAnyTag = -0x7FFFFFFF;
 
+// --------------------------------------------------------- tag registry
+// Every application-level message tag lives here, in one table, so
+// subsystems cannot collide (internal collective tags are negative and
+// never conflict). tools/picprk-lint enforces the registry statically:
+// a send/recv/probe call site anywhere in src/ must name its tag with a
+// k...Tag constant defined in this file, and no other file may define
+// one. To add a tag, add a line below with the next free value.
+
+/// Mesh-column/row migration between adjacent ranks (par/diffusion).
+inline constexpr int kMeshTag = 1000;
+/// Buddy-checkpoint snapshot payloads (par/resilient).
+inline constexpr int kCheckpointTag = 1001;
+/// Halo/fold traffic by travel direction (field/dist_field): the
+/// receiver of a westward message fills or folds its east side, etc.
+inline constexpr int kWestwardTag = 2001;
+inline constexpr int kEastwardTag = 2002;
+inline constexpr int kSouthwardTag = 2003;  ///< rows, incl. x-halo entries
+inline constexpr int kNorthwardTag = 2004;
+
 /// Envelope metadata returned by probe and recv.
 struct Status {
   int source = kAnySource;

@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <exception>
-#include <mutex>
 #include <sstream>
 #include <thread>
 
 #include "comm/comm.hpp"
 #include "util/assert.hpp"
+#include "util/first_error.hpp"
 #include "util/log.hpp"
 
 namespace picprk::comm {
@@ -82,13 +82,9 @@ void World::run(const std::function<void(Comm&)>& rank_main) {
   state_->abort.store(false, std::memory_order_release);
   for (auto& slot : state_->blocked) slot.kind.store(0, std::memory_order_relaxed);
 
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  util::FirstError first_error;
   auto record_error = [&](std::exception_ptr error) {
-    {
-      std::scoped_lock lock(error_mutex);
-      if (!first_error) first_error = error;
-    }
+    first_error.record(std::move(error));
     state_->signal_abort();
   };
 
@@ -165,7 +161,7 @@ void World::run(const std::function<void(Comm&)>& rank_main) {
   // died mid-protocol. Drain and report them so the next run() starts
   // from a clean world instead of inheriting stale envelopes.
   residual_messages_ = 0;
-  if (first_error) {
+  if (std::exception_ptr error = first_error.take()) {
     std::ostringstream os;
     for (int r = 0; r < size_; ++r) {
       const auto residue = state_->boxes[static_cast<std::size_t>(r)]->drain();
@@ -179,7 +175,7 @@ void World::run(const std::function<void(Comm&)>& rank_main) {
                                          << " residual message(s) after aborted run ("
                                          << os.str() << ')');
     }
-    std::rethrow_exception(first_error);
+    std::rethrow_exception(error);
   }
 }
 

@@ -5,6 +5,7 @@
 // cloud-in-cell (CIC) bilinear deposition.
 #pragma once
 
+#include <cstdint>
 #include <span>
 
 #include "field/grid_field.hpp"

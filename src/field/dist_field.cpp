@@ -5,11 +5,11 @@
 namespace picprk::field {
 
 namespace {
-// User tags for halo traffic, by travel direction.
-constexpr int kWestward = 2001;   // receiver fills/folds its east side
-constexpr int kEastward = 2002;
-constexpr int kSouthward = 2003;  // rows, including x-halo entries
-constexpr int kNorthward = 2004;
+// Halo-traffic tags, from the registry in comm/message.hpp.
+using comm::kEastwardTag;
+using comm::kNorthwardTag;
+using comm::kSouthwardTag;
+using comm::kWestwardTag;
 }  // namespace
 
 DistributedField::DistributedField(const pic::GridSpec& grid,
@@ -111,11 +111,11 @@ void DistributedField::halo_exchange(comm::Comm& comm) {
       west_edge[static_cast<std::size_t>(lj)] = local(0, lj);
       east_edge[static_cast<std::size_t>(lj)] = local(width_ - 1, lj);
     }
-    comm.send(west_edge, west_, kWestward);
-    comm.send(east_edge, east_, kEastward);
+    comm.send(west_edge, west_, kWestwardTag);
+    comm.send(east_edge, east_, kEastwardTag);
     last_halo_bytes_ += (west_edge.size() + east_edge.size()) * sizeof(double);
-    const std::size_t n_east = comm.recv_into(from_a_, east_, kWestward);
-    const std::size_t n_west = comm.recv_into(from_b_, west_, kEastward);
+    const std::size_t n_east = comm.recv_into(from_a_, east_, kWestwardTag);
+    const std::size_t n_west = comm.recv_into(from_b_, west_, kEastwardTag);
     const auto& from_east = from_a_;
     const auto& from_west = from_b_;
     PICPRK_ASSERT(n_east == static_cast<std::size_t>(height_));
@@ -141,11 +141,11 @@ void DistributedField::halo_exchange(comm::Comm& comm) {
       south_edge[static_cast<std::size_t>(li + 1)] = local(li, 0);
       north_edge[static_cast<std::size_t>(li + 1)] = local(li, height_ - 1);
     }
-    comm.send(south_edge, south_, kSouthward);
-    comm.send(north_edge, north_, kNorthward);
+    comm.send(south_edge, south_, kSouthwardTag);
+    comm.send(north_edge, north_, kNorthwardTag);
     last_halo_bytes_ += (south_edge.size() + north_edge.size()) * sizeof(double);
-    const std::size_t n_north = comm.recv_into(from_a_, north_, kSouthward);
-    const std::size_t n_south = comm.recv_into(from_b_, south_, kNorthward);
+    const std::size_t n_north = comm.recv_into(from_a_, north_, kSouthwardTag);
+    const std::size_t n_south = comm.recv_into(from_b_, south_, kNorthwardTag);
     const auto& from_north = from_a_;
     const auto& from_south = from_b_;
     PICPRK_ASSERT(n_north == static_cast<std::size_t>(width_ + 2));
@@ -173,11 +173,11 @@ void DistributedField::halo_fold(comm::Comm& comm) {
       local(li, -1) = 0.0;
       local(li, height_) = 0.0;
     }
-    comm.send(to_south, south_, kSouthward);
-    comm.send(to_north, north_, kNorthward);
+    comm.send(to_south, south_, kSouthwardTag);
+    comm.send(to_north, north_, kNorthwardTag);
     last_halo_bytes_ += (to_south.size() + to_north.size()) * sizeof(double);
-    comm.recv_into(from_a_, north_, kSouthward);
-    comm.recv_into(from_b_, south_, kNorthward);
+    comm.recv_into(from_a_, north_, kSouthwardTag);
+    comm.recv_into(from_b_, south_, kNorthwardTag);
     const auto& from_north = from_a_;
     const auto& from_south = from_b_;
     for (std::int64_t li = -1; li <= width_; ++li) {
@@ -200,11 +200,11 @@ void DistributedField::halo_fold(comm::Comm& comm) {
       local(-1, lj) = 0.0;
       local(width_, lj) = 0.0;
     }
-    comm.send(to_west, west_, kWestward);
-    comm.send(to_east, east_, kEastward);
+    comm.send(to_west, west_, kWestwardTag);
+    comm.send(to_east, east_, kEastwardTag);
     last_halo_bytes_ += (to_west.size() + to_east.size()) * sizeof(double);
-    comm.recv_into(from_a_, east_, kWestward);
-    comm.recv_into(from_b_, west_, kEastward);
+    comm.recv_into(from_a_, east_, kWestwardTag);
+    comm.recv_into(from_b_, west_, kEastwardTag);
     const auto& from_east = from_a_;
     const auto& from_west = from_b_;
     for (std::int64_t lj = 0; lj < height_; ++lj) {

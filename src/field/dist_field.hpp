@@ -6,6 +6,7 @@
 // "a scalable parallel solver" (the distributed CG built on top).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -4,6 +4,7 @@
 // updates" challenges of paper §III-A realised over threadcomm.
 #pragma once
 
+#include <cstdint>
 #include <span>
 
 #include "comm/comm.hpp"

@@ -7,6 +7,7 @@
 // at via the existing PRKs).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -180,18 +180,19 @@ class PicVp final : public vpr::VirtualProcessor {
   std::uint64_t sent_particles() const { return sent_particles_; }
 
  private:
-  std::shared_ptr<const SharedState> shared_;
+  // Members below are either serialized in pup() or tagged pup:transient;
+  // picprk-lint's pup rule rejects an untagged member missing from pup().
+  std::shared_ptr<const SharedState> shared_;  // pup:transient — re-injected by the factory
   pic::CellRegion block_;
   pic::ChargeSlab slab_;
   std::vector<pic::Particle> particles_;
   std::uint64_t removed_id_sum_ = 0;
   std::uint64_t sent_particles_ = 0;
-  // Transient routing scratch — deliberately not pup'd; a migrated VP
-  // simply re-warms its buffers.
-  std::vector<pic::Particle> route_keep_;
-  std::vector<std::vector<pic::Particle>> route_buckets_;
-  std::vector<int> route_dst_;
-  comm::BufferPool byte_pool_;
+  // Routing scratch: a migrated VP simply re-warms its buffers.
+  std::vector<pic::Particle> route_keep_;              // pup:transient
+  std::vector<std::vector<pic::Particle>> route_buckets_;  // pup:transient
+  std::vector<int> route_dst_;                         // pup:transient
+  comm::BufferPool byte_pool_;                         // pup:transient
 };
 
 }  // namespace

@@ -16,8 +16,7 @@ namespace picprk::par {
 
 namespace {
 
-/// User tag reserved for mesh-column/row migration messages.
-constexpr int kMeshTag = 1000;
+using comm::kMeshTag;
 
 /// Rebuilds this rank's charge slab for a new block, exchanging the mesh
 /// values that changed owner with the adjacent rank. The payloads really

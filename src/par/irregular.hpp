@@ -14,6 +14,7 @@
 // motivated the paper's two-phase rectangular design.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

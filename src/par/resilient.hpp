@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "comm/message.hpp"
 #include "ft/checkpoint.hpp"
 #include "ft/fault.hpp"
 #include "par/driver_common.hpp"
@@ -21,9 +22,9 @@
 
 namespace picprk::par {
 
-/// User tag reserved for buddy-checkpoint payloads (mesh migration owns
-/// 1000; see diffusion.cpp).
-inline constexpr int kCheckpointTag = 1001;
+/// Buddy-checkpoint payloads travel under comm::kCheckpointTag from the
+/// tag registry in comm/message.hpp.
+using comm::kCheckpointTag;
 
 /// Everything a rank needs to re-enter the stepping loop at `step`.
 /// Bounds vectors are empty for drivers with a static decomposition.

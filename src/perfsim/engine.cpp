@@ -110,7 +110,6 @@ ModelResult Engine::run_diffusion(int cores, const RunConfig& config,
     // driver: after the move+exchange of steps that are multiples of the
     // frequency. Its costs land on this step's lb_extra.
     std::fill(lb_extra.begin(), lb_extra.end(), 0.0);
-    double lb_part = 0.0;
     if (lb.frequency > 0 && step > 0 && step % lb.frequency == 0) {
       std::vector<std::uint64_t> loads_u64(static_cast<std::size_t>(px));
       double total = 0.0;

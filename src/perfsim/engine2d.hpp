@@ -5,6 +5,10 @@
 // this one extends the model to the full §III-E space at laptop scale.
 #pragma once
 
+#include <vector>
+
+#include <cstdint>
+
 #include "par/diffusion.hpp"
 #include "perfsim/engine.hpp"
 #include "perfsim/workload2d.hpp"

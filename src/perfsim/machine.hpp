@@ -9,6 +9,7 @@
 // (EXPERIMENTS.md discusses sensitivity).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

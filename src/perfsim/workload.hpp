@@ -8,6 +8,7 @@
 // prefix sums, so per-step per-rank load queries are O(1).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

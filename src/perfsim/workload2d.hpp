@@ -6,6 +6,7 @@
 // ~2,000² (the laptop-validation scale), not the 12k² paper grids.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -15,10 +15,12 @@
 // mover is templated on the charge source.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "pic/geometry.hpp"
+#include "util/annotations.hpp"
 #include "util/assert.hpp"
 
 namespace picprk::pic {
@@ -44,7 +46,7 @@ class AlternatingColumnCharges {
 
   /// Charge at mesh point (px, py); indices may be any integers (callers
   /// pass cell corners, which are always in range after wrapping).
-  double at(std::int64_t px, std::int64_t py) const {
+  PICPRK_HOT double at(std::int64_t px, std::int64_t py) const {
     (void)py;
     return by_parity_[static_cast<std::size_t>(px & 1)];
   }
@@ -53,7 +55,7 @@ class AlternatingColumnCharges {
   /// the same charge and the right column is the negation of the left,
   /// so one parity test yields all four values. Branch-free (table
   /// indexed by the low bit), which keeps the SoA mover vectorizable.
-  CornerCharges corners(std::int64_t cx, std::int64_t /*cy*/) const {
+  PICPRK_HOT CornerCharges corners(std::int64_t cx, std::int64_t /*cy*/) const {
     const double left = by_parity_[static_cast<std::size_t>(cx & 1)];
     return {left, left, -left, -left};
   }
@@ -99,14 +101,14 @@ class ChargeSlab {
   static ChargeSlab from_values(std::int64_t x0, std::int64_t y0, std::int64_t width,
                                 std::int64_t height, std::vector<double> values);
 
-  double at(std::int64_t px, std::int64_t py) const {
+  PICPRK_HOT double at(std::int64_t px, std::int64_t py) const {
     PICPRK_ASSERT_MSG(contains(px, py), "mesh point outside owned slab");
     return values_[static_cast<std::size_t>((py - y0_) * width_ + (px - x0_))];
   }
 
   /// Hot-path corner lookup: one bounds check for the whole 2×2 block
   /// and a single base-index computation instead of four `at` calls.
-  CornerCharges corners(std::int64_t cx, std::int64_t cy) const {
+  PICPRK_HOT CornerCharges corners(std::int64_t cx, std::int64_t cy) const {
     PICPRK_ASSERT_MSG(contains(cx, cy) && contains(cx + 1, cy + 1),
                       "cell corners outside owned slab");
     const auto base = static_cast<std::size_t>((cy - y0_) * width_ + (cx - x0_));

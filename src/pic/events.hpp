@@ -10,6 +10,7 @@
 // parallel runs apply identical events regardless of decomposition.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

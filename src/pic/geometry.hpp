@@ -7,6 +7,7 @@
 #include <cmath>
 #include <cstdint>
 
+#include "util/annotations.hpp"
 #include "util/assert.hpp"
 
 namespace picprk::pic {
@@ -30,7 +31,7 @@ inline double wrap_fmod(double v, double length) {
 /// v ∈ [L, 2L) Sterbenz's lemma makes v−L exact, and for v ∈ [−L, 0)
 /// fmod returns v itself before the +L correction, so both forms compute
 /// the same sum). Anything further out falls back to fmod.
-inline double wrap(double v, double length) {
+PICPRK_HOT inline double wrap(double v, double length) {
   if (v >= length) {
     v -= length;
     if (v >= length) return wrap_fmod(v, length);
@@ -74,7 +75,7 @@ struct GridSpec {
   double length() const { return static_cast<double>(cells) * h; }
 
   /// Cell index containing physical coordinate `v` (already in [0, L)).
-  std::int64_t cell_of(double v) const {
+  PICPRK_HOT std::int64_t cell_of(double v) const {
     auto c = static_cast<std::int64_t>(std::floor(v * inv_h));
     // Guard the v == L fringe that floating rounding can produce.
     if (c >= cells) c = cells - 1;

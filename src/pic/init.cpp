@@ -162,7 +162,7 @@ Particle Initializer::make_particle(std::int64_t cx, std::int64_t cy, std::uint6
   // whole cloud drifts +x; the opposite sign drifts −x; Random assigns a
   // per-particle sign from a hash of the id (decomposition independent).
   const double col_sign = (cx % 2 == 0) ? 1.0 : -1.0;
-  double drift;
+  double drift = 1.0;  // DriftRight; the switch covers every ChargeSign
   switch (params_.sign) {
     case ChargeSign::DriftRight:
       drift = 1.0;

@@ -21,12 +21,14 @@
 #pragma once
 
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <span>
 
 #include "pic/charge.hpp"
 #include "pic/geometry.hpp"
 #include "pic/particle.hpp"
+#include "util/annotations.hpp"
 
 namespace picprk::pic {
 
@@ -39,7 +41,7 @@ struct Force {
 /// (ke = 1): magnitude q1·q2/r², directed along the joining line, repulsive
 /// for like signs. Strength-reduced to the 1/r³ form: one divide and one
 /// sqrt per corner.
-inline Force coulomb(double dx, double dy, double q1, double q2) {
+PICPRK_HOT inline Force coulomb(double dx, double dy, double q1, double q2) {
   const double r2 = dx * dx + dy * dy;
   const double s = q1 * q2 / (r2 * std::sqrt(r2));
   return {s * dx, s * dy};
@@ -48,7 +50,7 @@ inline Force coulomb(double dx, double dy, double q1, double q2) {
 /// Fetches the four corner charges of cell (cx, cy), preferring the
 /// charge source's fused `corners` fast path over four `at` calls.
 template <typename Charges>
-inline CornerCharges corner_charges(const Charges& charges, std::int64_t cx,
+PICPRK_HOT inline CornerCharges corner_charges(const Charges& charges, std::int64_t cx,
                                     std::int64_t cy) {
   if constexpr (requires { charges.corners(cx, cy); }) {
     return charges.corners(cx, cy);
@@ -68,7 +70,7 @@ inline CornerCharges corner_charges(const Charges& charges, std::int64_t cx,
 /// summation order ((f00+f01)+f10)+f11 are fixed — the official PRK's
 /// (cx,cy), (cx,cy+1), (cx+1,cy), (cx+1,cy+1) — so force summation is
 /// deterministic across implementations.
-inline Force corner_force(double rel_x, double rel_y, double q, const CornerCharges& c,
+PICPRK_HOT inline Force corner_force(double rel_x, double rel_y, double q, const CornerCharges& c,
                           double h) {
   const double dx_l = rel_x;      // x-displacement from the left corners
   const double dx_r = rel_x - h;  // ... and from the right corners
@@ -102,7 +104,7 @@ inline Force corner_force(double rel_x, double rel_y, double q, const CornerChar
 /// `charges` is any charge source exposing `double at(px, py)` for global
 /// mesh-point indices (AlternatingColumnCharges or ChargeSlab).
 template <typename Charges>
-Force total_force(const Particle& p, const GridSpec& grid, const Charges& charges) {
+PICPRK_HOT Force total_force(const Particle& p, const GridSpec& grid, const Charges& charges) {
   const std::int64_t cx = grid.cell_of(p.x);
   const std::int64_t cy = grid.cell_of(p.y);
   const double rel_x = p.x - static_cast<double>(cx) * grid.h;
@@ -112,7 +114,7 @@ Force total_force(const Particle& p, const GridSpec& grid, const Charges& charge
 
 /// Advances one particle by one time step dt given the force acting on it
 /// (Eqs. 1–2), wrapping periodically into [0, L).
-inline void advance(Particle& p, const Force& f, const GridSpec& grid, double dt) {
+PICPRK_HOT inline void advance(Particle& p, const Force& f, const GridSpec& grid, double dt) {
   const double ax = f.fx;  // ke/m == 1 by specification
   const double ay = f.fy;
   const double length = grid.length();
@@ -126,7 +128,7 @@ inline void advance(Particle& p, const Force& f, const GridSpec& grid, double dt
 /// Every mover (AoS, OpenMP, SoA) routes through this one body, so the
 /// layouts stay bit-identical within a build.
 template <typename Charges>
-inline void move_scalars(double& x, double& y, double& vx, double& vy, double q,
+PICPRK_HOT inline void move_scalars(double& x, double& y, double& vx, double& vy, double q,
                          const GridSpec& grid, const Charges& charges, double dt) {
   const std::int64_t cx = grid.cell_of(x);
   const std::int64_t cy = grid.cell_of(y);
@@ -145,14 +147,14 @@ inline void move_scalars(double& x, double& y, double& vx, double& vy, double q,
 
 /// Force + advance fused, the per-particle inner loop body.
 template <typename Charges>
-void move_particle(Particle& p, const GridSpec& grid, const Charges& charges, double dt) {
+PICPRK_HOT void move_particle(Particle& p, const GridSpec& grid, const Charges& charges, double dt) {
   move_scalars(p.x, p.y, p.vx, p.vy, p.q, grid, charges, dt);
 }
 
 /// Moves a span of particles (the serial kernel).
 template <typename Charges>
-void move_all(std::span<Particle> particles, const GridSpec& grid, const Charges& charges,
-              double dt) {
+PICPRK_HOT void move_all(std::span<Particle> particles, const GridSpec& grid,
+                         const Charges& charges, double dt) {
   for (Particle& p : particles) move_particle(p, grid, charges, dt);
 }
 
@@ -162,7 +164,7 @@ void move_all(std::span<Particle> particles, const GridSpec& grid, const Charges
 /// imbalance cannot arise from a flat particle array (which is exactly
 /// why the PRK's load-balancing problem is a distributed-memory one).
 template <typename Charges>
-void move_all_omp(std::span<Particle> particles, const GridSpec& grid,
+PICPRK_HOT void move_all_omp(std::span<Particle> particles, const GridSpec& grid,
                   const Charges& charges, double dt) {
   const auto n = static_cast<std::int64_t>(particles.size());
 #if defined(PICPRK_HAVE_OPENMP)
@@ -179,7 +181,7 @@ void move_all_omp(std::span<Particle> particles, const GridSpec& grid,
 /// enabled the loop is additionally thread-parallel. The body is the
 /// same move_scalars kernel as the AoS movers.
 template <typename Charges>
-void move_all_soa(ParticleSoA& soa, const GridSpec& grid, const Charges& charges, double dt) {
+PICPRK_HOT void move_all_soa(ParticleSoA& soa, const GridSpec& grid, const Charges& charges, double dt) {
   const auto n = static_cast<std::int64_t>(soa.size());
   double* const x = soa.x.data();
   double* const y = soa.y.data();

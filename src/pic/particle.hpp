@@ -5,6 +5,7 @@
 // what travels between ranks during particle exchange and VP migration.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

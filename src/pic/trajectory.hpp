@@ -6,6 +6,7 @@
 // test suite; cheap enough (O(tracked) per step) to leave on in anger.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <span>

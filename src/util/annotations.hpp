@@ -1,0 +1,16 @@
+// Function-level performance annotations, enforced statically by
+// tools/picprk-lint rather than trusted on faith.
+//
+// PICPRK_HOT marks a function as steady-state hot-path code: the lint
+// checker rejects any PICPRK_HOT body containing allocation, fmod, throw
+// or container-growth tokens, turning the PR 2 "zero allocation, no
+// fmod" guarantees into build-failing invariants instead of benchmark
+// folklore (docs/STATIC_ANALYSIS.md). The attribute itself also nudges
+// the compiler's inliner/BB placement on GCC and Clang.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define PICPRK_HOT [[gnu::hot]]
+#else
+#define PICPRK_HOT
+#endif

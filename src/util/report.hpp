@@ -3,6 +3,7 @@
 // re-plotted without scraping stdout.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <fstream>
 #include <string>

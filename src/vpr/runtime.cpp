@@ -1,15 +1,14 @@
 #include "vpr/runtime.hpp"
 
-#include <atomic>
+#include <algorithm>
 #include <barrier>
-#include <condition_variable>
-#include <exception>
-#include <mutex>
 #include <thread>
 
 #include "util/assert.hpp"
+#include "util/first_error.hpp"
 #include "util/log.hpp"
 #include "util/stats.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/timer.hpp"
 
 namespace picprk::vpr {
@@ -55,7 +54,7 @@ struct Runtime::Pool {
 
   ~Pool() {
     {
-      std::scoped_lock lock(mutex);
+      util::LockGuard lock(mutex);
       shutdown = true;
     }
     cv.notify_all();
@@ -64,21 +63,18 @@ struct Runtime::Pool {
 
   void dispatch(std::uint32_t first_step, std::uint32_t steps) {
     {
-      std::scoped_lock lock(mutex);
+      util::LockGuard lock(mutex);
       job_first_step = first_step;
       job_steps = steps;
       done_count = 0;
       ++generation;
     }
     cv.notify_all();
-    std::unique_lock lock(mutex);
-    done_cv.wait(lock, [this] { return done_count == runtime.config_.workers; });
-    if (first_error) {
-      auto err = first_error;
-      first_error = nullptr;
-      failed.store(false, std::memory_order_release);
-      std::rethrow_exception(err);
+    {
+      util::LockGuard lock(mutex);
+      while (done_count != runtime.config_.workers) done_cv.wait(mutex);
     }
+    error.rethrow_if_any();  // clears, so the pool is reusable after a failure
   }
 
   void worker_loop(int w) {
@@ -86,8 +82,8 @@ struct Runtime::Pool {
     for (;;) {
       std::uint32_t first = 0, steps = 0;
       {
-        std::unique_lock lock(mutex);
-        cv.wait(lock, [&] { return shutdown || generation > my_generation; });
+        util::LockGuard lock(mutex);
+        while (!shutdown && generation <= my_generation) cv.wait(mutex);
         if (shutdown) return;
         my_generation = generation;
         first = job_first_step;
@@ -97,33 +93,26 @@ struct Runtime::Pool {
         runtime.superstep_worker(w, first + s, *this);
       }
       {
-        std::scoped_lock lock(mutex);
+        util::LockGuard lock(mutex);
         ++done_count;
       }
       done_cv.notify_all();
     }
   }
 
-  void record_error() {
-    std::scoped_lock lock(mutex);
-    if (!first_error) first_error = std::current_exception();
-    failed.store(true, std::memory_order_release);
-  }
-
   Runtime& runtime;
   std::barrier<> barrier;
   std::vector<std::thread> threads;
 
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::condition_variable done_cv;
-  bool shutdown = false;
-  std::uint64_t generation = 0;
-  std::uint32_t job_first_step = 0;
-  std::uint32_t job_steps = 0;
-  int done_count = 0;
-  std::exception_ptr first_error;
-  std::atomic<bool> failed{false};
+  util::Mutex mutex;
+  util::CondVar cv;       ///< workers wait here for the next job
+  util::CondVar done_cv;  ///< dispatch waits here for batch completion
+  bool shutdown PICPRK_GUARDED_BY(mutex) = false;
+  std::uint64_t generation PICPRK_GUARDED_BY(mutex) = 0;
+  std::uint32_t job_first_step PICPRK_GUARDED_BY(mutex) = 0;
+  std::uint32_t job_steps PICPRK_GUARDED_BY(mutex) = 0;
+  int done_count PICPRK_GUARDED_BY(mutex) = 0;
+  util::FirstError error;  ///< first exception thrown inside a superstep
 };
 
 Runtime::Runtime(RuntimeConfig config, const Factory& factory)
@@ -218,11 +207,11 @@ void Runtime::maybe_balance(std::uint32_t global_step) {
 
 void Runtime::superstep_worker(int w, std::uint32_t global_step, Pool& pool) {
   auto guarded = [&](auto&& fn) {
-    if (pool.failed.load(std::memory_order_acquire)) return;
+    if (pool.error.failed()) return;
     try {
       fn();
     } catch (...) {
-      pool.record_error();
+      pool.error.record_current();
     }
   };
 

@@ -2,14 +2,14 @@
 
 #include <atomic>
 #include <deque>
-#include <exception>
-#include <mutex>
 #include <optional>
 #include <thread>
 
 #include "comm/cart.hpp"
 #include "util/assert.hpp"
+#include "util/first_error.hpp"
 #include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace picprk::ws {
 
@@ -21,12 +21,12 @@ namespace {
 class TaskDeque {
  public:
   void push(std::size_t task) {
-    std::scoped_lock lock(mutex_);
+    util::LockGuard lock(mutex_);
     deque_.push_back(task);
   }
 
   std::optional<std::size_t> pop_back() {
-    std::scoped_lock lock(mutex_);
+    util::LockGuard lock(mutex_);
     if (deque_.empty()) return std::nullopt;
     const std::size_t t = deque_.back();
     deque_.pop_back();
@@ -34,7 +34,7 @@ class TaskDeque {
   }
 
   std::optional<std::size_t> pop_front() {
-    std::scoped_lock lock(mutex_);
+    util::LockGuard lock(mutex_);
     if (deque_.empty()) return std::nullopt;
     const std::size_t t = deque_.front();
     deque_.pop_front();
@@ -42,8 +42,8 @@ class TaskDeque {
   }
 
  private:
-  std::mutex mutex_;
-  std::deque<std::size_t> deque_;
+  util::Mutex mutex_;
+  std::deque<std::size_t> deque_ PICPRK_GUARDED_BY(mutex_);
 };
 
 }  // namespace
@@ -72,16 +72,13 @@ PoolStats WorkStealingPool::run(std::size_t count,
 
   std::atomic<std::size_t> remaining{count};
   std::atomic<std::uint64_t> steals{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::atomic<bool> failed{false};
+  util::FirstError first_error;
 
   auto worker_body = [&](int w) {
     util::SplitMix64 rng(0xA11C0DEull + static_cast<std::uint64_t>(w));
     std::uint64_t executed = 0;
     try {
-      while (remaining.load(std::memory_order_acquire) > 0 &&
-             !failed.load(std::memory_order_acquire)) {
+      while (remaining.load(std::memory_order_acquire) > 0 && !first_error.failed()) {
         std::optional<std::size_t> task = deques[static_cast<std::size_t>(w)].pop_back();
         if (!task && allow_steal && workers_ > 1) {
           // Steal attempt from a random victim; a couple of tries, then
@@ -104,9 +101,7 @@ PoolStats WorkStealingPool::run(std::size_t count,
         remaining.fetch_sub(1, std::memory_order_acq_rel);
       }
     } catch (...) {
-      std::scoped_lock lock(error_mutex);
-      if (!first_error) first_error = std::current_exception();
-      failed.store(true, std::memory_order_release);
+      first_error.record_current();
     }
     stats.executed_per_worker[static_cast<std::size_t>(w)] = executed;
   };
@@ -119,9 +114,8 @@ PoolStats WorkStealingPool::run(std::size_t count,
     for (int w = 0; w < workers_; ++w) threads.emplace_back(worker_body, w);
     for (auto& t : threads) t.join();
   }
-  if (first_error) std::rethrow_exception(first_error);
-  PICPRK_ASSERT_MSG(failed.load() || remaining.load() == 0,
-                    "work-stealing pool lost tasks");
+  first_error.rethrow_if_any();
+  PICPRK_ASSERT_MSG(remaining.load() == 0, "work-stealing pool lost tasks");
   stats.steals = steals.load();
   return stats;
 }

@@ -10,6 +10,7 @@
 // random victim when empty — the classic owner-LIFO/thief-FIFO policy.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <vector>

@@ -1,0 +1,15 @@
+// Fixture: three header violations — no #pragma once, a std:: type
+// spelled without its include, and an unresolvable project include.
+
+#include <cstdint>
+
+#include "no/such/file.hpp"
+
+namespace fixture {
+
+struct Record {
+  std::uint64_t id = 0;
+  std::vector<double> samples;  // std::vector without <vector>
+};
+
+}  // namespace fixture

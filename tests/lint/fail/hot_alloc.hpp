@@ -1,0 +1,20 @@
+// Fixture: PICPRK_HOT bodies that allocate, fmod, or throw must fail.
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#define PICPRK_HOT __attribute__((hot))
+
+PICPRK_HOT inline double bad_wrap(double x, double period) {
+  return std::fmod(x, period);  // banned: fmod in a hot body
+}
+
+PICPRK_HOT inline void bad_push(std::vector<int>& v, int x) {
+  v.push_back(x);  // banned: container growth in a hot body
+}
+
+PICPRK_HOT inline void bad_throw(int x) {
+  if (x < 0) throw std::runtime_error("negative");  // banned: throw
+}

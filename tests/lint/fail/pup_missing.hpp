@@ -1,0 +1,23 @@
+// Fixture: a pup()-able struct with an unserialized, untagged member
+// must fail — this is the silent-checkpoint-corruption bug class.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+class Pup;
+
+struct Leaky {
+  std::uint32_t step = 0;
+  std::vector<double> values;
+  std::uint64_t forgotten_sum = 0;  // not pupped, not tagged: violation
+
+  void pup(Pup& p) {
+    p | step;
+    p | values;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Fixture registry for the failing-tags tree.
+#pragma once
+
+namespace fixture::comm {
+
+inline constexpr int kAnyTag = -1;
+inline constexpr int kMeshTag = 1000;
+
+}  // namespace fixture::comm

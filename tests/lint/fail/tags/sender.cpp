@@ -1,0 +1,20 @@
+// Fixture: literal tags at call sites and tag constants defined outside
+// the registry must both fail.
+#include "message.hpp"
+
+namespace fixture {
+
+// Violation: a tag constant living outside message.hpp.
+inline constexpr int kRogueTag = 7;
+
+struct Comm {
+  template <typename T>
+  void send(const T&, int, int) {}
+};
+
+inline void exchange(Comm& comm, const int* payload, int neighbor) {
+  comm.send(payload, neighbor, 42);         // violation: literal tag
+  comm.send(payload, neighbor, kRogueTag);  // named, but not in the registry
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: self-contained header — #pragma once, resolvable project
+// includes, and a direct include for every std:: vocabulary type used.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pup_complete.hpp"
+
+namespace fixture {
+
+struct Record {
+  std::uint64_t id = 0;
+  std::vector<double> samples;
+};
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: a PICPRK_HOT body with none of the banned tokens passes.
+// "throw" and "new" in this comment must not trip the checker, nor may
+// the string literal below.
+#pragma once
+
+#define PICPRK_HOT __attribute__((hot))
+
+inline const char* kNote = "this string says throw and push_back";
+
+PICPRK_HOT inline double wrap(double x, double period) {
+  while (x >= period) x -= period;
+  while (x < 0.0) x += period;
+  return x;
+}
+
+// Declaration only: nothing to scan.
+PICPRK_HOT double advance(double x, double v, double dt);

@@ -1,0 +1,48 @@
+// Fixture: every member is either pupped or tagged pup:transient.
+// (Lint fixtures are scanned, never compiled.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+class Pup;  // stand-in for vpr::Pup
+
+struct Complete {
+  std::uint32_t step = 0;
+  std::vector<double> values;
+  double* scratch_ = nullptr;  // pup:transient — rebuilt on unpack
+
+  void pup(Pup& p) {
+    p | step;
+    p | values;
+  }
+};
+
+/// Out-of-line pup: the checker resolves ClassName::pup across files.
+struct OutOfLine {
+  int a = 0;
+  int b = 0;
+
+  void pup(Pup& p);
+};
+
+inline void OutOfLine::pup(Pup& p) {
+  p | a;
+  p | b;
+}
+
+/// Pure-virtual pup is an interface, not state: exempt.
+class VirtualBase {
+ public:
+  virtual ~VirtualBase() = default;
+  virtual void pup(Pup& p) = 0;
+};
+
+/// No pup() at all: the rule does not apply.
+struct PlainData {
+  int not_serialized = 0;
+};
+
+}  // namespace fixture

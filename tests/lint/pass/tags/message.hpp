@@ -1,0 +1,10 @@
+// Fixture registry: the one legitimate home for k...Tag constants.
+#pragma once
+
+namespace fixture::comm {
+
+inline constexpr int kAnyTag = -1;
+inline constexpr int kMeshTag = 1000;
+inline constexpr int kHaloTag = 1001;
+
+}  // namespace fixture::comm

@@ -1,0 +1,26 @@
+// Fixture: all tag arguments name registry constants (or forward a
+// `tag` parameter inside generic plumbing); two-argument send overloads
+// belong to a different API and are ignored.
+#include "message.hpp"
+
+namespace fixture {
+
+struct Comm {
+  template <typename T>
+  void send(const T&, int, int) {}
+  template <typename T>
+  void send(const T&, int) {}
+  template <typename T>
+  int recv_into(T&, int, int) { return 0; }
+};
+
+inline void exchange(Comm& comm, const int* payload, int neighbor, int tag) {
+  comm.send(payload, neighbor, comm::kMeshTag);
+  comm.send(payload, neighbor, fixture::comm::kHaloTag);
+  comm.send(payload, neighbor, tag);  // forwarded tag parameter: fine
+  comm.send(payload, neighbor);       // two-arg overload: not the comm API
+  int buf = 0;
+  comm.recv_into(buf, neighbor, comm::kMeshTag);
+}
+
+}  // namespace fixture

@@ -5,11 +5,11 @@
 //
 // Examples:
 //   picprk --impl serial --cells 400 --particles 200000 --steps 400
-//   picprk --impl diffusion --ranks 6 --dist geometric --r 0.98 \
+//   picprk --impl diffusion --ranks 6 --dist geometric --r 0.98
 //          --lb-frequency 8 --lb-border 4 --two-phase
 //   picprk --impl ampi --workers 2 --d 8 --F 16 --balancer compact
 //   picprk --impl model --cores 384 --steps 6000   # performance model
-//   picprk --impl baseline --ranks 4 --faults kill:rank=1,step=40 \
+//   picprk --impl baseline --ranks 4 --faults kill:rank=1,step=40
 //          --checkpoint-every 16 --timeout-ms 2000   # resilience drill
 //
 // Exit codes: 0 verified, 1 verification failed, 2 usage/unhandled error,

@@ -1,0 +1,732 @@
+// picprk-lint: project-specific invariant checks the compiler cannot
+// express (docs/STATIC_ANALYSIS.md). Runs as a ctest over src/ and over
+// pass/fail fixtures in tests/lint/. Rules:
+//
+//   hot      PICPRK_HOT function bodies contain no allocation, container
+//            growth, fmod or throw tokens — the PR 2 hot-path guarantees
+//            as build failures instead of benchmark folklore.
+//   pup      every data member of a pup()-able class is either pupped or
+//            explicitly tagged `// pup:transient` — un-PUP'ed state is
+//            how buddy-checkpoint restarts silently corrupt.
+//   tags     user-facing message tags come from the registry in
+//            comm/message.hpp: no literal tags at call sites, no tag
+//            constants defined elsewhere — tag collisions between
+//            subsystems become impossible.
+//   headers  headers are self-contained: #pragma once, every project
+//            #include resolves, and every spelled std:: vocabulary type
+//            has its own direct #include (include-what-you-spell).
+//
+// The checker is deliberately textual (comment/string-stripped token
+// scanning, not a C++ parser): it is fast, has zero dependencies, and
+// the conventions it enforces are written so that textual matching is
+// exact enough. False positives are handled by fixing the code to be
+// more explicit, which is the point.
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct SourceFile {
+  fs::path path;
+  std::string raw;    ///< original text
+  std::string clean;  ///< comments and string/char literals blanked, same length
+  std::vector<std::size_t> line_starts;
+
+  int line_of(std::size_t offset) const {
+    auto it = std::upper_bound(line_starts.begin(), line_starts.end(), offset);
+    return static_cast<int>(it - line_starts.begin());
+  }
+
+  std::string_view raw_line(int line) const {
+    const std::size_t begin = line_starts[static_cast<std::size_t>(line - 1)];
+    const std::size_t end = static_cast<std::size_t>(line) < line_starts.size()
+                                ? line_starts[static_cast<std::size_t>(line)]
+                                : raw.size();
+    return std::string_view(raw).substr(begin, end - begin);
+  }
+
+  bool is_header() const { return path.extension() == ".hpp" || path.extension() == ".h"; }
+};
+
+struct Violation {
+  fs::path file;
+  int line;
+  std::string rule;
+  std::string message;
+};
+
+bool is_word(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+/// Blanks comments and string/char literals with spaces (newlines kept so
+/// offsets and line numbers survive).
+std::string strip_comments_and_strings(const std::string& s) {
+  std::string out = s;
+  enum class State { Code, Line, Block, Str, Chr } st = State::Code;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    const char next = i + 1 < s.size() ? s[i + 1] : '\0';
+    switch (st) {
+      case State::Code:
+        if (c == '/' && next == '/') {
+          st = State::Line;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          st = State::Block;
+          out[i] = ' ';
+        } else if (c == '"') {
+          st = State::Str;  // keep the quote so call-arg splitting sees a token
+        } else if (c == '\'' && i > 0 && !is_word(s[i - 1])) {
+          st = State::Chr;  // skip digit separators like 1'000'000
+        }
+        break;
+      case State::Line:
+        if (c == '\n') {
+          st = State::Code;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::Block:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          st = State::Code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::Str:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < s.size() && s[i + 1] != '\n') out[++i] = ' ';
+        } else if (c == '"') {
+          st = State::Code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::Chr:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < s.size() && s[i + 1] != '\n') out[++i] = ' ';
+        } else if (c == '\'') {
+          st = State::Code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+/// Finds `token` as a whole word in `text` at or after `from`; npos if absent.
+std::size_t find_word(std::string_view text, std::string_view token, std::size_t from) {
+  for (std::size_t pos = text.find(token, from); pos != std::string_view::npos;
+       pos = text.find(token, pos + 1)) {
+    const bool left_ok = pos == 0 || !is_word(text[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end >= text.size() || !is_word(text[end]);
+    if (left_ok && right_ok) return pos;
+  }
+  return std::string_view::npos;
+}
+
+bool contains_word(std::string_view text, std::string_view token) {
+  return find_word(text, token, 0) != std::string_view::npos;
+}
+
+/// Offset of the matching close for the open bracket at `open` (clean
+/// text); npos if unbalanced. Handles one bracket kind at a time.
+std::size_t matching(std::string_view text, std::size_t open, char oc, char cc) {
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == oc) ++depth;
+    if (text[i] == cc && --depth == 0) return i;
+  }
+  return std::string_view::npos;
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+/// Splits a balanced argument list body on top-level commas.
+std::vector<std::string> split_args(std::string_view body) {
+  std::vector<std::string> args;
+  int paren = 0, angle = 0, brace = 0, bracket = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    switch (body[i]) {
+      case '(': ++paren; break;
+      case ')': --paren; break;
+      case '{': ++brace; break;
+      case '}': --brace; break;
+      case '[': ++bracket; break;
+      case ']': --bracket; break;
+      case '<': ++angle; break;
+      case '>': if (angle > 0) --angle; break;
+      case ',':
+        if (paren == 0 && brace == 0 && bracket == 0 && angle == 0) {
+          args.push_back(trim(body.substr(start, i - start)));
+          start = i + 1;
+        }
+        break;
+      default: break;
+    }
+  }
+  const std::string last = trim(body.substr(start));
+  if (!last.empty() || !args.empty()) args.push_back(last);
+  return args;
+}
+
+std::string last_identifier(std::string_view s) {
+  std::size_t e = s.size();
+  while (e > 0 && !is_word(s[e - 1])) --e;
+  std::size_t b = e;
+  while (b > 0 && is_word(s[b - 1])) --b;
+  return std::string(s.substr(b, e - b));
+}
+
+// ------------------------------------------------------------- rule: hot
+
+const char* const kHotBanned[] = {
+    "new",       "delete",    "malloc",       "calloc",       "realloc",
+    "fmod",      "throw",     "push_back",    "emplace_back", "resize",
+    "reserve",   "insert",    "to_string",    "ostringstream", "stringstream",
+    "printf",    "string",
+};
+
+void check_hot(const SourceFile& f, std::vector<Violation>& out) {
+  const std::string_view clean = f.clean;
+  for (std::size_t pos = find_word(clean, "PICPRK_HOT", 0);
+       pos != std::string_view::npos; pos = find_word(clean, "PICPRK_HOT", pos + 1)) {
+    // Skip the macro's own definition.
+    const std::string_view line = f.raw_line(f.line_of(pos));
+    if (line.find("#define") != std::string_view::npos) continue;
+    // Find the function body: the first top-level '{' before any ';'
+    // (a ';' first means declaration-only, nothing to check).
+    std::size_t brace = std::string_view::npos;
+    for (std::size_t i = pos; i < clean.size(); ++i) {
+      if (clean[i] == ';') break;
+      if (clean[i] == '{') {
+        brace = i;
+        break;
+      }
+    }
+    if (brace == std::string_view::npos) continue;
+    const std::size_t close = matching(clean, brace, '{', '}');
+    if (close == std::string_view::npos) {
+      out.push_back({f.path, f.line_of(pos), "hot", "unbalanced braces after PICPRK_HOT"});
+      continue;
+    }
+    const std::string_view body = clean.substr(brace, close - brace + 1);
+    for (const char* banned : kHotBanned) {
+      const std::size_t hit = find_word(body, banned, 0);
+      if (hit != std::string_view::npos) {
+        out.push_back({f.path, f.line_of(brace + hit), "hot",
+                       std::string("banned token '") + banned +
+                           "' in a PICPRK_HOT function body (hot paths are "
+                           "allocation-, fmod- and throw-free)"});
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------- rule: pup
+
+struct PupClass {
+  std::string name;
+  const SourceFile* file;
+  std::size_t body_begin, body_end;  ///< offsets of '{' and '}' in clean
+  std::string pup_body;              ///< empty if declared out-of-line
+  bool has_pup = false;
+};
+
+/// Collects struct/class bodies that declare `void pup(` directly.
+void collect_pup_classes(const SourceFile& f, std::vector<PupClass>& out) {
+  const std::string_view clean = f.clean;
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    std::size_t kw = find_word(clean, "struct", i);
+    const std::size_t kw2 = find_word(clean, "class", i);
+    if (kw2 < kw) kw = kw2;
+    if (kw == std::string_view::npos) return;
+    i = kw;  // continue scanning after this keyword next iteration
+    // Reject `enum class` and template parameters `<class T>`.
+    std::size_t before = kw;
+    while (before > 0 && std::isspace(static_cast<unsigned char>(clean[before - 1]))) --before;
+    if (before > 0 && (clean[before - 1] == '<' || clean[before - 1] == ',')) continue;
+    if (before >= 4 && clean.substr(before - 4, 4) == "enum") continue;
+    // Name, then body brace before any ';' (forward declarations skip).
+    std::size_t p = kw + (clean[kw] == 's' ? 6 : 5);
+    while (p < clean.size() && std::isspace(static_cast<unsigned char>(clean[p]))) ++p;
+    std::size_t name_end = p;
+    while (name_end < clean.size() && is_word(clean[name_end])) ++name_end;
+    if (name_end == p) continue;  // anonymous
+    const std::string name(clean.substr(p, name_end - p));
+    std::size_t brace = std::string_view::npos;
+    for (std::size_t j = name_end; j < clean.size(); ++j) {
+      if (clean[j] == ';' || clean[j] == '(') break;  // fwd decl or constructor-ish
+      if (clean[j] == '{') {
+        brace = j;
+        break;
+      }
+    }
+    if (brace == std::string_view::npos) continue;
+    const std::size_t close = matching(clean, brace, '{', '}');
+    if (close == std::string_view::npos) continue;
+
+    PupClass pc{name, &f, brace, close, {}, false};
+    // Find a direct `void pup(` member (depth 1 inside the body).
+    const std::string_view body = clean.substr(brace, close - brace + 1);
+    for (std::size_t pp = body.find("void pup("); pp != std::string_view::npos;
+         pp = body.find("void pup(", pp + 1)) {
+      int depth = 0;
+      for (std::size_t k = 0; k < pp; ++k) {
+        if (body[k] == '{') ++depth;
+        if (body[k] == '}') --depth;
+      }
+      if (depth != 1) continue;
+      const std::size_t args_open = brace + pp + 8;  // '(' of pup(
+      const std::size_t args_close = matching(clean, args_open, '(', ')');
+      if (args_close == std::string_view::npos) break;
+      std::size_t after = args_close + 1;
+      // Skip qualifiers (override, final, const) up to '{', ';' or '='.
+      while (after < close && clean[after] != '{' && clean[after] != ';' &&
+             clean[after] != '=') {
+        ++after;
+      }
+      if (after >= close) break;
+      if (clean[after] == '=') break;  // pure virtual `= 0`: interface, skip
+      pc.has_pup = true;
+      if (clean[after] == '{') {
+        const std::size_t pup_close = matching(clean, after, '{', '}');
+        if (pup_close != std::string_view::npos)
+          pc.pup_body = std::string(clean.substr(after, pup_close - after + 1));
+      }
+      break;
+    }
+    if (pc.has_pup) out.push_back(std::move(pc));
+  }
+}
+
+/// Member variable names declared at the top level of a class body.
+std::vector<std::pair<std::string, int>> member_names(const PupClass& pc) {
+  std::vector<std::pair<std::string, int>> members;
+  const std::string_view clean = pc.file->clean;
+  const std::size_t begin = pc.body_begin + 1;
+  int depth = 0;
+  std::size_t stmt_start = begin;
+  for (std::size_t i = begin; i < pc.body_end; ++i) {
+    const char c = clean[i];
+    if (c == '{' || c == '(') ++depth;
+    if (c == '}' || c == ')') --depth;
+    if (depth < 0) break;
+    if (depth == 0 && (c == ';' || c == '}')) {
+      std::string stmt = trim(clean.substr(stmt_start, i - stmt_start));
+      stmt_start = i + 1;
+      // Strip a leading access specifier.
+      for (const char* spec : {"public:", "private:", "protected:"}) {
+        if (stmt.rfind(spec, 0) == 0) stmt = trim(std::string_view(stmt).substr(std::string(spec).size()));
+      }
+      if (stmt.empty()) continue;
+      if (c == '}') continue;  // function/aggregate body end, not a member
+      // Skip non-member statements.
+      bool skip = false;
+      for (const char* kw : {"using", "typedef", "friend", "static", "constexpr",
+                             "enum", "template", "struct", "class", "union"}) {
+        if (stmt.rfind(kw, 0) == 0 && (stmt.size() == std::string(kw).size() ||
+                                       !is_word(stmt[std::string(kw).size()]))) {
+          skip = true;
+          break;
+        }
+      }
+      if (skip) continue;
+      // Function declarations: the last ')' is followed only by
+      // qualifiers; data members never contain a top-of-decl '('
+      // except in the initializer, which we cut first.
+      std::string decl = stmt;
+      const std::size_t eq = decl.find('=');
+      if (eq != std::string::npos) decl = trim(std::string_view(decl).substr(0, eq));
+      const std::size_t brace_init = decl.find('{');
+      if (brace_init != std::string::npos)
+        decl = trim(std::string_view(decl).substr(0, brace_init));
+      if (decl.empty()) continue;
+      if (decl.back() == ')' || decl.find(") const") != std::string::npos ||
+          contains_word(decl, "override") || contains_word(decl, "noexcept")) {
+        continue;  // member function
+      }
+      // Arrays: strip trailing [N].
+      const std::size_t bracket = decl.find('[');
+      if (bracket != std::string::npos) decl = trim(std::string_view(decl).substr(0, bracket));
+      const std::string name = last_identifier(decl);
+      if (name.empty() || name == "const" || name == "default" || name == "delete")
+        continue;
+      // A lone identifier can't be both type and name.
+      if (name.size() == decl.size()) continue;
+      members.emplace_back(name, pc.file->line_of(stmt_start - 1));
+    }
+  }
+  return members;
+}
+
+void check_pup(const std::vector<SourceFile>& files, std::vector<Violation>& out) {
+  std::vector<PupClass> classes;
+  for (const auto& f : files) collect_pup_classes(f, classes);
+  for (auto& pc : classes) {
+    std::string pup_body = pc.pup_body;
+    if (pup_body.empty()) {
+      // Out-of-line definition: ClassName::pup( ... ) { ... } anywhere.
+      const std::string needle = pc.name + "::pup(";
+      for (const auto& f : files) {
+        const std::size_t pos = f.clean.find(needle);
+        if (pos == std::string::npos) continue;
+        const std::size_t brace = f.clean.find('{', pos);
+        if (brace == std::string::npos) continue;
+        const std::size_t close = matching(f.clean, brace, '{', '}');
+        if (close == std::string::npos) continue;
+        pup_body = f.clean.substr(brace, close - brace + 1);
+        break;
+      }
+      if (pup_body.empty()) {
+        out.push_back({pc.file->path, pc.file->line_of(pc.body_begin), "pup",
+                       "class " + pc.name +
+                           " declares pup() but no definition was found in the "
+                           "scanned files"});
+        continue;
+      }
+    }
+    for (const auto& [member, line] : member_names(pc)) {
+      if (contains_word(pup_body, member)) continue;
+      // `// pup:transient` on the declaration line opts a member out.
+      if (pc.file->raw_line(line).find("pup:transient") != std::string_view::npos)
+        continue;
+      out.push_back({pc.file->path, line, "pup",
+                     pc.name + "::" + member +
+                         " is neither serialized in pup() nor tagged "
+                         "'// pup:transient' — a checkpoint restore would "
+                         "silently lose it"});
+    }
+  }
+}
+
+// ------------------------------------------------------------ rule: tags
+
+bool is_tag_name(std::string_view s) {
+  return s.size() > 4 && s[0] == 'k' &&
+         std::isupper(static_cast<unsigned char>(s[1])) &&
+         s.substr(s.size() - 3) == "Tag";
+}
+
+void check_tags(const std::vector<SourceFile>& files, std::vector<Violation>& out) {
+  // Registry: k...Tag constants defined in a file named message.hpp.
+  std::set<std::string> registry;
+  registry.insert("kAnyTag");
+  for (const auto& f : files) {
+    const bool is_registry = f.path.filename() == "message.hpp";
+    for (std::size_t pos = find_word(f.clean, "constexpr", 0);
+         pos != std::string::npos; pos = find_word(f.clean, "constexpr", pos + 1)) {
+      const std::size_t eol = f.clean.find_first_of("=;\n", pos);
+      const std::string decl(std::string_view(f.clean).substr(pos, eol - pos));
+      const std::string name = last_identifier(decl);
+      if (!is_tag_name(name)) continue;
+      if (is_registry) {
+        registry.insert(name);
+      } else {
+        out.push_back({f.path, f.line_of(pos), "tags",
+                       "tag constant " + name +
+                           " defined outside the registry (comm/message.hpp) — "
+                           "scattered tags are how subsystems collide"});
+      }
+    }
+  }
+
+  // Call sites: the tag argument must be a registry constant (or a
+  // forwarded `tag` variable inside generic plumbing).
+  struct Method {
+    const char* needle;
+    int tag_index;    ///< 0-based position of the tag argument
+    int min_args;     ///< skip calls with fewer args (a different API)
+  };
+  const Method methods[] = {
+      {".send(", 2, 3},      {".send_value(", 2, 3}, {".send_buffer(", 2, 3},
+      {".sendrecv(", 3, 4},  {".recv_into(", 2, 3},  {".probe(", 1, 2},
+      {".iprobe(", 1, 2},    {".recv<", 1, 2},       {".recv_value<", 1, 2},
+  };
+  for (const auto& f : files) {
+    const std::string dir = f.path.parent_path().filename().string();
+    if (dir == "comm") continue;  // the runtime's own internals
+    for (const auto& m : methods) {
+      const std::string_view clean = f.clean;
+      for (std::size_t pos = clean.find(m.needle); pos != std::string_view::npos;
+           pos = clean.find(m.needle, pos + 1)) {
+        std::size_t open = pos + std::string_view(m.needle).size() - 1;
+        if (clean[open] == '<') {  // skip template argument list
+          const std::size_t close_angle = matching(clean, open, '<', '>');
+          if (close_angle == std::string_view::npos) continue;
+          open = close_angle + 1;
+          if (open >= clean.size() || clean[open] != '(') continue;
+        }
+        const std::size_t close = matching(clean, open, '(', ')');
+        if (close == std::string_view::npos) continue;
+        const auto args = split_args(clean.substr(open + 1, close - open - 1));
+        if (static_cast<int>(args.size()) < m.min_args) continue;
+        const std::string& arg = args[static_cast<std::size_t>(m.tag_index)];
+        const std::string name = last_identifier(arg);
+        const bool qualified_only = name.size() == arg.size() ||
+                                    arg.find('(') == std::string::npos;
+        if (is_tag_name(name) && qualified_only) {
+          if (registry.count(name) == 0) {
+            out.push_back({f.path, f.line_of(pos), "tags",
+                           "tag " + name + " is not defined in comm/message.hpp"});
+          }
+          continue;
+        }
+        if (name == "kAnyTag" || name == "tag") continue;
+        out.push_back({f.path, f.line_of(pos), "tags",
+                       "tag argument '" + arg +
+                           "' is not a named k...Tag constant from the "
+                           "comm/message.hpp registry"});
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------- rule: headers
+
+struct StdRequirement {
+  const char* token;
+  const char* header;
+};
+
+const StdRequirement kStdTokens[] = {
+    {"std::vector", "vector"},
+    {"std::deque", "deque"},
+    {"std::string", "string"},
+    {"std::array", "array"},
+    {"std::optional", "optional"},
+    {"std::span", "span"},
+    {"std::function", "functional"},
+    {"std::atomic", "atomic"},
+    {"std::mutex", "mutex"},
+    {"std::scoped_lock", "mutex"},
+    {"std::unique_lock", "mutex"},
+    {"std::lock_guard", "mutex"},
+    {"std::condition_variable", "condition_variable"},
+    {"std::thread", "thread"},
+    {"std::chrono", "chrono"},
+    {"std::byte", "cstddef"},
+    {"std::size_t", "cstddef"},
+    {"std::uint8_t", "cstdint"},
+    {"std::uint16_t", "cstdint"},
+    {"std::uint32_t", "cstdint"},
+    {"std::uint64_t", "cstdint"},
+    {"std::int8_t", "cstdint"},
+    {"std::int16_t", "cstdint"},
+    {"std::int32_t", "cstdint"},
+    {"std::int64_t", "cstdint"},
+    {"std::runtime_error", "stdexcept"},
+    {"std::logic_error", "stdexcept"},
+    {"std::out_of_range", "stdexcept"},
+    {"std::exception_ptr", "exception"},
+    {"std::current_exception", "exception"},
+    {"std::rethrow_exception", "exception"},
+    {"std::unordered_map", "unordered_map"},
+    {"std::map", "map"},
+    {"std::set", "set"},
+    {"std::memcpy", "cstring"},
+    {"std::memset", "cstring"},
+    {"std::shared_ptr", "memory"},
+    {"std::unique_ptr", "memory"},
+    {"std::make_shared", "memory"},
+    {"std::make_unique", "memory"},
+    {"std::ostringstream", "sstream"},
+    {"std::istringstream", "sstream"},
+    {"std::stringstream", "sstream"},
+};
+
+void check_headers(const SourceFile& f, const std::vector<fs::path>& include_roots,
+                   std::vector<Violation>& out) {
+  if (!f.is_header()) return;
+  // Searched in the stripped text so a comment *about* the guard (or a
+  // string literal) cannot satisfy the rule.
+  if (f.clean.find("#pragma once") == std::string::npos) {
+    out.push_back({f.path, 1, "headers", "missing #pragma once"});
+  }
+
+  // Gather direct includes.
+  std::set<std::string> angle_includes;
+  std::vector<std::pair<std::string, int>> project_includes;
+  std::istringstream is(f.raw);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const std::size_t inc = line.find("#include");
+    if (inc == std::string::npos) continue;
+    const std::size_t a = line.find('<', inc);
+    const std::size_t q = line.find('"', inc);
+    if (a != std::string::npos && (q == std::string::npos || a < q)) {
+      const std::size_t b = line.find('>', a);
+      if (b != std::string::npos) angle_includes.insert(line.substr(a + 1, b - a - 1));
+    } else if (q != std::string::npos) {
+      const std::size_t b = line.find('"', q + 1);
+      if (b != std::string::npos)
+        project_includes.emplace_back(line.substr(q + 1, b - q - 1), lineno);
+    }
+  }
+
+  // Project includes must resolve against an include root (or the file's
+  // own directory, for fixture trees).
+  for (const auto& [inc, at] : project_includes) {
+    bool found = fs::exists(f.path.parent_path() / inc);
+    for (const auto& root : include_roots) {
+      if (found) break;
+      found = fs::exists(root / inc);
+    }
+    if (!found) {
+      out.push_back({f.path, at, "headers",
+                     "project include \"" + inc + "\" does not resolve"});
+    }
+  }
+
+  // Include-what-you-spell for std vocabulary types.
+  for (const auto& req : kStdTokens) {
+    if (angle_includes.count(req.header)) continue;
+    const std::size_t pos = find_word(f.clean, req.token, 0);
+    if (pos == std::string::npos) continue;
+    out.push_back({f.path, f.line_of(pos), "headers",
+                   std::string("uses ") + req.token + " but does not include <" +
+                       req.header + "> directly (include-what-you-spell)"});
+  }
+}
+
+// ------------------------------------------------------------------ main
+
+void collect_files(const fs::path& p, std::vector<fs::path>& out) {
+  if (fs::is_directory(p)) {
+    for (const auto& e : fs::recursive_directory_iterator(p)) {
+      if (!e.is_regular_file()) continue;
+      const auto ext = e.path().extension();
+      if (ext == ".hpp" || ext == ".cpp" || ext == ".h") out.push_back(e.path());
+    }
+  } else if (fs::exists(p)) {
+    out.push_back(p);
+  } else {
+    throw std::runtime_error("no such path: " + p.string());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::set<std::string> rules = {"hot", "pup", "tags", "headers"};
+  std::set<std::string> enabled;
+  std::vector<fs::path> include_roots;
+  std::vector<fs::path> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--rule") {
+      if (++i >= argc || rules.count(argv[i]) == 0) {
+        std::cerr << "picprk-lint: --rule needs one of: hot pup tags headers\n";
+        return 2;
+      }
+      enabled.insert(argv[i]);
+    } else if (arg == "--include-root") {
+      if (++i >= argc) {
+        std::cerr << "picprk-lint: --include-root needs a directory\n";
+        return 2;
+      }
+      include_roots.emplace_back(argv[i]);
+    } else if (arg == "--list-rules") {
+      for (const auto& r : rules) std::cout << r << '\n';
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "picprk-lint: unknown option " << arg << "\n"
+                << "usage: picprk-lint [--rule R]... [--include-root DIR] PATH...\n";
+      return 2;
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::cerr << "usage: picprk-lint [--rule R]... [--include-root DIR] PATH...\n";
+    return 2;
+  }
+  if (enabled.empty()) enabled = rules;
+
+  std::vector<fs::path> paths;
+  try {
+    for (const auto& p : inputs) collect_files(p, paths);
+  } catch (const std::exception& e) {
+    std::cerr << "picprk-lint: " << e.what() << '\n';
+    return 2;
+  }
+  std::sort(paths.begin(), paths.end());
+  if (include_roots.empty()) {
+    // Default: treat each scanned directory input as an include root.
+    for (const auto& p : inputs) {
+      if (fs::is_directory(p)) include_roots.push_back(p);
+    }
+  }
+
+  std::vector<SourceFile> files;
+  files.reserve(paths.size());
+  for (const auto& p : paths) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) {
+      std::cerr << "picprk-lint: cannot read " << p << '\n';
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    SourceFile f;
+    f.path = p;
+    f.raw = ss.str();
+    f.clean = strip_comments_and_strings(f.raw);
+    f.line_starts.push_back(0);
+    for (std::size_t i = 0; i < f.raw.size(); ++i) {
+      if (f.raw[i] == '\n') f.line_starts.push_back(i + 1);
+    }
+    files.push_back(std::move(f));
+  }
+
+  std::vector<Violation> violations;
+  for (const auto& f : files) {
+    if (enabled.count("hot")) check_hot(f, violations);
+    if (enabled.count("headers")) check_headers(f, include_roots, violations);
+  }
+  if (enabled.count("pup")) check_pup(files, violations);
+  if (enabled.count("tags")) check_tags(files, violations);
+
+  std::sort(violations.begin(), violations.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.file, a.line) < std::tie(b.file, b.line);
+  });
+  for (const auto& v : violations) {
+    std::cout << v.file.string() << ':' << v.line << ": [" << v.rule << "] "
+              << v.message << '\n';
+  }
+  if (!violations.empty()) {
+    std::cout << violations.size() << " violation(s)\n";
+    return 1;
+  }
+  return 0;
+}

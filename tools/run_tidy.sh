@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Runs clang-tidy over the project sources with the repo profile
+# (.clang-tidy) against the compile database in the build tree.
+#
+#   tools/run_tidy.sh [build-dir] [source ...]
+#
+# Default build dir: build/. Default sources: every .cpp under src/ and
+# tools/. Exits 0 when clang-tidy is unavailable (the container bakes in
+# gcc only) so the CI step and local habit stay in place without making
+# the toolchain a hard dependency; CI images that do ship clang-tidy get
+# the real gate. Honours $CLANG_TIDY to select a specific binary and
+# $TIDY_JOBS for parallelism.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+shift $(( $# > 0 ? 1 : 0 ))
+
+tidy_bin="${CLANG_TIDY:-}"
+if [ -z "${tidy_bin}" ]; then
+  for candidate in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      tidy_bin="${candidate}"
+      break
+    fi
+  done
+fi
+if [ -z "${tidy_bin}" ]; then
+  echo "run_tidy.sh: clang-tidy not found on PATH; skipping (install clang-tidy" \
+       "or set CLANG_TIDY to run the profile in .clang-tidy)" >&2
+  exit 0
+fi
+
+if [ ! -f "${build_dir}/compile_commands.json" ]; then
+  echo "run_tidy.sh: ${build_dir}/compile_commands.json missing —" \
+       "configure first: cmake --preset default" >&2
+  exit 2
+fi
+
+if [ "$#" -gt 0 ]; then
+  files=( "$@" )
+else
+  mapfile -t files < <(find "${repo_root}/src" "${repo_root}/tools" -name '*.cpp' | sort)
+fi
+
+jobs="${TIDY_JOBS:-$(nproc 2>/dev/null || echo 4)}"
+echo "run_tidy.sh: ${tidy_bin} -p ${build_dir} over ${#files[@]} file(s), ${jobs} job(s)"
+printf '%s\n' "${files[@]}" \
+  | xargs -P "${jobs}" -n 4 "${tidy_bin}" -p "${build_dir}" --quiet
+status=$?
+if [ "${status}" -ne 0 ]; then
+  echo "run_tidy.sh: clang-tidy reported findings (see above)" >&2
+fi
+exit "${status}"
