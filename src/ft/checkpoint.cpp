@@ -30,15 +30,17 @@ const CheckpointStore::Entry* CheckpointStore::find(const History& history,
 
 void CheckpointStore::save(int slot, std::uint32_t step, std::vector<std::byte> bytes) {
   std::scoped_lock lock(mutex_);
+  saved_bytes_->add(bytes.size());
   insert(primary_[slot], step, std::move(bytes));
-  ++saves_;
+  saves_->add();
 }
 
 void CheckpointStore::save_buddy(int owner, std::uint32_t step,
                                  std::vector<std::byte> bytes) {
   std::scoped_lock lock(mutex_);
+  saved_bytes_->add(bytes.size());
   insert(buddy_[owner], step, std::move(bytes));
-  ++saves_;
+  saves_->add();
 }
 
 std::optional<std::uint32_t> CheckpointStore::consistent_step(int slots) const {
@@ -77,10 +79,16 @@ std::optional<std::vector<std::byte>> CheckpointStore::load(int slot,
                                                             std::uint32_t step) const {
   std::scoped_lock lock(mutex_);
   if (const auto it = primary_.find(slot); it != primary_.end()) {
-    if (const Entry* entry = find(it->second, step)) return entry->bytes;
+    if (const Entry* entry = find(it->second, step)) {
+      restores_->add();
+      return entry->bytes;
+    }
   }
   if (const auto it = buddy_.find(slot); it != buddy_.end()) {
-    if (const Entry* entry = find(it->second, step)) return entry->bytes;
+    if (const Entry* entry = find(it->second, step)) {
+      restores_->add();
+      return entry->bytes;
+    }
   }
   return std::nullopt;
 }
@@ -106,11 +114,6 @@ std::uint64_t CheckpointStore::stored_bytes() const {
     for (const auto& entry : history) total += entry.bytes.size();
   }
   return total;
-}
-
-std::uint64_t CheckpointStore::saves() const {
-  std::scoped_lock lock(mutex_);
-  return saves_;
 }
 
 }  // namespace picprk::ft

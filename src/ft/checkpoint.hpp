@@ -22,6 +22,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/registry.hpp"
+
 namespace picprk::ft {
 
 class CheckpointStore {
@@ -51,7 +53,13 @@ class CheckpointStore {
   /// Total bytes currently held (both copy classes).
   std::uint64_t stored_bytes() const;
   /// Total save calls accepted (primary + buddy), over the store's life.
-  std::uint64_t saves() const;
+  std::uint64_t saves() const { return saves_->value(); }
+  /// Successful load() calls — snapshots actually used for recovery.
+  std::uint64_t restores() const { return restores_->value(); }
+
+  /// Per-instance metric registry ("ft/checkpoint_saves", ...); stores
+  /// are often test- or run-scoped, so counts stay with the instance.
+  const obs::Registry& metrics() const { return metrics_; }
 
  private:
   struct Entry {
@@ -67,7 +75,11 @@ class CheckpointStore {
   mutable std::mutex mutex_;
   std::unordered_map<int, History> primary_;
   std::unordered_map<int, History> buddy_;
-  std::uint64_t saves_ = 0;
+  /// Lifetime tallies as obs counters (metrics_ owns the storage).
+  obs::Registry metrics_;
+  obs::Counter* saves_ = &metrics_.register_counter("ft/checkpoint_saves");
+  obs::Counter* restores_ = &metrics_.register_counter("ft/checkpoint_restores");
+  obs::Counter* saved_bytes_ = &metrics_.register_counter("ft/checkpoint_bytes_saved");
 };
 
 }  // namespace picprk::ft

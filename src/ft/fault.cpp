@@ -100,7 +100,12 @@ FaultPlan FaultPlan::parse(const std::string& text, std::uint64_t seed) {
 FaultInjector::FaultInjector(FaultPlan plan)
     : plan_(std::move(plan)),
       fired_(plan_.specs.size()),
-      send_seq_(static_cast<std::size_t>(kMaxRanks), 0) {}
+      send_seq_(static_cast<std::size_t>(kMaxRanks), 0),
+      dropped_(&metrics_.register_counter("ft/dropped")),
+      duplicated_(&metrics_.register_counter("ft/duplicated")),
+      delayed_(&metrics_.register_counter("ft/delayed")),
+      kills_(&metrics_.register_counter("ft/kills")),
+      stalls_(&metrics_.register_counter("ft/stalls")) {}
 
 void FaultInjector::begin_step(int rank, std::uint32_t step,
                                const std::atomic<bool>* abort) {
@@ -110,7 +115,7 @@ void FaultInjector::begin_step(int rank, std::uint32_t step,
     if (fired_[i].exchange(true, std::memory_order_acq_rel)) continue;  // one-shot
     record(FaultEvent{spec.kind, rank, -1, step, 0});
     if (spec.kind == FaultKind::Stall) {
-      stalls_.fetch_add(1, std::memory_order_relaxed);
+      stalls_->add();
       const bool forever = spec.ms <= 0;
       const auto until =
           std::chrono::steady_clock::now() + std::chrono::milliseconds(spec.ms);
@@ -120,7 +125,7 @@ void FaultInjector::begin_step(int rank, std::uint32_t step,
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
       }
     } else {
-      kills_.fetch_add(1, std::memory_order_relaxed);
+      kills_->add();
       throw RankKilled(rank, step);
     }
   }
@@ -144,15 +149,15 @@ comm::FaultDecision FaultInjector::on_send(int src, int dst, int /*tag*/,
     comm::FaultDecision decision;
     switch (spec.kind) {
       case FaultKind::Drop:
-        dropped_.fetch_add(1, std::memory_order_relaxed);
+        dropped_->add();
         decision.kind = comm::FaultDecision::Kind::Drop;
         break;
       case FaultKind::Duplicate:
-        duplicated_.fetch_add(1, std::memory_order_relaxed);
+        duplicated_->add();
         decision.kind = comm::FaultDecision::Kind::Duplicate;
         break;
       default:
-        delayed_.fetch_add(1, std::memory_order_relaxed);
+        delayed_->add();
         decision.kind = comm::FaultDecision::Kind::Delay;
         decision.delay_ms = std::max(spec.ms, 1);
         break;

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "comm/fault_hook.hpp"
+#include "obs/registry.hpp"
 
 namespace picprk::ft {
 
@@ -118,11 +119,17 @@ class FaultInjector final : public comm::FaultHook {
 
   const FaultPlan& plan() const { return plan_; }
 
-  std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
-  std::uint64_t duplicated() const { return duplicated_.load(std::memory_order_relaxed); }
-  std::uint64_t delayed() const { return delayed_.load(std::memory_order_relaxed); }
-  std::uint64_t kills() const { return kills_.load(std::memory_order_relaxed); }
-  std::uint64_t stalls() const { return stalls_.load(std::memory_order_relaxed); }
+  std::uint64_t dropped() const { return dropped_->value(); }
+  std::uint64_t duplicated() const { return duplicated_->value(); }
+  std::uint64_t delayed() const { return delayed_->value(); }
+  std::uint64_t kills() const { return kills_->value(); }
+  std::uint64_t stalls() const { return stalls_->value(); }
+
+  /// The injector's per-instance metric registry ("ft/dropped",
+  /// "ft/kills", ...); sinks can export it alongside a run registry.
+  /// Per-instance (not a caller-provided global) because injector
+  /// lifetimes are test-scoped: each expects its own zeroed counts.
+  const obs::Registry& metrics() const { return metrics_; }
 
  private:
   void record(FaultEvent event);
@@ -135,8 +142,14 @@ class FaultInjector final : public comm::FaultHook {
   std::vector<std::uint64_t> send_seq_;
   mutable std::mutex trace_mutex_;
   std::vector<FaultEvent> trace_;
-  std::atomic<std::uint64_t> dropped_{0}, duplicated_{0}, delayed_{0}, kills_{0},
-      stalls_{0};
+  /// Fired-fault tallies, kept as obs counters (relaxed atomics) instead
+  /// of a hand-rolled atomic block; registered once in the constructor.
+  obs::Registry metrics_;
+  obs::Counter* dropped_;
+  obs::Counter* duplicated_;
+  obs::Counter* delayed_;
+  obs::Counter* kills_;
+  obs::Counter* stalls_;
 };
 
 }  // namespace picprk::ft

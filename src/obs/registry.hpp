@@ -1,0 +1,180 @@
+// The metrics half of the obs subsystem (docs/OBSERVABILITY.md): named
+// counters, gauges and fixed-bucket histograms behind a Registry.
+//
+// Design contract — zero allocation on the hot path:
+//  * registration (Registry::register_*) happens once, at setup, under a
+//    mutex; it may allocate and takes std::string names. picprk-lint's
+//    `obs` rule rejects any register_* call inside a PICPRK_HOT body.
+//  * the returned Counter&/Gauge&/Histogram& handles have stable
+//    addresses for the registry's lifetime; recording through them is a
+//    relaxed atomic add/store — safe from any thread, no locks, no
+//    allocation, PICPRK_HOT-clean.
+//
+// The instruments themselves are always compiled (they are plain atomics
+// and double as functional tallies, e.g. the fault-injection counters);
+// what PICPRK_OBS=OFF compiles out is the *instrumentation* — phase
+// tracing and the drivers' per-step recording sites (see obs/phase.hpp).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "util/annotations.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace picprk::obs {
+
+/// Monotonic event tally. Relaxed atomics: totals are exact, ordering
+/// against other memory is not implied (these are statistics, not
+/// synchronization).
+class Counter {
+ public:
+  PICPRK_HOT void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const noexcept { return value_.load(std::memory_order_relaxed); }
+
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-writer-wins instantaneous value (e.g. "current imbalance").
+class Gauge {
+ public:
+  PICPRK_HOT void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+
+  double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram over [lo, hi): equal-width buckets, values
+/// outside the range are clamped into the first/last bucket so every
+/// observation is counted. Bucket geometry is fixed at registration;
+/// observe() is a single relaxed fetch_add on the target bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  PICPRK_HOT void observe(double x) noexcept {
+    const double t = (x - lo_) * scale_;
+    std::int64_t idx = static_cast<std::int64_t>(t);
+    if (t < 0.0) idx = 0;
+    const auto last = static_cast<std::int64_t>(counts_.size()) - 1;
+    if (idx > last) idx = last;
+    counts_[static_cast<std::size_t>(idx)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // fetch_add on std::atomic<double> is C++20 but not yet universally
+    // lock-free in libstdc++; a CAS loop is portable and equally cheap at
+    // telemetry rates.
+    double sum = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(sum, sum + x, std::memory_order_relaxed)) {
+    }
+  }
+
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
+  std::size_t buckets() const noexcept { return counts_.size(); }
+  std::uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+
+  /// Relaxed snapshot of the per-bucket counts.
+  std::vector<std::uint64_t> snapshot() const;
+
+  /// Interpolated quantile of the bucketed sample, `p` in [0, 100]
+  /// (util::histogram_quantile on a snapshot).
+  double quantile(double p) const;
+
+  void reset() noexcept;
+
+ private:
+  double lo_;
+  double hi_;
+  double scale_;  ///< buckets / (hi - lo), hoisted out of observe()
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Named instrument registry. register_* is idempotent: the same name
+/// returns the same instrument (histogram bucket geometry must match).
+/// Registration is mutex-guarded and allocates; lookups through the
+/// returned references are lock-free. Instruments live as long as the
+/// registry (deque storage: stable addresses).
+class Registry {
+ public:
+  Registry() = default;
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& register_counter(const std::string& name);
+  Gauge& register_gauge(const std::string& name);
+  Histogram& register_histogram(const std::string& name, double lo, double hi,
+                                std::size_t buckets);
+
+  /// Lookup without creating; nullptr when absent.
+  Counter* find_counter(const std::string& name) const;
+  Gauge* find_gauge(const std::string& name) const;
+  Histogram* find_histogram(const std::string& name) const;
+
+  /// Point-in-time views for the sinks (obs/sinks.hpp). Name-sorted.
+  struct CounterView {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeView {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramView {
+    std::string name;
+    double lo = 0.0;
+    double hi = 0.0;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+    std::vector<std::uint64_t> buckets;
+  };
+
+  std::vector<CounterView> counters() const;
+  std::vector<GaugeView> gauges() const;
+  std::vector<HistogramView> histograms() const;
+
+  std::size_t size() const;
+
+  /// Zeroes every instrument (bench reuse); names stay registered.
+  void reset_values();
+
+ private:
+  template <typename T>
+  struct Named {
+    std::string name;
+    T instrument;
+
+    template <typename... Args>
+    explicit Named(std::string n, Args&&... args)
+        : name(std::move(n)), instrument(std::forward<Args>(args)...) {}
+  };
+
+  mutable util::Mutex mutex_;
+  std::deque<Named<Counter>> counters_ PICPRK_GUARDED_BY(mutex_);
+  std::deque<Named<Gauge>> gauges_ PICPRK_GUARDED_BY(mutex_);
+  std::deque<Named<Histogram>> histograms_ PICPRK_GUARDED_BY(mutex_);
+};
+
+}  // namespace picprk::obs

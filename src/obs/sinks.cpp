@@ -1,0 +1,112 @@
+#include "obs/sinks.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <ostream>
+#include <utility>
+
+#include "util/table.hpp"
+
+namespace picprk::obs {
+
+util::JsonObject metrics_document(const std::string& benchmark,
+                                  const util::JsonObject& config,
+                                  const Registry& registry,
+                                  const std::vector<StepSample>& samples) {
+  util::JsonObject doc;
+  doc.add("schema", std::string("picprk-bench-v1"));
+  doc.add("benchmark", benchmark);
+  doc.add("config", config);
+
+  std::vector<util::JsonObject> results;
+  for (const Registry::CounterView& c : registry.counters()) {
+    util::JsonObject r;
+    r.add("kind", std::string("counter"));
+    r.add("name", c.name);
+    r.add("value", c.value);
+    results.push_back(std::move(r));
+  }
+  for (const Registry::GaugeView& g : registry.gauges()) {
+    util::JsonObject r;
+    r.add("kind", std::string("gauge"));
+    r.add("name", g.name);
+    r.add("value", g.value);
+    results.push_back(std::move(r));
+  }
+  for (const Registry::HistogramView& h : registry.histograms()) {
+    util::JsonObject r;
+    r.add("kind", std::string("histogram"));
+    r.add("name", h.name);
+    r.add("lo", h.lo);
+    r.add("hi", h.hi);
+    r.add("count", h.count);
+    r.add("sum", h.sum);
+    r.add("mean", h.count > 0 ? h.sum / static_cast<double>(h.count) : 0.0);
+    r.add("p50", h.p50);
+    r.add("p99", h.p99);
+    std::vector<double> buckets(h.buckets.begin(), h.buckets.end());
+    r.add("buckets", buckets);
+    results.push_back(std::move(r));
+  }
+  for (const StepSample& s : samples) {
+    util::JsonObject r;
+    r.add("kind", std::string("imbalance"));
+    r.add("step", static_cast<std::int64_t>(s.step));
+    r.add("lambda", s.lambda);
+    r.add("max_load", s.max_load);
+    r.add("mean_load", s.mean_load);
+    r.add("lambda_compute", s.lambda_compute);
+    results.push_back(std::move(r));
+  }
+  doc.add("results", results);
+  return doc;
+}
+
+bool write_metrics_json(const std::string& path, const std::string& benchmark,
+                        const util::JsonObject& config, const Registry& registry,
+                        const std::vector<StepSample>& samples) {
+  return util::write_json_file(path,
+                               metrics_document(benchmark, config, registry, samples));
+}
+
+void print_summary(std::ostream& os, const Registry& registry,
+                   const std::vector<StepSample>& samples) {
+  const auto counters = registry.counters();
+  const auto gauges = registry.gauges();
+  if (!counters.empty() || !gauges.empty()) {
+    os << "telemetry: counters & gauges\n";
+    util::Table t({"name", "value"});
+    for (const auto& c : counters) t.add_row({c.name, util::Table::fmt_u64(c.value)});
+    for (const auto& g : gauges) t.add_row({g.name, util::Table::fmt(g.value, 4)});
+    t.print(os);
+  }
+
+  const auto hists = registry.histograms();
+  if (!hists.empty()) {
+    os << "telemetry: phase histograms\n";
+    util::Table t({"name", "count", "mean", "p50", "p99"});
+    for (const auto& h : hists) {
+      const double mean = h.count > 0 ? h.sum / static_cast<double>(h.count) : 0.0;
+      t.add_row({h.name, util::Table::fmt_u64(h.count), util::Table::fmt(mean, 6),
+                 util::Table::fmt(h.p50, 6), util::Table::fmt(h.p99, 6)});
+    }
+    t.print(os);
+  }
+
+  if (!samples.empty()) {
+    os << "telemetry: imbalance (last " << std::min<std::size_t>(samples.size(), 8)
+       << " of " << samples.size() << " samples)\n";
+    util::Table t({"step", "lambda", "max", "mean", "lambda_t"});
+    const std::size_t first = samples.size() > 8 ? samples.size() - 8 : 0;
+    for (std::size_t i = first; i < samples.size(); ++i) {
+      const StepSample& s = samples[i];
+      t.add_row({util::Table::fmt_u64(static_cast<std::uint64_t>(s.step)),
+                 util::Table::fmt(s.lambda, 4), util::Table::fmt(s.max_load, 1),
+                 util::Table::fmt(s.mean_load, 1),
+                 util::Table::fmt(s.lambda_compute, 4)});
+    }
+    t.print(os);
+  }
+}
+
+}  // namespace picprk::obs

@@ -1,0 +1,50 @@
+// Export sinks for the obs subsystem: the --metrics-out JSON document
+// (same "picprk-bench-v1" schema the bench harnesses emit, so existing
+// tooling parses both), and the end-of-run summary table printed by the
+// CLI. Sinks run after the instrumented threads have joined; they are
+// cold-path code and may allocate freely.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "util/report.hpp"
+
+namespace picprk::obs {
+
+/// One per-step cross-rank imbalance observation, produced by the
+/// drivers' telemetry gather (par::sample_step_telemetry): particle-count
+/// imbalance lambda = max/mean plus the same ratio over measured compute
+/// seconds. Lives here (not in par) so sinks can export it without a
+/// dependency on the communication layer.
+struct StepSample {
+  int step = 0;
+  double lambda = 1.0;         ///< max/mean particles per rank
+  double max_load = 0.0;       ///< particles on the fullest rank
+  double mean_load = 0.0;      ///< particles per rank, averaged
+  double lambda_compute = 1.0; ///< max/mean per-rank compute seconds
+};
+
+/// Builds the --metrics-out document: {"schema":"picprk-bench-v1",
+/// "benchmark":<name>, "config":<config>, "results":[...]} where results
+/// holds one object per counter/gauge/histogram plus one "imbalance"
+/// object per step sample.
+util::JsonObject metrics_document(const std::string& benchmark,
+                                  const util::JsonObject& config,
+                                  const Registry& registry,
+                                  const std::vector<StepSample>& samples);
+
+/// Writes metrics_document() to `path`; returns success.
+bool write_metrics_json(const std::string& path, const std::string& benchmark,
+                        const util::JsonObject& config, const Registry& registry,
+                        const std::vector<StepSample>& samples);
+
+/// Human-readable end-of-run tables (util::Table): counters/gauges, then
+/// histogram quantiles, then the per-step imbalance series tail.
+void print_summary(std::ostream& os, const Registry& registry,
+                   const std::vector<StepSample>& samples);
+
+}  // namespace picprk::obs

@@ -212,6 +212,7 @@ DriverResult run_ampi(const DriverConfig& config, const AmpiParams& params) {
   rt_config.lb_interval = params.lb_interval;
   rt_config.balancer = params.balancer;
   rt_config.use_measured_load = params.use_measured_load;
+  rt_config.obs = config.obs;  // runtime registers its own instruments
 
   vpr::Runtime runtime(rt_config, [shared](int vp) {
     return std::make_unique<PicVp>(vp, shared);
@@ -221,6 +222,11 @@ DriverResult run_ampi(const DriverConfig& config, const AmpiParams& params) {
   });
 
   DriverResult result;
+  double checkpoint_seconds = 0.0;
+  // The driver thread gets its own trace lane (pid 0) for checkpoint
+  // rounds; the runtime's VP lanes live under pid 1.
+  const obs::StepInstruments inst(config.obs, "ampi", 0, "driver", 0,
+                                  static_cast<std::size_t>(config.steps) * 2 + 8);
   const bool checkpointing = config.ft.checkpointing();
   std::uint64_t checkpoint_rounds = 0, checkpoint_bytes = 0;
   std::uint32_t recoveries = 0;
@@ -230,6 +236,8 @@ DriverResult run_ampi(const DriverConfig& config, const AmpiParams& params) {
   util::Timer wall;
   for (std::uint32_t step = 0; step < config.steps;) {
     if (checkpointing && step % config.ft.checkpoint_every == 0) {
+      obs::Phase phase(obs::kPhaseCheckpoint, &checkpoint_seconds, inst.lane,
+                       inst.checkpoint);
       // Double in-memory checkpoint per VP: primary + buddy copy, both
       // keyed by the VP id (the "rank" of this driver).
       for (int v = 0; v < vps; ++v) {
@@ -271,7 +279,19 @@ DriverResult run_ampi(const DriverConfig& config, const AmpiParams& params) {
       const double mean = total / static_cast<double>(params.workers);
       double max = 0.0;
       for (double w : worker_load) max = std::max(max, w);
-      result.imbalance_series.push_back(mean > 0 ? max / mean : 1.0);
+      const double lambda = mean > 0 ? max / mean : 1.0;
+      result.imbalance_series.push_back(lambda);
+      if (config.obs.active()) {
+        // Single-process driver: particle counts double as the compute
+        // load, so both lambdas coincide here.
+        obs::StepSample sample;
+        sample.step = static_cast<int>(step);
+        sample.lambda = lambda;
+        sample.max_load = max;
+        sample.mean_load = mean;
+        sample.lambda_compute = lambda;
+        result.step_samples.push_back(sample);
+      }
     }
     ++step;
   }
@@ -312,8 +332,8 @@ DriverResult run_ampi(const DriverConfig& config, const AmpiParams& params) {
   result.ideal_particles_per_rank =
       static_cast<double>(verify.checked) / static_cast<double>(params.workers);
   result.seconds = seconds;
-  result.phases =
-      PhaseBreakdown{stats.step_seconds - stats.lb_seconds, 0.0, stats.lb_seconds};
+  result.phases = PhaseBreakdown{stats.step_seconds - stats.lb_seconds, 0.0,
+                                 stats.lb_seconds, checkpoint_seconds};
   result.particles_exchanged = sent;
   result.exchange_bytes = stats.message_bytes;
   result.lb_actions = stats.migrations;

@@ -1,5 +1,7 @@
 #include "par/baseline.hpp"
 
+#include <string>
+
 #include "par/decomposition.hpp"
 #include "par/exchange.hpp"
 #include "par/resilient.hpp"
@@ -25,9 +27,16 @@ DriverResult run_baseline(comm::Comm& comm, const DriverConfig& config) {
   EventTracker tracker(init, config.events);
 
   DriverResult result;
-  util::PhaseTimer compute_timer, exchange_timer;
-  std::uint64_t sent = 0, bytes = 0;
+  double compute_seconds = 0.0, exchange_seconds = 0.0, checkpoint_seconds = 0.0;
   ExchangeBuffers exchange_buffers;  // steady-state exchange allocates nothing
+
+  // All registration/allocation happens here, before the step loop.
+  const obs::StepInstruments inst(config.obs, "baseline", 0,
+                                  "rank " + std::to_string(comm.rank()), comm.rank(),
+                                  static_cast<std::size_t>(config.steps) * 4 + 8);
+  exchange_buffers.sent_counter = inst.exchange_sent;
+  exchange_buffers.received_counter = inst.exchange_received;
+  exchange_buffers.bytes_counter = inst.exchange_bytes;
 
   std::uint32_t start_step = 0;
   std::uint64_t checkpoint_rounds = 0, checkpoint_bytes = 0;
@@ -36,8 +45,8 @@ DriverResult run_baseline(comm::Comm& comm, const DriverConfig& config) {
       start_step = snap->step;
       particles = std::move(snap->particles);
       tracker.restore_removed_sum(snap->removed_sum);
-      sent = snap->sent;
-      bytes = snap->bytes;
+      exchange_buffers.totals.sent = snap->sent;
+      exchange_buffers.totals.bytes = snap->bytes;
     }
   }
 
@@ -46,12 +55,14 @@ DriverResult run_baseline(comm::Comm& comm, const DriverConfig& config) {
     // Snapshot the start-of-step state, then poll scripted step faults;
     // a kill at a checkpoint step therefore rolls back to that step.
     if (config.ft.checkpointing() && step % config.ft.checkpoint_every == 0) {
+      obs::Phase phase(obs::kPhaseCheckpoint, &checkpoint_seconds, inst.lane,
+                       inst.checkpoint);
       DriverSnapshot snap;
       snap.step = step;
       snap.particles = particles;
       snap.removed_sum = tracker.removed_sum();
-      snap.sent = sent;
-      snap.bytes = bytes;
+      snap.sent = exchange_buffers.totals.sent;
+      snap.bytes = exchange_buffers.totals.bytes;
       checkpoint_bytes += checkpoint_exchange(comm, *config.ft.store, snap);
       ++checkpoint_rounds;
     }
@@ -61,31 +72,42 @@ DriverResult run_baseline(comm::Comm& comm, const DriverConfig& config) {
 
     if (!config.events.empty()) tracker.apply(step, block, particles);
 
-    compute_timer.start();
-    if (config.omp_mover) {
-      pic::move_all_omp(std::span<pic::Particle>(particles), grid, slab, config.init.dt);
-    } else {
-      pic::move_all(std::span<pic::Particle>(particles), grid, slab, config.init.dt);
+    {
+      obs::Phase phase(obs::kPhaseCompute, &compute_seconds, inst.lane, inst.compute);
+      if (config.omp_mover) {
+        pic::move_all_omp(std::span<pic::Particle>(particles), grid, slab,
+                          config.init.dt);
+      } else {
+        pic::move_all(std::span<pic::Particle>(particles), grid, slab, config.init.dt);
+      }
     }
-    compute_timer.stop();
 
-    exchange_timer.start();
-    const ExchangeStats stats = exchange_particles(comm, decomp, particles, exchange_buffers);
-    exchange_timer.stop();
-    sent += stats.sent;
-    bytes += stats.bytes;
+    {
+      obs::Phase phase(obs::kPhaseExchange, &exchange_seconds, inst.lane,
+                       inst.exchange);
+      exchange_particles(comm, decomp, particles, exchange_buffers);
+    }
+    if (inst.steps != nullptr) inst.steps->add();
 
     if (config.sample_every > 0 && step % config.sample_every == 0) {
-      result.imbalance_series.push_back(sample_imbalance(comm, particles.size()));
+      if (config.obs.active()) {
+        const obs::StepSample sample = sample_step_telemetry(
+            comm, static_cast<int>(step), particles.size(), compute_seconds);
+        result.step_samples.push_back(sample);
+        result.imbalance_series.push_back(sample.lambda);
+      } else {
+        result.imbalance_series.push_back(sample_imbalance(comm, particles.size()));
+      }
     }
   }
   const double seconds = wall.elapsed();
 
   const pic::VerifyResult local_verify = verify_particles(
       std::span<const pic::Particle>(particles), grid, config.steps, config.verify_epsilon);
-  finalize_result(comm, config, local_verify, tracker, particles.size(), seconds,
-                  PhaseBreakdown{compute_timer.total(), exchange_timer.total(), 0.0}, sent,
-                  bytes, 0, 0, result);
+  finalize_result(
+      comm, config, local_verify, tracker, particles.size(), seconds,
+      PhaseBreakdown{compute_seconds, exchange_seconds, 0.0, checkpoint_seconds},
+      exchange_buffers.totals.sent, exchange_buffers.totals.bytes, 0, 0, result);
   if (config.ft.active()) {
     result.checkpoints = checkpoint_rounds;
     result.checkpoint_bytes = comm.allreduce_value(

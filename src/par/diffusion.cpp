@@ -1,6 +1,7 @@
 #include "par/diffusion.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "comm/cart.hpp"
 #include "par/decomposition.hpp"
@@ -144,11 +145,19 @@ DriverResult run_diffusion(comm::Comm& comm, const DriverConfig& config,
   EventTracker tracker(init, config.events);
 
   DriverResult result;
-  util::PhaseTimer compute_timer, exchange_timer, lb_timer;
-  std::uint64_t sent = 0, bytes = 0;
+  double compute_seconds = 0.0, exchange_seconds = 0.0, lb_seconds = 0.0,
+         checkpoint_seconds = 0.0;
   ExchangeBuffers exchange_buffers;  // steady-state exchange allocates nothing
   MeshMigration mesh_stats;
   util::Timer wall;
+
+  // All registration/allocation happens here, before the step loop.
+  const obs::StepInstruments inst(config.obs, "diffusion", 0,
+                                  "rank " + std::to_string(comm.rank()), comm.rank(),
+                                  static_cast<std::size_t>(config.steps) * 4 + 8);
+  exchange_buffers.sent_counter = inst.exchange_sent;
+  exchange_buffers.received_counter = inst.exchange_received;
+  exchange_buffers.bytes_counter = inst.exchange_bytes;
 
   auto rebuild_slab = [&]() {
     block = decomp.block_of(comm.rank());
@@ -168,8 +177,8 @@ DriverResult run_diffusion(comm::Comm& comm, const DriverConfig& config,
       rebuild_slab();
       particles = std::move(snap->particles);
       tracker.restore_removed_sum(snap->removed_sum);
-      sent = snap->sent;
-      bytes = snap->bytes;
+      exchange_buffers.totals.sent = snap->sent;
+      exchange_buffers.totals.bytes = snap->bytes;
       mesh_stats.transfers = snap->lb_actions;
       mesh_stats.bytes_sent = snap->lb_bytes;
     }
@@ -177,14 +186,16 @@ DriverResult run_diffusion(comm::Comm& comm, const DriverConfig& config,
 
   for (std::uint32_t step = start_step; step < config.steps; ++step) {
     if (config.ft.checkpointing() && step % config.ft.checkpoint_every == 0) {
+      obs::Phase phase(obs::kPhaseCheckpoint, &checkpoint_seconds, inst.lane,
+                       inst.checkpoint);
       DriverSnapshot snap;
       snap.step = step;
       snap.x_bounds = decomp.x_bounds();
       snap.y_bounds = decomp.y_bounds();
       snap.particles = particles;
       snap.removed_sum = tracker.removed_sum();
-      snap.sent = sent;
-      snap.bytes = bytes;
+      snap.sent = exchange_buffers.totals.sent;
+      snap.bytes = exchange_buffers.totals.bytes;
       snap.lb_actions = mesh_stats.transfers;
       snap.lb_bytes = mesh_stats.bytes_sent;
       checkpoint_bytes += checkpoint_exchange(comm, *config.ft.store, snap);
@@ -196,18 +207,19 @@ DriverResult run_diffusion(comm::Comm& comm, const DriverConfig& config,
 
     if (!config.events.empty()) tracker.apply(step, block, particles);
 
-    compute_timer.start();
-    pic::move_all(std::span<pic::Particle>(particles), grid, slab, config.init.dt);
-    compute_timer.stop();
+    {
+      obs::Phase phase(obs::kPhaseCompute, &compute_seconds, inst.lane, inst.compute);
+      pic::move_all(std::span<pic::Particle>(particles), grid, slab, config.init.dt);
+    }
 
-    exchange_timer.start();
-    ExchangeStats stats = exchange_particles(comm, decomp, particles, exchange_buffers);
-    exchange_timer.stop();
-    sent += stats.sent;
-    bytes += stats.bytes;
+    {
+      obs::Phase phase(obs::kPhaseExchange, &exchange_seconds, inst.lane,
+                       inst.exchange);
+      exchange_particles(comm, decomp, particles, exchange_buffers);
+    }
 
     if (step > 0 && step % lb.frequency == 0) {
-      lb_timer.start();
+      obs::Phase phase(obs::kPhaseLb, &lb_seconds, inst.lane, inst.lb);
 
       // Phase 1 (x): aggregate per-processor-column loads, diffuse the
       // shared column boundaries, migrate border subgrids + particles.
@@ -238,9 +250,7 @@ DriverResult run_diffusion(comm::Comm& comm, const DriverConfig& config,
                                 mesh_stats);
           decomp.set_x_bounds(new_xb);
           rebuild_slab();
-          stats = exchange_particles(comm, decomp, particles, exchange_buffers);
-          sent += stats.sent;
-          bytes += stats.bytes;
+          exchange_particles(comm, decomp, particles, exchange_buffers);
           PICPRK_DEBUG("rank " << comm.rank() << " step " << step
                                << ": x-diffusion moved boundaries");
         }
@@ -273,26 +283,33 @@ DriverResult run_diffusion(comm::Comm& comm, const DriverConfig& config,
                                 mesh_stats);
           decomp.set_y_bounds(new_yb);
           rebuild_slab();
-          stats = exchange_particles(comm, decomp, particles, exchange_buffers);
-          sent += stats.sent;
-          bytes += stats.bytes;
+          exchange_particles(comm, decomp, particles, exchange_buffers);
         }
       }
-      lb_timer.stop();
     }
+    if (inst.steps != nullptr) inst.steps->add();
 
     if (config.sample_every > 0 && step % config.sample_every == 0) {
-      result.imbalance_series.push_back(sample_imbalance(comm, particles.size()));
+      if (config.obs.active()) {
+        const obs::StepSample sample = sample_step_telemetry(
+            comm, static_cast<int>(step), particles.size(), compute_seconds);
+        result.step_samples.push_back(sample);
+        result.imbalance_series.push_back(sample.lambda);
+      } else {
+        result.imbalance_series.push_back(sample_imbalance(comm, particles.size()));
+      }
     }
   }
   const double seconds = wall.elapsed();
 
   const pic::VerifyResult local_verify = verify_particles(
       std::span<const pic::Particle>(particles), grid, config.steps, config.verify_epsilon);
-  finalize_result(comm, config, local_verify, tracker, particles.size(), seconds,
-                  PhaseBreakdown{compute_timer.total(), exchange_timer.total(),
-                                 lb_timer.total()},
-                  sent, bytes, mesh_stats.transfers, mesh_stats.bytes_sent, result);
+  finalize_result(
+      comm, config, local_verify, tracker, particles.size(), seconds,
+      PhaseBreakdown{compute_seconds, exchange_seconds, lb_seconds,
+                     checkpoint_seconds},
+      exchange_buffers.totals.sent, exchange_buffers.totals.bytes,
+      mesh_stats.transfers, mesh_stats.bytes_sent, result);
   if (config.ft.active()) {
     result.checkpoints = checkpoint_rounds;
     result.checkpoint_bytes = comm.allreduce_value(

@@ -75,6 +75,31 @@ double sample_imbalance(comm::Comm& comm, std::uint64_t local_count) {
   return static_cast<double>(merged.max) / mean;
 }
 
+obs::StepSample sample_step_telemetry(comm::Comm& comm, int step,
+                                      std::uint64_t local_count,
+                                      double local_compute_seconds) {
+  struct Loads {
+    std::uint64_t count_max, count_sum;
+    double seconds_max, seconds_sum;
+  };
+  const Loads mine{local_count, local_count, local_compute_seconds,
+                   local_compute_seconds};
+  const Loads merged = comm.allreduce_value<Loads>(mine, [](Loads a, Loads b) {
+    return Loads{std::max(a.count_max, b.count_max), a.count_sum + b.count_sum,
+                 std::max(a.seconds_max, b.seconds_max),
+                 a.seconds_sum + b.seconds_sum};
+  });
+  obs::StepSample s;
+  s.step = step;
+  const auto ranks = static_cast<double>(comm.size());
+  s.max_load = static_cast<double>(merged.count_max);
+  s.mean_load = static_cast<double>(merged.count_sum) / ranks;
+  s.lambda = s.mean_load > 0.0 ? s.max_load / s.mean_load : 1.0;
+  const double mean_seconds = merged.seconds_sum / ranks;
+  s.lambda_compute = mean_seconds > 0.0 ? merged.seconds_max / mean_seconds : 1.0;
+  return s;
+}
+
 void finalize_result(comm::Comm& comm, const DriverConfig& config,
                      const pic::VerifyResult& local_verify, const EventTracker& tracker,
                      std::uint64_t local_particles, double local_seconds,
@@ -87,12 +112,13 @@ void finalize_result(comm::Comm& comm, const DriverConfig& config,
 
   struct Scalars {
     std::uint64_t total_particles, max_particles, sent, bytes, lb_actions, lb_bytes;
-    double seconds, compute, exchange, lb;
+    double seconds, compute, exchange, lb, checkpoint;
   };
   const Scalars mine{local_particles, local_particles, local_sent,
                      local_bytes,     local_lb_actions, local_lb_bytes,
                      local_seconds,   local_phases.compute,
-                     local_phases.exchange, local_phases.lb};
+                     local_phases.exchange, local_phases.lb,
+                     local_phases.checkpoint};
   const Scalars merged = comm.allreduce_value<Scalars>(mine, [](Scalars a, Scalars b) {
     return Scalars{a.total_particles + b.total_particles,
                    std::max(a.max_particles, b.max_particles),
@@ -103,14 +129,16 @@ void finalize_result(comm::Comm& comm, const DriverConfig& config,
                    std::max(a.seconds, b.seconds),
                    std::max(a.compute, b.compute),
                    std::max(a.exchange, b.exchange),
-                   std::max(a.lb, b.lb)};
+                   std::max(a.lb, b.lb),
+                   std::max(a.checkpoint, b.checkpoint)};
   });
   result.final_particles = merged.total_particles;
   result.max_particles_per_rank = merged.max_particles;
   result.ideal_particles_per_rank =
       static_cast<double>(merged.total_particles) / static_cast<double>(comm.size());
   result.seconds = merged.seconds;
-  result.phases = PhaseBreakdown{merged.compute, merged.exchange, merged.lb};
+  result.phases =
+      PhaseBreakdown{merged.compute, merged.exchange, merged.lb, merged.checkpoint};
   result.particles_exchanged = merged.sent;
   result.exchange_bytes = merged.bytes;
   result.lb_actions = merged.lb_actions;

@@ -10,6 +10,8 @@
 
 #include "comm/comm.hpp"
 #include "ft/options.hpp"
+#include "obs/phase.hpp"
+#include "obs/sinks.hpp"
 #include "pic/events.hpp"
 #include "pic/init.hpp"
 #include "pic/verify.hpp"
@@ -31,12 +33,17 @@ struct DriverConfig {
   /// Fault-tolerance hooks: injector, checkpoint cadence, resume flag.
   /// All defaulted = legacy behaviour at the cost of one branch per step.
   ft::FtOptions ft;
+  /// Telemetry hooks (obs subsystem). Both pointers null (the default)
+  /// = run dark; with a registry/trace attached the drivers register
+  /// their per-rank instruments at setup and record phases per step.
+  obs::Hooks obs;
 };
 
 struct PhaseBreakdown {
-  double compute = 0.0;   ///< force + move
-  double exchange = 0.0;  ///< particle routing
-  double lb = 0.0;        ///< load-balance decision + migration
+  double compute = 0.0;     ///< force + move
+  double exchange = 0.0;    ///< particle routing
+  double lb = 0.0;          ///< load-balance decision + migration
+  double checkpoint = 0.0;  ///< snapshot pack + store rounds
 };
 
 struct DriverResult {
@@ -65,6 +72,10 @@ struct DriverResult {
 
   /// max/mean particle ratio sampled every `sample_every` steps.
   std::vector<double> imbalance_series;
+  /// Full telemetry samples (lambda over particles and compute time)
+  /// taken alongside imbalance_series; only populated when
+  /// DriverConfig::obs is active. Identical on every rank.
+  std::vector<obs::StepSample> step_samples;
 };
 
 /// Tracks the expected id checksum through injections and removals.
@@ -103,6 +114,14 @@ pic::VerifyResult merge_verification(comm::Comm& comm, const pic::VerifyResult& 
 /// Samples the global imbalance ratio max/mean of per-rank loads
 /// (collective; two fused allreduces).
 double sample_imbalance(comm::Comm& comm, std::uint64_t local_count);
+
+/// Full telemetry sample: one fused allreduce over {count max, count
+/// sum, compute-seconds max, compute-seconds sum}, reduced to lambda =
+/// max/mean for both particle counts and measured compute time
+/// (collective; identical result on every rank).
+obs::StepSample sample_step_telemetry(comm::Comm& comm, int step,
+                                      std::uint64_t local_count,
+                                      double local_compute_seconds);
 
 /// Reduces per-rank scalar maxima/sums into a DriverResult (collective).
 /// `local_*` are this rank's totals; the result is identical on every

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "comm/comm.hpp"
+#include "obs/registry.hpp"
 #include "par/decomposition.hpp"
 #include "pic/particle.hpp"
 
@@ -32,6 +33,16 @@ struct ExchangeStats {
   std::uint64_t sent = 0;      ///< particles shipped to other ranks
   std::uint64_t received = 0;  ///< particles received from other ranks
   std::uint64_t bytes = 0;     ///< payload bytes sent by this rank
+};
+
+/// Whole-run exchange traffic, accumulated by every exchange through a
+/// workspace. Plain integers (not atomics): the workspace is rank-local,
+/// and checkpoint/restore can copy the struct wholesale. Replaces the
+/// per-driver `sent/bytes` tally locals the drivers used to carry.
+struct ExchangeTotals {
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::uint64_t bytes = 0;
 };
 
 /// Reusable per-rank exchange workspace. Owned by a driver and passed to
@@ -48,6 +59,26 @@ struct ExchangeBuffers {
   std::vector<pic::Particle> packed;        ///< emigrant payload grouped by destination
   std::vector<pic::Particle> received;      ///< immigrants, appended to `mine`
   comm::BufferPool pool;                    ///< recycled message byte buffers
+
+  /// Whole-run traffic; every exchange through this workspace adds its
+  /// ExchangeStats here (and into the optional obs counters below).
+  ExchangeTotals totals;
+
+  /// Optional telemetry mirrors (obs::Registry handles); null = dark.
+  /// Set at driver setup from a StepInstruments bundle.
+  obs::Counter* sent_counter = nullptr;
+  obs::Counter* received_counter = nullptr;
+  obs::Counter* bytes_counter = nullptr;
+
+  /// Folds one exchange's stats into the running totals + mirrors.
+  void note_traffic(const ExchangeStats& stats) {
+    totals.sent += stats.sent;
+    totals.received += stats.received;
+    totals.bytes += stats.bytes;
+    if (sent_counter != nullptr) sent_counter->add(stats.sent);
+    if (received_counter != nullptr) received_counter->add(stats.received);
+    if (bytes_counter != nullptr) bytes_counter->add(stats.bytes);
+  }
 
   /// Total buffer growths so far (workspace vectors + pooled byte
   /// buffers). Constant across steps once traffic is steady.
@@ -136,6 +167,7 @@ ExchangeStats exchange_particles_by(comm::Comm& comm, OwnerFn&& owner_of,
   stats.sent = static_cast<std::uint64_t>(n) - keepers;
   stats.bytes = stats.sent * sizeof(pic::Particle);
   stats.received = buffers.received.size();
+  buffers.note_traffic(stats);
   return stats;
 }
 

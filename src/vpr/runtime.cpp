@@ -133,6 +133,29 @@ Runtime::Runtime(RuntimeConfig config, const Factory& factory)
     vp_worker_[static_cast<std::size_t>(v)] =
         static_cast<int>((static_cast<std::int64_t>(v) * config_.workers) / config_.vps);
   }
+  if (config_.obs.active()) {
+    // All telemetry registration happens here, before any superstep runs.
+    if (config_.obs.trace != nullptr) {
+      vp_lanes_.resize(static_cast<std::size_t>(config_.vps), nullptr);
+      for (int v = 0; v < config_.vps; ++v) {
+        vp_lanes_[static_cast<std::size_t>(v)] =
+            &config_.obs.trace->lane(1, "vpr", v, "vp " + std::to_string(v));
+      }
+    }
+    if (config_.obs.registry != nullptr) {
+      obs::Registry& reg = *config_.obs.registry;
+      step_hist_ = &reg.register_histogram("vpr/phase_step_seconds", 0.0, 0.05, 100);
+      deliver_hist_ =
+          &reg.register_histogram("vpr/phase_deliver_seconds", 0.0, 0.05, 100);
+      lb_hist_ = &reg.register_histogram("vpr/phase_lb_seconds", 0.0, 0.05, 100);
+      messages_counter_ = &reg.register_counter("vpr/messages");
+      message_bytes_counter_ = &reg.register_counter("vpr/message_bytes");
+      cross_worker_bytes_counter_ = &reg.register_counter("vpr/cross_worker_bytes");
+      migrations_counter_ = &reg.register_counter("vpr/migrations");
+      migrated_bytes_counter_ = &reg.register_counter("vpr/migrated_bytes");
+      lb_invocations_counter_ = &reg.register_counter("vpr/lb_invocations");
+    }
+  }
   if (config_.workers > 1) pool_ = std::make_unique<Pool>(*this);
 }
 
@@ -181,9 +204,12 @@ void Runtime::step_phase(int w, std::uint32_t global_step) {
   for (int v = 0; v < config_.vps; ++v) {
     if (vp_worker_[static_cast<std::size_t>(v)] != w) continue;
     OutboxContext ctx(outbox, v, global_step, config_.vps);
-    util::Timer t;
+    // The Phase accumulates into the measured-load vector the balancer
+    // consumes — the telemetry and LB input share one clock read.
+    obs::Phase phase(obs::kPhaseStep, &vp_measured_seconds_[static_cast<std::size_t>(v)],
+                     vp_lanes_.empty() ? nullptr : vp_lanes_[static_cast<std::size_t>(v)],
+                     step_hist_);
     vps_[static_cast<std::size_t>(v)]->step(ctx);
-    vp_measured_seconds_[static_cast<std::size_t>(v)] += t.elapsed();
   }
 }
 
@@ -191,6 +217,10 @@ void Runtime::deliver_phase(int w) {
   for (int v = 0; v < config_.vps; ++v) {
     if (vp_worker_[static_cast<std::size_t>(v)] != w) continue;
     auto& inbox = inboxes_[static_cast<std::size_t>(v)];
+    if (inbox.empty()) continue;
+    obs::Phase phase(obs::kPhaseDeliver, nullptr,
+                     vp_lanes_.empty() ? nullptr : vp_lanes_[static_cast<std::size_t>(v)],
+                     deliver_hist_);
     for (auto& msg : inbox) {
       vps_[static_cast<std::size_t>(v)]->deliver(msg.src, std::move(msg.payload));
     }
@@ -226,6 +256,9 @@ void Runtime::superstep_worker(int w, std::uint32_t global_step, Pool& pool) {
 }
 
 void Runtime::route_messages() {
+  const std::uint64_t messages_before = stats_.messages;
+  const std::uint64_t bytes_before = stats_.message_bytes;
+  const std::uint64_t cross_before = stats_.cross_worker_bytes;
   for (auto& outbox : outboxes_) {
     for (auto& msg : outbox) {
       ++stats_.messages;
@@ -238,11 +271,18 @@ void Runtime::route_messages() {
     }
     outbox.clear();
   }
+  // Registry mirrors: one add per routing round, not per message.
+  if (messages_counter_ != nullptr) {
+    messages_counter_->add(stats_.messages - messages_before);
+    message_bytes_counter_->add(stats_.message_bytes - bytes_before);
+    cross_worker_bytes_counter_->add(stats_.cross_worker_bytes - cross_before);
+  }
 }
 
 void Runtime::run_load_balancer() {
-  util::Timer t;
+  obs::Phase phase(obs::kPhaseLb, &stats_.lb_seconds, nullptr, lb_hist_);
   ++stats_.lb_invocations;
+  if (lb_invocations_counter_ != nullptr) lb_invocations_counter_->add();
 
   std::vector<VpLoad> loads(static_cast<std::size_t>(config_.vps));
   std::vector<double> worker_load(static_cast<std::size_t>(config_.workers), 0.0);
@@ -262,6 +302,9 @@ void Runtime::run_load_balancer() {
   const std::vector<int> remap = balancer_->remap(loads, config_.workers);
   PICPRK_ASSERT_MSG(remap.size() == loads.size(), "balancer returned wrong-size map");
 
+  const std::uint64_t migrations_before = stats_.migrations;
+  const std::uint64_t migrated_bytes_before = stats_.migrated_bytes;
+
   for (int v = 0; v < config_.vps; ++v) {
     const int target = remap[static_cast<std::size_t>(v)];
     PICPRK_ASSERT_MSG(target >= 0 && target < config_.workers,
@@ -279,9 +322,12 @@ void Runtime::run_load_balancer() {
     vp_worker_[static_cast<std::size_t>(v)] = target;
     PICPRK_TRACE("vpr: migrated vp " << v << " -> worker " << target);
   }
+  if (migrations_counter_ != nullptr) {
+    migrations_counter_->add(stats_.migrations - migrations_before);
+    migrated_bytes_counter_->add(stats_.migrated_bytes - migrated_bytes_before);
+  }
   // Measured loads describe the epoch that ended here.
   std::fill(vp_measured_seconds_.begin(), vp_measured_seconds_.end(), 0.0);
-  stats_.lb_seconds += t.elapsed();
 }
 
 }  // namespace picprk::vpr

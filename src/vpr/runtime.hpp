@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/phase.hpp"
 #include "vpr/lb.hpp"
 #include "vpr/vp.hpp"
 
@@ -29,6 +30,11 @@ struct RuntimeConfig {
   /// Abstract loads are the default: they are deterministic and match
   /// the PRK's per-particle cost model.
   bool use_measured_load = false;
+  /// Telemetry hooks (obs subsystem): when active the runtime registers
+  /// its counters/histograms at construction and gives every VP its own
+  /// trace lane (one timeline row per VP, so migrations are visible as a
+  /// lane going quiet on one worker's schedule). Default: run dark.
+  obs::Hooks obs;
 };
 
 struct RuntimeStats {
@@ -101,6 +107,20 @@ class Runtime {
   std::vector<std::unique_ptr<VirtualProcessor>> vps_;
   std::vector<int> vp_worker_;
   std::vector<double> vp_measured_seconds_;  ///< since last LB
+  // Telemetry handles, registered once at construction (null when
+  // config_.obs is inactive). Lanes are per VP; a VP's lane is written
+  // only by the worker currently running it, and ownership changes only
+  // at LB barriers.
+  std::vector<obs::TraceLane*> vp_lanes_;
+  obs::Histogram* step_hist_ = nullptr;
+  obs::Histogram* deliver_hist_ = nullptr;
+  obs::Histogram* lb_hist_ = nullptr;
+  obs::Counter* messages_counter_ = nullptr;
+  obs::Counter* message_bytes_counter_ = nullptr;
+  obs::Counter* cross_worker_bytes_counter_ = nullptr;
+  obs::Counter* migrations_counter_ = nullptr;
+  obs::Counter* migrated_bytes_counter_ = nullptr;
+  obs::Counter* lb_invocations_counter_ = nullptr;
   std::vector<std::vector<VpMessage>> outboxes_;  ///< per worker
   std::vector<std::vector<VpMessage>> inboxes_;   ///< per VP
   RuntimeStats stats_;

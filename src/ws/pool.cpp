@@ -5,6 +5,8 @@
 #include <optional>
 #include <thread>
 
+#include <string>
+
 #include "comm/cart.hpp"
 #include "util/assert.hpp"
 #include "util/first_error.hpp"
@@ -48,8 +50,23 @@ class TaskDeque {
 
 }  // namespace
 
-WorkStealingPool::WorkStealingPool(int workers) : workers_(workers) {
+WorkStealingPool::WorkStealingPool(int workers, const obs::Hooks& hooks)
+    : workers_(workers) {
   PICPRK_EXPECTS(workers >= 1);
+  if (hooks.active()) {
+    if (hooks.trace != nullptr) {
+      worker_lanes_.resize(static_cast<std::size_t>(workers_), nullptr);
+      for (int w = 0; w < workers_; ++w) {
+        worker_lanes_[static_cast<std::size_t>(w)] =
+            &hooks.trace->lane(2, "ws", w, "worker " + std::to_string(w));
+      }
+    }
+    if (hooks.registry != nullptr) {
+      tasks_counter_ = &hooks.registry->register_counter("ws/tasks");
+      steals_counter_ = &hooks.registry->register_counter("ws/steals");
+      run_hist_ = &hooks.registry->register_histogram("ws/run_seconds", 0.0, 0.05, 100);
+    }
+  }
 }
 
 PoolStats WorkStealingPool::run(std::size_t count,
@@ -58,7 +75,9 @@ PoolStats WorkStealingPool::run(std::size_t count,
   PoolStats stats;
   stats.tasks = count;
   stats.executed_per_worker.assign(static_cast<std::size_t>(workers_), 0);
+  stats.steals_per_worker.assign(static_cast<std::size_t>(workers_), 0);
   if (count == 0) return stats;
+  if (tasks_counter_ != nullptr) tasks_counter_->add(count);
 
   std::vector<TaskDeque> deques(static_cast<std::size_t>(workers_));
   std::vector<int> initial_owner(count);
@@ -71,12 +90,18 @@ PoolStats WorkStealingPool::run(std::size_t count,
   }
 
   std::atomic<std::size_t> remaining{count};
-  std::atomic<std::uint64_t> steals{0};
   util::FirstError first_error;
 
   auto worker_body = [&](int w) {
     util::SplitMix64 rng(0xA11C0DEull + static_cast<std::uint64_t>(w));
     std::uint64_t executed = 0;
+    // Each worker tallies its own steals into its PoolStats slot — no
+    // shared atomic on the task path (summed once after the join).
+    std::uint64_t stolen = 0;
+    obs::Phase phase("tasks", nullptr,
+                     worker_lanes_.empty() ? nullptr
+                                           : worker_lanes_[static_cast<std::size_t>(w)],
+                     run_hist_);
     try {
       while (remaining.load(std::memory_order_acquire) > 0 && !first_error.failed()) {
         std::optional<std::size_t> task = deques[static_cast<std::size_t>(w)].pop_back();
@@ -95,7 +120,7 @@ PoolStats WorkStealingPool::run(std::size_t count,
           std::this_thread::yield();
           continue;
         }
-        if (initial_owner[*task] != w) steals.fetch_add(1, std::memory_order_relaxed);
+        if (initial_owner[*task] != w) ++stolen;
         fn(*task, w);
         ++executed;
         remaining.fetch_sub(1, std::memory_order_acq_rel);
@@ -104,6 +129,7 @@ PoolStats WorkStealingPool::run(std::size_t count,
       first_error.record_current();
     }
     stats.executed_per_worker[static_cast<std::size_t>(w)] = executed;
+    stats.steals_per_worker[static_cast<std::size_t>(w)] = stolen;
   };
 
   if (workers_ == 1) {
@@ -116,7 +142,8 @@ PoolStats WorkStealingPool::run(std::size_t count,
   }
   first_error.rethrow_if_any();
   PICPRK_ASSERT_MSG(remaining.load() == 0, "work-stealing pool lost tasks");
-  stats.steals = steals.load();
+  for (const std::uint64_t s : stats.steals_per_worker) stats.steals += s;
+  if (steals_counter_ != nullptr) steals_counter_->add(stats.steals);
   return stats;
 }
 

@@ -15,17 +15,25 @@
 #include <functional>
 #include <vector>
 
+#include "obs/phase.hpp"
+
 namespace picprk::ws {
 
 struct PoolStats {
   std::uint64_t tasks = 0;
   std::uint64_t steals = 0;  ///< tasks executed by a non-initial owner
   std::vector<std::uint64_t> executed_per_worker;
+  /// Steals per thief: which workers ran out of local work and raided.
+  /// steals is the sum of this vector.
+  std::vector<std::uint64_t> steals_per_worker;
 };
 
 class WorkStealingPool {
  public:
-  explicit WorkStealingPool(int workers);
+  /// `hooks` (optional) attaches the pool to an obs registry/trace: the
+  /// pool registers its task/steal counters and one trace lane per
+  /// worker at construction, before any task runs.
+  explicit WorkStealingPool(int workers, const obs::Hooks& hooks = {});
 
   int workers() const { return workers_; }
 
@@ -39,6 +47,11 @@ class WorkStealingPool {
 
  private:
   int workers_;
+  // Telemetry handles (null when constructed without hooks).
+  std::vector<obs::TraceLane*> worker_lanes_;
+  obs::Counter* tasks_counter_ = nullptr;
+  obs::Counter* steals_counter_ = nullptr;
+  obs::Histogram* run_hist_ = nullptr;
 };
 
 }  // namespace picprk::ws

@@ -1,0 +1,23 @@
+// Fixture: registering a telemetry instrument inside a PICPRK_HOT body
+// must fail the `obs` rule — registration allocates and takes a mutex.
+#pragma once
+
+#define PICPRK_HOT __attribute__((hot))
+
+struct FakeCounter {
+  void add() {}
+};
+
+struct FakeRegistry {
+  FakeCounter& register_counter(const char*);
+  FakeCounter& register_gauge(const char*);
+  FakeCounter& register_histogram(const char*, double, double, int);
+};
+
+PICPRK_HOT inline void bad_count(FakeRegistry& registry) {
+  registry.register_counter("steps").add();  // banned: registration in hot code
+}
+
+PICPRK_HOT inline void bad_hist(FakeRegistry& registry) {
+  registry.register_histogram("seconds", 0.0, 1.0, 10);  // banned
+}

@@ -1,0 +1,24 @@
+// Fixture: the allowed obs pattern — registration at setup (cold code),
+// the PICPRK_HOT body recording only through a pre-registered handle.
+// The token register_counter in this comment must not trip the checker.
+#pragma once
+
+#define PICPRK_HOT __attribute__((hot))
+
+struct FakeCounter {
+  void add() {}
+};
+
+struct FakeRegistry {
+  FakeCounter& register_counter(const char*);
+};
+
+struct Instrumented {
+  explicit Instrumented(FakeRegistry& registry)
+      : steps_(&registry.register_counter("steps")) {}  // cold: allowed
+
+  PICPRK_HOT void step() { steps_->add(); }  // hot: handle only
+
+ private:
+  FakeCounter* steps_;
+};

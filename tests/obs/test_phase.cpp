@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/phase.hpp"
+#include "obs/registry.hpp"
+
+namespace {
+
+using picprk::obs::Hooks;
+using picprk::obs::Phase;
+using picprk::obs::Registry;
+using picprk::obs::StepInstruments;
+using picprk::obs::Trace;
+
+void spin_briefly() {
+  // A few thousand iterations: enough for elapsed() > 0 on any clock.
+  volatile double x = 1.0;
+  for (int i = 0; i < 5000; ++i) x = x * 1.0000001;
+}
+
+TEST(PhaseTest, AccumulatesSecondsRegardlessOfBuildMode) {
+  // The accumulation target is functional driver state (PhaseBreakdown),
+  // so it must work even in PICPRK_OBS=OFF builds.
+  double total = 0.0;
+  {
+    Phase phase(picprk::obs::kPhaseCompute, &total);
+    spin_briefly();
+  }
+  EXPECT_GT(total, 0.0);
+
+  const double first = total;
+  {
+    Phase phase(picprk::obs::kPhaseCompute, &total);
+    spin_briefly();
+  }
+  EXPECT_GT(total, first);
+}
+
+TEST(PhaseTest, FinishIsIdempotent) {
+  double total = 0.0;
+  Phase phase(picprk::obs::kPhaseExchange, &total);
+  spin_briefly();
+  phase.finish();
+  const double after_finish = total;
+  EXPECT_GT(after_finish, 0.0);
+  phase.finish();               // explicit second call: no double count
+  EXPECT_EQ(total, after_finish);
+  // The destructor runs after finish(): also a no-op.
+}
+
+TEST(PhaseTest, NestedPhasesAccumulateIndependently) {
+  double outer = 0.0;
+  double inner = 0.0;
+  {
+    Phase outer_phase(picprk::obs::kPhaseStep, &outer);
+    {
+      Phase inner_phase(picprk::obs::kPhaseCompute, &inner);
+      spin_briefly();
+    }
+    spin_briefly();
+  }
+  EXPECT_GT(inner, 0.0);
+  // The outer phase covers the inner one plus its own work.
+  EXPECT_GE(outer, inner);
+}
+
+TEST(PhaseTest, NullTargetsAreSafe) {
+  {
+    Phase phase(picprk::obs::kPhaseLb);  // no accum, lane or histogram
+    spin_briefly();
+  }
+  SUCCEED();
+}
+
+TEST(PhaseTest, ObservesHistogramWhenEnabled) {
+  Registry registry;
+  auto& hist = registry.register_histogram("t", 0.0, 1.0, 10);
+  {
+    Phase phase(picprk::obs::kPhaseCompute, nullptr, nullptr, &hist);
+    spin_briefly();
+  }
+  if (picprk::obs::kEnabled) {
+    EXPECT_EQ(hist.count(), 1u);
+    EXPECT_GT(hist.sum(), 0.0);
+  } else {
+    EXPECT_EQ(hist.count(), 0u);
+  }
+}
+
+TEST(PhaseTest, RecordsTraceSpanWhenEnabled) {
+  Trace trace;
+  auto& lane = trace.lane(0, "test", 0, "thread 0", 16);
+  double total = 0.0;
+  {
+    Phase phase(picprk::obs::kPhaseExchange, &total, &lane);
+    spin_briefly();
+  }
+  if (picprk::obs::kEnabled) {
+    EXPECT_EQ(trace.event_count(), 1u);
+    EXPECT_EQ(trace.lane_count(), 1u);
+  } else {
+    EXPECT_EQ(trace.event_count(), 0u);
+  }
+  EXPECT_GT(total, 0.0);  // accumulation works in both modes
+}
+
+TEST(TraceTest, LaneIsIdempotentPerPidTid) {
+  Trace trace;
+  auto& a = trace.lane(1, "vpr", 3, "vp 3", 16);
+  auto& b = trace.lane(1, "vpr", 3, "vp 3", 16);
+  EXPECT_EQ(&a, &b);
+  if (picprk::obs::kEnabled) {
+    auto& c = trace.lane(1, "vpr", 4, "vp 4", 16);
+    EXPECT_NE(&a, &c);
+    EXPECT_EQ(trace.lane_count(), 2u);
+  }
+}
+
+TEST(TraceTest, RecordDropsBeyondReservedCapacityInsteadOfGrowing) {
+  if (!picprk::obs::kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  Trace trace;
+  auto& lane = trace.lane(0, "test", 0, "t", 4);
+  for (int i = 0; i < 10; ++i) lane.record("span", 0.0, 1.0);
+  EXPECT_EQ(trace.event_count(), 4u);
+  EXPECT_EQ(trace.dropped_count(), 6u);
+}
+
+TEST(HooksTest, ActiveOnlyWhenEnabledAndWired) {
+  Hooks dark;
+  EXPECT_FALSE(dark.active());
+
+  Registry registry;
+  Trace trace;
+  Hooks wired{&registry, &trace};
+  EXPECT_EQ(wired.active(), picprk::obs::kEnabled);
+}
+
+TEST(StepInstrumentsTest, DefaultConstructedHasNullHandles) {
+  StepInstruments inst;
+  EXPECT_EQ(inst.lane, nullptr);
+  EXPECT_EQ(inst.compute, nullptr);
+  EXPECT_EQ(inst.steps, nullptr);
+}
+
+TEST(StepInstrumentsTest, RegistersCanonicalInstrumentsWhenEnabled) {
+  Registry registry;
+  Trace trace;
+  const Hooks hooks{&registry, &trace};
+  const StepInstruments inst(hooks, "baseline", 0, "rank 2", 2, 64);
+  if (!picprk::obs::kEnabled) {
+    EXPECT_EQ(inst.compute, nullptr);
+    EXPECT_EQ(registry.size(), 0u);
+    return;
+  }
+  ASSERT_NE(inst.lane, nullptr);
+  ASSERT_NE(inst.compute, nullptr);
+  ASSERT_NE(inst.exchange, nullptr);
+  ASSERT_NE(inst.lb, nullptr);
+  ASSERT_NE(inst.checkpoint, nullptr);
+  ASSERT_NE(inst.steps, nullptr);
+  ASSERT_NE(inst.exchange_sent, nullptr);
+  ASSERT_NE(inst.exchange_received, nullptr);
+  ASSERT_NE(inst.exchange_bytes, nullptr);
+  // Names carry the thread label so ranks don't collide in one registry.
+  EXPECT_EQ(registry.find_histogram("rank 2/phase_compute_seconds"), inst.compute);
+  EXPECT_EQ(registry.find_counter("rank 2/steps"), inst.steps);
+  // The lane is the trace row for (pid 0, tid 2).
+  EXPECT_EQ(&trace.lane(0, "baseline", 2, "rank 2", 64), inst.lane);
+}
+
+}  // namespace

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.hpp"
+
+namespace {
+
+using picprk::obs::Counter;
+using picprk::obs::Gauge;
+using picprk::obs::Histogram;
+using picprk::obs::Registry;
+
+TEST(CounterTest, AddAndValue) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, LastWriterWins) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(1.5);
+  g.set(2.25);
+  EXPECT_EQ(g.value(), 2.25);
+}
+
+TEST(HistogramTest, ObserveCountsAndSums) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.observe(static_cast<double>(i) + 0.5);
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_DOUBLE_EQ(h.sum(), 50.0);
+  const auto buckets = h.snapshot();
+  ASSERT_EQ(buckets.size(), 10u);
+  for (const auto b : buckets) EXPECT_EQ(b, 1u);
+}
+
+TEST(HistogramTest, OutOfRangeObservationsClampIntoEdgeBuckets) {
+  Histogram h(0.0, 1.0, 4);
+  h.observe(-100.0);
+  h.observe(100.0);
+  h.observe(1.0);  // hi itself lands in the last bucket
+  const auto buckets = h.snapshot();
+  EXPECT_EQ(buckets.front(), 1u);
+  EXPECT_EQ(buckets.back(), 2u);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBuckets) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.observe(static_cast<double>(i) + 0.5);
+  // Uniform sample over [0, 100): the median must sit near 50.
+  EXPECT_NEAR(h.quantile(50.0), 50.0, 2.0);
+  EXPECT_NEAR(h.quantile(99.0), 99.0, 2.0);
+  EXPECT_GE(h.quantile(0.0), 0.0);
+  EXPECT_LE(h.quantile(100.0), 100.0);
+}
+
+TEST(RegistryTest, RegistrationIsIdempotentByName) {
+  Registry r;
+  Counter& a = r.register_counter("steps");
+  Counter& b = r.register_counter("steps");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+
+  Gauge& g1 = r.register_gauge("lambda");
+  Gauge& g2 = r.register_gauge("lambda");
+  EXPECT_EQ(&g1, &g2);
+
+  Histogram& h1 = r.register_histogram("t", 0.0, 1.0, 8);
+  Histogram& h2 = r.register_histogram("t", 0.0, 1.0, 8);
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(RegistryTest, FindReturnsNullForUnknownNames) {
+  Registry r;
+  r.register_counter("present");
+  EXPECT_NE(r.find_counter("present"), nullptr);
+  EXPECT_EQ(r.find_counter("absent"), nullptr);
+  EXPECT_EQ(r.find_gauge("absent"), nullptr);
+  EXPECT_EQ(r.find_histogram("absent"), nullptr);
+}
+
+TEST(RegistryTest, HandlesStayStableAcrossManyRegistrations) {
+  Registry r;
+  Counter& first = r.register_counter("c0");
+  first.add();
+  // Deque storage: later registrations must not move earlier instruments.
+  for (int i = 1; i < 200; ++i) r.register_counter("c" + std::to_string(i));
+  EXPECT_EQ(&first, r.find_counter("c0"));
+  EXPECT_EQ(first.value(), 1u);
+}
+
+TEST(RegistryTest, ViewsAreNameSortedSnapshots) {
+  Registry r;
+  r.register_counter("zeta").add(1);
+  r.register_counter("alpha").add(2);
+  r.register_gauge("mid").set(0.5);
+  r.register_histogram("h", 0.0, 1.0, 4).observe(0.25);
+
+  const auto counters = r.counters();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].name, "alpha");
+  EXPECT_EQ(counters[0].value, 2u);
+  EXPECT_EQ(counters[1].name, "zeta");
+
+  const auto gauges = r.gauges();
+  ASSERT_EQ(gauges.size(), 1u);
+  EXPECT_EQ(gauges[0].value, 0.5);
+
+  const auto histograms = r.histograms();
+  ASSERT_EQ(histograms.size(), 1u);
+  EXPECT_EQ(histograms[0].count, 1u);
+  EXPECT_EQ(histograms[0].buckets.size(), 4u);
+}
+
+TEST(RegistryTest, ConcurrentIncrementsThroughOneHandleAreExact) {
+  Registry r;
+  Counter& c = r.register_counter("shared");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(RegistryTest, ConcurrentRegistrationOfTheSameNameYieldsOneInstrument) {
+  Registry r;
+  constexpr int kThreads = 8;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&r, &seen, t] {
+      seen[static_cast<std::size_t>(t)] = &r.register_counter("raced");
+      seen[static_cast<std::size_t>(t)]->add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[0], seen[static_cast<std::size_t>(t)]);
+  EXPECT_EQ(seen[0]->value(), static_cast<std::uint64_t>(kThreads));
+}
+
+TEST(RegistryTest, ResetValuesZeroesInstrumentsButKeepsNames) {
+  Registry r;
+  r.register_counter("c").add(7);
+  r.register_gauge("g").set(3.0);
+  r.register_histogram("h", 0.0, 1.0, 4).observe(0.5);
+  r.reset_values();
+  EXPECT_EQ(r.find_counter("c")->value(), 0u);
+  EXPECT_EQ(r.find_gauge("g")->value(), 0.0);
+  EXPECT_EQ(r.find_histogram("h")->count(), 0u);
+  EXPECT_EQ(r.size(), 3u);
+}
+
+}  // namespace

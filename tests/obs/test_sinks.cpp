@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/phase.hpp"
+#include "obs/registry.hpp"
+#include "obs/sinks.hpp"
+
+namespace {
+
+using picprk::obs::Registry;
+using picprk::obs::StepSample;
+using picprk::obs::Trace;
+
+// ------------------------------------------------- minimal JSON checker
+// A strict recursive-descent syntax validator — enough to catch every
+// way hand-built emission goes wrong (trailing commas, unquoted keys,
+// unbalanced brackets, bad numbers) without a JSON library dependency.
+
+struct JsonParser {
+  std::string_view s;
+  std::size_t i = 0;
+
+  void ws() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  bool eat(char c) {
+    ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  bool string() {
+    ws();
+    if (i >= s.size() || s[i] != '"') return false;
+    for (++i; i < s.size(); ++i) {
+      if (s[i] == '\\') {
+        ++i;
+      } else if (s[i] == '"') {
+        ++i;
+        return true;
+      }
+    }
+    return false;
+  }
+  bool number() {
+    ws();
+    const std::size_t start = i;
+    if (i < s.size() && s[i] == '-') ++i;
+    while (i < s.size() && (std::isdigit(static_cast<unsigned char>(s[i])) ||
+                            s[i] == '.' || s[i] == 'e' || s[i] == 'E' ||
+                            s[i] == '+' || s[i] == '-')) {
+      ++i;
+    }
+    return i > start;
+  }
+  bool literal(std::string_view word) {
+    ws();
+    if (s.substr(i, word.size()) != word) return false;
+    i += word.size();
+    return true;
+  }
+  bool value() {
+    ws();
+    if (i >= s.size()) return false;
+    switch (s[i]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    if (!eat('{')) return false;
+    if (eat('}')) return true;
+    do {
+      if (!string() || !eat(':') || !value()) return false;
+    } while (eat(','));
+    return eat('}');
+  }
+  bool array() {
+    if (!eat('[')) return false;
+    if (eat(']')) return true;
+    do {
+      if (!value()) return false;
+    } while (eat(','));
+    return eat(']');
+  }
+  bool document() {
+    if (!value()) return false;
+    ws();
+    return i == s.size();
+  }
+};
+
+bool valid_json(const std::string& text) {
+  JsonParser p{text};
+  return p.document();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const char* name) : path(std::string("/tmp/picprk_obs_") + name) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+void populate(Registry& r) {
+  r.register_counter("rank 0/steps").add(20);
+  r.register_counter("run/particles_exchanged").add(6850);
+  r.register_gauge("run/seconds").set(0.125);
+  auto& h = r.register_histogram("rank 0/phase_compute_seconds", 0.0, 0.05, 100);
+  for (int i = 0; i < 20; ++i) h.observe(0.001 * i);
+}
+
+std::vector<StepSample> sample_series() {
+  std::vector<StepSample> samples;
+  for (int step = 0; step < 5; ++step) {
+    samples.push_back(StepSample{step, 1.2 - 0.01 * step, 5000.0 - 10 * step,
+                                 4000.0, 1.5});
+  }
+  return samples;
+}
+
+// ----------------------------------------------------------- the tests
+
+TEST(JsonParserSelfTest, AcceptsAndRejectsTheRightThings) {
+  EXPECT_TRUE(valid_json("{}"));
+  EXPECT_TRUE(valid_json(R"({"a":[1,2.5,-3e-2],"b":{"c":"x\"y"},"d":true})"));
+  EXPECT_FALSE(valid_json("{"));
+  EXPECT_FALSE(valid_json(R"({"a":1,})"));
+  EXPECT_FALSE(valid_json(R"({a:1})"));
+  EXPECT_FALSE(valid_json(R"({"a":1} trailing)"));
+}
+
+TEST(MetricsDocumentTest, IsValidJsonWithTheBenchSchema) {
+  Registry registry;
+  populate(registry);
+  picprk::util::JsonObject config;
+  config.add("impl", std::string("baseline"));
+  const auto doc = picprk::obs::metrics_document("picprk", config, registry,
+                                                 sample_series());
+  const std::string text = doc.to_string(2);
+  EXPECT_TRUE(valid_json(text)) << text;
+  EXPECT_NE(text.find("\"schema\""), std::string::npos);
+  EXPECT_NE(text.find("picprk-bench-v1"), std::string::npos);
+  EXPECT_NE(text.find("\"imbalance\""), std::string::npos);
+  EXPECT_NE(text.find("rank 0/steps"), std::string::npos);
+}
+
+TEST(MetricsDocumentTest, EmptyRegistryAndSamplesStillValid) {
+  const Registry registry;
+  picprk::util::JsonObject config;
+  const auto doc = picprk::obs::metrics_document("picprk", config, registry, {});
+  EXPECT_TRUE(valid_json(doc.to_string(2)));
+}
+
+TEST(WriteMetricsJsonTest, RoundTripsThroughAFile) {
+  TempFile f("metrics.json");
+  Registry registry;
+  populate(registry);
+  picprk::util::JsonObject config;
+  config.add("impl", std::string("diffusion"));
+  ASSERT_TRUE(picprk::obs::write_metrics_json(f.path, "picprk", config, registry,
+                                              sample_series()));
+  const std::string text = read_file(f.path);
+  EXPECT_TRUE(valid_json(text)) << text;
+}
+
+TEST(TraceJsonTest, EmptyTraceIsAValidDocument) {
+  const Trace trace;
+  const std::string text = trace.to_json();
+  EXPECT_TRUE(valid_json(text)) << text;
+  EXPECT_NE(text.find("traceEvents"), std::string::npos);
+}
+
+TEST(TraceJsonTest, PopulatedTraceIsValidAndCarriesLaneMetadata) {
+  Trace trace;
+  auto& lane = trace.lane(0, "baseline", 1, "rank 1", 16);
+  lane.record(picprk::obs::kPhaseCompute, 10.0, 250.0);
+  lane.record(picprk::obs::kPhaseExchange, 260.0, 40.5);
+  const std::string text = trace.to_json();
+  EXPECT_TRUE(valid_json(text)) << text;
+  if (!picprk::obs::kEnabled) return;  // stub emits the empty document
+  EXPECT_NE(text.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(text.find("\"rank 1\""), std::string::npos);
+  EXPECT_NE(text.find("\"compute\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(TraceJsonTest, WriteJsonProducesAReadableFile) {
+  TempFile f("trace.json");
+  Trace trace;
+  trace.lane(2, "ws", 0, "worker 0", 8).record("tasks", 0.0, 100.0);
+  ASSERT_TRUE(trace.write_json(f.path));
+  EXPECT_TRUE(valid_json(read_file(f.path)));
+}
+
+TEST(PrintSummaryTest, EmitsTablesWithoutThrowing) {
+  Registry registry;
+  populate(registry);
+  std::ostringstream os;
+  picprk::obs::print_summary(os, registry, sample_series());
+  const std::string text = os.str();
+  EXPECT_NE(text.find("rank 0/steps"), std::string::npos);
+  EXPECT_NE(text.find("lambda"), std::string::npos);
+}
+
+TEST(PrintSummaryTest, EmptyRegistryPrintsNothingFatal) {
+  const Registry registry;
+  std::ostringstream os;
+  picprk::obs::print_summary(os, registry, {});
+  SUCCEED();
+}
+
+}  // namespace

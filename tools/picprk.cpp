@@ -21,6 +21,9 @@
 #include "comm/world.hpp"
 #include "ft/checkpoint.hpp"
 #include "ft/fault.hpp"
+#include "obs/phase.hpp"
+#include "obs/registry.hpp"
+#include "obs/sinks.hpp"
 #include "par/ampi.hpp"
 #include "par/baseline.hpp"
 #include "par/diffusion.hpp"
@@ -28,6 +31,7 @@
 #include "perfsim/engine.hpp"
 #include "pic/simulation.hpp"
 #include "util/cli.hpp"
+#include "util/report.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -94,6 +98,70 @@ std::string driver_machine_extra(const picprk::par::DriverResult& r) {
          " recoveries=" + std::to_string(r.recoveries);
 }
 
+/// The run's knobs as the "config" object of the metrics document, so
+/// archived runs are self-describing (same idea as bench_json.hpp).
+util::JsonObject run_config_json(const util::ArgParser& args, const std::string& impl) {
+  util::JsonObject config;
+  config.add("impl", impl);
+  config.add("cells", args.get_int("cells"));
+  config.add("particles", args.get_int("particles"));
+  config.add("steps", args.get_int("steps"));
+  config.add("k", args.get_int("k"));
+  config.add("m", args.get_int("m"));
+  config.add("dist", args.get_string("dist"));
+  config.add("ranks", args.get_int("ranks"));
+  config.add("workers", args.get_int("workers"));
+  config.add("overdecomposition", args.get_int("d"));
+  return config;
+}
+
+/// Folds a finished driver result into the run registry as gauges and
+/// counters, so the metrics document carries the headline scalars next
+/// to the per-phase instruments.
+void absorb_result(obs::Registry& registry, const picprk::par::DriverResult& r) {
+  registry.register_gauge("run/seconds").set(r.seconds);
+  registry.register_gauge("run/final_particles").set(static_cast<double>(r.final_particles));
+  registry.register_gauge("run/max_particles_per_rank")
+      .set(static_cast<double>(r.max_particles_per_rank));
+  registry.register_gauge("run/phase_compute_seconds").set(r.phases.compute);
+  registry.register_gauge("run/phase_exchange_seconds").set(r.phases.exchange);
+  registry.register_gauge("run/phase_lb_seconds").set(r.phases.lb);
+  registry.register_gauge("run/phase_checkpoint_seconds").set(r.phases.checkpoint);
+  registry.register_counter("run/particles_exchanged").add(r.particles_exchanged);
+  registry.register_counter("run/exchange_bytes").add(r.exchange_bytes);
+  registry.register_counter("run/lb_actions").add(r.lb_actions);
+  registry.register_counter("run/checkpoints").add(r.checkpoints);
+  registry.register_counter("run/recoveries").add(r.recoveries);
+}
+
+/// Copies every counter of a per-instance registry (fault injector,
+/// checkpoint store) into the run registry for export.
+void absorb_counters(obs::Registry& registry, const obs::Registry& source) {
+  for (const auto& view : source.counters()) {
+    registry.register_counter(view.name).add(view.value);
+  }
+}
+
+/// Post-run sink flush: writes the requested trace/metrics files and
+/// prints the instrument summary tables. No-op when neither --trace-out
+/// nor --metrics-out was given.
+void flush_observability(const util::ArgParser& args, const std::string& impl,
+                         const obs::Registry& registry, const obs::Trace& trace,
+                         const std::vector<obs::StepSample>& samples) {
+  const std::string trace_path = args.get_string("trace-out");
+  const std::string metrics_path = args.get_string("metrics-out");
+  if (trace_path.empty() && metrics_path.empty()) return;
+  if (!trace_path.empty() && !trace.write_json(trace_path)) {
+    std::cerr << "picprk: cannot write trace to " << trace_path << '\n';
+  }
+  if (!metrics_path.empty() &&
+      !obs::write_metrics_json(metrics_path, "picprk", run_config_json(args, impl),
+                               registry, samples)) {
+    std::cerr << "picprk: cannot write metrics to " << metrics_path << '\n';
+  }
+  obs::print_summary(std::cout, registry, samples);
+}
+
 /// Selected implementation, for the RESULT line of a faulted run.
 std::string g_impl = "unknown";
 
@@ -152,6 +220,11 @@ int main(int argc, char** argv) try {
   args.add_int("max-recoveries", 3, "rollbacks before giving up");
   // Performance model.
   args.add_int("cores", 96, "model: core count");
+  // Observability (docs/OBSERVABILITY.md); parallel drivers only.
+  args.add_string("metrics-out", "", "write metrics JSON (picprk-bench-v1 schema)");
+  args.add_string("trace-out", "", "write a Chrome trace_event JSON timeline");
+  args.add_int("sample-every", 0,
+               "steps between imbalance samples (0 = every step when observing)");
   if (!args.parse(argc, argv)) return 0;
 
   pic::InitParams init;
@@ -214,6 +287,22 @@ int main(int argc, char** argv) try {
   cfg.steps = steps;
   cfg.events = parse_events(args, init.grid.cells);
 
+  // Telemetry sinks live in main so one registry/trace spans the whole
+  // run regardless of driver; with neither flag given the hooks stay
+  // null and the drivers run dark.
+  const bool observing = !args.get_string("metrics-out").empty() ||
+                         !args.get_string("trace-out").empty();
+  obs::Registry registry;
+  obs::Trace trace;
+  if (observing) {
+    cfg.obs.registry = &registry;
+    cfg.obs.trace = &trace;
+    const auto stride = static_cast<std::uint32_t>(args.get_int("sample-every"));
+    cfg.sample_every = stride > 0 ? stride : 1;
+  } else if (args.get_int("sample-every") > 0) {
+    cfg.sample_every = static_cast<std::uint32_t>(args.get_int("sample-every"));
+  }
+
   const std::string fault_text = args.get_string("faults");
   const auto checkpoint_every =
       static_cast<std::uint32_t>(args.get_int("checkpoint-every"));
@@ -240,6 +329,14 @@ int main(int argc, char** argv) try {
       cfg.ft.checkpoint_every = checkpoint_every;
     }
     const auto r = par::run_ampi(cfg, params);
+    if (observing) {
+      absorb_result(registry, r);
+      if (resilient) {
+        absorb_counters(registry, injector.metrics());
+        absorb_counters(registry, store.metrics());
+      }
+      flush_observability(args, impl, registry, trace, r.step_samples);
+    }
     return report("ampi", r.ok, r.final_particles, r.seconds,
                   std::to_string(r.lb_actions) + " migrations, max/worker " +
                       std::to_string(r.max_particles_per_rank),
@@ -267,13 +364,27 @@ int main(int argc, char** argv) try {
       ropts.timeout_ms = timeout_ms;
       ropts.deadlock_ms = deadlock_ms;
       ropts.max_recoveries = static_cast<std::uint32_t>(args.get_int("max-recoveries"));
-      result = par::run_resilient(ranks, cfg, ropts, driver);
+      par::ResilienceTelemetry rtel;
+      result = par::run_resilient(ranks, cfg, ropts, driver, &rtel);
+      if (observing) {
+        registry.register_counter("ft/dropped").add(rtel.dropped);
+        registry.register_counter("ft/duplicated").add(rtel.duplicated);
+        registry.register_counter("ft/delayed").add(rtel.delayed);
+        registry.register_counter("ft/kills").add(rtel.kills);
+        registry.register_counter("ft/stalls").add(rtel.stalls);
+        registry.register_counter("ft/checkpoint_saves").add(rtel.checkpoint_saves);
+        registry.register_counter("ft/residual_messages").add(rtel.residual_messages);
+      }
     } else {
       comm::World world(ranks);
       world.run([&](comm::Comm& comm) {
         par::DriverResult r = driver(comm, cfg);
         if (comm.rank() == 0) result = r;
       });
+    }
+    if (observing) {
+      absorb_result(registry, result);
+      flush_observability(args, impl, registry, trace, result.step_samples);
     }
     return report(impl.c_str(), result.ok, result.final_particles, result.seconds,
                   std::to_string(result.particles_exchanged) + " exchanged, max/rank " +

@@ -15,6 +15,10 @@
 //   headers  headers are self-contained: #pragma once, every project
 //            #include resolves, and every spelled std:: vocabulary type
 //            has its own direct #include (include-what-you-spell).
+//   obs      PICPRK_HOT function bodies never register telemetry
+//            instruments (obs::Registry::register_*): registration
+//            allocates and takes a mutex, so it belongs at setup; hot
+//            code records through pre-registered handles only.
 //
 // The checker is deliberately textual (comment/string-stripped token
 // scanning, not a C++ parser): it is fast, has zero dependencies, and
@@ -245,6 +249,48 @@ void check_hot(const SourceFile& f, std::vector<Violation>& out) {
                        std::string("banned token '") + banned +
                            "' in a PICPRK_HOT function body (hot paths are "
                            "allocation-, fmod- and throw-free)"});
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------- rule: obs
+
+const char* const kObsBanned[] = {
+    "register_counter",
+    "register_gauge",
+    "register_histogram",
+};
+
+/// Registration (mutex + allocation) inside a PICPRK_HOT body defeats
+/// the obs design contract: instruments are registered at setup and hot
+/// code only touches the returned handles (relaxed atomics).
+void check_obs(const SourceFile& f, std::vector<Violation>& out) {
+  const std::string_view clean = f.clean;
+  for (std::size_t pos = find_word(clean, "PICPRK_HOT", 0);
+       pos != std::string_view::npos; pos = find_word(clean, "PICPRK_HOT", pos + 1)) {
+    const std::string_view line = f.raw_line(f.line_of(pos));
+    if (line.find("#define") != std::string_view::npos) continue;
+    std::size_t brace = std::string_view::npos;
+    for (std::size_t i = pos; i < clean.size(); ++i) {
+      if (clean[i] == ';') break;
+      if (clean[i] == '{') {
+        brace = i;
+        break;
+      }
+    }
+    if (brace == std::string_view::npos) continue;
+    const std::size_t close = matching(clean, brace, '{', '}');
+    if (close == std::string_view::npos) continue;  // `hot` already reports this
+    const std::string_view body = clean.substr(brace, close - brace + 1);
+    for (const char* banned : kObsBanned) {
+      const std::size_t hit = find_word(body, banned, 0);
+      if (hit != std::string_view::npos) {
+        out.push_back({f.path, f.line_of(brace + hit), "obs",
+                       std::string("'") + banned +
+                           "' in a PICPRK_HOT function body — instrument "
+                           "registration allocates and locks; register at setup "
+                           "and record through the returned handle"});
       }
     }
   }
@@ -637,7 +683,7 @@ void collect_files(const fs::path& p, std::vector<fs::path>& out) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::set<std::string> rules = {"hot", "pup", "tags", "headers"};
+  std::set<std::string> rules = {"hot", "pup", "tags", "headers", "obs"};
   std::set<std::string> enabled;
   std::vector<fs::path> include_roots;
   std::vector<fs::path> inputs;
@@ -646,7 +692,7 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--rule") {
       if (++i >= argc || rules.count(argv[i]) == 0) {
-        std::cerr << "picprk-lint: --rule needs one of: hot pup tags headers\n";
+        std::cerr << "picprk-lint: --rule needs one of: hot pup tags headers obs\n";
         return 2;
       }
       enabled.insert(argv[i]);
@@ -712,6 +758,7 @@ int main(int argc, char** argv) {
   std::vector<Violation> violations;
   for (const auto& f : files) {
     if (enabled.count("hot")) check_hot(f, violations);
+    if (enabled.count("obs")) check_obs(f, violations);
     if (enabled.count("headers")) check_headers(f, include_roots, violations);
   }
   if (enabled.count("pup")) check_pup(files, violations);
