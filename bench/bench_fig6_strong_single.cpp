@@ -77,7 +77,7 @@ void run_real() {
   using namespace picprk;
   std::cout << "\n=== laptop-scale validation with the real threaded drivers ===\n"
             << "(scaled: 256 cells, 40,000 particles, 200 steps, 4 ranks)\n\n";
-  par::DriverConfig cfg;
+  par::RunConfig cfg;
   cfg.init.grid = pic::GridSpec(256, 1.0);
   cfg.init.total_particles = 40000;
   cfg.init.distribution = pic::Geometric{0.99};
@@ -88,21 +88,20 @@ void run_real() {
   comm::World world(4);
   world.run([&](comm::Comm& comm) {
     const auto b = par::run_baseline(comm, cfg);
-    par::DiffusionParams lb;
-    lb.frequency = 8;
-    lb.threshold = 0.05;
-    lb.border_width = 2;
-    const auto d = par::run_diffusion(comm, cfg, lb);
+    par::RunConfig dcfg = cfg;
+    dcfg.lb.strategy = "diffusion:threshold=0.05,border=2";
+    dcfg.lb.every = 8;
+    const auto d = par::run_diffusion(comm, dcfg);
     if (comm.rank() == 0) {
       base = b;
       diff = d;
     }
   });
-  par::AmpiParams ap;
-  ap.workers = 2;
-  ap.overdecomposition = 8;
-  ap.lb_interval = 16;
-  const auto ampi = par::run_ampi(cfg, ap);
+  par::RunConfig acfg = cfg;
+  acfg.workers = 2;
+  acfg.overdecomposition = 8;
+  acfg.lb.every = 16;
+  const auto ampi = par::run_ampi(acfg);
 
   util::Table table({"impl", "verified", "max particles/rank", "avg imbalance (sampled)"});
   auto mean = [](const std::vector<double>& v) {

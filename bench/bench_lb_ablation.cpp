@@ -99,7 +99,7 @@ void hinted_balancer_at_scale(std::uint32_t steps) {
 void two_phase_ablation() {
   std::cout << "--- (c) x-only vs two-phase diffusion (real drivers, 4 ranks) ---\n"
             << "workload: corner patch (skew in both directions), 200 steps\n";
-  par::DriverConfig cfg;
+  par::RunConfig cfg;
   cfg.init.grid = pic::GridSpec(128, 1.0);
   cfg.init.total_particles = 30000;
   cfg.init.distribution = pic::Patch{pic::CellRegion{0, 40, 0, 40}};
@@ -110,13 +110,13 @@ void two_phase_ablation() {
   comm::World world(4);
   world.run([&](comm::Comm& comm) {
     const auto b = par::run_baseline(comm, cfg);
-    par::DiffusionParams lb;
-    lb.frequency = 8;
-    lb.threshold = 0.05;
-    lb.border_width = 2;
-    const auto x = par::run_diffusion(comm, cfg, lb);
-    lb.two_phase = true;
-    const auto xy = par::run_diffusion(comm, cfg, lb);
+    par::RunConfig xcfg = cfg;
+    xcfg.lb.strategy = "diffusion:threshold=0.05,border=2";
+    xcfg.lb.every = 8;
+    const auto x = par::run_diffusion(comm, xcfg);
+    par::RunConfig xycfg = xcfg;
+    xycfg.lb.strategy = "diffusion:threshold=0.05,border=2,two_phase=1";
+    const auto xy = par::run_diffusion(comm, xycfg);
     if (comm.rank() == 0) {
       base = b;
       xonly = x;
@@ -148,7 +148,7 @@ void irregular_vs_rectangular() {
   // rectangular two-phase scheme keeps the Cartesian product structure.
   std::cout << "--- (e) irregular 8-neighbor scheme vs rectangular diffusion "
                "(real drivers, 4 ranks) ---\n";
-  par::DriverConfig cfg;
+  par::RunConfig cfg;
   cfg.init.grid = pic::GridSpec(64, 1.0);
   cfg.init.total_particles = 20000;
   cfg.init.distribution = pic::Geometric{0.9};
@@ -159,11 +159,10 @@ void irregular_vs_rectangular() {
   par::IrregularResult irr;
   comm::World world(4);
   world.run([&](comm::Comm& comm) {
-    par::DiffusionParams lb;
-    lb.frequency = 4;
-    lb.threshold = 0.05;
-    lb.border_width = 4;
-    const auto r = par::run_diffusion(comm, cfg, lb);
+    par::RunConfig dcfg = cfg;
+    dcfg.lb.strategy = "diffusion:threshold=0.05,border=4";
+    dcfg.lb.every = 4;
+    const auto r = par::run_diffusion(comm, dcfg);
     par::IrregularParams ip;
     ip.frequency = 4;
     ip.threshold = 0.05;

@@ -20,9 +20,9 @@ namespace {
 
 using namespace picprk;
 
-par::DriverConfig make_config(std::int64_t cells, std::uint64_t particles,
-                              std::uint32_t steps) {
-  par::DriverConfig cfg;
+par::RunConfig make_config(std::int64_t cells, std::uint64_t particles,
+                           std::uint32_t steps) {
+  par::RunConfig cfg;
   cfg.init.grid = pic::GridSpec(cells, 1.0);
   cfg.init.total_particles = particles;
   cfg.init.distribution = pic::Geometric{0.99};
@@ -30,18 +30,21 @@ par::DriverConfig make_config(std::int64_t cells, std::uint64_t particles,
   return cfg;
 }
 
-par::DriverResult run_once(int ranks, const par::DriverConfig& cfg,
+par::DriverResult run_once(int ranks, const par::RunConfig& cfg,
                            const par::ResilienceOptions& opts,
                            par::ResilienceTelemetry* telemetry = nullptr) {
+  par::RunConfig run = cfg;
+  run.ranks = ranks;
+  run.resilience = opts;
   return par::run_resilient(
-      ranks, cfg, opts,
-      [](comm::Comm& comm, const par::DriverConfig& dc) {
-        return par::run_baseline(comm, dc);
+      run,
+      [](comm::Comm& comm, const par::RunConfig& rc) {
+        return par::run_baseline(comm, rc);
       },
       telemetry);
 }
 
-void checkpoint_overhead(int ranks, const par::DriverConfig& cfg) {
+void checkpoint_overhead(int ranks, const par::RunConfig& cfg) {
   std::cout << "--- (a) buddy-checkpoint overhead (baseline, " << ranks
             << " ranks, " << cfg.steps << " steps) ---\n";
 
@@ -69,7 +72,7 @@ void checkpoint_overhead(int ranks, const par::DriverConfig& cfg) {
   std::cout << '\n';
 }
 
-void recovery_latency(int ranks, const par::DriverConfig& cfg) {
+void recovery_latency(int ranks, const par::RunConfig& cfg) {
   std::cout << "--- (b) rank-death recovery latency (baseline, " << ranks
             << " ranks, kill at step " << cfg.steps / 2 << ") ---\n";
 

@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
   const auto cells = args.get_int("cells");
   const auto steps = static_cast<std::uint32_t>(args.get_int("steps"));
 
-  par::DriverConfig cfg;
+  par::RunConfig cfg;
   cfg.init.grid = pic::GridSpec(cells, 1.0);
   cfg.init.total_particles = static_cast<std::uint64_t>(args.get_int("particles"));
   cfg.init.distribution = pic::Uniform{};
@@ -84,23 +84,22 @@ int main(int argc, char** argv) {
   comm::World world(ranks);
   world.run([&](comm::Comm& comm) {
     const auto b = par::run_baseline(comm, cfg);
-    par::DiffusionParams lb;
-    lb.frequency = 4;
-    lb.threshold = 0.05;
-    lb.border_width = 2;
-    lb.two_phase = true;  // the burst region is skewed in both directions
-    const auto d = par::run_diffusion(comm, cfg, lb);
+    par::RunConfig dcfg = cfg;
+    // The burst region is skewed in both directions: two-phase diffusion.
+    dcfg.lb.strategy = "diffusion:threshold=0.05,border=2,two_phase=1";
+    dcfg.lb.every = 4;
+    const auto d = par::run_diffusion(comm, dcfg);
     if (comm.rank() == 0) {
       base = b;
       diff = d;
     }
   });
 
-  par::AmpiParams ap;
-  ap.workers = 2;
-  ap.overdecomposition = 8;
-  ap.lb_interval = 8;
-  const auto ampi = par::run_ampi(cfg, ap);
+  par::RunConfig acfg = cfg;
+  acfg.workers = 2;
+  acfg.overdecomposition = 8;
+  acfg.lb.every = 8;
+  const auto ampi = par::run_ampi(acfg);
 
   std::cout << "uniform workload, burst of " << args.get_int("burst")
             << " particles into one quarter at step " << steps / 2 << "\n\n";

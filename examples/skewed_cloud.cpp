@@ -45,10 +45,10 @@ int main(int argc, char** argv) {
   args.add_int("lb-border", 8, "diffusion: cell columns moved per action");
   args.add_int("ampi-d", 8, "vpr: over-decomposition degree");
   args.add_int("ampi-F", 16, "vpr: LB interval");
-  args.add_string("ampi-balancer", "greedy", "vpr balancer: null/greedy/refine/diffusion/rotate");
+  args.add_string("ampi-balancer", "greedy", "lb strategy spec for the vpr runtime (see picprk --balancer list)");
   if (!args.parse(argc, argv)) return 0;
 
-  par::DriverConfig cfg;
+  par::RunConfig cfg;
   cfg.init.grid = pic::GridSpec(args.get_int("cells"), 1.0);
   cfg.init.total_particles = static_cast<std::uint64_t>(args.get_int("particles"));
   cfg.init.distribution = pic::Geometric{args.get_double("r")};
@@ -61,23 +61,24 @@ int main(int argc, char** argv) {
   comm::World world(ranks);
   world.run([&](comm::Comm& comm) {
     const auto b = par::run_baseline(comm, cfg);
-    par::DiffusionParams lb;
-    lb.frequency = static_cast<std::uint32_t>(args.get_int("lb-frequency"));
-    lb.threshold = args.get_double("lb-threshold");
-    lb.border_width = args.get_int("lb-border");
-    const auto d = par::run_diffusion(comm, cfg, lb);
+    par::RunConfig dcfg = cfg;
+    dcfg.lb.every = static_cast<std::uint32_t>(args.get_int("lb-frequency"));
+    dcfg.lb.strategy = "diffusion:threshold=" +
+                       std::to_string(args.get_double("lb-threshold")) +
+                       ",border=" + std::to_string(args.get_int("lb-border"));
+    const auto d = par::run_diffusion(comm, dcfg);
     if (comm.rank() == 0) {
       base = b;
       diff = d;
     }
   });
 
-  par::AmpiParams ap;
-  ap.workers = std::max(1, ranks / 2);  // 2 hardware threads per worker here
-  ap.overdecomposition = static_cast<int>(args.get_int("ampi-d"));
-  ap.lb_interval = static_cast<std::uint32_t>(args.get_int("ampi-F"));
-  ap.balancer = args.get_string("ampi-balancer");
-  const auto ampi = par::run_ampi(cfg, ap);
+  par::RunConfig acfg = cfg;
+  acfg.workers = std::max(1, ranks / 2);  // 2 hardware threads per worker here
+  acfg.overdecomposition = static_cast<int>(args.get_int("ampi-d"));
+  acfg.lb.every = static_cast<std::uint32_t>(args.get_int("ampi-F"));
+  acfg.lb.strategy = args.get_string("ampi-balancer");
+  const auto ampi = par::run_ampi(acfg);
 
   std::cout << "drifting geometric cloud, r = " << args.get_double("r") << ", "
             << cfg.steps << " steps, " << ranks << " ranks\n\n";

@@ -1,0 +1,90 @@
+#include "lb/adaptive.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace picprk::lb {
+
+AdaptiveStrategy::AdaptiveStrategy(std::unique_ptr<Strategy> bounds_inner,
+                                   std::unique_ptr<Strategy> placement_inner,
+                                   const AdaptiveOptions& options)
+    : bounds_inner_(std::move(bounds_inner)),
+      placement_inner_(std::move(placement_inner)),
+      options_(options) {
+  PICPRK_EXPECTS(options_.hysteresis > 0.0);
+  PICPRK_EXPECTS(options_.min_gain >= 0.0);
+  PICPRK_EXPECTS(bounds_inner_ != nullptr || placement_inner_ != nullptr);
+}
+
+bool AdaptiveStrategy::wants_y_phase() const {
+  return bounds_inner_ != nullptr && bounds_inner_->wants_y_phase();
+}
+
+bool AdaptiveStrategy::should_rebalance(double lambda, double mean_load,
+                                        std::uint32_t interval_steps,
+                                        double interval_compute_seconds) const {
+  if (lambda <= 1.0 + options_.min_gain) return false;
+  // First event: nothing measured yet, so balance and learn the cost.
+  if (last_cost_seconds_ <= 0.0 && last_moved_load_ <= 0.0) return true;
+  if (last_cost_seconds_ > 0.0 && interval_compute_seconds > 0.0) {
+    // Seconds on both sides: waste ≈ (max − mean) compute seconds per
+    // interval versus the measured wall cost of the previous event.
+    const double predicted_waste = (lambda - 1.0) * interval_compute_seconds;
+    return predicted_waste > options_.hysteresis * last_cost_seconds_;
+  }
+  // Load-units fallback (deterministic count-based runs): waste in
+  // load·steps versus the priced volume of the previous event.
+  const double steps = static_cast<double>(std::max<std::uint32_t>(interval_steps, 1));
+  const double predicted_waste = (lambda - 1.0) * mean_load * steps;
+  return predicted_waste > options_.hysteresis * options_.move_cost * last_moved_load_;
+}
+
+std::vector<std::int64_t> AdaptiveStrategy::rebalance_bounds(const BoundsInput& in) {
+  PICPRK_EXPECTS(bounds_inner_ != nullptr);
+  double total = 0.0, max = 0.0;
+  for (double v : in.loads) {
+    total += v;
+    max = std::max(max, v);
+  }
+  const double mean = total / static_cast<double>(in.loads.size());
+  const double lambda = mean > 0.0 ? max / mean : 1.0;
+  if (!should_rebalance(lambda, mean, in.interval_steps, in.interval_compute_seconds)) {
+    return in.bounds;
+  }
+  return bounds_inner_->rebalance_bounds(in);
+}
+
+std::vector<int> AdaptiveStrategy::rebalance_placement(const PlacementInput& in) {
+  PICPRK_EXPECTS(placement_inner_ != nullptr);
+  std::vector<double> wload(static_cast<std::size_t>(in.workers), 0.0);
+  double total = 0.0;
+  for (const PartLoad& p : in.parts) {
+    PICPRK_EXPECTS(p.owner >= 0 && p.owner < in.workers);
+    wload[static_cast<std::size_t>(p.owner)] += p.load;
+    total += p.load;
+  }
+  const double mean = total / static_cast<double>(in.workers);
+  double max = 0.0;
+  for (double w : wload) max = std::max(max, w);
+  const double lambda = mean > 0.0 ? max / mean : 1.0;
+  std::vector<int> keep(in.parts.size());
+  for (std::size_t i = 0; i < in.parts.size(); ++i) keep[i] = in.parts[i].owner;
+  if (!should_rebalance(lambda, mean, in.interval_steps, in.interval_compute_seconds)) {
+    return keep;
+  }
+  return placement_inner_->rebalance_placement(in);
+}
+
+void AdaptiveStrategy::note_applied(const ApplyFeedback& feedback) {
+  // Remember the most recent *applied* event; a skipped event (all-zero
+  // feedback) keeps the previous measurement.
+  if (feedback.lb_seconds <= 0.0 && feedback.moved_load <= 0.0 &&
+      feedback.moved_bytes == 0) {
+    return;
+  }
+  last_cost_seconds_ = feedback.lb_seconds;
+  last_moved_load_ = feedback.moved_load;
+}
+
+}  // namespace picprk::lb

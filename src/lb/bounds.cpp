@@ -1,0 +1,122 @@
+#include "lb/bounds.hpp"
+
+#include <algorithm>
+
+#include "lb/placement.hpp"
+#include "util/assert.hpp"
+
+namespace picprk::lb {
+
+std::vector<std::int64_t> diffuse_bounds(const std::vector<std::int64_t>& bounds,
+                                         const std::vector<double>& loads,
+                                         double abs_threshold, std::int64_t width) {
+  PICPRK_EXPECTS(bounds.size() == loads.size() + 1);
+  PICPRK_EXPECTS(width >= 1);
+  const auto parts = static_cast<std::int64_t>(loads.size());
+  std::vector<std::int64_t> out = bounds;
+  for (std::int64_t b = 1; b < parts; ++b) {
+    const double lower = loads[static_cast<std::size_t>(b - 1)];
+    const double upper = loads[static_cast<std::size_t>(b)];
+    std::int64_t proposed = bounds[static_cast<std::size_t>(b)];
+    if (lower - upper > abs_threshold) {
+      proposed -= width;  // lower side is overloaded: give cells rightward
+    } else if (upper - lower > abs_threshold) {
+      proposed += width;  // upper side is overloaded: take cells from it
+    }
+    // Sequential clamp keeps boundaries strictly increasing even when
+    // adjacent boundaries move in the same LB step. The lower clamp also
+    // respects the OLD boundary b−1: the sender of a left-shift ships
+    // mesh columns from its current slab, which starts at the old
+    // boundary, so a boundary may never jump past it in one step.
+    const std::int64_t lo =
+        std::max(out[static_cast<std::size_t>(b - 1)], bounds[static_cast<std::size_t>(b - 1)]) + 1;
+    const std::int64_t hi = bounds[static_cast<std::size_t>(b + 1)] - 1;
+    out[static_cast<std::size_t>(b)] = std::clamp(proposed, lo, hi);
+  }
+  return out;
+}
+
+namespace {
+
+/// Cumulative load at cell coordinate `x` (0 ≤ x ≤ cells) of the
+/// piecewise-uniform density: loads[i] spread evenly over cells
+/// [bounds[i], bounds[i+1]).
+double cumulative_at(const std::vector<std::int64_t>& bounds,
+                     const std::vector<double>& loads, std::int64_t x) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    const std::int64_t lo = bounds[i];
+    const std::int64_t hi = bounds[i + 1];
+    if (x >= hi) {
+      sum += loads[i];
+    } else if (x > lo) {
+      sum += loads[i] * static_cast<double>(x - lo) / static_cast<double>(hi - lo);
+      break;
+    } else {
+      break;
+    }
+  }
+  return sum;
+}
+
+/// Recursive bisection of cell range [lo, hi) into parts p0..p1,
+/// writing interior boundaries into `out`. The cut cell is the smallest
+/// coordinate whose cumulative load reaches the proportional target,
+/// clamped so every part keeps at least one cell.
+void bisect(const std::vector<std::int64_t>& bounds, const std::vector<double>& loads,
+            std::int64_t lo, std::int64_t hi, std::int64_t p0, std::int64_t p1,
+            std::vector<std::int64_t>& out) {
+  if (p1 - p0 <= 1) return;
+  const std::int64_t mid = p0 + (p1 - p0) / 2;
+  const double w_lo = cumulative_at(bounds, loads, lo);
+  const double w_hi = cumulative_at(bounds, loads, hi);
+  const double target =
+      w_lo + (w_hi - w_lo) * static_cast<double>(mid - p0) / static_cast<double>(p1 - p0);
+
+  // Smallest cut with cum(cut) ≥ target; the clamp guarantees at least
+  // one cell per part on both sides after the recursion bottoms out.
+  const std::int64_t min_cut = lo + (mid - p0);
+  const std::int64_t max_cut = hi - (p1 - mid);
+  std::int64_t cut = min_cut;
+  while (cut < max_cut && cumulative_at(bounds, loads, cut) < target) ++cut;
+  out[static_cast<std::size_t>(mid)] = cut;
+  bisect(bounds, loads, lo, cut, p0, mid, out);
+  bisect(bounds, loads, cut, hi, mid, p1, out);
+}
+
+}  // namespace
+
+std::vector<std::int64_t> rcb_bounds(const std::vector<std::int64_t>& bounds,
+                                     const std::vector<double>& loads) {
+  PICPRK_EXPECTS(bounds.size() == loads.size() + 1);
+  const auto parts = static_cast<std::int64_t>(loads.size());
+  PICPRK_EXPECTS(bounds.back() - bounds.front() >= parts);
+  std::vector<std::int64_t> out = bounds;
+  bisect(bounds, loads, bounds.front(), bounds.back(), 0, parts, out);
+  return out;
+}
+
+std::vector<std::int64_t> DiffusionStrategy::rebalance_bounds(const BoundsInput& in) {
+  double total = 0.0;
+  for (double v : in.loads) total += v;
+  const double abs_threshold =
+      threshold_ * total / static_cast<double>(in.loads.size());
+  return diffuse_bounds(in.bounds, in.loads, abs_threshold, border_);
+}
+
+std::vector<int> DiffusionStrategy::rebalance_placement(const PlacementInput& in) {
+  return diffusion_ring_placement(in.parts, in.workers, threshold_);
+}
+
+std::vector<std::int64_t> RcbStrategy::rebalance_bounds(const BoundsInput& in) {
+  double total = 0.0, max = 0.0;
+  for (double v : in.loads) {
+    total += v;
+    max = std::max(max, v);
+  }
+  const double mean = total / static_cast<double>(in.loads.size());
+  if (mean <= 0.0 || max / mean < 1.0 + threshold_) return in.bounds;
+  return rcb_bounds(in.bounds, in.loads);
+}
+
+}  // namespace picprk::lb

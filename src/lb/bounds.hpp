@@ -1,0 +1,84 @@
+// Boundary (domain-repartitioning) strategies over the movable bounds
+// of the 2-D block decomposition.
+//
+//  * `diffusion` — the paper's §IV-B scheme à la Cybenko: adjacent
+//    parts whose loads differ by more than a threshold exchange
+//    `border` cell-columns across the shared boundary. Local, cheap,
+//    converges over repeated invocations. (The same registry name also
+//    provides the ring placement balancer for the vpr runtime.)
+//  * `rcb` — global recursive-coordinate-bisection repartition in the
+//    style of Sauget & Latu's Eulerian/Lagrangian partitioning: the
+//    per-part loads are spread uniformly over each part's cells to form
+//    a piecewise-linear cumulative load, which is then bisected
+//    recursively at proportional cut points. One invocation jumps
+//    straight to the balanced partition at the price of potentially
+//    long-range migration.
+//
+// Both decide() paths are pure functions of their input — every rank
+// replays the identical plan (lb::Strategy contract).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lb/strategy.hpp"
+
+namespace picprk::lb {
+
+/// Pure diffusion decision (exposed for tests and the performance
+/// model): given current boundaries and per-part loads, returns the
+/// diffused boundaries. Adjacent loads differing by more than
+/// `abs_threshold` shift the shared boundary by `width` cells toward
+/// the loaded side. Deterministic; every rank computes the same answer.
+std::vector<std::int64_t> diffuse_bounds(const std::vector<std::int64_t>& bounds,
+                                         const std::vector<double>& loads,
+                                         double abs_threshold, std::int64_t width);
+
+/// Pure RCB decision: returns boundaries that split the piecewise-
+/// uniform cumulative load (loads[i] spread over cells
+/// [bounds[i], bounds[i+1])) into equal-weight parts by recursive
+/// bisection. Every part keeps at least one cell. Deterministic.
+std::vector<std::int64_t> rcb_bounds(const std::vector<std::int64_t>& bounds,
+                                     const std::vector<double>& loads);
+
+/// §IV-B boundary diffusion + ring placement, registered as "diffusion".
+class DiffusionStrategy final : public Strategy {
+ public:
+  DiffusionStrategy(double threshold, std::int64_t border, bool two_phase)
+      : threshold_(threshold), border_(border), two_phase_(two_phase) {}
+
+  std::string name() const override { return "diffusion"; }
+  bool balances_bounds() const override { return true; }
+  bool balances_placement() const override { return true; }
+  bool wants_y_phase() const override { return two_phase_; }
+
+  std::vector<std::int64_t> rebalance_bounds(const BoundsInput& in) override;
+  std::vector<int> rebalance_placement(const PlacementInput& in) override;
+
+ private:
+  double threshold_;
+  std::int64_t border_;
+  bool two_phase_;
+};
+
+/// Global RCB repartition, registered as "rcb". `threshold` gates the
+/// repartition: bounds move only when λ = max/mean load exceeds
+/// 1 + threshold, so a balanced run is not churned.
+class RcbStrategy final : public Strategy {
+ public:
+  RcbStrategy(double threshold, bool two_phase)
+      : threshold_(threshold), two_phase_(two_phase) {}
+
+  std::string name() const override { return "rcb"; }
+  bool balances_bounds() const override { return true; }
+  bool wants_y_phase() const override { return two_phase_; }
+
+  std::vector<std::int64_t> rebalance_bounds(const BoundsInput& in) override;
+
+ private:
+  double threshold_;
+  bool two_phase_;
+};
+
+}  // namespace picprk::lb

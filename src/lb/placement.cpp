@@ -1,4 +1,4 @@
-#include "vpr/lb.hpp"
+#include "lb/placement.hpp"
 
 #include <algorithm>
 #include <numeric>
@@ -6,68 +6,68 @@
 
 #include "util/assert.hpp"
 
-namespace picprk::vpr {
+namespace picprk::lb {
 
-std::vector<int> NullLb::remap(const std::vector<VpLoad>& loads, int workers) {
-  (void)workers;
-  std::vector<int> out(loads.size());
-  for (std::size_t i = 0; i < loads.size(); ++i) out[i] = loads[i].worker;
+std::vector<int> keep_placement(const std::vector<PartLoad>& parts) {
+  std::vector<int> out(parts.size());
+  for (std::size_t i = 0; i < parts.size(); ++i) out[i] = parts[i].owner;
   return out;
 }
 
-std::vector<int> GreedyLb::remap(const std::vector<VpLoad>& loads, int workers) {
+std::vector<int> greedy_placement(const std::vector<PartLoad>& parts, int workers) {
   PICPRK_EXPECTS(workers >= 1);
-  std::vector<std::size_t> order(loads.size());
+  std::vector<std::size_t> order(parts.size());
   std::iota(order.begin(), order.end(), 0);
   std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return loads[a].load > loads[b].load;
+    return parts[a].load > parts[b].load;
   });
   // Min-heap of (worker load, worker id).
   using Entry = std::pair<double, int>;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
   for (int w = 0; w < workers; ++w) heap.emplace(0.0, w);
-  std::vector<int> out(loads.size());
+  std::vector<int> out(parts.size());
   for (std::size_t idx : order) {
     auto [wload, w] = heap.top();
     heap.pop();
     out[idx] = w;
-    heap.emplace(wload + loads[idx].load, w);
+    heap.emplace(wload + parts[idx].load, w);
   }
   return out;
 }
 
-std::vector<int> RefineLb::remap(const std::vector<VpLoad>& loads, int workers) {
+std::vector<int> refine_placement(const std::vector<PartLoad>& parts, int workers,
+                                  double tolerance) {
   PICPRK_EXPECTS(workers >= 1);
-  std::vector<int> out(loads.size());
+  std::vector<int> out(parts.size());
   std::vector<double> wload(static_cast<std::size_t>(workers), 0.0);
   double total = 0.0;
-  for (std::size_t i = 0; i < loads.size(); ++i) {
-    out[i] = loads[i].worker;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    out[i] = parts[i].owner;
     PICPRK_EXPECTS(out[i] >= 0 && out[i] < workers);
-    wload[static_cast<std::size_t>(out[i])] += loads[i].load;
-    total += loads[i].load;
+    wload[static_cast<std::size_t>(out[i])] += parts[i].load;
+    total += parts[i].load;
   }
   const double avg = total / static_cast<double>(workers);
-  const double cap = avg * tolerance_;
+  const double cap = avg * tolerance;
 
-  // Repeatedly move the smallest adequate VP off the most loaded worker
-  // onto the least loaded one, while that reduces the maximum.
-  for (std::size_t guard = 0; guard < loads.size() * 4 + 16; ++guard) {
+  // Repeatedly move the smallest adequate part off the most loaded
+  // worker onto the least loaded one, while that reduces the maximum.
+  for (std::size_t guard = 0; guard < parts.size() * 4 + 16; ++guard) {
     const auto hi = static_cast<int>(
         std::max_element(wload.begin(), wload.end()) - wload.begin());
     const auto lo = static_cast<int>(
         std::min_element(wload.begin(), wload.end()) - wload.begin());
     if (wload[static_cast<std::size_t>(hi)] <= cap || hi == lo) break;
-    // Pick the largest VP on `hi` that still fits under the average on
-    // `lo` — or failing that, the smallest VP on `hi`.
+    // Pick the largest part on `hi` that still fits under the average
+    // on `lo` — or failing that, the smallest part on `hi`.
     std::ptrdiff_t best = -1;
     std::ptrdiff_t smallest = -1;
-    for (std::size_t i = 0; i < loads.size(); ++i) {
+    for (std::size_t i = 0; i < parts.size(); ++i) {
       if (out[i] != hi) continue;
-      if (smallest < 0 || loads[i].load < loads[static_cast<std::size_t>(smallest)].load)
+      if (smallest < 0 || parts[i].load < parts[static_cast<std::size_t>(smallest)].load)
         smallest = static_cast<std::ptrdiff_t>(i);
-      if (wload[static_cast<std::size_t>(lo)] + loads[i].load <= cap) {
-        if (best < 0 || loads[i].load > loads[static_cast<std::size_t>(best)].load)
+      if (wload[static_cast<std::size_t>(lo)] + parts[i].load <= cap) {
+        if (best < 0 || parts[i].load > parts[static_cast<std::size_t>(best)].load)
           best = static_cast<std::ptrdiff_t>(i);
       }
     }
@@ -75,30 +75,31 @@ std::vector<int> RefineLb::remap(const std::vector<VpLoad>& loads, int workers) 
     if (pick < 0) break;
     const auto i = static_cast<std::size_t>(pick);
     // Stop if moving it would not improve the maximum.
-    if (wload[static_cast<std::size_t>(lo)] + loads[i].load >=
+    if (wload[static_cast<std::size_t>(lo)] + parts[i].load >=
         wload[static_cast<std::size_t>(hi)])
       break;
-    wload[static_cast<std::size_t>(hi)] -= loads[i].load;
-    wload[static_cast<std::size_t>(lo)] += loads[i].load;
+    wload[static_cast<std::size_t>(hi)] -= parts[i].load;
+    wload[static_cast<std::size_t>(lo)] += parts[i].load;
     out[i] = lo;
   }
   return out;
 }
 
-std::vector<int> DiffusionLb::remap(const std::vector<VpLoad>& loads, int workers) {
+std::vector<int> diffusion_ring_placement(const std::vector<PartLoad>& parts,
+                                          int workers, double threshold) {
   PICPRK_EXPECTS(workers >= 1);
-  std::vector<int> out(loads.size());
+  std::vector<int> out(parts.size());
   std::vector<double> wload(static_cast<std::size_t>(workers), 0.0);
   double total = 0.0;
-  for (std::size_t i = 0; i < loads.size(); ++i) {
-    out[i] = loads[i].worker;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    out[i] = parts[i].owner;
     PICPRK_EXPECTS(out[i] >= 0 && out[i] < workers);
-    wload[static_cast<std::size_t>(out[i])] += loads[i].load;
-    total += loads[i].load;
+    wload[static_cast<std::size_t>(out[i])] += parts[i].load;
+    total += parts[i].load;
   }
   if (workers == 1) return out;
   const double avg = total / static_cast<double>(workers);
-  const double tau = threshold_ * avg;
+  const double tau = threshold * avg;
 
   // One Jacobi sweep over the worker ring.
   for (int w = 0; w < workers; ++w) {
@@ -107,58 +108,59 @@ std::vector<int> DiffusionLb::remap(const std::vector<VpLoad>& loads, int worker
     const int from = diff > tau ? w : (-diff > tau ? next : -1);
     if (from < 0) continue;
     const int to = from == w ? next : w;
-    // Shed lightest VPs from `from` until the pair is within tau.
+    // Shed lightest parts from `from` until the pair is within tau.
     for (;;) {
       diff = wload[static_cast<std::size_t>(from)] - wload[static_cast<std::size_t>(to)];
       if (diff <= tau) break;
       std::ptrdiff_t lightest = -1;
-      for (std::size_t i = 0; i < loads.size(); ++i) {
+      for (std::size_t i = 0; i < parts.size(); ++i) {
         if (out[i] != from) continue;
         if (lightest < 0 ||
-            loads[i].load < loads[static_cast<std::size_t>(lightest)].load)
+            parts[i].load < parts[static_cast<std::size_t>(lightest)].load)
           lightest = static_cast<std::ptrdiff_t>(i);
       }
       if (lightest < 0) break;
       const auto i = static_cast<std::size_t>(lightest);
-      if (loads[i].load >= diff) break;  // moving it would overshoot
+      if (parts[i].load >= diff) break;  // moving it would overshoot
       out[i] = to;
-      wload[static_cast<std::size_t>(from)] -= loads[i].load;
-      wload[static_cast<std::size_t>(to)] += loads[i].load;
+      wload[static_cast<std::size_t>(from)] -= parts[i].load;
+      wload[static_cast<std::size_t>(to)] += parts[i].load;
     }
   }
   return out;
 }
 
-std::vector<int> CompactLb::remap(const std::vector<VpLoad>& loads, int workers) {
+std::vector<int> compact_placement(const std::vector<PartLoad>& parts, int workers,
+                                   double tolerance) {
   PICPRK_EXPECTS(workers >= 1);
-  std::vector<int> out(loads.size());
+  std::vector<int> out(parts.size());
   std::vector<double> wload(static_cast<std::size_t>(workers), 0.0);
   double total = 0.0;
-  for (std::size_t i = 0; i < loads.size(); ++i) {
-    out[i] = loads[i].worker;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    out[i] = parts[i].owner;
     PICPRK_EXPECTS(out[i] >= 0 && out[i] < workers);
-    wload[static_cast<std::size_t>(out[i])] += loads[i].load;
-    total += loads[i].load;
+    wload[static_cast<std::size_t>(out[i])] += parts[i].load;
+    total += parts[i].load;
   }
   if (workers == 1) return out;
   const double avg = total / static_cast<double>(workers);
-  const double cap = avg * tolerance_;
+  const double cap = avg * tolerance;
 
-  // VP index lookup by id (neighbors reference VP ids).
+  // Part index lookup by id (neighbors reference part ids).
   std::vector<std::size_t> index_of;
   {
     int max_id = 0;
-    for (const auto& l : loads) max_id = std::max(max_id, l.vp);
-    index_of.assign(static_cast<std::size_t>(max_id) + 1, loads.size());
-    for (std::size_t i = 0; i < loads.size(); ++i) {
-      index_of[static_cast<std::size_t>(loads[i].vp)] = i;
+    for (const auto& l : parts) max_id = std::max(max_id, l.part);
+    index_of.assign(static_cast<std::size_t>(max_id) + 1, parts.size());
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      index_of[static_cast<std::size_t>(parts[i].part)] = i;
     }
   }
   auto neighbors_on = [&](std::size_t i, int worker) {
     int count = 0;
-    for (int nb : loads[i].neighbors) {
+    for (int nb : parts[i].neighbors) {
       if (nb >= 0 && static_cast<std::size_t>(nb) < index_of.size() &&
-          index_of[static_cast<std::size_t>(nb)] < loads.size() &&
+          index_of[static_cast<std::size_t>(nb)] < parts.size() &&
           out[index_of[static_cast<std::size_t>(nb)]] == worker) {
         ++count;
       }
@@ -166,22 +168,22 @@ std::vector<int> CompactLb::remap(const std::vector<VpLoad>& loads, int workers)
     return count;
   };
 
-  for (std::size_t guard = 0; guard < loads.size() * 4 + 16; ++guard) {
+  for (std::size_t guard = 0; guard < parts.size() * 4 + 16; ++guard) {
     const auto hi = static_cast<int>(
         std::max_element(wload.begin(), wload.end()) - wload.begin());
     if (wload[static_cast<std::size_t>(hi)] <= cap) break;
 
-    // Shed a *border* VP: on the overloaded worker, the one with the
+    // Shed a *border* part: on the overloaded worker, the one with the
     // fewest same-worker neighbors (ties: smallest load, so the move is
     // cheap). Analogue of the diffusion scheme migrating border columns.
     std::ptrdiff_t pick = -1;
     int pick_local_neighbors = 0;
-    for (std::size_t i = 0; i < loads.size(); ++i) {
+    for (std::size_t i = 0; i < parts.size(); ++i) {
       if (out[i] != hi) continue;
       const int local = neighbors_on(i, hi);
       if (pick < 0 || local < pick_local_neighbors ||
           (local == pick_local_neighbors &&
-           loads[i].load < loads[static_cast<std::size_t>(pick)].load)) {
+           parts[i].load < parts[static_cast<std::size_t>(pick)].load)) {
         pick = static_cast<std::ptrdiff_t>(i);
         pick_local_neighbors = local;
       }
@@ -190,13 +192,13 @@ std::vector<int> CompactLb::remap(const std::vector<VpLoad>& loads, int workers)
     const auto i = static_cast<std::size_t>(pick);
 
     // Destination: among workers that stay under cap after the move,
-    // the one hosting the most of this VP's neighbors; ties: least
+    // the one hosting the most of this part's neighbors; ties: least
     // loaded. Fall back to the least loaded worker.
     int dest = -1;
     int dest_neighbors = -1;
     for (int w = 0; w < workers; ++w) {
       if (w == hi) continue;
-      if (wload[static_cast<std::size_t>(w)] + loads[i].load > cap) continue;
+      if (wload[static_cast<std::size_t>(w)] + parts[i].load > cap) continue;
       const int nb = neighbors_on(i, w);
       if (nb > dest_neighbors ||
           (nb == dest_neighbors && dest >= 0 &&
@@ -209,36 +211,25 @@ std::vector<int> CompactLb::remap(const std::vector<VpLoad>& loads, int workers)
       const auto lo = static_cast<int>(
           std::min_element(wload.begin(), wload.end()) - wload.begin());
       if (lo == hi ||
-          wload[static_cast<std::size_t>(lo)] + loads[i].load >=
+          wload[static_cast<std::size_t>(lo)] + parts[i].load >=
               wload[static_cast<std::size_t>(hi)]) {
         break;  // no move improves the maximum
       }
       dest = lo;
     }
-    wload[static_cast<std::size_t>(hi)] -= loads[i].load;
-    wload[static_cast<std::size_t>(dest)] += loads[i].load;
+    wload[static_cast<std::size_t>(hi)] -= parts[i].load;
+    wload[static_cast<std::size_t>(dest)] += parts[i].load;
     out[i] = dest;
   }
   return out;
 }
 
-std::vector<int> RotateLb::remap(const std::vector<VpLoad>& loads, int workers) {
-  std::vector<int> out(loads.size());
-  for (std::size_t i = 0; i < loads.size(); ++i) {
-    out[i] = (loads[i].worker + 1) % workers;
+std::vector<int> rotate_placement(const std::vector<PartLoad>& parts, int workers) {
+  std::vector<int> out(parts.size());
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    out[i] = (parts[i].owner + 1) % workers;
   }
   return out;
 }
 
-std::unique_ptr<LoadBalancer> make_load_balancer(const std::string& name) {
-  if (name == "null") return std::make_unique<NullLb>();
-  if (name == "greedy") return std::make_unique<GreedyLb>();
-  if (name == "refine") return std::make_unique<RefineLb>();
-  if (name == "diffusion") return std::make_unique<DiffusionLb>();
-  if (name == "compact") return std::make_unique<CompactLb>();
-  if (name == "rotate") return std::make_unique<RotateLb>();
-  PICPRK_ASSERT_MSG(false, "unknown load balancer: " + name);
-  return nullptr;
-}
-
-}  // namespace picprk::vpr
+}  // namespace picprk::lb

@@ -1,0 +1,110 @@
+// Placement algorithms: map migratable parts (VPs) onto workers given
+// per-part loads — the stand-ins for the Charm++ balancer collection
+// the paper mentions ("Charm++ provides not just one but a collection
+// of load balancing strategies", §IV-C). GreedyLB is the paper's choice
+// ("migrates VPs from the most loaded to the least loaded core").
+//
+// The algorithms are exposed both as free functions (so composite
+// strategies like `diffusion` and `adaptive` can reuse them) and as
+// registered lb::Strategy classes. All are pure: same input, same plan,
+// on every caller.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lb/strategy.hpp"
+
+namespace picprk::lb {
+
+/// No rebalancing; the over-decomposed but statically mapped baseline.
+std::vector<int> keep_placement(const std::vector<PartLoad>& parts);
+
+/// Charm-style GreedyLB: parts sorted by decreasing load, each assigned
+/// to the currently least-loaded worker. Ignores current placement (and
+/// hence locality) — the behaviour the paper's strong-scaling
+/// discussion attributes to the AMPI runtime.
+std::vector<int> greedy_placement(const std::vector<PartLoad>& parts, int workers);
+
+/// Charm-style RefineLB: keeps placements and only moves parts off
+/// overloaded workers onto underloaded ones until every worker is below
+/// `tolerance` × average. Fewer migrations than greedy.
+std::vector<int> refine_placement(const std::vector<PartLoad>& parts, int workers,
+                                  double tolerance);
+
+/// Diffusion among workers arranged in a ring: each worker compares
+/// with its right neighbor and sheds its lightest parts across when the
+/// difference exceeds the threshold fraction of the average load.
+std::vector<int> diffusion_ring_placement(const std::vector<PartLoad>& parts,
+                                          int workers, double threshold);
+
+/// Hinted, locality-preserving balancer — the paper's §V-B future-work
+/// remark implemented: refine-style shedding that (a) sheds *border*
+/// parts (those with the fewest same-worker neighbors) off overloaded
+/// workers and (b) places them on the underloaded worker already
+/// hosting most of their neighbors.
+std::vector<int> compact_placement(const std::vector<PartLoad>& parts, int workers,
+                                   double tolerance);
+
+/// Rotates every part to the next worker — a pathological strategy used
+/// in tests and ablations to price migration with zero balance benefit.
+std::vector<int> rotate_placement(const std::vector<PartLoad>& parts, int workers);
+
+// ------------------------------------------------------------------
+// Strategy wrappers (registered under the same names the old
+// vpr::make_load_balancer factory used).
+
+class NullStrategy final : public Strategy {
+ public:
+  std::string name() const override { return "null"; }
+  bool balances_placement() const override { return true; }
+  std::vector<int> rebalance_placement(const PlacementInput& in) override {
+    return keep_placement(in.parts);
+  }
+};
+
+class GreedyStrategy final : public Strategy {
+ public:
+  std::string name() const override { return "greedy"; }
+  bool balances_placement() const override { return true; }
+  std::vector<int> rebalance_placement(const PlacementInput& in) override {
+    return greedy_placement(in.parts, in.workers);
+  }
+};
+
+class RefineStrategy final : public Strategy {
+ public:
+  explicit RefineStrategy(double tolerance = 1.05) : tolerance_(tolerance) {}
+  std::string name() const override { return "refine"; }
+  bool balances_placement() const override { return true; }
+  std::vector<int> rebalance_placement(const PlacementInput& in) override {
+    return refine_placement(in.parts, in.workers, tolerance_);
+  }
+
+ private:
+  double tolerance_;
+};
+
+class CompactStrategy final : public Strategy {
+ public:
+  explicit CompactStrategy(double tolerance = 1.05) : tolerance_(tolerance) {}
+  std::string name() const override { return "compact"; }
+  bool balances_placement() const override { return true; }
+  std::vector<int> rebalance_placement(const PlacementInput& in) override {
+    return compact_placement(in.parts, in.workers, tolerance_);
+  }
+
+ private:
+  double tolerance_;
+};
+
+class RotateStrategy final : public Strategy {
+ public:
+  std::string name() const override { return "rotate"; }
+  bool balances_placement() const override { return true; }
+  std::vector<int> rebalance_placement(const PlacementInput& in) override {
+    return rotate_placement(in.parts, in.workers);
+  }
+};
+
+}  // namespace picprk::lb

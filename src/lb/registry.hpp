@@ -1,0 +1,52 @@
+// Name-keyed registry of lb::Strategy implementations — the single
+// selection point behind `picprk --balancer <name>[:key=val,...]`, the
+// vpr runtime, the drivers, the benches and the performance model.
+// Every strategy the repo ships is registered here with its capability
+// flags, so tools can enumerate the assessment matrix (`--balancer
+// list`) and the conformance suite can sweep every entry.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lb/strategy.hpp"
+
+namespace picprk::lb {
+
+/// One registry entry, as shown by `picprk --balancer list`.
+struct Descriptor {
+  std::string name;
+  std::string summary;
+  bool bounds = false;     ///< implements rebalance_bounds
+  bool placement = false;  ///< implements rebalance_placement
+};
+
+/// Strategy options parsed from the `name:key=val,key=val` spec syntax.
+using Options = std::map<std::string, std::string>;
+
+/// A spec split into its name and options. parse_spec("diffusion:
+/// threshold=0.2,border=2") -> {"diffusion", {{"threshold","0.2"},...}}.
+struct ParsedSpec {
+  std::string name;
+  Options options;
+};
+
+/// Splits a spec string; throws std::invalid_argument on syntax errors
+/// (missing '=', empty name).
+ParsedSpec parse_spec(const std::string& spec);
+
+/// All registered strategies, sorted by name.
+std::vector<Descriptor> registered_strategies();
+
+/// The descriptor for `name`; throws std::invalid_argument for unknown
+/// names (message lists the registered ones).
+Descriptor descriptor_of(const std::string& name);
+
+/// Builds a strategy from a spec ("rcb", "diffusion:threshold=0.2",
+/// "adaptive:inner=rcb,hysteresis=2"). Throws std::invalid_argument on
+/// unknown names, unknown option keys, or malformed values.
+std::unique_ptr<Strategy> make_strategy(const std::string& spec);
+
+}  // namespace picprk::lb

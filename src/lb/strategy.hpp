@@ -1,0 +1,142 @@
+// The unified load-balancing strategy layer. Before this subsystem the
+// balancing logic was siloed: rank-level boundary diffusion lived inside
+// the diffusion driver (§IV-B) while VP-level Charm-style balancers
+// lived in the vpr runtime (§IV-C), so new strategies could not be
+// compared on equal footing. An lb::Strategy expresses both directions
+// behind one observe → decide → apply contract:
+//
+//  * observe — the caller aggregates per-part loads (particle counts or
+//    measured compute seconds, see LoadMetric) so that every rank holds
+//    the identical load vector;
+//  * decide — rebalance_bounds()/rebalance_placement() are PURE
+//    functions of their input: no clocks, no RNG, no communication.
+//    Every rank replays the same decision and arrives at the same plan
+//    bit-for-bit (the property par::diffuse_bounds pioneered, now a
+//    layer-wide contract enforced by picprk-lint's `lb` rule and the
+//    conformance suite);
+//  * apply — the caller migrates mesh/particles/VPs and, for strategies
+//    that ask for it, reports the globally-reduced cost of the event
+//    back through note_applied() so measurement-driven strategies (the
+//    `adaptive` wrapper) can weigh future decisions. Feedback values
+//    MUST already be identical on every rank (allreduced), otherwise
+//    per-rank strategy state would diverge.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace picprk::lb {
+
+/// What the load numbers mean. Counts are deterministic and match the
+/// PRK's per-particle cost model; compute seconds are the
+/// measurement-driven alternative (Rowan et al.): they additionally see
+/// imbalance that counts cannot (slow cores, system noise).
+enum class LoadMetric {
+  kParticles,
+  kComputeSeconds,
+};
+
+/// Input of a boundary (domain-repartitioning) decision: the movable
+/// column/row bounds of the 2-D decomposition plus one aggregated load
+/// per part. Identical on every rank by construction (the loads come
+/// out of an allreduce).
+struct BoundsInput {
+  LoadMetric metric = LoadMetric::kParticles;
+  /// 0 = x (processor columns), 1 = y (processor rows).
+  int axis = 0;
+  std::uint32_t step = 0;
+  /// Steps since the previous LB invocation (the interval F).
+  std::uint32_t interval_steps = 0;
+  /// Current boundaries in cells; size parts+1, strictly increasing,
+  /// spanning [0, cells].
+  std::vector<std::int64_t> bounds;
+  /// Aggregated load per part; size parts. Integral when the metric is
+  /// kParticles (exactly representable: counts stay far below 2^53).
+  std::vector<double> loads;
+  /// Mean measured compute seconds per rank over the last interval
+  /// (globally reduced; 0 when no timing telemetry is available). Only
+  /// cost-model strategies read it.
+  double interval_compute_seconds = 0.0;
+};
+
+/// One migratable part (a VP in the vpr runtime, or a modelled VP in
+/// perfsim) for a placement decision.
+struct PartLoad {
+  int part = 0;
+  double load = 0.0;
+  /// Current placement.
+  int owner = 0;
+  /// Ids of parts whose subdomains are adjacent — the locality hint of
+  /// the paper's closing §V-B remark. May be empty; only hint-aware
+  /// strategies read it.
+  std::vector<int> neighbors;
+};
+
+/// Input of a placement (parts-onto-workers) decision.
+struct PlacementInput {
+  LoadMetric metric = LoadMetric::kParticles;
+  std::uint32_t step = 0;
+  std::uint32_t interval_steps = 0;
+  int workers = 1;
+  std::vector<PartLoad> parts;
+  /// See BoundsInput::interval_compute_seconds.
+  double interval_compute_seconds = 0.0;
+};
+
+/// Globally-reduced measurements of one applied plan, reported back to
+/// strategies that return wants_feedback(). Every field must hold the
+/// identical value on every rank (max/sum-allreduced by the caller).
+struct ApplyFeedback {
+  /// Wall seconds of the LB event (decision + migration), max over ranks.
+  double lb_seconds = 0.0;
+  /// Load shipped by the event in the decision's load units (sum over
+  /// ranks): particles migrated, or VP load of migrated VPs.
+  double moved_load = 0.0;
+  /// Bytes shipped by the event (sum over ranks).
+  std::uint64_t moved_bytes = 0;
+};
+
+/// A named load-balancing strategy. Implementations must keep decide()
+/// pure — all state mutation happens in note_applied(), which is fed
+/// only globally-identical values.
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  /// Registry name this instance was created under.
+  virtual std::string name() const = 0;
+
+  /// Capability flags: which decision kinds this strategy implements.
+  /// Callers must not invoke a decision the strategy does not claim.
+  virtual bool balances_bounds() const { return false; }
+  virtual bool balances_placement() const { return false; }
+
+  /// Boundary decision: returns the new bounds (same size, strictly
+  /// increasing, same span). Returning the input unchanged means "no
+  /// rebalance". Pure; every rank computes the identical vector.
+  virtual std::vector<std::int64_t> rebalance_bounds(const BoundsInput& in) {
+    return in.bounds;
+  }
+
+  /// Placement decision: returns the new owner of each part (same
+  /// order as in.parts). Pure; every rank computes the identical plan.
+  virtual std::vector<int> rebalance_placement(const PlacementInput& in) {
+    std::vector<int> out(in.parts.size());
+    for (std::size_t i = 0; i < in.parts.size(); ++i) out[i] = in.parts[i].owner;
+    return out;
+  }
+
+  /// Whether a second boundary pass along y should run after x (the
+  /// two-phase extension of §IV-B). Only bounds drivers consult this.
+  virtual bool wants_y_phase() const { return false; }
+
+  /// Cost-model strategies return true; the caller then calls
+  /// note_applied() with the globally-reduced cost of every applied
+  /// plan (and of every skipped event, with zero costs).
+  virtual bool wants_feedback() const { return false; }
+  virtual void note_applied(const ApplyFeedback& feedback) { (void)feedback; }
+};
+
+}  // namespace picprk::lb

@@ -156,6 +156,9 @@ StepInstruments::StepInstruments(const Hooks& hooks, const std::string& process,
     exchange_sent = &reg.register_counter(prefix + "exchange_particles_sent");
     exchange_received = &reg.register_counter(prefix + "exchange_particles_received");
     exchange_bytes = &reg.register_counter(prefix + "exchange_bytes");
+    lb_decisions = &reg.register_counter(prefix + "lb_decisions");
+    lb_rebalances = &reg.register_counter(prefix + "lb_rebalances");
+    lb_skipped = &reg.register_counter(prefix + "lb_skipped");
   }
 }
 

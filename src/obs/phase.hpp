@@ -247,6 +247,13 @@ struct StepInstruments {
   Counter* exchange_sent = nullptr;
   Counter* exchange_received = nullptr;
   Counter* exchange_bytes = nullptr;
+  /// LB strategy-layer decision tallies: every invocation bumps
+  /// lb_decisions and exactly one of lb_rebalances (the plan changed)
+  /// or lb_skipped (the strategy declined — e.g. `adaptive`'s cost
+  /// model). rebalances + skipped == decisions by construction.
+  Counter* lb_decisions = nullptr;
+  Counter* lb_rebalances = nullptr;
+  Counter* lb_skipped = nullptr;
 
   StepInstruments() = default;
 

@@ -197,21 +197,22 @@ class PicVp final : public vpr::VirtualProcessor {
 
 }  // namespace
 
-DriverResult run_ampi(const DriverConfig& config, const AmpiParams& params) {
-  PICPRK_EXPECTS(params.workers >= 1);
-  PICPRK_EXPECTS(params.overdecomposition >= 1);
-  const int vps = params.workers * params.overdecomposition;
+DriverResult run_ampi(const RunConfig& config) {
+  PICPRK_EXPECTS(config.workers >= 1);
+  PICPRK_EXPECTS(config.overdecomposition >= 1);
+  const int workers = config.workers;
+  const int vps = workers * config.overdecomposition;
 
   auto shared = std::make_shared<const SharedState>(config, vps);
   PICPRK_EXPECTS(shared->vcart.px() <= config.init.grid.cells);
   PICPRK_EXPECTS(shared->vcart.py() <= config.init.grid.cells);
 
   vpr::RuntimeConfig rt_config;
-  rt_config.workers = params.workers;
+  rt_config.workers = workers;
   rt_config.vps = vps;
-  rt_config.lb_interval = params.lb_interval;
-  rt_config.balancer = params.balancer;
-  rt_config.use_measured_load = params.use_measured_load;
+  rt_config.lb_interval = config.lb.every;
+  rt_config.balancer = config.lb.strategy.empty() ? "greedy" : config.lb.strategy;
+  rt_config.use_measured_load = config.lb.measured;
   rt_config.obs = config.obs;  // runtime registers its own instruments
 
   vpr::Runtime runtime(rt_config, [shared](int vp) {
@@ -269,14 +270,14 @@ DriverResult run_ampi(const DriverConfig& config, const AmpiParams& params) {
       continue;
     }
     if (config.sample_every > 0 && step % config.sample_every == 0) {
-      std::vector<double> worker_load(static_cast<std::size_t>(params.workers), 0.0);
+      std::vector<double> worker_load(static_cast<std::size_t>(workers), 0.0);
       double total = 0.0;
       for (int v = 0; v < vps; ++v) {
         const double load = static_cast<PicVp&>(runtime.vp(v)).particles().size();
         worker_load[static_cast<std::size_t>(runtime.worker_of(v))] += load;
         total += load;
       }
-      const double mean = total / static_cast<double>(params.workers);
+      const double mean = total / static_cast<double>(workers);
       double max = 0.0;
       for (double w : worker_load) max = std::max(max, w);
       const double lambda = mean > 0 ? max / mean : 1.0;
@@ -300,7 +301,7 @@ DriverResult run_ampi(const DriverConfig& config, const AmpiParams& params) {
   // Verification + bookkeeping across all VPs.
   pic::VerifyResult verify;
   std::uint64_t removed_sum = 0, sent = 0;
-  std::vector<std::uint64_t> per_worker(static_cast<std::size_t>(params.workers), 0);
+  std::vector<std::uint64_t> per_worker(static_cast<std::size_t>(workers), 0);
   runtime.for_each_vp([&](vpr::VirtualProcessor& vp_base) {
     auto& vp = static_cast<PicVp&>(vp_base);
     verify = pic::merge(verify,
@@ -330,7 +331,7 @@ DriverResult run_ampi(const DriverConfig& config, const AmpiParams& params) {
   for (auto w : per_worker)
     result.max_particles_per_rank = std::max(result.max_particles_per_rank, w);
   result.ideal_particles_per_rank =
-      static_cast<double>(verify.checked) / static_cast<double>(params.workers);
+      static_cast<double>(verify.checked) / static_cast<double>(workers);
   result.seconds = seconds;
   result.phases = PhaseBreakdown{stats.step_seconds - stats.lb_seconds, 0.0,
                                  stats.lb_seconds, checkpoint_seconds};

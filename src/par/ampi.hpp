@@ -6,27 +6,15 @@
 // behaviour whose consequences the paper's Figures 6–7 dissect.
 #pragma once
 
-#include <cstdint>
-#include <string>
-
-#include "par/driver_common.hpp"
+#include "par/run_config.hpp"
 
 namespace picprk::par {
 
-struct AmpiParams {
-  int workers = 2;
-  /// Degree of over-decomposition d: vps = d · workers (Figure 5's d).
-  int overdecomposition = 4;
-  /// Steps between load-balancer invocations (Figure 5's F; 0 = never).
-  std::uint32_t lb_interval = 16;
-  /// vpr balancer name; the paper's choice is "greedy".
-  std::string balancer = "greedy";
-  /// Balance on measured per-VP wall time instead of particle counts.
-  bool use_measured_load = false;
-};
-
-/// Runs the ampi/vpr driver. Standalone (spawns its own workers); not
-/// collective over a Comm.
-DriverResult run_ampi(const DriverConfig& config, const AmpiParams& params);
+/// Runs the ampi/vpr driver on config.workers workers with
+/// config.overdecomposition VPs per worker, balancing every
+/// config.lb.every steps under the placement strategy named by
+/// config.lb.strategy (empty = "greedy", the paper's choice).
+/// Standalone (spawns its own workers); not collective over a Comm.
+DriverResult run_ampi(const RunConfig& config);
 
 }  // namespace picprk::par

@@ -1,9 +1,11 @@
 #include "par/diffusion.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <string>
 
 #include "comm/cart.hpp"
+#include "lb/registry.hpp"
 #include "par/decomposition.hpp"
 #include "par/exchange.hpp"
 #include "par/resilient.hpp"
@@ -19,72 +21,111 @@ namespace {
 
 using comm::kMeshTag;
 
-/// Rebuilds this rank's charge slab for a new block, exchanging the mesh
-/// values that changed owner with the adjacent rank. The payloads really
-/// travel (they are the paper's "migrating the underlying subgrids" cost)
-/// and every received value is checked against the analytic pattern —
-/// a protocol error shows up immediately instead of corrupting forces.
-///
-/// `axis` is 0 for an x-boundary move, 1 for y. `old_b`/`new_b` is the
-/// moved boundary; `lower_side` says whether this rank is on the lower-
-/// index side of the boundary.
 struct MeshMigration {
   std::uint64_t bytes_sent = 0;
   std::uint64_t transfers = 0;
   std::vector<double> recv_scratch;  // reused across migrations (recv_into)
 };
 
-void migrate_mesh_boundary(comm::Comm& comm, const pic::ChargeSlab& slab,
-                           const pic::AlternatingColumnCharges& pattern, int axis,
-                           std::int64_t old_b, std::int64_t new_b, bool lower_side,
-                           int partner, MeshMigration& stats) {
-  if (old_b == new_b) return;
-  // Ranges below are mesh-point columns/rows (half-open).
-  std::int64_t send_lo = 0, send_hi = 0, recv_lo = 0, recv_hi = 0;
-  if (new_b < old_b) {
-    // Boundary moved toward lower indices: the lower side loses cells
-    // [new_b, old_b) and ships the mesh points [new_b, old_b); the upper
-    // side already owns point old_b.
-    if (lower_side) {
-      send_lo = new_b;
-      send_hi = old_b;
-    } else {
-      recv_lo = new_b;
-      recv_hi = old_b;
+/// A contiguous run of mesh-point columns/rows one rank ships to
+/// another, derived identically on every rank from the old/new bounds.
+struct MeshTransfer {
+  int partner = 0;
+  std::int64_t lo = 0;  ///< half-open point range [lo, hi)
+  std::int64_t hi = 0;
+};
+
+/// The provider point-interval of part `p` under `bounds`: part p owns
+/// every mesh point whose clamped cell index falls in its old cell
+/// range, i.e. points [bounds[p], bounds[p+1]) plus the domain-edge
+/// point `cells` when p is the last part. Contiguous by construction.
+std::pair<std::int64_t, std::int64_t> provider_points(
+    const std::vector<std::int64_t>& bounds, std::size_t p) {
+  const std::int64_t cells = bounds.back();
+  const std::int64_t hi = bounds[p + 1];
+  return {bounds[p], hi == cells ? cells + 1 : hi};  // half-open
+}
+
+/// Rebuilds this rank's charge slab for a new block by shipping the
+/// mesh values that changed owner — the paper's "migrating the
+/// underlying subgrids" cost. Unlike the original pairwise protocol
+/// this matches providers and receivers globally, so a strategy that
+/// moves a boundary past its old neighbor (rcb) works too; for
+/// single-border diffusion moves it reduces to exactly the old
+/// adjacent-rank exchange (same payloads, counts and bytes). Every
+/// received value is checked against the analytic pattern — a protocol
+/// error shows up immediately instead of corrupting forces.
+///
+/// `axis` is 0 for x-boundary moves (the bounds are processor-column
+/// bounds; payloads are point columns), 1 for y. `my_index` is this
+/// rank's coordinate along the axis; `rank_at` maps an axis coordinate
+/// to the communicating rank (same row/column as this rank).
+template <typename RankAt>
+void migrate_mesh_axis(comm::Comm& comm, const pic::ChargeSlab& slab,
+                       const pic::AlternatingColumnCharges& pattern, int axis,
+                       const std::vector<std::int64_t>& old_b,
+                       const std::vector<std::int64_t>& new_b, std::size_t my_index,
+                       const RankAt& rank_at, MeshMigration& stats) {
+  const std::size_t parts = old_b.size() - 1;
+
+  // Intersection of `q`'s needed points (new range minus old range) with
+  // this provider interval. The needed set has a left run (below the old
+  // range) and a right run (above); a provider interval, being disjoint
+  // from q's old interval, overlaps at most one of them.
+  const auto needed_from = [&](std::size_t q, std::int64_t prov_lo,
+                               std::int64_t prov_hi) -> std::pair<std::int64_t, std::int64_t> {
+    const std::int64_t new_lo = new_b[q], new_hi = new_b[q + 1] + 1;  // half-open points
+    const std::int64_t old_lo = old_b[q], old_hi = old_b[q + 1] + 1;
+    // Left run [new_lo, old_lo), right run [old_hi, new_hi).
+    const std::int64_t left_lo = std::max(new_lo, prov_lo);
+    const std::int64_t left_hi = std::min(old_lo, prov_hi);
+    if (left_hi > left_lo) return {left_lo, left_hi};
+    const std::int64_t right_lo = std::max(old_hi, prov_lo);
+    const std::int64_t right_hi = std::min(new_hi, prov_hi);
+    if (right_hi > right_lo) return {right_lo, right_hi};
+    return {0, 0};
+  };
+
+  // Outgoing: serve every other part from this rank's provider interval.
+  std::vector<MeshTransfer> sends;
+  {
+    const auto [prov_lo, prov_hi] = provider_points(old_b, my_index);
+    for (std::size_t q = 0; q < parts; ++q) {
+      if (q == my_index) continue;
+      const auto [lo, hi] = needed_from(q, prov_lo, prov_hi);
+      if (hi > lo) sends.push_back(MeshTransfer{rank_at(q), lo, hi});
     }
-  } else {
-    // Boundary moved toward higher indices: the upper side loses cells
-    // [old_b, new_b) and ships mesh points (old_b, new_b]; the lower side
-    // already owns point old_b.
-    if (lower_side) {
-      recv_lo = old_b + 1;
-      recv_hi = new_b + 1;
-    } else {
-      send_lo = old_b + 1;
-      send_hi = new_b + 1;
-    }
+  }
+  // Incoming: this rank's needed points, grouped by provider.
+  std::vector<MeshTransfer> recvs;
+  for (std::size_t p = 0; p < parts; ++p) {
+    if (p == my_index) continue;
+    const auto [prov_lo, prov_hi] = provider_points(old_b, p);
+    const auto [lo, hi] = needed_from(my_index, prov_lo, prov_hi);
+    if (hi > lo) recvs.push_back(MeshTransfer{rank_at(p), lo, hi});
   }
 
-  if (send_hi > send_lo) {
-    const std::vector<double> payload = axis == 0
-                                            ? slab.extract_columns(send_lo, send_hi)
-                                            : slab.extract_rows(send_lo, send_hi);
+  // Mailbox sends are buffered, so ship everything before receiving;
+  // partner order is ascending on both sides, so per-pair streams match.
+  for (const MeshTransfer& t : sends) {
+    const std::vector<double> payload =
+        axis == 0 ? slab.extract_columns(t.lo, t.hi) : slab.extract_rows(t.lo, t.hi);
     stats.bytes_sent += payload.size() * sizeof(double);
     ++stats.transfers;
-    comm.send(payload, partner, kMeshTag);
+    comm.send(payload, t.partner, kMeshTag);
   }
-  if (recv_hi > recv_lo) {
-    comm.recv_into(stats.recv_scratch, partner, kMeshTag);
+  for (const MeshTransfer& t : recvs) {
+    comm.recv_into(stats.recv_scratch, t.partner, kMeshTag);
     const std::vector<double>& payload = stats.recv_scratch;
     ++stats.transfers;
-    // Integrity check: the received subgrid must match the specification
-    // pattern (columns depend only on the point x-index).
+    // Integrity check: the received subgrid must match the
+    // specification pattern (columns depend only on the point x-index).
     const std::int64_t span0 = axis == 0 ? slab.height() : slab.width();
     PICPRK_ASSERT_MSG(payload.size() ==
-                          static_cast<std::size_t>((recv_hi - recv_lo) * span0),
+                          static_cast<std::size_t>((t.hi - t.lo) * span0),
                       "mesh migration payload has the wrong size");
     std::size_t idx = 0;
-    for (std::int64_t line = recv_lo; line < recv_hi; ++line) {
+    for (std::int64_t line = t.lo; line < t.hi; ++line) {
       for (std::int64_t j = 0; j < span0; ++j, ++idx) {
         const double expect = axis == 0 ? pattern.at(line, slab.y0() + j)
                                         : pattern.at(slab.x0() + j, line);
@@ -97,38 +138,19 @@ void migrate_mesh_boundary(comm::Comm& comm, const pic::ChargeSlab& slab,
 
 }  // namespace
 
-std::vector<std::int64_t> diffuse_bounds(const std::vector<std::int64_t>& bounds,
-                                         const std::vector<std::uint64_t>& loads,
-                                         double abs_threshold, std::int64_t width) {
-  PICPRK_EXPECTS(bounds.size() == loads.size() + 1);
-  PICPRK_EXPECTS(width >= 1);
-  const auto parts = static_cast<std::int64_t>(loads.size());
-  std::vector<std::int64_t> out = bounds;
-  for (std::int64_t b = 1; b < parts; ++b) {
-    const double lower = static_cast<double>(loads[static_cast<std::size_t>(b - 1)]);
-    const double upper = static_cast<double>(loads[static_cast<std::size_t>(b)]);
-    std::int64_t proposed = bounds[static_cast<std::size_t>(b)];
-    if (lower - upper > abs_threshold) {
-      proposed -= width;  // lower side is overloaded: give cells rightward
-    } else if (upper - lower > abs_threshold) {
-      proposed += width;  // upper side is overloaded: take cells from it
-    }
-    // Sequential clamp keeps boundaries strictly increasing even when
-    // adjacent boundaries move in the same LB step. The lower clamp also
-    // respects the OLD boundary b−1: the sender of a left-shift ships
-    // mesh columns from its current slab, which starts at the old
-    // boundary, so a boundary may never jump past it in one step.
-    const std::int64_t lo =
-        std::max(out[static_cast<std::size_t>(b - 1)], bounds[static_cast<std::size_t>(b - 1)]) + 1;
-    const std::int64_t hi = bounds[static_cast<std::size_t>(b + 1)] - 1;
-    out[static_cast<std::size_t>(b)] = std::clamp(proposed, lo, hi);
+DriverResult run_diffusion(comm::Comm& comm, const RunConfig& config) {
+  const std::string spec =
+      config.lb.strategy.empty() ? "diffusion" : config.lb.strategy;
+  const std::unique_ptr<lb::Strategy> strategy = lb::make_strategy(spec);
+  if (!strategy->balances_bounds()) {
+    throw std::invalid_argument("lb: strategy '" + strategy->name() +
+                                "' cannot move decomposition bounds (placement-only; "
+                                "use the ampi driver)");
   }
-  return out;
-}
+  const std::uint32_t lb_every = config.lb.every;
+  const lb::LoadMetric metric =
+      config.lb.measured ? lb::LoadMetric::kComputeSeconds : lb::LoadMetric::kParticles;
 
-DriverResult run_diffusion(comm::Comm& comm, const DriverConfig& config,
-                           const DiffusionParams& lb) {
-  PICPRK_EXPECTS(lb.frequency >= 1);
   const comm::Cart2D cart(comm.size());
   Decomposition2D decomp(config.init.grid, cart);
   const pic::GridSpec& grid = config.init.grid;
@@ -184,6 +206,62 @@ DriverResult run_diffusion(comm::Comm& comm, const DriverConfig& config,
     }
   }
 
+  // Measurement state for the strategy layer: compute seconds since the
+  // last LB event (measured-load metric + the adaptive cost model) and
+  // the step of that event (interval length).
+  double interval_compute_start = 0.0;
+  std::uint32_t last_lb_step = start_step;
+
+  /// One boundary pass along `axis`. Aggregates per-part loads, asks
+  /// the strategy for a plan, and applies it (mesh + particle
+  /// migration). Returns true when the bounds changed.
+  const auto balance_axis = [&](int axis, std::uint32_t step,
+                                double interval_compute_mean) {
+    const std::size_t parts =
+        static_cast<std::size_t>(axis == 0 ? cart.px() : cart.py());
+    const std::size_t my_index =
+        static_cast<std::size_t>(axis == 0 ? my_cx : my_cy);
+    std::vector<double> loads(parts, 0.0);
+    loads[my_index] = metric == lb::LoadMetric::kComputeSeconds
+                          ? compute_seconds - interval_compute_start
+                          : static_cast<double>(particles.size());
+    loads = comm.allreduce(std::span<const double>(loads),
+                           [](double a, double b) { return a + b; });
+
+    lb::BoundsInput input;
+    input.metric = metric;
+    input.axis = axis;
+    input.step = step;
+    input.interval_steps = step - last_lb_step;
+    input.bounds = axis == 0 ? decomp.x_bounds() : decomp.y_bounds();
+    input.loads = std::move(loads);
+    input.interval_compute_seconds = interval_compute_mean;
+
+    const std::vector<std::int64_t> old_b = input.bounds;
+    const std::vector<std::int64_t> new_b = strategy->rebalance_bounds(input);
+    PICPRK_ASSERT_MSG(new_b.size() == old_b.size() && new_b.front() == old_b.front() &&
+                          new_b.back() == old_b.back(),
+                      "lb strategy returned malformed bounds");
+    if (new_b == old_b) return false;
+
+    const auto rank_at = [&](std::size_t p) {
+      return axis == 0 ? cart.rank_of(static_cast<int>(p), my_cy)
+                       : cart.rank_of(my_cx, static_cast<int>(p));
+    };
+    migrate_mesh_axis(comm, slab, pattern, axis, old_b, new_b, my_index, rank_at,
+                      mesh_stats);
+    if (axis == 0) {
+      decomp.set_x_bounds(new_b);
+    } else {
+      decomp.set_y_bounds(new_b);
+    }
+    rebuild_slab();
+    exchange_particles(comm, decomp, particles, exchange_buffers);
+    PICPRK_DEBUG("rank " << comm.rank() << " step " << step << ": " << strategy->name()
+                         << " moved axis-" << axis << " boundaries");
+    return true;
+  };
+
   for (std::uint32_t step = start_step; step < config.steps; ++step) {
     if (config.ft.checkpointing() && step % config.ft.checkpoint_every == 0) {
       obs::Phase phase(obs::kPhaseCheckpoint, &checkpoint_seconds, inst.lane,
@@ -218,74 +296,52 @@ DriverResult run_diffusion(comm::Comm& comm, const DriverConfig& config,
       exchange_particles(comm, decomp, particles, exchange_buffers);
     }
 
-    if (step > 0 && step % lb.frequency == 0) {
+    if (lb_every > 0 && step > 0 && step % lb_every == 0) {
       obs::Phase phase(obs::kPhaseLb, &lb_seconds, inst.lane, inst.lb);
+      const double lb_event_start_seconds = lb_seconds;
+      const std::uint64_t mesh_bytes_before = mesh_stats.bytes_sent;
+      const std::uint64_t sent_before = exchange_buffers.totals.sent;
 
-      // Phase 1 (x): aggregate per-processor-column loads, diffuse the
-      // shared column boundaries, migrate border subgrids + particles.
-      {
-        std::vector<std::uint64_t> col_loads(static_cast<std::size_t>(cart.px()), 0);
-        col_loads[static_cast<std::size_t>(my_cx)] = particles.size();
-        col_loads = comm.allreduce(
-            std::span<const std::uint64_t>(col_loads),
-            [](std::uint64_t a, std::uint64_t b) { return a + b; });
-        std::uint64_t total = 0;
-        for (auto v : col_loads) total += v;
-        const double abs_threshold =
-            lb.threshold * static_cast<double>(total) / static_cast<double>(cart.px());
-        const auto old_xb = decomp.x_bounds();
-        const auto new_xb =
-            diffuse_bounds(old_xb, col_loads, abs_threshold, lb.border_width);
-        if (new_xb != old_xb) {
-          // Migrate mesh data across my (left, right) boundaries.
-          migrate_mesh_boundary(comm, slab, pattern, 0,
-                                old_xb[static_cast<std::size_t>(my_cx)],
-                                new_xb[static_cast<std::size_t>(my_cx)],
-                                /*lower_side=*/false, cart.neighbor(comm.rank(), -1, 0),
-                                mesh_stats);
-          migrate_mesh_boundary(comm, slab, pattern, 0,
-                                old_xb[static_cast<std::size_t>(my_cx) + 1],
-                                new_xb[static_cast<std::size_t>(my_cx) + 1],
-                                /*lower_side=*/true, cart.neighbor(comm.rank(), 1, 0),
-                                mesh_stats);
-          decomp.set_x_bounds(new_xb);
-          rebuild_slab();
-          exchange_particles(comm, decomp, particles, exchange_buffers);
-          PICPRK_DEBUG("rank " << comm.rank() << " step " << step
-                               << ": x-diffusion moved boundaries");
-        }
+      // Cost-model strategies additionally read the measured per-rank
+      // compute time of the closing interval (globally reduced so their
+      // internal state stays rank-identical).
+      double interval_compute_mean = 0.0;
+      if (strategy->wants_feedback()) {
+        const double local = compute_seconds - interval_compute_start;
+        interval_compute_mean =
+            comm.allreduce_value(local, [](double a, double b) { return a + b; }) /
+            static_cast<double>(comm.size());
       }
 
-      // Phase 2 (y), optional: same scheme along rows.
-      if (lb.two_phase) {
-        std::vector<std::uint64_t> row_loads(static_cast<std::size_t>(cart.py()), 0);
-        row_loads[static_cast<std::size_t>(my_cy)] = particles.size();
-        row_loads = comm.allreduce(
-            std::span<const std::uint64_t>(row_loads),
-            [](std::uint64_t a, std::uint64_t b) { return a + b; });
-        std::uint64_t total = 0;
-        for (auto v : row_loads) total += v;
-        const double abs_threshold =
-            lb.threshold * static_cast<double>(total) / static_cast<double>(cart.py());
-        const auto old_yb = decomp.y_bounds();
-        const auto new_yb =
-            diffuse_bounds(old_yb, row_loads, abs_threshold, lb.border_width);
-        if (new_yb != old_yb) {
-          migrate_mesh_boundary(comm, slab, pattern, 1,
-                                old_yb[static_cast<std::size_t>(my_cy)],
-                                new_yb[static_cast<std::size_t>(my_cy)],
-                                /*lower_side=*/false, cart.neighbor(comm.rank(), 0, -1),
-                                mesh_stats);
-          migrate_mesh_boundary(comm, slab, pattern, 1,
-                                old_yb[static_cast<std::size_t>(my_cy) + 1],
-                                new_yb[static_cast<std::size_t>(my_cy) + 1],
-                                /*lower_side=*/true, cart.neighbor(comm.rank(), 0, 1),
-                                mesh_stats);
-          decomp.set_y_bounds(new_yb);
-          rebuild_slab();
-          exchange_particles(comm, decomp, particles, exchange_buffers);
-        }
+      // Phase 1 (x): the paper's experiments restrict balancing to the
+      // drift direction; phase 2 (y) runs when the strategy asks.
+      bool moved = balance_axis(0, step, interval_compute_mean);
+      if (strategy->wants_y_phase()) {
+        moved = balance_axis(1, step, interval_compute_mean) || moved;
       }
+
+      if (inst.lb_decisions != nullptr) {
+        inst.lb_decisions->add();
+        (moved ? inst.lb_rebalances : inst.lb_skipped)->add();
+      }
+      if (strategy->wants_feedback()) {
+        lb::ApplyFeedback feedback;
+        if (moved) {
+          phase.finish();  // close the timer so the event cost is real
+          const double local_cost = lb_seconds - lb_event_start_seconds;
+          feedback.lb_seconds = comm.allreduce_value(
+              local_cost, [](double a, double b) { return std::max(a, b); });
+          feedback.moved_load = static_cast<double>(comm.allreduce_value(
+              exchange_buffers.totals.sent - sent_before,
+              [](std::uint64_t a, std::uint64_t b) { return a + b; }));
+          feedback.moved_bytes = comm.allreduce_value(
+              mesh_stats.bytes_sent - mesh_bytes_before,
+              [](std::uint64_t a, std::uint64_t b) { return a + b; });
+        }
+        strategy->note_applied(feedback);
+      }
+      interval_compute_start = compute_seconds;
+      last_lb_step = step;
     }
     if (inst.steps != nullptr) inst.steps->add();
 

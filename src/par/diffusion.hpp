@@ -1,42 +1,23 @@
-// The application-specific load-balanced implementation, "mpi-2d-LB" in
-// the paper (§IV-B): a diffusion scheme à la Cybenko over the 2-D block
-// decomposition. Every `frequency` steps, per-processor-column particle
-// counts are aggregated; adjacent columns whose loads differ by more than
-// a threshold exchange `border_width` cell-columns (grid data and the
-// particles residing there) across the shared boundary. The paper's
-// experiments restrict diffusion to the x-direction (the drift direction
-// of the skewed distribution); the full two-phase x+y variant is provided
-// as an extension.
+// The boundary-balanced implementation — "mpi-2d-LB" in the paper
+// (§IV-B), generalized: the decomposition's movable column/row bounds
+// are repartitioned by any bounds-capable lb::Strategy from the
+// registry (RunConfig::lb.strategy). The default, "diffusion", is the
+// paper's scheme à la Cybenko: every `lb.every` steps, per-processor-
+// column loads are aggregated and adjacent columns whose loads differ
+// by more than a threshold exchange border cell-columns (grid data and
+// the particles residing there). "rcb" instead jumps straight to the
+// globally bisected partition; "adaptive" wraps either behind a cost
+// model. Mesh subgrids really travel (and are integrity-checked) for
+// every boundary move, adjacent or not.
 #pragma once
 
-#include <cstdint>
-#include <vector>
-
-#include "par/driver_common.hpp"
+#include "par/run_config.hpp"
 
 namespace picprk::par {
 
-struct DiffusionParams {
-  /// Steps between load-balancing attempts (the paper's co-tuned knob).
-  std::uint32_t frequency = 16;
-  /// Trigger threshold τ, relative to the ideal per-column load: migrate
-  /// when |N_I − N_{I+1}| > threshold · (total / Px).
-  double threshold = 0.10;
-  /// Cell-columns (or rows) moved per triggered boundary per LB step.
-  std::int64_t border_width = 1;
-  /// Also balance in y (phase 2 of §IV-B). Off for the paper's runs.
-  bool two_phase = false;
-};
-
-/// Runs the diffusion-LB driver; collective over `comm`.
-DriverResult run_diffusion(comm::Comm& comm, const DriverConfig& config,
-                           const DiffusionParams& lb);
-
-/// Pure decision function (exposed for tests and the performance model):
-/// given current boundaries and per-part loads, returns the diffused
-/// boundaries. Deterministic; every rank computes the same answer.
-std::vector<std::int64_t> diffuse_bounds(const std::vector<std::int64_t>& bounds,
-                                         const std::vector<std::uint64_t>& loads,
-                                         double abs_threshold, std::int64_t width);
+/// Runs the boundary-balancing driver; collective over `comm`. The
+/// strategy spec defaults to "diffusion" when RunConfig::lb.strategy is
+/// empty; specs that cannot move bounds are rejected.
+DriverResult run_diffusion(comm::Comm& comm, const RunConfig& config);
 
 }  // namespace picprk::par

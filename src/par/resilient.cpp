@@ -53,9 +53,10 @@ std::optional<DriverSnapshot> restore_snapshot(int rank, int slots,
   return snap;
 }
 
-DriverResult run_resilient(int ranks, const DriverConfig& config,
-                           const ResilienceOptions& options, const DriverFn& driver,
+DriverResult run_resilient(const RunConfig& config, const DriverFn& driver,
                            ResilienceTelemetry* telemetry) {
+  const int ranks = config.ranks;
+  const ResilienceOptions& options = config.resilience;
   PICPRK_EXPECTS(ranks >= 1);
 
   ft::FaultInjector injector(options.plan);
@@ -67,7 +68,7 @@ DriverResult run_resilient(int ranks, const DriverConfig& config,
   world_options.fault_hook = options.plan.empty() ? nullptr : &injector;
   comm::World world(ranks, world_options);
 
-  DriverConfig cfg = config;
+  RunConfig cfg = config;
   cfg.ft.injector = options.plan.empty() ? nullptr : &injector;
   cfg.ft.store = options.checkpoint_every > 0 ? &store : nullptr;
   cfg.ft.checkpoint_every = options.checkpoint_every;

@@ -16,7 +16,7 @@
 #include "comm/message.hpp"
 #include "ft/checkpoint.hpp"
 #include "ft/fault.hpp"
-#include "par/driver_common.hpp"
+#include "par/run_config.hpp"
 #include "pic/particle.hpp"
 #include "vpr/pup.hpp"
 
@@ -56,18 +56,8 @@ std::uint64_t checkpoint_exchange(comm::Comm& comm, ft::CheckpointStore& store,
 std::optional<DriverSnapshot> restore_snapshot(int rank, int slots,
                                                const ft::CheckpointStore& store);
 
-/// Knobs of one resilient run; defaults = no faults, no checkpoints.
-struct ResilienceOptions {
-  ft::FaultPlan plan;
-  /// Checkpoint at the start of every N-th step (0 = never).
-  std::uint32_t checkpoint_every = 0;
-  /// Per-call blocking-recv deadline in ms (0 = wait forever).
-  int timeout_ms = 0;
-  /// Deadlock-detector window in ms (0 = off).
-  int deadlock_ms = 0;
-  /// Give up (rethrow) after this many rollbacks.
-  std::uint32_t max_recoveries = 3;
-};
+// ResilienceOptions lives in par/run_config.hpp (a RunConfig fully
+// describes a resilient run).
 
 /// What the recovery loop observed — for tools and tests.
 struct ResilienceTelemetry {
@@ -79,18 +69,17 @@ struct ResilienceTelemetry {
   std::vector<std::string> failures;    ///< what() of every caught failure
 };
 
-using DriverFn = std::function<DriverResult(comm::Comm&, const DriverConfig&)>;
+using DriverFn = std::function<DriverResult(comm::Comm&, const RunConfig&)>;
 
-/// Runs `driver` on `ranks` threadcomm ranks under fault injection with
-/// buddy checkpointing. On an injected failure (RankKilled, CommTimeout,
-/// DeadlockDetected) the aborted world is drained, the dead rank's
-/// primary snapshots are discarded, and the driver is re-run with
-/// DriverConfig::ft.resume set so every rank restarts from the last
-/// consistent checkpoint. Rethrows when recovery is impossible (no
-/// consistent checkpoint, max_recoveries exceeded, or a non-injected
-/// error).
-DriverResult run_resilient(int ranks, const DriverConfig& config,
-                           const ResilienceOptions& options, const DriverFn& driver,
+/// Runs `driver` on config.ranks threadcomm ranks under fault injection
+/// with buddy checkpointing, per config.resilience. On an injected
+/// failure (RankKilled, CommTimeout, DeadlockDetected) the aborted world
+/// is drained, the dead rank's primary snapshots are discarded, and the
+/// driver is re-run with RunConfig::ft.resume set so every rank restarts
+/// from the last consistent checkpoint. Rethrows when recovery is
+/// impossible (no consistent checkpoint, max_recoveries exceeded, or a
+/// non-injected error).
+DriverResult run_resilient(const RunConfig& config, const DriverFn& driver,
                            ResilienceTelemetry* telemetry = nullptr);
 
 }  // namespace picprk::par

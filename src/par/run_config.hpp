@@ -1,0 +1,68 @@
+// One aggregate for everything a parallel run needs — grid, particles,
+// distribution, steps, events (all inherited from DriverConfig), plus
+// the parallel-shape knobs, the load-balancing strategy selection and
+// the resilience plan. tools/picprk.cpp parses the command line into a
+// RunConfig exactly once and passes it by const reference to every
+// driver; benches and tests construct it directly instead of mirroring
+// flag parsing. This retires the per-driver parameter structs
+// (DiffusionParams, AmpiParams) and the long positional signatures of
+// run_diffusion/run_ampi/run_resilient.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ft/fault.hpp"
+#include "par/driver_common.hpp"
+
+namespace picprk::par {
+
+/// Load-balancing selection, uniform across drivers: the lb registry
+/// spec plus the invocation cadence. The strategy-specific knobs
+/// (threshold, border, tolerance, hysteresis, ...) travel inside the
+/// spec string — `diffusion:threshold=0.2,border=2` — so drivers stay
+/// oblivious of them.
+struct LbOptions {
+  /// lb registry spec, "name[:key=val,...]". Empty = the driver's
+  /// canonical default ("diffusion" for the boundary driver, "greedy"
+  /// for ampi — the paper's §IV-B/§IV-C pairing).
+  std::string strategy;
+  /// Steps between LB invocations — the paper's co-tuned F (0 = never).
+  std::uint32_t every = 16;
+  /// Feed the strategy measured compute seconds instead of particle
+  /// counts (the measurement-driven assessment of Rowan et al.).
+  bool measured = false;
+};
+
+/// Knobs of one resilient run; defaults = no faults, no checkpoints.
+/// (Lives here so a RunConfig fully describes a resilient run; the
+/// recovery loop itself is par/resilient.hpp.)
+struct ResilienceOptions {
+  ft::FaultPlan plan;
+  /// Checkpoint at the start of every N-th step (0 = never).
+  std::uint32_t checkpoint_every = 0;
+  /// Per-call blocking-recv deadline in ms (0 = wait forever).
+  int timeout_ms = 0;
+  /// Deadlock-detector window in ms (0 = off).
+  int deadlock_ms = 0;
+  /// Give up (rethrow) after this many rollbacks.
+  std::uint32_t max_recoveries = 3;
+
+  bool active() const {
+    return !plan.empty() || checkpoint_every > 0 || timeout_ms > 0 || deadlock_ms > 0;
+  }
+};
+
+/// The complete description of one parallel run.
+struct RunConfig : DriverConfig {
+  /// threadcomm ranks (baseline/diffusion drivers).
+  int ranks = 4;
+  /// ampi: worker threads.
+  int workers = 2;
+  /// ampi: over-decomposition degree d (vps = d · workers, Figure 5).
+  int overdecomposition = 4;
+  LbOptions lb;
+  ResilienceOptions resilience;
+};
+
+}  // namespace picprk::par

@@ -5,7 +5,8 @@
 
 #include "comm/cart.hpp"
 #include "util/assert.hpp"
-#include "vpr/lb.hpp"
+#include "lb/bounds.hpp"
+#include "lb/registry.hpp"
 
 namespace picprk::perfsim {
 
@@ -111,15 +112,17 @@ ModelResult Engine::run_diffusion(int cores, const RunConfig& config,
     // frequency. Its costs land on this step's lb_extra.
     std::fill(lb_extra.begin(), lb_extra.end(), 0.0);
     if (lb.frequency > 0 && step > 0 && step % lb.frequency == 0) {
-      std::vector<std::uint64_t> loads_u64(static_cast<std::size_t>(px));
+      // Whole-particle loads (trunc), matching the real driver's counts.
+      std::vector<double> col_loads(static_cast<std::size_t>(px));
       double total = 0.0;
       for (int i = 0; i < px; ++i) {
-        loads_u64[static_cast<std::size_t>(i)] =
-            static_cast<std::uint64_t>(colload[static_cast<std::size_t>(i)]);
+        col_loads[static_cast<std::size_t>(i)] = static_cast<double>(
+            static_cast<std::uint64_t>(colload[static_cast<std::size_t>(i)]));
         total += colload[static_cast<std::size_t>(i)];
       }
       const double abs_threshold = lb.threshold * total / static_cast<double>(px);
-      const auto new_xb = par::diffuse_bounds(xb, loads_u64, abs_threshold, lb.border_width);
+      const auto new_xb =
+          picprk::lb::diffuse_bounds(xb, col_loads, abs_threshold, lb.border_width);
       // Decision round: an allreduce over all cores.
       const double decision = machine_.lb_decision_cost + log2p * machine_.alpha_inter;
       for (auto& v : lb_extra) v += decision;
@@ -229,7 +232,8 @@ ModelResult Engine::run_vpr(int cores, const RunConfig& config,
     map[static_cast<std::size_t>(v)] =
         static_cast<int>((static_cast<std::int64_t>(v) * cores) / vps);
   }
-  auto balancer = vpr::make_load_balancer(params.balancer);
+  auto balancer = lb::make_strategy(params.balancer);
+  PICPRK_EXPECTS(balancer->balances_placement());
 
   ModelResult result;
   StepAccumulator acc{config, result};
@@ -283,7 +287,13 @@ ModelResult Engine::run_vpr(int cores, const RunConfig& config,
     // Runtime load balancing at interval F.
     double lb_part_cap = 0.0;
     if (params.lb_interval > 0 && step > 0 && step % params.lb_interval == 0) {
-      std::vector<vpr::VpLoad> loads(static_cast<std::size_t>(vps));
+      lb::PlacementInput lb_input;
+      lb_input.metric = params.measured_load ? lb::LoadMetric::kComputeSeconds
+                                             : lb::LoadMetric::kParticles;
+      lb_input.step = step;
+      lb_input.interval_steps = params.lb_interval;
+      lb_input.workers = cores;
+      lb_input.parts.resize(static_cast<std::size_t>(vps));
       for (int v = 0; v < vps; ++v) {
         const int i = v % vpx;
         const int j = v / vpx;
@@ -291,13 +301,15 @@ ModelResult Engine::run_vpr(int cores, const RunConfig& config,
         double load =
             colsum[static_cast<std::size_t>(i)] * rowfrac[static_cast<std::size_t>(j)];
         if (params.measured_load) load /= machine_.speed_of(core);
-        loads[static_cast<std::size_t>(v)] = vpr::VpLoad{v, load, core, {}};
+        auto& part = lb_input.parts[static_cast<std::size_t>(v)];
+        part.part = v;
+        part.load = load;
+        part.owner = core;
         // 4-neighborhood locality hints for hint-aware balancers.
-        loads[static_cast<std::size_t>(v)].neighbors = {
-            j * vpx + (i + 1) % vpx, j * vpx + (i + vpx - 1) % vpx,
-            ((j + 1) % vpy) * vpx + i, ((j + vpy - 1) % vpy) * vpx + i};
+        part.neighbors = {j * vpx + (i + 1) % vpx, j * vpx + (i + vpx - 1) % vpx,
+                          ((j + 1) % vpy) * vpx + i, ((j + vpy - 1) % vpy) * vpx + i};
       }
-      const std::vector<int> remap = balancer->remap(loads, cores);
+      const std::vector<int> remap = balancer->rebalance_placement(lb_input);
       const double decision =
           machine_.lb_stall_base + machine_.lb_stall_per_vp * static_cast<double>(vps);
       for (auto& v : lb_extra) v += decision;
@@ -317,7 +329,7 @@ ModelResult Engine::run_vpr(int cores, const RunConfig& config,
                                  vxb[static_cast<std::size_t>(i)] + 1) *
                                 (vrows[static_cast<std::size_t>(j)] + 1)) *
                 machine_.cell_bytes +
-            loads[static_cast<std::size_t>(v)].load * machine_.particle_bytes;
+            lb_input.parts[static_cast<std::size_t>(v)].load * machine_.particle_bytes;
         node_bytes[static_cast<std::size_t>(machine_.node_of(from))] += vp_bytes;
         node_bytes[static_cast<std::size_t>(machine_.node_of(to))] += vp_bytes;
         result.migrated_mbytes += vp_bytes / 1.0e6;

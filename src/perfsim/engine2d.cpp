@@ -5,7 +5,8 @@
 
 #include "comm/cart.hpp"
 #include "util/assert.hpp"
-#include "vpr/lb.hpp"
+#include "lb/bounds.hpp"
+#include "lb/registry.hpp"
 
 namespace picprk::perfsim {
 
@@ -68,15 +69,17 @@ ModelResult Engine2D::run_diffusion(int cores, const Run2DConfig& config,
       for (auto& v : lb_extra) v += decision;
       // Phase 1: x boundaries from per-processor-column loads.
       {
-        std::vector<std::uint64_t> col_loads(static_cast<std::size_t>(px));
+        std::vector<double> col_loads(static_cast<std::size_t>(px));
         double total = 0.0;
         for (int i = 0; i < px; ++i) {
           const double l = w.range_sum(xb[static_cast<std::size_t>(i)],
                                        xb[static_cast<std::size_t>(i) + 1], 0, c);
-          col_loads[static_cast<std::size_t>(i)] = static_cast<std::uint64_t>(l);
+          // Whole-particle loads (trunc), matching the real driver.
+          col_loads[static_cast<std::size_t>(i)] =
+              static_cast<double>(static_cast<std::uint64_t>(l));
           total += l;
         }
-        const auto new_xb = par::diffuse_bounds(
+        const auto new_xb = picprk::lb::diffuse_bounds(
             xb, col_loads, lb.threshold * total / static_cast<double>(px),
             lb.border_width);
         for (int b = 1; b < px; ++b) {
@@ -104,15 +107,16 @@ ModelResult Engine2D::run_diffusion(int cores, const Run2DConfig& config,
       }
       // Phase 2: y boundaries from per-processor-row loads.
       if (two_phase) {
-        std::vector<std::uint64_t> row_loads(static_cast<std::size_t>(py));
+        std::vector<double> row_loads(static_cast<std::size_t>(py));
         double total = 0.0;
         for (int j = 0; j < py; ++j) {
           const double l = w.range_sum(0, c, yb[static_cast<std::size_t>(j)],
                                        yb[static_cast<std::size_t>(j) + 1]);
-          row_loads[static_cast<std::size_t>(j)] = static_cast<std::uint64_t>(l);
+          row_loads[static_cast<std::size_t>(j)] =
+              static_cast<double>(static_cast<std::uint64_t>(l));
           total += l;
         }
-        const auto new_yb = par::diffuse_bounds(
+        const auto new_yb = picprk::lb::diffuse_bounds(
             yb, row_loads, lb.threshold * total / static_cast<double>(py),
             lb.border_width);
         for (int b = 1; b < py; ++b) {
@@ -239,7 +243,8 @@ ModelResult Engine2D::run_vpr(int cores, const Run2DConfig& config,
     map[static_cast<std::size_t>(v)] =
         static_cast<int>((static_cast<std::int64_t>(v) * cores) / vps);
   }
-  auto balancer = vpr::make_load_balancer(params.balancer);
+  auto balancer = lb::make_strategy(params.balancer);
+  PICPRK_EXPECTS(balancer->balances_placement());
 
   ModelResult result;
   double imbalance_sum = 0.0;
@@ -300,19 +305,25 @@ ModelResult Engine2D::run_vpr(int cores, const Run2DConfig& config,
     }
 
     if (params.lb_interval > 0 && step > 0 && step % params.lb_interval == 0) {
-      std::vector<vpr::VpLoad> loads(static_cast<std::size_t>(vps));
+      lb::PlacementInput lb_input;
+      lb_input.metric = params.measured_load ? lb::LoadMetric::kComputeSeconds
+                                             : lb::LoadMetric::kParticles;
+      lb_input.step = step;
+      lb_input.interval_steps = params.lb_interval;
+      lb_input.workers = cores;
+      lb_input.parts.resize(static_cast<std::size_t>(vps));
       for (int v = 0; v < vps; ++v) {
         const int i = v % vpx;
         const int j = v / vpx;
         const int core = map[static_cast<std::size_t>(v)];
         double load = vp_load[static_cast<std::size_t>(v)];
         if (params.measured_load) load /= machine_.speed_of(core);
-        loads[static_cast<std::size_t>(v)] = vpr::VpLoad{
+        lb_input.parts[static_cast<std::size_t>(v)] = lb::PartLoad{
             v, load, core,
             {j * vpx + (i + 1) % vpx, j * vpx + (i + vpx - 1) % vpx,
              ((j + 1) % vpy) * vpx + i, ((j + vpy - 1) % vpy) * vpx + i}};
       }
-      const std::vector<int> remap = balancer->remap(loads, cores);
+      const std::vector<int> remap = balancer->rebalance_placement(lb_input);
       const double decision =
           machine_.lb_stall_base + machine_.lb_stall_per_vp * static_cast<double>(vps);
       for (auto& v : lb_extra) v += decision;

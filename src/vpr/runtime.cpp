@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <barrier>
+#include <stdexcept>
 #include <thread>
 
+#include "lb/registry.hpp"
 #include "util/assert.hpp"
 #include "util/first_error.hpp"
 #include "util/log.hpp"
@@ -119,7 +121,12 @@ Runtime::Runtime(RuntimeConfig config, const Factory& factory)
     : config_(config), factory_(factory) {
   PICPRK_EXPECTS(config_.workers >= 1);
   PICPRK_EXPECTS(config_.vps >= config_.workers);
-  balancer_ = make_load_balancer(config_.balancer);
+  balancer_ = lb::make_strategy(config_.balancer);
+  if (!balancer_->balances_placement()) {
+    throw std::invalid_argument("vpr: strategy '" + balancer_->name() +
+                                "' cannot place VPs (bounds-only; use the "
+                                "diffusion driver)");
+  }
   vps_.reserve(static_cast<std::size_t>(config_.vps));
   vp_worker_.resize(static_cast<std::size_t>(config_.vps));
   vp_measured_seconds_.assign(static_cast<std::size_t>(config_.vps), 0.0);
@@ -231,7 +238,7 @@ void Runtime::deliver_phase(int w) {
 void Runtime::maybe_balance(std::uint32_t global_step) {
   if (config_.lb_interval > 0 && global_step > 0 &&
       global_step % config_.lb_interval == 0) {
-    run_load_balancer();
+    run_load_balancer(global_step);
   }
 }
 
@@ -279,31 +286,48 @@ void Runtime::route_messages() {
   }
 }
 
-void Runtime::run_load_balancer() {
+void Runtime::run_load_balancer(std::uint32_t global_step) {
   obs::Phase phase(obs::kPhaseLb, &stats_.lb_seconds, nullptr, lb_hist_);
+  util::Timer event_timer;  // feedback clock for cost-model strategies
   ++stats_.lb_invocations;
   if (lb_invocations_counter_ != nullptr) lb_invocations_counter_->add();
 
-  std::vector<VpLoad> loads(static_cast<std::size_t>(config_.vps));
+  lb::PlacementInput input;
+  input.metric = config_.use_measured_load ? lb::LoadMetric::kComputeSeconds
+                                           : lb::LoadMetric::kParticles;
+  input.step = global_step;
+  input.interval_steps = config_.lb_interval;
+  input.workers = config_.workers;
+  input.parts.resize(static_cast<std::size_t>(config_.vps));
   std::vector<double> worker_load(static_cast<std::size_t>(config_.workers), 0.0);
+  double total_measured = 0.0;
   for (int v = 0; v < config_.vps; ++v) {
-    auto& entry = loads[static_cast<std::size_t>(v)];
-    entry.vp = v;
-    entry.worker = vp_worker_[static_cast<std::size_t>(v)];
+    auto& entry = input.parts[static_cast<std::size_t>(v)];
+    entry.part = v;
+    entry.owner = vp_worker_[static_cast<std::size_t>(v)];
     entry.load = config_.use_measured_load
                      ? vp_measured_seconds_[static_cast<std::size_t>(v)]
                      : vps_[static_cast<std::size_t>(v)]->load();
     entry.neighbors = vps_[static_cast<std::size_t>(v)]->neighbor_vps();
-    worker_load[static_cast<std::size_t>(entry.worker)] += entry.load;
+    worker_load[static_cast<std::size_t>(entry.owner)] += entry.load;
+    total_measured += vp_measured_seconds_[static_cast<std::size_t>(v)];
+  }
+  if (balancer_->wants_feedback()) {
+    // Mean measured compute seconds per worker over the closing interval
+    // (single process: trivially identical for every observer).
+    input.interval_compute_seconds =
+        total_measured / static_cast<double>(config_.workers);
   }
   stats_.imbalance_before_lb.push_back(
       util::imbalance(std::span<const double>(worker_load)).ratio);
 
-  const std::vector<int> remap = balancer_->remap(loads, config_.workers);
-  PICPRK_ASSERT_MSG(remap.size() == loads.size(), "balancer returned wrong-size map");
+  const std::vector<int> remap = balancer_->rebalance_placement(input);
+  PICPRK_ASSERT_MSG(remap.size() == input.parts.size(),
+                    "balancer returned wrong-size map");
 
   const std::uint64_t migrations_before = stats_.migrations;
   const std::uint64_t migrated_bytes_before = stats_.migrated_bytes;
+  double moved_load = 0.0;
 
   for (int v = 0; v < config_.vps; ++v) {
     const int target = remap[static_cast<std::size_t>(v)];
@@ -317,6 +341,7 @@ void Runtime::run_load_balancer() {
     std::vector<std::byte> buffer = pup_pack(*slot);
     stats_.migrated_bytes += buffer.size();
     ++stats_.migrations;
+    moved_load += input.parts[static_cast<std::size_t>(v)].load;
     slot = factory_(v);
     pup_unpack(*slot, std::move(buffer));
     vp_worker_[static_cast<std::size_t>(v)] = target;
@@ -325,6 +350,15 @@ void Runtime::run_load_balancer() {
   if (migrations_counter_ != nullptr) {
     migrations_counter_->add(stats_.migrations - migrations_before);
     migrated_bytes_counter_->add(stats_.migrated_bytes - migrated_bytes_before);
+  }
+  if (balancer_->wants_feedback()) {
+    lb::ApplyFeedback feedback;
+    if (stats_.migrations != migrations_before) {
+      feedback.lb_seconds = event_timer.elapsed();
+      feedback.moved_load = moved_load;
+      feedback.moved_bytes = stats_.migrated_bytes - migrated_bytes_before;
+    }
+    balancer_->note_applied(feedback);
   }
   // Measured loads describe the epoch that ended here.
   std::fill(vp_measured_seconds_.begin(), vp_measured_seconds_.end(), 0.0);

@@ -12,8 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "lb/strategy.hpp"
 #include "obs/phase.hpp"
-#include "vpr/lb.hpp"
 #include "vpr/vp.hpp"
 
 namespace picprk::vpr {
@@ -24,7 +24,9 @@ struct RuntimeConfig {
   /// Invoke the load balancer every `lb_interval` steps (0 = never) —
   /// the paper's F.
   std::uint32_t lb_interval = 0;
-  /// Balancer name: "null", "greedy", "refine", "diffusion", "rotate".
+  /// lb registry spec, "name[:key=val,...]" — any placement-capable
+  /// strategy ("greedy", "refine", "diffusion", "compact", "rotate",
+  /// "null", "adaptive", ...). Construction rejects bounds-only specs.
   std::string balancer = "greedy";
   /// Use measured wall time per VP instead of VirtualProcessor::load().
   /// Abstract loads are the default: they are deterministic and match
@@ -99,11 +101,11 @@ class Runtime {
   void maybe_balance(std::uint32_t global_step);
   void superstep_worker(int worker, std::uint32_t global_step, Pool& pool);
   void route_messages();
-  void run_load_balancer();
+  void run_load_balancer(std::uint32_t global_step);
 
   RuntimeConfig config_;
   Factory factory_;
-  std::unique_ptr<LoadBalancer> balancer_;
+  std::unique_ptr<lb::Strategy> balancer_;
   std::vector<std::unique_ptr<VirtualProcessor>> vps_;
   std::vector<int> vp_worker_;
   std::vector<double> vp_measured_seconds_;  ///< since last LB

@@ -17,8 +17,8 @@ namespace {
 
 using namespace picprk;
 
-par::DriverConfig small_config(std::uint32_t steps = 40) {
-  par::DriverConfig cfg;
+par::RunConfig small_config(std::uint32_t steps = 40) {
+  par::RunConfig cfg;
   cfg.init.grid = pic::GridSpec(64, 1.0);
   cfg.init.total_particles = 6000;
   cfg.init.distribution = pic::Geometric{0.98};
@@ -26,25 +26,24 @@ par::DriverConfig small_config(std::uint32_t steps = 40) {
   return cfg;
 }
 
-par::ResilienceOptions kill_plan(int rank, std::uint32_t step,
-                                 std::uint32_t checkpoint_every = 8) {
-  par::ResilienceOptions opts;
-  opts.plan = ft::FaultPlan::parse(
+par::RunConfig with_kill(par::RunConfig cfg, int rank, std::uint32_t step,
+                         std::uint32_t checkpoint_every = 8) {
+  cfg.resilience.plan = ft::FaultPlan::parse(
       "kill:rank=" + std::to_string(rank) + ",step=" + std::to_string(step), 1);
-  opts.checkpoint_every = checkpoint_every;
-  opts.timeout_ms = 10000;  // safety net: fail fast instead of hanging CI
-  return opts;
+  cfg.resilience.checkpoint_every = checkpoint_every;
+  cfg.resilience.timeout_ms = 10000;  // safety net: fail fast instead of hanging CI
+  return cfg;
 }
 
+const par::DriverFn kBaseline = [](comm::Comm& comm, const par::RunConfig& rc) {
+  return par::run_baseline(comm, rc);
+};
+
 TEST(Recovery, BaselineSurvivesRankDeath) {
-  const auto cfg = small_config();
+  auto cfg = with_kill(small_config(), 1, 25);
+  cfg.ranks = 4;
   par::ResilienceTelemetry telemetry;
-  const auto result = par::run_resilient(
-      4, cfg, kill_plan(1, 25),
-      [](comm::Comm& comm, const par::DriverConfig& dc) {
-        return par::run_baseline(comm, dc);
-      },
-      &telemetry);
+  const auto result = par::run_resilient(cfg, kBaseline, &telemetry);
   EXPECT_TRUE(result.ok);
   EXPECT_EQ(result.verification.id_checksum, result.expected_id_checksum);
   EXPECT_EQ(result.recoveries, 1u);
@@ -61,11 +60,9 @@ TEST(Recovery, BaselineRecoversWithEventsInFlight) {
   cfg.events = pic::EventSchedule(
       {pic::InjectionEvent{12, pic::CellRegion{0, 32, 0, 32}, 500}},
       {pic::RemovalEvent{28, pic::CellRegion{0, 64, 0, 64}, 0.1}});
-  const auto result = par::run_resilient(
-      4, cfg, kill_plan(2, 30),
-      [](comm::Comm& comm, const par::DriverConfig& dc) {
-        return par::run_baseline(comm, dc);
-      });
+  cfg = with_kill(cfg, 2, 30);
+  cfg.ranks = 4;
+  const auto result = par::run_resilient(cfg, kBaseline);
   EXPECT_TRUE(result.ok);
   EXPECT_EQ(result.recoveries, 1u);
 }
@@ -73,13 +70,12 @@ TEST(Recovery, BaselineRecoversWithEventsInFlight) {
 TEST(Recovery, DiffusionSurvivesRankDeath) {
   // The kill lands after LB has moved boundaries, so the restored
   // decomposition must match the checkpointed boundary vectors.
-  const auto cfg = small_config();
-  par::DiffusionParams lb;
-  lb.frequency = 6;
+  auto cfg = with_kill(small_config(), 1, 27);
+  cfg.ranks = 4;
+  cfg.lb.every = 6;
   const auto result = par::run_resilient(
-      4, cfg, kill_plan(1, 27),
-      [&lb](comm::Comm& comm, const par::DriverConfig& dc) {
-        return par::run_diffusion(comm, dc, lb);
+      cfg, [](comm::Comm& comm, const par::RunConfig& rc) {
+        return par::run_diffusion(comm, rc);
       });
   EXPECT_TRUE(result.ok);
   EXPECT_EQ(result.verification.id_checksum, result.expected_id_checksum);
@@ -94,11 +90,10 @@ TEST(Recovery, AmpiSurvivesVpDeath) {
   cfg.ft.store = &store;
   cfg.ft.checkpoint_every = 8;
 
-  par::AmpiParams params;
-  params.workers = 2;
-  params.overdecomposition = 3;
-  params.lb_interval = 5;
-  const auto result = par::run_ampi(cfg, params);
+  cfg.workers = 2;
+  cfg.overdecomposition = 3;
+  cfg.lb.every = 5;
+  const auto result = par::run_ampi(cfg);
   EXPECT_TRUE(result.ok);
   EXPECT_EQ(result.verification.id_checksum, result.expected_id_checksum);
   EXPECT_EQ(result.recoveries, 1u);
@@ -106,26 +101,21 @@ TEST(Recovery, AmpiSurvivesVpDeath) {
 }
 
 TEST(Recovery, UnrecoverableWithoutCheckpointsRethrows) {
-  const auto cfg = small_config();
-  par::ResilienceOptions opts;
-  opts.plan = ft::FaultPlan::parse("kill:rank=0,step=5", 1);
+  auto cfg = small_config();
+  cfg.ranks = 2;
+  cfg.resilience.plan = ft::FaultPlan::parse("kill:rank=0,step=5", 1);
   // checkpoint_every = 0: nothing to roll back to.
-  EXPECT_THROW(par::run_resilient(2, cfg, opts,
-                                  [](comm::Comm& comm, const par::DriverConfig& dc) {
-                                    return par::run_baseline(comm, dc);
-                                  }),
-               ft::RankKilled);
+  EXPECT_THROW(par::run_resilient(cfg, kBaseline), ft::RankKilled);
 }
 
 TEST(Recovery, ResultsMatchFaultFreeRun) {
   // The recovered run must produce the same verification numbers as an
   // undisturbed one — rollback is invisible to the physics.
-  const auto cfg = small_config();
-  const par::DriverFn driver = [](comm::Comm& comm, const par::DriverConfig& dc) {
-    return par::run_baseline(comm, dc);
-  };
-  const auto clean = par::run_resilient(4, cfg, par::ResilienceOptions{}, driver);
-  const auto recovered = par::run_resilient(4, cfg, kill_plan(3, 19), driver);
+  auto cfg = small_config();
+  cfg.ranks = 4;
+  const auto clean = par::run_resilient(cfg, kBaseline);
+  auto killed = with_kill(cfg, 3, 19);
+  const auto recovered = par::run_resilient(killed, kBaseline);
   EXPECT_TRUE(clean.ok);
   EXPECT_TRUE(recovered.ok);
   EXPECT_EQ(clean.verification.id_checksum, recovered.verification.id_checksum);
@@ -136,18 +126,13 @@ TEST(Recovery, ResultsMatchFaultFreeRun) {
 TEST(Recovery, StallWithTimeoutRollsBackAndCompletes) {
   // An infinite stall surfaces as CommTimeout; with checkpoints on, the
   // wrapper rolls back and the (one-shot) stall does not re-fire.
-  const auto cfg = small_config();
-  par::ResilienceOptions opts;
-  opts.plan = ft::FaultPlan::parse("stall:rank=2,step=18,ms=inf", 1);
-  opts.checkpoint_every = 8;
-  opts.timeout_ms = 300;
+  auto cfg = small_config();
+  cfg.ranks = 4;
+  cfg.resilience.plan = ft::FaultPlan::parse("stall:rank=2,step=18,ms=inf", 1);
+  cfg.resilience.checkpoint_every = 8;
+  cfg.resilience.timeout_ms = 300;
   par::ResilienceTelemetry telemetry;
-  const auto result = par::run_resilient(
-      4, cfg, opts,
-      [](comm::Comm& comm, const par::DriverConfig& dc) {
-        return par::run_baseline(comm, dc);
-      },
-      &telemetry);
+  const auto result = par::run_resilient(cfg, kBaseline, &telemetry);
   EXPECT_TRUE(result.ok);
   EXPECT_EQ(result.recoveries, 1u);
   EXPECT_EQ(telemetry.stalls, 1u);

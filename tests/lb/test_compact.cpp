@@ -1,35 +1,47 @@
-// CompactLb: the hinted, locality-preserving balancer implementing the
-// paper's §V-B closing remark. It must balance like RefineLB while
-// keeping VPs next to their subdomain neighbors.
+// The compact (hinted, locality-preserving) strategy implementing the
+// paper's §V-B closing remark. It must balance like refine while keeping
+// VPs next to their subdomain neighbors.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 
+#include "lb/registry.hpp"
+#include "lb/strategy.hpp"
 #include "par/ampi.hpp"
 #include "perfsim/engine.hpp"
-#include "vpr/lb.hpp"
 
 namespace {
 
-using picprk::vpr::CompactLb;
-using picprk::vpr::GreedyLb;
-using picprk::vpr::VpLoad;
+using picprk::lb::make_strategy;
+using picprk::lb::PartLoad;
+using picprk::lb::PlacementInput;
 
 /// Builds a 1-D ring of VPs with given loads, blockwise on workers.
-std::vector<VpLoad> ring(const std::vector<double>& loads, int workers) {
+std::vector<PartLoad> ring(const std::vector<double>& loads, int workers) {
   const int n = static_cast<int>(loads.size());
-  std::vector<VpLoad> out(loads.size());
+  std::vector<PartLoad> out(loads.size());
   for (int v = 0; v < n; ++v) {
-    out[static_cast<std::size_t>(v)].vp = v;
-    out[static_cast<std::size_t>(v)].load = loads[static_cast<std::size_t>(v)];
-    out[static_cast<std::size_t>(v)].worker = v * workers / n;
-    out[static_cast<std::size_t>(v)].neighbors = {(v + 1) % n, (v + n - 1) % n};
+    auto& p = out[static_cast<std::size_t>(v)];
+    p.part = v;
+    p.load = loads[static_cast<std::size_t>(v)];
+    p.owner = v * workers / n;
+    p.neighbors = {(v + 1) % n, (v + n - 1) % n};
   }
   return out;
 }
 
-double max_worker_load(const std::vector<VpLoad>& loads, const std::vector<int>& placement,
+std::vector<int> remap(const std::string& spec, const std::vector<PartLoad>& parts,
                        int workers) {
+  const auto strategy = make_strategy(spec);
+  PlacementInput in;
+  in.workers = workers;
+  in.parts = parts;
+  return strategy->rebalance_placement(in);
+}
+
+double max_worker_load(const std::vector<PartLoad>& loads,
+                       const std::vector<int>& placement, int workers) {
   std::vector<double> w(static_cast<std::size_t>(workers), 0.0);
   for (std::size_t i = 0; i < loads.size(); ++i)
     w[static_cast<std::size_t>(placement[i])] += loads[i].load;
@@ -37,7 +49,7 @@ double max_worker_load(const std::vector<VpLoad>& loads, const std::vector<int>&
 }
 
 /// Fraction of neighbor pairs that live on the same worker.
-double locality(const std::vector<VpLoad>& loads, const std::vector<int>& placement) {
+double locality(const std::vector<PartLoad>& loads, const std::vector<int>& placement) {
   int same = 0, pairs = 0;
   for (std::size_t i = 0; i < loads.size(); ++i) {
     for (int nb : loads[i].neighbors) {
@@ -48,30 +60,26 @@ double locality(const std::vector<VpLoad>& loads, const std::vector<int>& placem
   return static_cast<double>(same) / static_cast<double>(pairs);
 }
 
-TEST(CompactLbTest, BalancedInputUntouched) {
-  CompactLb lb;
+TEST(CompactTest, BalancedInputUntouched) {
   auto loads = ring({5, 5, 5, 5, 5, 5, 5, 5}, 4);
   std::vector<int> orig;
-  for (const auto& l : loads) orig.push_back(l.worker);
-  EXPECT_EQ(lb.remap(loads, 4), orig);
+  for (const auto& l : loads) orig.push_back(l.owner);
+  EXPECT_EQ(remap("compact", loads, 4), orig);
 }
 
-TEST(CompactLbTest, ReducesOverload) {
-  CompactLb lb(1.10);
+TEST(CompactTest, ReducesOverload) {
   // Worker 0 (VPs 0..3) holds almost everything.
   auto loads = ring({10, 10, 10, 10, 1, 1, 1, 1, 1, 1, 1, 1}, 3);
-  const auto placement = lb.remap(loads, 3);
+  const auto placement = remap("compact:tolerance=1.10", loads, 3);
   std::vector<int> orig;
-  for (const auto& l : loads) orig.push_back(l.worker);
+  for (const auto& l : loads) orig.push_back(l.owner);
   EXPECT_LT(max_worker_load(loads, placement, 3), max_worker_load(loads, orig, 3));
 }
 
-TEST(CompactLbTest, PreservesLocalityBetterThanGreedy) {
-  CompactLb compact(1.10);
-  GreedyLb greedy;
+TEST(CompactTest, PreservesLocalityBetterThanGreedy) {
   auto loads = ring({9, 9, 9, 9, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1}, 4);
-  const auto c = compact.remap(loads, 4);
-  const auto g = greedy.remap(loads, 4);
+  const auto c = remap("compact:tolerance=1.10", loads, 4);
+  const auto g = remap("greedy", loads, 4);
   // Both must produce a reasonable balance...
   EXPECT_LT(max_worker_load(loads, c, 4), 14.0);
   EXPECT_LT(max_worker_load(loads, g, 4), 14.0);
@@ -79,54 +87,45 @@ TEST(CompactLbTest, PreservesLocalityBetterThanGreedy) {
   EXPECT_GT(locality(loads, c), locality(loads, g));
 }
 
-TEST(CompactLbTest, ShedsBorderVpsFirst) {
+TEST(CompactTest, ShedsBorderVpsFirst) {
   // Worker 0 holds a contiguous run 0..5; the shed VPs should come from
   // the run's edges, not its middle.
-  CompactLb lb(1.05);
   std::vector<double> l(12, 1.0);
   for (int v = 0; v < 6; ++v) l[static_cast<std::size_t>(v)] = 4.0;
   auto loads = ring(l, 2);
-  for (int v = 0; v < 6; ++v) loads[static_cast<std::size_t>(v)].worker = 0;
-  for (int v = 6; v < 12; ++v) loads[static_cast<std::size_t>(v)].worker = 1;
-  const auto placement = lb.remap(loads, 2);
+  for (int v = 0; v < 6; ++v) loads[static_cast<std::size_t>(v)].owner = 0;
+  for (int v = 6; v < 12; ++v) loads[static_cast<std::size_t>(v)].owner = 1;
+  const auto placement = remap("compact:tolerance=1.05", loads, 2);
   // Interior heavy VPs 2 and 3 stay; any moved heavy VP is 0, 1, 4 or 5.
   EXPECT_EQ(placement[2], 0);
   EXPECT_EQ(placement[3], 0);
 }
 
-TEST(CompactLbTest, WorksWithoutHints) {
+TEST(CompactTest, WorksWithoutHints) {
   // No neighbor information: degrades to refine-like behaviour.
-  CompactLb lb(1.10);
-  std::vector<VpLoad> loads(6);
+  std::vector<PartLoad> loads(6);
   for (int v = 0; v < 6; ++v) {
-    loads[static_cast<std::size_t>(v)] = VpLoad{v, v < 3 ? 10.0 : 1.0, v < 3 ? 0 : 1, {}};
+    loads[static_cast<std::size_t>(v)] = PartLoad{v, v < 3 ? 10.0 : 1.0, v < 3 ? 0 : 1, {}};
   }
-  const auto placement = lb.remap(loads, 2);
+  const auto placement = remap("compact:tolerance=1.10", loads, 2);
   EXPECT_LT(max_worker_load(loads, placement, 2), 30.0);
 }
 
-TEST(CompactLbTest, FactoryName) {
-  auto lb = picprk::vpr::make_load_balancer("compact");
-  ASSERT_NE(lb, nullptr);
-  EXPECT_EQ(lb->name(), "compact");
-}
-
-TEST(CompactLbIntegration, AmpiDriverVerifiesWithCompact) {
-  picprk::par::DriverConfig cfg;
+TEST(CompactIntegration, AmpiDriverVerifiesWithCompact) {
+  picprk::par::RunConfig cfg;
   cfg.init.grid = picprk::pic::GridSpec(24, 1.0);
   cfg.init.total_particles = 1500;
   cfg.init.distribution = picprk::pic::Geometric{0.8};
   cfg.steps = 40;
-  picprk::par::AmpiParams params;
-  params.workers = 2;
-  params.overdecomposition = 8;
-  params.lb_interval = 6;
-  params.balancer = "compact";
-  const auto r = picprk::par::run_ampi(cfg, params);
+  cfg.workers = 2;
+  cfg.overdecomposition = 8;
+  cfg.lb.every = 6;
+  cfg.lb.strategy = "compact";
+  const auto r = picprk::par::run_ampi(cfg);
   EXPECT_TRUE(r.ok);
 }
 
-TEST(CompactLbModel, LessCrossNodeTrafficThanGreedyAtScale) {
+TEST(CompactModel, LessCrossNodeTrafficThanGreedyAtScale) {
   // The strong-scaling fragmentation experiment: at 384 cores (16 nodes)
   // the hinted balancer should pay significantly less per-step remote
   // communication than locality-blind greedy, at comparable balance.

@@ -1,31 +1,39 @@
+// Unit tests for the placement strategies of the lb registry (the
+// Charm-style balancer collection of §IV-C, formerly vpr::LoadBalancer).
 #include <gtest/gtest.h>
 
 #include <numeric>
 #include <vector>
 
-#include "util/assert.hpp"
-#include "vpr/lb.hpp"
+#include "lb/registry.hpp"
+#include "lb/strategy.hpp"
 
 namespace {
 
-using picprk::vpr::DiffusionLb;
-using picprk::vpr::GreedyLb;
-using picprk::vpr::make_load_balancer;
-using picprk::vpr::NullLb;
-using picprk::vpr::RefineLb;
-using picprk::vpr::RotateLb;
-using picprk::vpr::VpLoad;
+using picprk::lb::make_strategy;
+using picprk::lb::PartLoad;
+using picprk::lb::PlacementInput;
+using picprk::lb::Strategy;
 
-std::vector<VpLoad> make_loads(const std::vector<double>& loads,
-                               const std::vector<int>& workers) {
-  std::vector<VpLoad> out(loads.size());
+std::vector<PartLoad> make_loads(const std::vector<double>& loads,
+                                 const std::vector<int>& workers) {
+  std::vector<PartLoad> out(loads.size());
   for (std::size_t i = 0; i < loads.size(); ++i) {
-    out[i] = VpLoad{static_cast<int>(i), loads[i], workers[i]};
+    out[i] = PartLoad{static_cast<int>(i), loads[i], workers[i], {}};
   }
   return out;
 }
 
-std::vector<double> worker_loads(const std::vector<VpLoad>& loads,
+std::vector<int> remap(const std::string& spec, const std::vector<PartLoad>& parts,
+                       int workers) {
+  const auto strategy = make_strategy(spec);
+  PlacementInput in;
+  in.workers = workers;
+  in.parts = parts;
+  return strategy->rebalance_placement(in);
+}
+
+std::vector<double> worker_loads(const std::vector<PartLoad>& loads,
                                  const std::vector<int>& placement, int workers) {
   std::vector<double> w(static_cast<std::size_t>(workers), 0.0);
   for (std::size_t i = 0; i < loads.size(); ++i)
@@ -41,17 +49,15 @@ double max_over_mean(const std::vector<double>& w) {
   return mean > 0 ? mx / mean : 1.0;
 }
 
-TEST(NullLbTest, KeepsPlacement) {
-  NullLb lb;
+TEST(NullStrategyTest, KeepsPlacement) {
   auto loads = make_loads({5, 1, 3, 2}, {0, 0, 1, 1});
-  EXPECT_EQ(lb.remap(loads, 2), (std::vector<int>{0, 0, 1, 1}));
+  EXPECT_EQ(remap("null", loads, 2), (std::vector<int>{0, 0, 1, 1}));
 }
 
-TEST(GreedyLbTest, BalancesSkewedLoads) {
-  GreedyLb lb;
+TEST(GreedyStrategyTest, BalancesSkewedLoads) {
   // All heavy VPs start on worker 0 (the skewed-cloud situation).
   auto loads = make_loads({100, 90, 80, 1, 1, 1, 1, 1}, {0, 0, 0, 0, 1, 1, 1, 1});
-  auto placement = lb.remap(loads, 2);
+  auto placement = remap("greedy", loads, 2);
   const auto before = max_over_mean(worker_loads(loads, {0, 0, 0, 0, 1, 1, 1, 1}, 2));
   const auto after = max_over_mean(worker_loads(loads, placement, 2));
   EXPECT_LT(after, before);
@@ -60,30 +66,32 @@ TEST(GreedyLbTest, BalancesSkewedLoads) {
   EXPECT_LT(after, 1.25);
 }
 
-TEST(GreedyLbTest, HeaviestGoesFirst) {
-  GreedyLb lb;
+TEST(GreedyStrategyTest, HeaviestGoesFirst) {
   auto loads = make_loads({10, 1, 1, 1}, {0, 0, 0, 0});
-  auto placement = lb.remap(loads, 2);
+  auto placement = remap("greedy", loads, 2);
   // Heaviest VP alone on one worker, the three light ones on the other.
   const auto w = worker_loads(loads, placement, 2);
   EXPECT_DOUBLE_EQ(std::max(w[0], w[1]), 10.0);
   EXPECT_DOUBLE_EQ(std::min(w[0], w[1]), 3.0);
 }
 
-TEST(GreedyLbTest, IgnoresLocality) {
+TEST(GreedyStrategyTest, IgnoresLocality) {
   // Greedy may move a VP even when the placement was already optimal —
   // the locality-agnostic behaviour the paper observes. We only check
   // that the resulting balance is never worse than the input's.
-  GreedyLb lb;
   auto loads = make_loads({4, 4, 4, 4}, {0, 0, 1, 1});
-  auto placement = lb.remap(loads, 2);
+  auto placement = remap("greedy", loads, 2);
   EXPECT_LE(max_over_mean(worker_loads(loads, placement, 2)), 1.0 + 1e-12);
 }
 
-TEST(RefineLbTest, OnlyMovesWhatIsNeeded) {
-  RefineLb lb(1.05);
+TEST(GreedyStrategyTest, SingleWorkerDegenerate) {
+  auto loads = make_loads({3, 1}, {0, 0});
+  EXPECT_EQ(remap("greedy", loads, 1), (std::vector<int>{0, 0}));
+}
+
+TEST(RefineStrategyTest, OnlyMovesWhatIsNeeded) {
   auto loads = make_loads({6, 1, 1, 4, 4}, {0, 0, 0, 1, 1});
-  auto placement = lb.remap(loads, 2);
+  auto placement = remap("refine:tolerance=1.05", loads, 2);
   int moved = 0;
   const std::vector<int> orig{0, 0, 0, 1, 1};
   for (std::size_t i = 0; i < placement.size(); ++i) moved += placement[i] != orig[i];
@@ -91,50 +99,28 @@ TEST(RefineLbTest, OnlyMovesWhatIsNeeded) {
   EXPECT_LE(max_over_mean(worker_loads(loads, placement, 2)), 1.3);
 }
 
-TEST(RefineLbTest, BalancedInputUntouched) {
-  RefineLb lb;
+TEST(RefineStrategyTest, BalancedInputUntouched) {
   auto loads = make_loads({5, 5, 5, 5}, {0, 1, 0, 1});
-  EXPECT_EQ(lb.remap(loads, 2), (std::vector<int>{0, 1, 0, 1}));
+  EXPECT_EQ(remap("refine", loads, 2), (std::vector<int>{0, 1, 0, 1}));
 }
 
-TEST(DiffusionLbTest, NeighborSmoothing) {
-  DiffusionLb lb(0.10);
+TEST(DiffusionPlacementTest, NeighborSmoothing) {
   // Worker 0 overloaded, workers in a ring 0-1-2.
   auto loads = make_loads({10, 10, 10, 2, 2}, {0, 0, 0, 1, 2});
-  auto placement = lb.remap(loads, 3);
+  auto placement = remap("diffusion:threshold=0.10", loads, 3);
   const auto after = max_over_mean(worker_loads(loads, placement, 3));
   const auto before = max_over_mean(worker_loads(loads, {0, 0, 0, 1, 2}, 3));
   EXPECT_LT(after, before);
 }
 
-TEST(DiffusionLbTest, BalancedStaysPut) {
-  DiffusionLb lb(0.10);
+TEST(DiffusionPlacementTest, BalancedStaysPut) {
   auto loads = make_loads({5, 5, 5}, {0, 1, 2});
-  EXPECT_EQ(lb.remap(loads, 3), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(remap("diffusion:threshold=0.10", loads, 3), (std::vector<int>{0, 1, 2}));
 }
 
-TEST(RotateLbTest, ShiftsEveryVp) {
-  RotateLb lb;
+TEST(RotateStrategyTest, ShiftsEveryVp) {
   auto loads = make_loads({1, 2, 3}, {0, 1, 2});
-  EXPECT_EQ(lb.remap(loads, 3), (std::vector<int>{1, 2, 0}));
-}
-
-TEST(FactoryTest, AllNamesResolve) {
-  for (const char* name : {"null", "greedy", "refine", "diffusion", "rotate"}) {
-    auto lb = make_load_balancer(name);
-    ASSERT_NE(lb, nullptr);
-    EXPECT_EQ(lb->name(), name);
-  }
-}
-
-TEST(FactoryTest, UnknownNameThrows) {
-  EXPECT_THROW(make_load_balancer("bogus"), picprk::ContractViolation);
-}
-
-TEST(GreedyLbTest, SingleWorkerDegenerate) {
-  GreedyLb lb;
-  auto loads = make_loads({3, 1}, {0, 0});
-  EXPECT_EQ(lb.remap(loads, 1), (std::vector<int>{0, 0}));
+  EXPECT_EQ(remap("rotate", loads, 3), (std::vector<int>{1, 2, 0}));
 }
 
 }  // namespace

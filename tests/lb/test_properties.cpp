@@ -1,0 +1,109 @@
+// Property tests over all placement strategies with randomized inputs:
+// a plan must always be a valid placement, never increase the maximum
+// worker load for the improving strategies, and be deterministic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "lb/registry.hpp"
+#include "lb/strategy.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using picprk::lb::make_strategy;
+using picprk::lb::PartLoad;
+using picprk::lb::PlacementInput;
+using picprk::util::SplitMix64;
+
+PlacementInput random_input(SplitMix64& rng, int vps, int workers) {
+  PlacementInput in;
+  in.workers = workers;
+  in.parts.resize(static_cast<std::size_t>(vps));
+  for (int v = 0; v < vps; ++v) {
+    auto& p = in.parts[static_cast<std::size_t>(v)];
+    p.part = v;
+    p.load = static_cast<double>(rng.next_below(1000));
+    p.owner = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(workers)));
+    // Ring neighbors as generic locality hints.
+    p.neighbors = {(v + 1) % vps, (v + vps - 1) % vps};
+  }
+  return in;
+}
+
+double max_load(const PlacementInput& in, const std::vector<int>& placement) {
+  std::vector<double> w(static_cast<std::size_t>(in.workers), 0.0);
+  for (std::size_t i = 0; i < in.parts.size(); ++i)
+    w[static_cast<std::size_t>(placement[i])] += in.parts[i].load;
+  return *std::max_element(w.begin(), w.end());
+}
+
+class LbProperty : public ::testing::TestWithParam<const char*> {};
+INSTANTIATE_TEST_SUITE_P(Strategies, LbProperty,
+                         ::testing::Values("null", "greedy", "refine", "diffusion",
+                                           "compact", "rotate", "adaptive"),
+                         [](const auto& info) { return std::string(info.param); });
+
+TEST_P(LbProperty, ValidPlacementOnRandomInputs) {
+  auto lb = make_strategy(GetParam());
+  SplitMix64 rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int workers = 1 + static_cast<int>(rng.next_below(8));
+    const int vps = workers + static_cast<int>(rng.next_below(40));
+    const auto in = random_input(rng, vps, workers);
+    const auto placement = lb->rebalance_placement(in);
+    ASSERT_EQ(placement.size(), in.parts.size());
+    for (int w : placement) {
+      EXPECT_GE(w, 0);
+      EXPECT_LT(w, workers);
+    }
+  }
+}
+
+TEST_P(LbProperty, Deterministic) {
+  // Two instances created from the same spec must replay the identical
+  // plan on the identical input — the every-rank-computes-the-same-plan
+  // contract of the strategy layer.
+  auto a = make_strategy(GetParam());
+  auto b = make_strategy(GetParam());
+  SplitMix64 rng(99);
+  const auto in = random_input(rng, 30, 4);
+  EXPECT_EQ(a->rebalance_placement(in), b->rebalance_placement(in));
+  EXPECT_EQ(a->rebalance_placement(in), a->rebalance_placement(in));
+}
+
+class ImprovingLbProperty : public ::testing::TestWithParam<const char*> {};
+INSTANTIATE_TEST_SUITE_P(Strategies, ImprovingLbProperty,
+                         ::testing::Values("greedy", "refine", "compact"),
+                         [](const auto& info) { return std::string(info.param); });
+
+TEST_P(ImprovingLbProperty, NeverWorsensTheMaximum) {
+  auto lb = make_strategy(GetParam());
+  SplitMix64 rng(123);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int workers = 2 + static_cast<int>(rng.next_below(6));
+    const int vps = workers * (1 + static_cast<int>(rng.next_below(8)));
+    const auto in = random_input(rng, vps, workers);
+    std::vector<int> orig;
+    for (const auto& p : in.parts) orig.push_back(p.owner);
+    const auto placement = lb->rebalance_placement(in);
+    EXPECT_LE(max_load(in, placement), max_load(in, orig) + 1e-9)
+        << GetParam() << " trial " << trial;
+  }
+}
+
+TEST_P(ImprovingLbProperty, SubstantiallyImprovesConcentratedLoad) {
+  auto lb = make_strategy(GetParam());
+  // Everything on worker 0.
+  PlacementInput in;
+  in.workers = 4;
+  in.parts.resize(16);
+  for (int v = 0; v < 16; ++v) {
+    in.parts[static_cast<std::size_t>(v)] =
+        PartLoad{v, 10.0, 0, {(v + 1) % 16, (v + 15) % 16}};
+  }
+  const auto placement = lb->rebalance_placement(in);
+  EXPECT_LE(max_load(in, placement), 0.5 * 160.0);
+}
+
+}  // namespace

@@ -1,0 +1,102 @@
+// Registry and spec-parsing tests: the uniform `name[:key=val,...]`
+// selector behind --balancer must resolve every built-in, reject typos
+// loudly, and report capabilities truthfully.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "lb/registry.hpp"
+
+namespace {
+
+using picprk::lb::descriptor_of;
+using picprk::lb::make_strategy;
+using picprk::lb::parse_spec;
+using picprk::lb::registered_strategies;
+
+TEST(ParseSpec, NameOnly) {
+  const auto p = parse_spec("greedy");
+  EXPECT_EQ(p.name, "greedy");
+  EXPECT_TRUE(p.options.empty());
+}
+
+TEST(ParseSpec, NameWithOptions) {
+  const auto p = parse_spec("diffusion:threshold=0.2,border=2,two_phase=1");
+  EXPECT_EQ(p.name, "diffusion");
+  ASSERT_EQ(p.options.size(), 3u);
+  EXPECT_EQ(p.options.at("threshold"), "0.2");
+  EXPECT_EQ(p.options.at("border"), "2");
+  EXPECT_EQ(p.options.at("two_phase"), "1");
+}
+
+TEST(ParseSpec, MalformedOptionThrows) {
+  EXPECT_THROW(parse_spec("diffusion:threshold"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("diffusion:=1"), std::invalid_argument);
+  EXPECT_THROW(parse_spec(""), std::invalid_argument);
+}
+
+TEST(Registry, AllNamesResolveAndReportTheirName) {
+  const auto all = registered_strategies();
+  ASSERT_GE(all.size(), 7u);  // the PR's acceptance floor
+  for (const auto& d : all) {
+    auto s = make_strategy(d.name);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->name(), d.name);
+    // Capability flags must match the descriptor.
+    EXPECT_EQ(s->balances_bounds(), d.bounds) << d.name;
+    EXPECT_EQ(s->balances_placement(), d.placement) << d.name;
+    // Every strategy balances *something*.
+    EXPECT_TRUE(d.bounds || d.placement) << d.name;
+  }
+}
+
+TEST(Registry, ListingIsSortedByName) {
+  const auto all = registered_strategies();
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(all[i - 1].name, all[i].name);
+  }
+}
+
+TEST(Registry, CanonicalEntriesPresent) {
+  // The §IV-B / §IV-C pairing plus this PR's two new strategies.
+  EXPECT_TRUE(descriptor_of("diffusion").bounds);
+  EXPECT_TRUE(descriptor_of("greedy").placement);
+  EXPECT_TRUE(descriptor_of("rcb").bounds);
+  EXPECT_FALSE(descriptor_of("rcb").placement);
+  EXPECT_TRUE(descriptor_of("adaptive").bounds);
+  EXPECT_TRUE(descriptor_of("adaptive").placement);
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(make_strategy("bogus"), std::invalid_argument);
+  EXPECT_THROW(descriptor_of("bogus"), std::invalid_argument);
+}
+
+TEST(Registry, UnknownOptionThrows) {
+  EXPECT_THROW(make_strategy("greedy:tolerance=1.1"), std::invalid_argument);
+  EXPECT_THROW(make_strategy("diffusion:frequency=4"), std::invalid_argument);
+}
+
+TEST(Registry, MalformedOptionValueThrows) {
+  EXPECT_THROW(make_strategy("diffusion:threshold=abc"), std::invalid_argument);
+  EXPECT_THROW(make_strategy("diffusion:two_phase=maybe"), std::invalid_argument);
+  EXPECT_THROW(make_strategy("diffusion:border=1.5"), std::invalid_argument);
+}
+
+TEST(Registry, AdaptiveInnerSelection) {
+  // adaptive wraps an inner strategy for each role it implements.
+  EXPECT_NE(make_strategy("adaptive:inner=rcb"), nullptr);
+  EXPECT_NE(make_strategy("adaptive:inner=refine"), nullptr);
+  EXPECT_THROW(make_strategy("adaptive:inner=adaptive"), std::invalid_argument);
+  EXPECT_THROW(make_strategy("adaptive:inner=bogus"), std::invalid_argument);
+}
+
+TEST(Registry, AdaptiveWantsFeedback) {
+  auto s = make_strategy("adaptive");
+  EXPECT_TRUE(s->wants_feedback());
+  // The plain strategies do not.
+  EXPECT_FALSE(make_strategy("diffusion")->wants_feedback());
+  EXPECT_FALSE(make_strategy("greedy")->wants_feedback());
+}
+
+}  // namespace

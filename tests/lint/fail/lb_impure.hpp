@@ -1,0 +1,28 @@
+// Fixture: nondeterminism inside a rebalance decision body must fail
+// the `lb` rule — clocks, RNG, environment reads and communication all
+// desynchronise the replicated strategy state across ranks.
+#pragma once
+
+#include <chrono>
+#include <cstdlib>
+#include <vector>
+
+struct FakeComm {
+  double allreduce_max(double v);
+};
+
+struct ImpureStrategy {
+  std::vector<int> rebalance_placement(const std::vector<double>& loads) {
+    std::vector<int> owners(loads.size(), 0);
+    if (std::rand() % 2 == 0) owners[0] = 1;  // banned: per-rank RNG
+    return owners;
+  }
+
+  std::vector<long> rebalance_bounds(const std::vector<long>& bounds,
+                                     FakeComm& comm) {
+    const auto t0 = std::chrono::steady_clock::now();  // banned: clock read
+    (void)t0;
+    comm.allreduce_max(1.0);  // banned: communication inside a decision
+    return bounds;
+  }
+};

@@ -1,0 +1,42 @@
+// Fixture: the allowed lb::Strategy shape — decision bodies are pure
+// arithmetic over their input. The tokens steady_clock and allreduce in
+// this comment must not trip the checker, and banned names outside the
+// decision bodies (setup code, other members) are fine too.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+struct FakeBoundsInput {
+  std::vector<std::int64_t> bounds;
+  std::vector<double> loads;
+};
+
+struct PureStrategy {
+  std::vector<std::int64_t> rebalance_bounds(const FakeBoundsInput& in) {
+    std::vector<std::int64_t> out = in.bounds;
+    double total = 0.0;
+    for (const double l : in.loads) total += l;
+    if (total <= 0.0) return out;  // deterministic arithmetic only
+    return out;
+  }
+
+  std::vector<int> rebalance_placement(const FakeBoundsInput& in) {
+    std::vector<int> owners(in.loads.size(), 0);
+    for (std::size_t i = 0; i < owners.size(); ++i) {
+      owners[i] = static_cast<int>(i % 2);
+    }
+    return owners;
+  }
+
+  // Declarations without bodies are not checked.
+  std::vector<int> rebalance_placement(const std::vector<double>& loads);
+
+  // Outside a decision body the runtime vocabulary is allowed: feedback
+  // arrives through note_applied() with already-allreduced values.
+  void note_applied(double allreduced_seconds) { last_cost_ = allreduced_seconds; }
+
+ private:
+  double last_cost_ = 0.0;
+};

@@ -1,14 +1,15 @@
-// Property tests for the diffusion decision function: randomized loads,
+// Property tests for the boundary decision functions: randomized loads,
 // widths and thresholds must always yield valid boundaries, and repeated
 // application on a static workload must monotonically approach balance.
 #include <gtest/gtest.h>
 
-#include "par/diffusion.hpp"
+#include "lb/bounds.hpp"
 #include "util/rng.hpp"
 
 namespace {
 
-using picprk::par::diffuse_bounds;
+using picprk::lb::diffuse_bounds;
+using picprk::lb::rcb_bounds;
 using picprk::util::SplitMix64;
 
 std::vector<std::int64_t> balanced_bounds(std::int64_t cells, int parts) {
@@ -17,16 +18,17 @@ std::vector<std::int64_t> balanced_bounds(std::int64_t cells, int parts) {
   return b;
 }
 
-/// Loads implied by boundaries over a per-column weight vector.
-std::vector<std::uint64_t> loads_for(const std::vector<std::int64_t>& bounds,
-                                     const std::vector<double>& column_weight) {
-  std::vector<std::uint64_t> loads(bounds.size() - 1, 0);
+/// Loads implied by boundaries over a per-column weight vector (whole
+/// particles, as the drivers count them).
+std::vector<double> loads_for(const std::vector<std::int64_t>& bounds,
+                              const std::vector<double>& column_weight) {
+  std::vector<double> loads(bounds.size() - 1, 0);
   for (std::size_t i = 0; i + 1 < bounds.size(); ++i) {
     double sum = 0;
     for (std::int64_t c = bounds[i]; c < bounds[i + 1]; ++c) {
       sum += column_weight[static_cast<std::size_t>(c)];
     }
-    loads[i] = static_cast<std::uint64_t>(sum);
+    loads[i] = static_cast<double>(static_cast<std::uint64_t>(sum));
   }
   return loads;
 }
@@ -48,8 +50,8 @@ TEST(DiffusePropertyTest, RandomInputsAlwaysYieldValidBounds) {
       }
     }
     std::sort(bounds.begin(), bounds.end());
-    std::vector<std::uint64_t> loads(static_cast<std::size_t>(parts));
-    for (auto& l : loads) l = rng.next_below(100000);
+    std::vector<double> loads(static_cast<std::size_t>(parts));
+    for (auto& l : loads) l = static_cast<double>(rng.next_below(100000));
     const double threshold = static_cast<double>(rng.next_below(5000));
     const auto width = static_cast<std::int64_t>(1 + rng.next_below(8));
 
@@ -82,39 +84,85 @@ TEST(DiffusePropertyTest, RepeatedApplicationApproachesBalance) {
   }
   auto bounds = balanced_bounds(cells, parts);
   auto loads = loads_for(bounds, weight);
-  const auto start_max = *std::max_element(loads.begin(), loads.end());
+  const double start_max = *std::max_element(loads.begin(), loads.end());
   double total = 0;
-  for (auto l : loads) total += static_cast<double>(l);
+  for (double l : loads) total += l;
   const double tau = 0.02 * total / parts;
 
   // One border-column move changes a part's load by at most the largest
   // column weight, so that is the legal oscillation amplitude.
   const double max_column = *std::max_element(weight.begin(), weight.end());
-  std::uint64_t prev_max = start_max;
+  double prev_max = start_max;
   for (int iteration = 0; iteration < 60; ++iteration) {
     bounds = diffuse_bounds(bounds, loads, tau, 1);
     loads = loads_for(bounds, weight);
-    const auto now_max = *std::max_element(loads.begin(), loads.end());
-    EXPECT_LE(static_cast<double>(now_max),
-              static_cast<double>(prev_max) + max_column + 1.0)
-        << "iteration " << iteration;
+    const double now_max = *std::max_element(loads.begin(), loads.end());
+    EXPECT_LE(now_max, prev_max + max_column + 1.0) << "iteration " << iteration;
     prev_max = now_max;
   }
-  EXPECT_LT(static_cast<double>(prev_max), 0.55 * static_cast<double>(start_max));
+  EXPECT_LT(prev_max, 0.55 * start_max);
 }
 
 TEST(DiffusePropertyTest, BalancedLoadsAreFixedPoint) {
   const auto bounds = balanced_bounds(100, 5);
-  const std::vector<std::uint64_t> loads(5, 1000);
+  const std::vector<double> loads(5, 1000.0);
   EXPECT_EQ(diffuse_bounds(bounds, loads, 10.0, 3), bounds);
 }
 
 TEST(DiffusePropertyTest, ThresholdGatesAction) {
   const auto bounds = balanced_bounds(100, 2);
   // Difference of 100 with threshold 150: no action.
-  EXPECT_EQ(diffuse_bounds(bounds, {600, 500}, 150.0, 2), bounds);
+  EXPECT_EQ(diffuse_bounds(bounds, {600.0, 500.0}, 150.0, 2), bounds);
   // Threshold 50: action.
-  EXPECT_NE(diffuse_bounds(bounds, {600, 500}, 50.0, 2), bounds);
+  EXPECT_NE(diffuse_bounds(bounds, {600.0, 500.0}, 50.0, 2), bounds);
+}
+
+// ------------------------------------------------------------- rcb
+
+TEST(RcbPropertyTest, RandomInputsAlwaysYieldValidBounds) {
+  SplitMix64 rng(7);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int parts = 2 + static_cast<int>(rng.next_below(10));
+    const std::int64_t cells = parts + static_cast<std::int64_t>(rng.next_below(200));
+    const auto bounds = balanced_bounds(cells, parts);
+    std::vector<double> loads(static_cast<std::size_t>(parts));
+    for (auto& l : loads) l = static_cast<double>(rng.next_below(100000));
+    const auto out = rcb_bounds(bounds, loads);
+    ASSERT_EQ(out.size(), bounds.size());
+    EXPECT_EQ(out.front(), 0);
+    EXPECT_EQ(out.back(), cells);
+    // Every part keeps at least one cell.
+    for (std::size_t i = 1; i < out.size(); ++i) {
+      EXPECT_GT(out[i], out[i - 1]) << "trial " << trial;
+    }
+  }
+}
+
+TEST(RcbPropertyTest, OneShotBeatsSkewedStart) {
+  // The §IV-B setup: exponential column weights, one RCB invocation must
+  // land near balance where diffusion needs many rounds.
+  const std::int64_t cells = 120;
+  const int parts = 6;
+  std::vector<double> weight(static_cast<std::size_t>(cells));
+  double w = 1000.0;
+  for (auto& v : weight) {
+    v = w;
+    w *= 0.94;
+  }
+  auto bounds = balanced_bounds(cells, parts);
+  auto loads = loads_for(bounds, weight);
+  const double start_max = *std::max_element(loads.begin(), loads.end());
+  bounds = rcb_bounds(bounds, loads);
+  loads = loads_for(bounds, weight);
+  const double after_max = *std::max_element(loads.begin(), loads.end());
+  EXPECT_LT(after_max, 0.55 * start_max);
+}
+
+TEST(RcbPropertyTest, UniformLoadsKeepEqualWidths) {
+  const auto bounds = balanced_bounds(100, 4);
+  const std::vector<double> loads(4, 500.0);
+  const auto out = rcb_bounds(bounds, loads);
+  EXPECT_EQ(out, bounds);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "comm/world.hpp"
+#include "lb/bounds.hpp"
 #include "par/ampi.hpp"
 #include "par/baseline.hpp"
 #include "par/diffusion.hpp"
@@ -13,10 +14,8 @@ namespace {
 
 using picprk::comm::Comm;
 using picprk::comm::World;
-using picprk::par::AmpiParams;
-using picprk::par::DiffusionParams;
-using picprk::par::DriverConfig;
 using picprk::par::DriverResult;
+using picprk::par::RunConfig;
 using picprk::par::run_ampi;
 using picprk::par::run_baseline;
 using picprk::par::run_diffusion;
@@ -30,8 +29,8 @@ using picprk::pic::RemovalEvent;
 using picprk::pic::Sinusoidal;
 using picprk::pic::Uniform;
 
-DriverConfig make_config(std::int64_t cells, std::uint64_t n, std::uint32_t steps) {
-  DriverConfig cfg;
+RunConfig make_config(std::int64_t cells, std::uint64_t n, std::uint32_t steps) {
+  RunConfig cfg;
   cfg.init.grid = GridSpec(cells, 1.0);
   cfg.init.total_particles = n;
   cfg.steps = steps;
@@ -116,10 +115,9 @@ TEST_P(DiffusionRanks, SkewedDistributionVerifies) {
   world.run([](Comm& comm) {
     auto cfg = make_config(24, 1500, 40);
     cfg.init.distribution = Geometric{0.8};
-    DiffusionParams lb;
-    lb.frequency = 5;
-    lb.threshold = 0.05;
-    const DriverResult r = run_diffusion(comm, cfg, lb);
+    cfg.lb.strategy = "diffusion:threshold=0.05";
+    cfg.lb.every = 5;
+    const DriverResult r = run_diffusion(comm, cfg);
     EXPECT_TRUE(r.ok) << "failures=" << r.verification.position_failures;
   });
 }
@@ -130,11 +128,9 @@ TEST(Diffusion, ImprovesBalanceOverBaseline) {
     auto cfg = make_config(32, 4000, 60);
     cfg.init.distribution = Geometric{0.8};
     const DriverResult base = run_baseline(comm, cfg);
-    DiffusionParams lb;
-    lb.frequency = 4;
-    lb.threshold = 0.05;
-    lb.border_width = 1;
-    const DriverResult diff = run_diffusion(comm, cfg, lb);
+    cfg.lb.strategy = "diffusion:threshold=0.05,border=1";
+    cfg.lb.every = 4;
+    const DriverResult diff = run_diffusion(comm, cfg);
     EXPECT_TRUE(base.ok);
     EXPECT_TRUE(diff.ok);
     // The §V-B comparison: max particles per rank must improve.
@@ -150,11 +146,9 @@ TEST(Diffusion, TwoPhaseVerifies) {
     auto cfg = make_config(24, 2000, 40);
     // A patch in one corner stresses both directions.
     cfg.init.distribution = picprk::pic::Patch{CellRegion{0, 8, 0, 8}};
-    DiffusionParams lb;
-    lb.frequency = 5;
-    lb.threshold = 0.05;
-    lb.two_phase = true;
-    const DriverResult r = run_diffusion(comm, cfg, lb);
+    cfg.lb.strategy = "diffusion:threshold=0.05,two_phase=1";
+    cfg.lb.every = 5;
+    const DriverResult r = run_diffusion(comm, cfg);
     EXPECT_TRUE(r.ok);
   });
 }
@@ -166,10 +160,9 @@ TEST(Diffusion, EventsAndLbTogether) {
     cfg.init.distribution = Geometric{0.85};
     cfg.events = EventSchedule({InjectionEvent{12, CellRegion{16, 24, 0, 24}, 600}},
                                {RemovalEvent{25, CellRegion{0, 12, 0, 24}, 0.6}});
-    DiffusionParams lb;
-    lb.frequency = 6;
-    lb.threshold = 0.05;
-    EXPECT_TRUE(run_diffusion(comm, cfg, lb).ok);
+    cfg.lb.strategy = "diffusion:threshold=0.05";
+    cfg.lb.every = 6;
+    EXPECT_TRUE(run_diffusion(comm, cfg).ok);
   });
 }
 
@@ -178,32 +171,64 @@ TEST(Diffusion, WiderBorderVerifies) {
   world.run([](Comm& comm) {
     auto cfg = make_config(30, 1500, 30);
     cfg.init.distribution = Geometric{0.8};
-    DiffusionParams lb;
-    lb.frequency = 4;
-    lb.threshold = 0.02;
-    lb.border_width = 3;
-    EXPECT_TRUE(run_diffusion(comm, cfg, lb).ok);
+    cfg.lb.strategy = "diffusion:threshold=0.02,border=3";
+    cfg.lb.every = 4;
+    EXPECT_TRUE(run_diffusion(comm, cfg).ok);
   });
 }
 
+TEST(Diffusion, RcbStrategyVerifies) {
+  World world(4);
+  world.run([](Comm& comm) {
+    auto cfg = make_config(32, 3000, 40);
+    cfg.init.distribution = Geometric{0.8};
+    cfg.lb.strategy = "rcb";
+    cfg.lb.every = 8;
+    const DriverResult r = run_diffusion(comm, cfg);
+    EXPECT_TRUE(r.ok) << "failures=" << r.verification.position_failures;
+  });
+}
+
+TEST(Diffusion, AdaptiveStrategyVerifies) {
+  World world(4);
+  world.run([](Comm& comm) {
+    auto cfg = make_config(32, 3000, 40);
+    cfg.init.distribution = Geometric{0.8};
+    cfg.lb.strategy = "adaptive";
+    cfg.lb.every = 8;
+    EXPECT_TRUE(run_diffusion(comm, cfg).ok);
+  });
+}
+
+TEST(Diffusion, PlacementOnlyStrategyIsRejected) {
+  World world(2);
+  // World::run rethrows the first worker exception to the caller.
+  EXPECT_THROW(world.run([](Comm& comm) {
+    auto cfg = make_config(16, 400, 5);
+    cfg.lb.strategy = "greedy";  // placement-only, cannot move bounds
+    (void)run_diffusion(comm, cfg);
+  }),
+               std::invalid_argument);
+}
+
 TEST(DiffuseBoundsFn, MovesTowardLighterSide) {
-  using picprk::par::diffuse_bounds;
+  using picprk::lb::diffuse_bounds;
   // Column 0 heavily loaded: boundary 1 must move left.
-  const auto out = diffuse_bounds({0, 10, 20}, {1000, 10}, 100.0, 2);
+  const auto out = diffuse_bounds({0, 10, 20}, {1000.0, 10.0}, 100.0, 2);
   EXPECT_EQ(out, (std::vector<std::int64_t>{0, 8, 20}));
   // Balanced: no movement.
-  EXPECT_EQ(diffuse_bounds({0, 10, 20}, {500, 505}, 100.0, 2),
+  EXPECT_EQ(diffuse_bounds({0, 10, 20}, {500.0, 505.0}, 100.0, 2),
             (std::vector<std::int64_t>{0, 10, 20}));
   // Column 1 loaded: boundary moves right.
-  EXPECT_EQ(diffuse_bounds({0, 10, 20}, {10, 1000}, 100.0, 2),
+  EXPECT_EQ(diffuse_bounds({0, 10, 20}, {10.0, 1000.0}, 100.0, 2),
             (std::vector<std::int64_t>{0, 12, 20}));
 }
 
 TEST(DiffuseBoundsFn, ClampKeepsBoundsValid) {
-  using picprk::par::diffuse_bounds;
+  using picprk::lb::diffuse_bounds;
   // Narrow columns: movement is clamped to keep widths >= 1 and to never
   // jump past the old adjacent boundary.
-  const auto out = diffuse_bounds({0, 1, 2, 30}, {1000, 1000, 1}, 10.0, 5);
+  const auto out = diffuse_bounds({0, 1, 2, 30}, {1000.0, 1000.0, 1.0}, 10.0, 5);
   for (std::size_t i = 1; i < out.size(); ++i) EXPECT_GT(out[i], out[i - 1]);
   EXPECT_EQ(out.front(), 0);
   EXPECT_EQ(out.back(), 30);
@@ -218,11 +243,10 @@ INSTANTIATE_TEST_SUITE_P(WorkerCounts, AmpiWorkers, ::testing::Values(1, 2, 4),
 TEST_P(AmpiWorkers, SkewedDistributionVerifies) {
   auto cfg = make_config(24, 1500, 40);
   cfg.init.distribution = Geometric{0.8};
-  AmpiParams params;
-  params.workers = GetParam();
-  params.overdecomposition = 4;
-  params.lb_interval = 8;
-  const DriverResult r = run_ampi(cfg, params);
+  cfg.workers = GetParam();
+  cfg.overdecomposition = 4;
+  cfg.lb.every = 8;
+  const DriverResult r = run_ampi(cfg);
   EXPECT_TRUE(r.ok) << "failures=" << r.verification.position_failures
                     << " checksum=" << r.verification.id_checksum << "/"
                     << r.expected_id_checksum;
@@ -231,11 +255,10 @@ TEST_P(AmpiWorkers, SkewedDistributionVerifies) {
 TEST(Ampi, MigrationHappensAndStateSurvives) {
   auto cfg = make_config(24, 2500, 30);
   cfg.init.distribution = Geometric{0.7};
-  AmpiParams params;
-  params.workers = 2;
-  params.overdecomposition = 8;
-  params.lb_interval = 5;
-  const DriverResult r = run_ampi(cfg, params);
+  cfg.workers = 2;
+  cfg.overdecomposition = 8;
+  cfg.lb.every = 5;
+  const DriverResult r = run_ampi(cfg);
   EXPECT_TRUE(r.ok);
   EXPECT_GT(r.lb_actions, 0u);     // migrations occurred
   EXPECT_GT(r.lb_bytes, 0u);       // and carried PUPed state
@@ -249,15 +272,15 @@ TEST(Ampi, GreedyImprovesWorkerBalance) {
   // owning the left half — the imbalanced starting point the balancer
   // must fix. (With full VP rows per worker the placement would be
   // accidentally balanced for any y-uniform distribution.)
-  AmpiParams off;
+  RunConfig off = cfg;
   off.workers = 4;
   off.overdecomposition = 2;
-  off.lb_interval = 0;  // never balance
-  AmpiParams on = off;
-  on.lb_interval = 5;
-  cfg.sample_every = 2;
-  const DriverResult r_off = run_ampi(cfg, off);
-  const DriverResult r_on = run_ampi(cfg, on);
+  off.lb.every = 0;  // never balance
+  off.sample_every = 2;
+  RunConfig on = off;
+  on.lb.every = 5;
+  const DriverResult r_off = run_ampi(off);
+  const DriverResult r_on = run_ampi(on);
   EXPECT_TRUE(r_off.ok);
   EXPECT_TRUE(r_on.ok);
   // Compare time-averaged imbalance: the end-of-run snapshot is noisy
@@ -276,35 +299,41 @@ TEST(Ampi, EventsVerify) {
   auto cfg = make_config(20, 800, 30);
   cfg.events = EventSchedule({InjectionEvent{8, CellRegion{0, 10, 0, 10}, 400}},
                              {RemovalEvent{20, CellRegion{10, 20, 0, 20}, 0.5}});
-  AmpiParams params;
-  params.workers = 2;
-  params.overdecomposition = 4;
-  params.lb_interval = 6;
-  EXPECT_TRUE(run_ampi(cfg, params).ok);
+  cfg.workers = 2;
+  cfg.overdecomposition = 4;
+  cfg.lb.every = 6;
+  EXPECT_TRUE(run_ampi(cfg).ok);
 }
 
-TEST(Ampi, AllBalancersVerify) {
-  for (const char* balancer : {"null", "greedy", "refine", "diffusion", "rotate"}) {
+TEST(Ampi, AllPlacementBalancersVerify) {
+  for (const char* balancer :
+       {"null", "greedy", "refine", "diffusion", "rotate", "compact", "adaptive"}) {
     auto cfg = make_config(20, 900, 20);
     cfg.init.distribution = Sinusoidal{};
-    AmpiParams params;
-    params.workers = 2;
-    params.overdecomposition = 4;
-    params.lb_interval = 4;
-    params.balancer = balancer;
-    EXPECT_TRUE(run_ampi(cfg, params).ok) << balancer;
+    cfg.workers = 2;
+    cfg.overdecomposition = 4;
+    cfg.lb.every = 4;
+    cfg.lb.strategy = balancer;
+    EXPECT_TRUE(run_ampi(cfg).ok) << balancer;
   }
+}
+
+TEST(Ampi, BoundsOnlyStrategyIsRejected) {
+  auto cfg = make_config(16, 400, 5);
+  cfg.workers = 2;
+  cfg.overdecomposition = 2;
+  cfg.lb.strategy = "rcb";  // bounds-only, cannot place VPs
+  EXPECT_THROW((void)run_ampi(cfg), std::invalid_argument);
 }
 
 TEST(Ampi, MeasuredLoadModeVerifies) {
   auto cfg = make_config(20, 900, 20);
   cfg.init.distribution = Geometric{0.8};
-  AmpiParams params;
-  params.workers = 2;
-  params.overdecomposition = 4;
-  params.lb_interval = 4;
-  params.use_measured_load = true;
-  EXPECT_TRUE(run_ampi(cfg, params).ok);
+  cfg.workers = 2;
+  cfg.overdecomposition = 4;
+  cfg.lb.every = 4;
+  cfg.lb.measured = true;
+  EXPECT_TRUE(run_ampi(cfg).ok);
 }
 
 // --------------------------------------------- cross-implementation
@@ -320,19 +349,19 @@ TEST(CrossImplementation, AllThreeAgreeWithSerialChecksum) {
   World world(4);
   world.run([&](Comm& comm) {
     const auto b = run_baseline(comm, cfg);
-    DiffusionParams lb;
-    lb.frequency = 6;
-    const auto d = run_diffusion(comm, cfg, lb);
+    RunConfig dcfg = cfg;
+    dcfg.lb.every = 6;
+    const auto d = run_diffusion(comm, dcfg);
     if (comm.rank() == 0) {
       base = b;
       diff = d;
     }
   });
-  AmpiParams params;
-  params.workers = 2;
-  params.overdecomposition = 4;
-  params.lb_interval = 6;
-  const DriverResult ampi = run_ampi(cfg, params);
+  RunConfig acfg = cfg;
+  acfg.workers = 2;
+  acfg.overdecomposition = 4;
+  acfg.lb.every = 6;
+  const DriverResult ampi = run_ampi(acfg);
 
   EXPECT_TRUE(base.ok);
   EXPECT_TRUE(diff.ok);

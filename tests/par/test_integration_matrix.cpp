@@ -20,10 +20,9 @@ namespace {
 
 using picprk::comm::Comm;
 using picprk::comm::World;
-using picprk::par::AmpiParams;
-using picprk::par::DiffusionParams;
 using picprk::par::DriverConfig;
 using picprk::par::DriverResult;
+using picprk::par::RunConfig;
 using picprk::pic::CellRegion;
 using picprk::pic::EventSchedule;
 using picprk::pic::InjectionEvent;
@@ -53,8 +52,8 @@ const char* matrix_tag(int kind) {
   }
 }
 
-DriverConfig matrix_config(int kind, bool events) {
-  DriverConfig cfg;
+RunConfig matrix_config(int kind, bool events) {
+  RunConfig cfg;
   cfg.init.grid = picprk::pic::GridSpec(kCells, 1.0);
   cfg.init.total_particles = kParticles;
   cfg.init.distribution = matrix_distribution(kind);
@@ -116,11 +115,10 @@ TEST_P(Matrix, DiffusionMatchesSerial) {
   const auto ref = serial_reference(cfg);
   World world(4);
   world.run([&](Comm& comm) {
-    DiffusionParams lb;
-    lb.frequency = 4;
-    lb.threshold = 0.05;
-    lb.border_width = 2;
-    const DriverResult r = picprk::par::run_diffusion(comm, cfg, lb);
+    RunConfig dcfg = cfg;
+    dcfg.lb.strategy = "diffusion:threshold=0.05,border=2";
+    dcfg.lb.every = 4;
+    const DriverResult r = picprk::par::run_diffusion(comm, dcfg);
     EXPECT_TRUE(r.ok);
     EXPECT_EQ(r.final_particles, ref.particles);
     EXPECT_EQ(r.verification.id_checksum, ref.checksum);
@@ -133,12 +131,42 @@ TEST_P(Matrix, TwoPhaseDiffusionMatchesSerial) {
   const auto ref = serial_reference(cfg);
   World world(4);
   world.run([&](Comm& comm) {
-    DiffusionParams lb;
-    lb.frequency = 6;
-    lb.threshold = 0.05;
-    lb.border_width = 1;
-    lb.two_phase = true;
-    const DriverResult r = picprk::par::run_diffusion(comm, cfg, lb);
+    RunConfig dcfg = cfg;
+    dcfg.lb.strategy = "diffusion:threshold=0.05,border=1,two_phase=1";
+    dcfg.lb.every = 6;
+    const DriverResult r = picprk::par::run_diffusion(comm, dcfg);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.final_particles, ref.particles);
+    EXPECT_EQ(r.verification.id_checksum, ref.checksum);
+  });
+}
+
+TEST_P(Matrix, RcbMatchesSerial) {
+  const auto [kind, events] = GetParam();
+  const auto cfg = matrix_config(kind, events);
+  const auto ref = serial_reference(cfg);
+  World world(4);
+  world.run([&](Comm& comm) {
+    RunConfig dcfg = cfg;
+    dcfg.lb.strategy = "rcb:two_phase=1";
+    dcfg.lb.every = 6;
+    const DriverResult r = picprk::par::run_diffusion(comm, dcfg);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.final_particles, ref.particles);
+    EXPECT_EQ(r.verification.id_checksum, ref.checksum);
+  });
+}
+
+TEST_P(Matrix, AdaptiveMatchesSerial) {
+  const auto [kind, events] = GetParam();
+  const auto cfg = matrix_config(kind, events);
+  const auto ref = serial_reference(cfg);
+  World world(4);
+  world.run([&](Comm& comm) {
+    RunConfig dcfg = cfg;
+    dcfg.lb.strategy = "adaptive";
+    dcfg.lb.every = 6;
+    const DriverResult r = picprk::par::run_diffusion(comm, dcfg);
     EXPECT_TRUE(r.ok);
     EXPECT_EQ(r.final_particles, ref.particles);
     EXPECT_EQ(r.verification.id_checksum, ref.checksum);
@@ -149,11 +177,11 @@ TEST_P(Matrix, AmpiMatchesSerial) {
   const auto [kind, events] = GetParam();
   const auto cfg = matrix_config(kind, events);
   const auto ref = serial_reference(cfg);
-  AmpiParams params;
-  params.workers = 2;
-  params.overdecomposition = 4;
-  params.lb_interval = 5;
-  const DriverResult r = picprk::par::run_ampi(cfg, params);
+  RunConfig acfg = cfg;
+  acfg.workers = 2;
+  acfg.overdecomposition = 4;
+  acfg.lb.every = 5;
+  const DriverResult r = picprk::par::run_ampi(acfg);
   EXPECT_TRUE(r.ok);
   EXPECT_EQ(r.final_particles, ref.particles);
   EXPECT_EQ(r.verification.id_checksum, ref.checksum);

@@ -247,12 +247,13 @@ TEST(ObsIntegration, AmpiDriverPopulatesSamplesAndVpLanes) {
   Trace trace;
   DriverConfig cfg = make_config();
   cfg.obs = Hooks{&registry, &trace};
-  picprk::par::AmpiParams params;
-  params.workers = 2;
-  params.overdecomposition = 4;
-  params.lb_interval = 4;
+  picprk::par::RunConfig acfg;
+  static_cast<DriverConfig&>(acfg) = cfg;
+  acfg.workers = 2;
+  acfg.overdecomposition = 4;
+  acfg.lb.every = 4;
 
-  const auto r = picprk::par::run_ampi(cfg, params);
+  const auto r = picprk::par::run_ampi(acfg);
   ASSERT_TRUE(r.ok);
 
   if (!picprk::obs::kEnabled) {
@@ -266,8 +267,8 @@ TEST(ObsIntegration, AmpiDriverPopulatesSamplesAndVpLanes) {
   }
   // The vpr runtime registers one lane per VP (pid 1) plus the driver
   // lane (pid 0), and its canonical instruments.
-  EXPECT_GE(trace.lane_count(), static_cast<std::size_t>(params.workers *
-                                                         params.overdecomposition));
+  EXPECT_GE(trace.lane_count(), static_cast<std::size_t>(acfg.workers *
+                                                         acfg.overdecomposition));
   EXPECT_NE(registry.find_histogram("vpr/phase_step_seconds"), nullptr);
   EXPECT_NE(registry.find_counter("vpr/messages"), nullptr);
 }

@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "comm/world.hpp"
+#include "lb/bounds.hpp"
 #include "par/baseline.hpp"
 #include "par/diffusion.hpp"
 #include "perfsim/engine.hpp"
@@ -88,10 +89,10 @@ TEST(CrossValidation, ModelReproducesMeasuredMaxParticles) {
 }
 
 TEST(CrossValidation, DiffusionDecisionLogicIsShared) {
-  // The model calls the *same* par::diffuse_bounds as the real driver,
+  // The model calls the *same* lb::diffuse_bounds as the real driver,
   // so a boundary decision divergence is impossible by construction.
   // Check a representative call to document the shared entry point.
-  const auto out = picprk::par::diffuse_bounds({0, 8, 16}, {900, 100}, 50.0, 1);
+  const auto out = picprk::lb::diffuse_bounds({0, 8, 16}, {900.0, 100.0}, 50.0, 1);
   EXPECT_EQ(out, (std::vector<std::int64_t>{0, 7, 16}));
 }
 

@@ -12,8 +12,8 @@ namespace {
 
 using picprk::comm::Comm;
 using picprk::comm::World;
-using picprk::par::DiffusionParams;
 using picprk::par::DriverConfig;
+using picprk::par::RunConfig;
 using picprk::par::DriverResult;
 using picprk::pic::Geometric;
 using picprk::pic::GridSpec;
@@ -74,22 +74,21 @@ TEST(RotatedDrivers, XOnlyDiffusionCannotFixRowSkew) {
   // two-phase variant can.
   World world(4);  // 2×2 process grid
   world.run([](Comm& comm) {
-    DriverConfig cfg;
+    RunConfig cfg;
     cfg.init = rotated_params(32, 6000, 0.8);
     cfg.steps = 60;
     cfg.sample_every = 5;
 
     const DriverResult base = picprk::par::run_baseline(comm, cfg);
 
-    DiffusionParams xonly;
-    xonly.frequency = 4;
-    xonly.threshold = 0.05;
-    xonly.border_width = 2;
-    const DriverResult x = picprk::par::run_diffusion(comm, cfg, xonly);
+    RunConfig xonly = cfg;
+    xonly.lb.strategy = "diffusion:threshold=0.05,border=2";
+    xonly.lb.every = 4;
+    const DriverResult x = picprk::par::run_diffusion(comm, xonly);
 
-    DiffusionParams both = xonly;
-    both.two_phase = true;
-    const DriverResult xy = picprk::par::run_diffusion(comm, cfg, both);
+    RunConfig both = xonly;
+    both.lb.strategy = "diffusion:threshold=0.05,border=2,two_phase=1";
+    const DriverResult xy = picprk::par::run_diffusion(comm, both);
 
     ASSERT_TRUE(base.ok);
     ASSERT_TRUE(x.ok);

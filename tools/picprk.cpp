@@ -6,8 +6,9 @@
 // Examples:
 //   picprk --impl serial --cells 400 --particles 200000 --steps 400
 //   picprk --impl diffusion --ranks 6 --dist geometric --r 0.98
-//          --lb-frequency 8 --lb-border 4 --two-phase
-//   picprk --impl ampi --workers 2 --d 8 --F 16 --balancer compact
+//          --balancer diffusion:border=4,two_phase=1 --lb-every 8
+//   picprk --impl ampi --workers 2 --d 8 --lb-every 16 --balancer compact
+//   picprk --balancer list                     # the lb strategy registry
 //   picprk --impl model --cores 384 --steps 6000   # performance model
 //   picprk --impl baseline --ranks 4 --faults kill:rank=1,step=40
 //          --checkpoint-every 16 --timeout-ms 2000   # resilience drill
@@ -21,6 +22,7 @@
 #include "comm/world.hpp"
 #include "ft/checkpoint.hpp"
 #include "ft/fault.hpp"
+#include "lb/registry.hpp"
 #include "obs/phase.hpp"
 #include "obs/registry.hpp"
 #include "obs/sinks.hpp"
@@ -73,6 +75,86 @@ pic::EventSchedule parse_events(const util::ArgParser& args, std::int64_t cells)
   return pic::EventSchedule(std::move(injections), std::move(removals));
 }
 
+/// `--balancer list`: the registry as a table (name, capabilities,
+/// summary) — the enumerable assessment matrix of the lb subsystem.
+int print_balancer_list() {
+  util::Table table({"name", "bounds", "placement", "summary"});
+  for (const lb::Descriptor& d : lb::registered_strategies()) {
+    table.add_row({d.name, d.bounds ? "yes" : "-", d.placement ? "yes" : "-",
+                   d.summary});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+/// Resolves the uniform --balancer/--lb-every selection plus the
+/// deprecated per-driver flags into LbOptions. Legacy flags warn once on
+/// stderr and overlay onto the spec only when the named strategy accepts
+/// the key (and the spec does not already pin it).
+par::LbOptions resolve_lb_options(const util::ArgParser& args, const std::string& impl) {
+  par::LbOptions lb;
+  lb.strategy = args.get_string("balancer");
+  lb.every = static_cast<std::uint32_t>(args.get_int("lb-every"));
+  lb.measured = args.get_flag("measured-load");
+
+  const auto deprecated = [&](const char* flag, const std::string& instead) {
+    std::cerr << "picprk: --" << flag << " is deprecated; use " << instead << '\n';
+  };
+  if (!args.supplied("lb-every")) {
+    if (args.supplied("lb-frequency")) {
+      deprecated("lb-frequency", "--lb-every");
+      lb.every = static_cast<std::uint32_t>(args.get_int("lb-frequency"));
+    } else if (args.supplied("F")) {
+      deprecated("F", "--lb-every");
+      lb.every = static_cast<std::uint32_t>(args.get_int("F"));
+    }
+  }
+
+  // Overlay legacy strategy knobs onto the spec. The overlay targets the
+  // effective strategy (impl default when the spec is empty); keys the
+  // strategy does not accept are dropped with the warning only.
+  lb::ParsedSpec spec = lb::parse_spec(
+      lb.strategy.empty() ? (impl == "ampi" ? "greedy" : "diffusion") : lb.strategy);
+  const auto accepts = [&](const std::string& key) {
+    if (spec.name == "diffusion")
+      return key == "threshold" || key == "border" || key == "two_phase";
+    if (spec.name == "rcb") return key == "threshold" || key == "two_phase";
+    return false;
+  };
+  const auto overlay = [&](const std::string& key, const std::string& value) {
+    if (accepts(key) && spec.options.find(key) == spec.options.end()) {
+      spec.options[key] = value;
+    }
+  };
+  bool overlaid = false;
+  if (args.supplied("lb-threshold")) {
+    deprecated("lb-threshold", "--balancer " + spec.name + ":threshold=...");
+    overlay("threshold", std::to_string(args.get_double("lb-threshold")));
+    overlaid = true;
+  }
+  if (args.supplied("lb-border")) {
+    deprecated("lb-border", "--balancer diffusion:border=...");
+    overlay("border", std::to_string(args.get_int("lb-border")));
+    overlaid = true;
+  }
+  if (args.supplied("two-phase")) {
+    deprecated("two-phase", "--balancer " + spec.name + ":two_phase=1");
+    overlay("two_phase", "1");
+    overlaid = true;
+  }
+  if (overlaid || !lb.strategy.empty()) {
+    std::string rebuilt = spec.name;
+    char sep = ':';
+    for (const auto& [key, value] : spec.options) {
+      rebuilt += sep;
+      rebuilt += key + "=" + value;
+      sep = ',';
+    }
+    lb.strategy = rebuilt;
+  }
+  return lb;
+}
+
 int report(const char* impl, bool ok, std::uint64_t particles, double seconds,
            const std::string& extra = {}, const std::string& machine_extra = {}) {
   std::cout << impl << ": " << (ok ? "VERIFIED" : "VERIFICATION FAILED") << " — "
@@ -112,6 +194,8 @@ util::JsonObject run_config_json(const util::ArgParser& args, const std::string&
   config.add("ranks", args.get_int("ranks"));
   config.add("workers", args.get_int("workers"));
   config.add("overdecomposition", args.get_int("d"));
+  config.add("balancer", args.get_string("balancer"));
+  config.add("lb_every", args.get_int("lb-every"));
   return config;
 }
 
@@ -201,15 +285,22 @@ int main(int argc, char** argv) try {
   args.add_int("remove-step", 0, "removal time step");
   // Parallel knobs.
   args.add_int("ranks", 4, "threadcomm ranks (baseline/diffusion)");
-  args.add_int("lb-frequency", 16, "diffusion: steps between LB attempts");
-  args.add_double("lb-threshold", 0.1, "diffusion: trigger threshold tau");
-  args.add_int("lb-border", 1, "diffusion: border cell-columns per action");
-  args.add_flag("two-phase", false, "diffusion: balance y as well as x");
+  args.add_string("balancer", "",
+                  "lb strategy spec name[:key=val,...]; 'list' prints the registry; "
+                  "empty = impl default (diffusion / greedy)");
+  args.add_int("lb-every", 16, "steps between LB invocations (0 = never)");
+  args.add_flag("measured-load", false, "balance on measured compute time");
   args.add_int("workers", 2, "ampi: worker threads");
   args.add_int("d", 4, "ampi: over-decomposition degree");
-  args.add_int("F", 16, "ampi: LB interval (0 = never)");
-  args.add_string("balancer", "greedy", "ampi: null|greedy|refine|diffusion|compact|rotate");
-  args.add_flag("measured-load", false, "ampi: balance on measured time");
+  // Deprecated aliases, kept for script compatibility (the model impl
+  // still reads them as plain perfsim parameters, without warnings).
+  args.add_int("lb-frequency", 16, "deprecated alias of --lb-every");
+  args.add_double("lb-threshold", 0.1,
+                  "deprecated: use --balancer <name>:threshold=...");
+  args.add_int("lb-border", 1, "deprecated: use --balancer diffusion:border=...");
+  args.add_flag("two-phase", false,
+                "deprecated: use --balancer <name>:two_phase=1");
+  args.add_int("F", 16, "deprecated alias of --lb-every");
   // Resilience (docs/RESILIENCE.md).
   args.add_string("faults", "",
                   "fault plan, e.g. kill:rank=1,step=40;drop:prob=0.01,src=0");
@@ -226,6 +317,8 @@ int main(int argc, char** argv) try {
   args.add_int("sample-every", 0,
                "steps between imbalance samples (0 = every step when observing)");
   if (!args.parse(argc, argv)) return 0;
+
+  if (args.get_string("balancer") == "list") return print_balancer_list();
 
   pic::InitParams init;
   init.grid = pic::GridSpec(args.get_int("cells"), 1.0);
@@ -265,8 +358,9 @@ int main(int argc, char** argv) try {
             args.get_double("lb-threshold"), args.get_int("lb-border")});
     perfsim::VprModelParams vp;
     vp.overdecomposition = static_cast<int>(args.get_int("d"));
-    vp.lb_interval = static_cast<std::uint32_t>(args.get_int("F"));
-    vp.balancer = args.get_string("balancer");
+    vp.lb_interval = static_cast<std::uint32_t>(
+        args.supplied("F") ? args.get_int("F") : args.get_int("lb-every"));
+    if (!args.get_string("balancer").empty()) vp.balancer = args.get_string("balancer");
     const auto ampi = engine.run_vpr(cores, run, vp);
     util::Table table({"impl", "seconds", "avg imbalance", "max particles/core"});
     table.add_row({"mpi-2d", util::Table::fmt(base.seconds, 2),
@@ -282,10 +376,16 @@ int main(int argc, char** argv) try {
     return 0;
   }
 
-  par::DriverConfig cfg;
+  // Everything below runs a real parallel driver: parse the command line
+  // into one RunConfig and pass it by const reference everywhere.
+  par::RunConfig cfg;
   cfg.init = init;
   cfg.steps = steps;
   cfg.events = parse_events(args, init.grid.cells);
+  cfg.ranks = static_cast<int>(args.get_int("ranks"));
+  cfg.workers = static_cast<int>(args.get_int("workers"));
+  cfg.overdecomposition = static_cast<int>(args.get_int("d"));
+  cfg.lb = resolve_lb_options(args, impl);
 
   // Telemetry sinks live in main so one registry/trace spans the whole
   // run regardless of driver; with neither flag given the hooks stay
@@ -304,31 +404,27 @@ int main(int argc, char** argv) try {
   }
 
   const std::string fault_text = args.get_string("faults");
-  const auto checkpoint_every =
+  cfg.resilience.plan = ft::FaultPlan::parse(
+      fault_text, static_cast<std::uint64_t>(args.get_int("fault-seed")));
+  cfg.resilience.checkpoint_every =
       static_cast<std::uint32_t>(args.get_int("checkpoint-every"));
-  const int timeout_ms = static_cast<int>(args.get_int("timeout-ms"));
-  const int deadlock_ms = static_cast<int>(args.get_int("deadlock-ms"));
-  const bool resilient =
-      !fault_text.empty() || checkpoint_every > 0 || timeout_ms > 0 || deadlock_ms > 0;
+  cfg.resilience.timeout_ms = static_cast<int>(args.get_int("timeout-ms"));
+  cfg.resilience.deadlock_ms = static_cast<int>(args.get_int("deadlock-ms"));
+  cfg.resilience.max_recoveries =
+      static_cast<std::uint32_t>(args.get_int("max-recoveries"));
+  const bool resilient = cfg.resilience.active();
 
   if (impl == "ampi") {
-    par::AmpiParams params;
-    params.workers = static_cast<int>(args.get_int("workers"));
-    params.overdecomposition = static_cast<int>(args.get_int("d"));
-    params.lb_interval = static_cast<std::uint32_t>(args.get_int("F"));
-    params.balancer = args.get_string("balancer");
-    params.use_measured_load = args.get_flag("measured-load");
     // Under vpr there is no World: install the hooks directly; the driver
     // recovers in-process (rewind + pup_unpack).
-    ft::FaultInjector injector(ft::FaultPlan::parse(
-        fault_text, static_cast<std::uint64_t>(args.get_int("fault-seed"))));
+    ft::FaultInjector injector(cfg.resilience.plan);
     ft::CheckpointStore store;
     if (resilient) {
-      cfg.ft.injector = fault_text.empty() ? nullptr : &injector;
-      cfg.ft.store = checkpoint_every > 0 ? &store : nullptr;
-      cfg.ft.checkpoint_every = checkpoint_every;
+      cfg.ft.injector = cfg.resilience.plan.empty() ? nullptr : &injector;
+      cfg.ft.store = cfg.resilience.checkpoint_every > 0 ? &store : nullptr;
+      cfg.ft.checkpoint_every = cfg.resilience.checkpoint_every;
     }
-    const auto r = par::run_ampi(cfg, params);
+    const auto r = par::run_ampi(cfg);
     if (observing) {
       absorb_result(registry, r);
       if (resilient) {
@@ -344,28 +440,15 @@ int main(int argc, char** argv) try {
   }
 
   if (impl == "baseline" || impl == "diffusion") {
-    const int ranks = static_cast<int>(args.get_int("ranks"));
-    par::DiffusionParams lb;
-    lb.frequency = static_cast<std::uint32_t>(args.get_int("lb-frequency"));
-    lb.threshold = args.get_double("lb-threshold");
-    lb.border_width = args.get_int("lb-border");
-    lb.two_phase = args.get_flag("two-phase");
-    const par::DriverFn driver = [&](comm::Comm& comm, const par::DriverConfig& dc) {
-      return impl == "baseline" ? par::run_baseline(comm, dc)
-                                : par::run_diffusion(comm, dc, lb);
+    const par::DriverFn driver = [&](comm::Comm& comm, const par::RunConfig& rc) {
+      return impl == "baseline" ? par::run_baseline(comm, rc)
+                                : par::run_diffusion(comm, rc);
     };
 
     par::DriverResult result;
     if (resilient) {
-      par::ResilienceOptions ropts;
-      ropts.plan = ft::FaultPlan::parse(
-          fault_text, static_cast<std::uint64_t>(args.get_int("fault-seed")));
-      ropts.checkpoint_every = checkpoint_every;
-      ropts.timeout_ms = timeout_ms;
-      ropts.deadlock_ms = deadlock_ms;
-      ropts.max_recoveries = static_cast<std::uint32_t>(args.get_int("max-recoveries"));
       par::ResilienceTelemetry rtel;
-      result = par::run_resilient(ranks, cfg, ropts, driver, &rtel);
+      result = par::run_resilient(cfg, driver, &rtel);
       if (observing) {
         registry.register_counter("ft/dropped").add(rtel.dropped);
         registry.register_counter("ft/duplicated").add(rtel.duplicated);
@@ -376,7 +459,7 @@ int main(int argc, char** argv) try {
         registry.register_counter("ft/residual_messages").add(rtel.residual_messages);
       }
     } else {
-      comm::World world(ranks);
+      comm::World world(cfg.ranks);
       world.run([&](comm::Comm& comm) {
         par::DriverResult r = driver(comm, cfg);
         if (comm.rank() == 0) result = r;

@@ -19,6 +19,12 @@
 //            instruments (obs::Registry::register_*): registration
 //            allocates and takes a mutex, so it belongs at setup; hot
 //            code records through pre-registered handles only.
+//   lb       lb::Strategy decision bodies (rebalance_bounds /
+//            rebalance_placement definitions) are pure: no RNG, no
+//            clocks, no environment reads, no communication. Every
+//            rank must replay the identical plan from the identical
+//            (allreduced) input — a single clock read inside a decision
+//            desynchronises the replicated strategy state forever.
 //
 // The checker is deliberately textual (comment/string-stripped token
 // scanning, not a C++ parser): it is fast, has zero dependencies, and
@@ -291,6 +297,84 @@ void check_obs(const SourceFile& f, std::vector<Violation>& out) {
                            "' in a PICPRK_HOT function body — instrument "
                            "registration allocates and locks; register at setup "
                            "and record through the returned handle"});
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------------- rule: lb
+
+/// Whole-word identifiers banned inside a decision body.
+const char* const kLbBannedWords[] = {
+    "rand",         "srand",        "random_device", "mt19937",
+    "getenv",       "steady_clock", "system_clock",  "high_resolution_clock",
+    "clock_gettime", "time",        "thread",
+};
+
+/// Substring tokens banned inside a decision body (identifier-prefix or
+/// member-call shapes a whole-word match cannot express).
+const char* const kLbBannedSubstrings[] = {
+    "allreduce", "comm::", ".send(", ".recv", ".sendrecv(", ".probe(",
+};
+
+/// Enforces the lb::Strategy purity contract: the bodies of
+/// rebalance_bounds / rebalance_placement *definitions* must be pure
+/// functions of their input. State mutation belongs in note_applied(),
+/// which the drivers feed only with allreduced values.
+void check_lb(const SourceFile& f, std::vector<Violation>& out) {
+  const std::string_view clean = f.clean;
+  for (const char* fn : {"rebalance_bounds", "rebalance_placement"}) {
+    for (std::size_t pos = find_word(clean, fn, 0); pos != std::string_view::npos;
+         pos = find_word(clean, fn, pos + 1)) {
+      // The parameter list must follow directly.
+      std::size_t open = pos + std::string_view(fn).size();
+      while (open < clean.size() &&
+             std::isspace(static_cast<unsigned char>(clean[open]))) {
+        ++open;
+      }
+      if (open >= clean.size() || clean[open] != '(') continue;
+      const std::size_t args_close = matching(clean, open, '(', ')');
+      if (args_close == std::string_view::npos) continue;
+      // Definition, not declaration or call site: a body '{' appears
+      // after the parameter list before any ';' or '=' (declarations
+      // end in ';', pure-virtuals in '= 0;', call sites in ';' or ',').
+      std::size_t brace = std::string_view::npos;
+      for (std::size_t i = args_close + 1; i < clean.size(); ++i) {
+        if (clean[i] == ';' || clean[i] == '=' || clean[i] == ',' ||
+            clean[i] == ')') {
+          break;
+        }
+        if (clean[i] == '{') {
+          brace = i;
+          break;
+        }
+      }
+      if (brace == std::string_view::npos) continue;
+      const std::size_t close = matching(clean, brace, '{', '}');
+      if (close == std::string_view::npos) {
+        out.push_back({f.path, f.line_of(pos), "lb",
+                       std::string("unbalanced braces after ") + fn});
+        continue;
+      }
+      const std::string_view body = clean.substr(brace, close - brace + 1);
+      for (const char* banned : kLbBannedWords) {
+        const std::size_t hit = find_word(body, banned, 0);
+        if (hit != std::string_view::npos) {
+          out.push_back({f.path, f.line_of(brace + hit), "lb",
+                         std::string("banned token '") + banned + "' in a " + fn +
+                             " body — decisions are pure functions of their "
+                             "input; every rank must replay the identical plan"});
+        }
+      }
+      for (const char* banned : kLbBannedSubstrings) {
+        const std::size_t hit = body.find(banned);
+        if (hit != std::string_view::npos) {
+          out.push_back({f.path, f.line_of(brace + hit), "lb",
+                         std::string("communication token '") + banned +
+                             "' in a " + fn +
+                             " body — decisions see only pre-aggregated "
+                             "loads, they never talk to the runtime"});
+        }
       }
     }
   }
@@ -683,7 +767,7 @@ void collect_files(const fs::path& p, std::vector<fs::path>& out) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::set<std::string> rules = {"hot", "pup", "tags", "headers", "obs"};
+  std::set<std::string> rules = {"hot", "pup", "tags", "headers", "obs", "lb"};
   std::set<std::string> enabled;
   std::vector<fs::path> include_roots;
   std::vector<fs::path> inputs;
@@ -692,7 +776,7 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--rule") {
       if (++i >= argc || rules.count(argv[i]) == 0) {
-        std::cerr << "picprk-lint: --rule needs one of: hot pup tags headers obs\n";
+        std::cerr << "picprk-lint: --rule needs one of: hot pup tags headers obs lb\n";
         return 2;
       }
       enabled.insert(argv[i]);
@@ -759,6 +843,7 @@ int main(int argc, char** argv) {
   for (const auto& f : files) {
     if (enabled.count("hot")) check_hot(f, violations);
     if (enabled.count("obs")) check_obs(f, violations);
+    if (enabled.count("lb")) check_lb(f, violations);
     if (enabled.count("headers")) check_headers(f, include_roots, violations);
   }
   if (enabled.count("pup")) check_pup(files, violations);
