@@ -4,15 +4,27 @@
 //      checkpointing off vs on at several cadences, reporting the wall-
 //      time overhead and the snapshot bytes shipped;
 //  (b) recovery latency — an injected rank death mid-run, reporting the
-//      extra wall time of rollback + replay over the fault-free run.
+//      extra wall time of rollback + replay over the fault-free run;
+//  (c) the recovery ladder — total overhead of each rung at matched
+//      fault pressure: in-band retry (reliable transport healing seeded
+//      message faults), localized recovery (buddy restore of a killed
+//      rank, survivors replay <= 1 step) and classical full rollback of
+//      the same kill. Repeated --reps times with p50/p99 over the wall
+//      times (util::histogram_quantile); --json writes the legs as a
+//      picprk-bench-v1 document.
 //
-// Both sections verify every run (closed-form positions + id checksum),
+// All sections verify every run (closed-form positions + id checksum),
 // so the numbers are only reported for runs that stayed correct.
+#include <algorithm>
 #include <iostream>
+#include <string>
+#include <vector>
 
+#include "bench_json.hpp"
 #include "par/baseline.hpp"
 #include "par/resilient.hpp"
 #include "util/cli.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -108,6 +120,127 @@ void recovery_latency(int ranks, const par::RunConfig& cfg) {
             << " residual messages drained at abort)\n";
 }
 
+/// p50/p99 of a small sample through the shared bucketed-quantile path
+/// (util::histogram_quantile), so the bench reports the same quantile
+/// semantics as the obs subsystem's histograms.
+struct Quantiles {
+  double p50 = 0.0, p99 = 0.0;
+};
+
+Quantiles bucketed_quantiles(const std::vector<double>& values) {
+  if (values.empty()) return {};
+  const double hi = *std::max_element(values.begin(), values.end());
+  util::Histogram hist(0.0, hi > 0.0 ? hi * 1.01 : 1.0, 64);
+  for (double v : values) hist.add(v);
+  return {hist.quantile(0.5), hist.quantile(0.99)};
+}
+
+/// (c) One rung of the recovery ladder, run `reps` times.
+struct LadderLeg {
+  std::string name;
+  par::ResilienceOptions opts;
+};
+
+void recovery_ladder(int ranks, const par::RunConfig& cfg, int reps,
+                     std::vector<util::JsonObject>* json_legs) {
+  std::cout << "--- (c) the recovery ladder: total overhead per rung ("
+            << ranks << " ranks, " << reps << " reps) ---\n";
+
+  // Fault-free reference (no ft at all): the baseline every rung's
+  // total overhead is charged against, checkpointing cost included.
+  std::vector<double> clean_walls;
+  for (int i = 0; i < reps; ++i) {
+    util::Timer wall;
+    const auto r = run_once(ranks, cfg, par::ResilienceOptions{});
+    if (!r.ok) {
+      std::cout << "fault-free reference failed verification; aborting\n";
+      return;
+    }
+    clean_walls.push_back(wall.elapsed());
+  }
+  const double clean_p50 = bucketed_quantiles(clean_walls).p50;
+
+  const std::string kill_spec =
+      "kill:rank=1,step=" + std::to_string(cfg.steps / 2);
+  std::vector<LadderLeg> legs;
+  {
+    // Rung 1: message faults only, healed entirely in-band — the run
+    // never aborts, never even checkpoints.
+    LadderLeg leg{"inband-retry", {}};
+    leg.opts.plan = ft::FaultPlan::parse(
+        "drop:prob=0.01;dup:prob=0.005;delay:prob=0.01,ms=1", /*seed=*/4242);
+    leg.opts.reliable = true;
+    leg.opts.rto_ms = 5;
+    leg.opts.timeout_ms = 10000;
+    legs.push_back(leg);
+  }
+  {
+    // Rung 2: a confirmed rank death repaired in place from the buddy
+    // copy; survivors replay at most one step (cadence forced to 1).
+    LadderLeg leg{"localized", {}};
+    leg.opts.plan = ft::FaultPlan::parse(kill_spec, /*seed=*/1);
+    leg.opts.recovery = par::RecoveryMode::kLocal;
+    leg.opts.checkpoint_every = 1;
+    leg.opts.timeout_ms = 10000;
+    legs.push_back(leg);
+  }
+  {
+    // Rung 3: the same kill repaired by tearing the world down and
+    // replaying every rank from the last consistent checkpoint.
+    LadderLeg leg{"rollback", {}};
+    leg.opts.plan = ft::FaultPlan::parse(kill_spec, /*seed=*/1);
+    leg.opts.checkpoint_every = 16;
+    leg.opts.timeout_ms = 10000;
+    legs.push_back(leg);
+  }
+
+  util::Table table({"rung", "verified", "wall p50", "wall p99", "overhead p50",
+                     "recoveries", "replayed", "retransmits"});
+  table.add_row({"fault-free", "yes", util::Table::fmt(clean_p50, 3),
+                 util::Table::fmt(bucketed_quantiles(clean_walls).p99, 3), "--",
+                 "0", "0", "0"});
+  for (const LadderLeg& leg : legs) {
+    std::vector<double> walls;
+    bool all_ok = true;
+    std::uint64_t rollbacks = 0, localized = 0, replayed = 0, retransmits = 0;
+    for (int i = 0; i < reps; ++i) {
+      par::ResilienceTelemetry telemetry;
+      util::Timer wall;
+      const auto r = run_once(ranks, cfg, leg.opts, &telemetry);
+      walls.push_back(wall.elapsed());
+      all_ok = all_ok && r.ok;
+      rollbacks += telemetry.rollbacks;
+      localized += telemetry.localized_recoveries;
+      replayed = std::max<std::uint64_t>(replayed, telemetry.replayed_steps);
+      retransmits += telemetry.retransmits;
+    }
+    const Quantiles q = bucketed_quantiles(walls);
+    table.add_row({leg.name, all_ok ? "yes" : "NO", util::Table::fmt(q.p50, 3),
+                   util::Table::fmt(q.p99, 3),
+                   util::Table::fmt(q.p50 - clean_p50, 3),
+                   util::Table::fmt_u64(rollbacks + localized),
+                   util::Table::fmt_u64(replayed),
+                   util::Table::fmt_u64(retransmits)});
+    if (json_legs != nullptr) {
+      util::JsonObject obj;
+      obj.add("scenario", leg.name);
+      obj.add("reps", static_cast<std::int64_t>(reps));
+      obj.add("verified", all_ok);
+      obj.add("wall_seconds_p50", q.p50);
+      obj.add("wall_seconds_p99", q.p99);
+      obj.add("overhead_seconds_p50", q.p50 - clean_p50);
+      obj.add("clean_wall_seconds_p50", clean_p50);
+      obj.add("rollbacks", rollbacks);
+      obj.add("localized_recoveries", localized);
+      obj.add("max_replayed_steps", replayed);
+      obj.add("retransmits", retransmits);
+      json_legs->push_back(obj);
+    }
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -116,6 +249,8 @@ int main(int argc, char** argv) {
   args.add_int("cells", 200, "mesh cells per dimension");
   args.add_int("particles", 200000, "particle count");
   args.add_int("steps", 200, "time steps");
+  args.add_int("reps", 5, "repetitions per recovery-ladder rung (section c)");
+  args.add_string("json", "", "write the ladder legs as picprk-bench-v1 JSON");
   if (!args.parse(argc, argv)) return 0;
 
   const auto cfg = make_config(args.get_int("cells"),
@@ -125,5 +260,22 @@ int main(int argc, char** argv) {
 
   checkpoint_overhead(ranks, cfg);
   recovery_latency(ranks, cfg);
+
+  std::vector<util::JsonObject> legs;
+  recovery_ladder(ranks, cfg, static_cast<int>(args.get_int("reps")), &legs);
+  const std::string json_path = args.get_string("json");
+  if (!json_path.empty()) {
+    util::JsonObject config;
+    config.add("ranks", static_cast<std::int64_t>(ranks));
+    config.add("cells", args.get_int("cells"));
+    config.add("particles", args.get_int("particles"));
+    config.add("steps", args.get_int("steps"));
+    config.add("reps", args.get_int("reps"));
+    if (!bench::write_bench_json(json_path, "bench_resilience", config, legs)) {
+      std::cerr << "bench_resilience: cannot write " << json_path << '\n';
+      return 1;
+    }
+    std::cout << "wrote " << json_path << '\n';
+  }
   return 0;
 }

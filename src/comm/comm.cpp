@@ -14,6 +14,7 @@ Comm::Comm(WorldState* state, int world_rank)
   PICPRK_EXPECTS(world_rank >= 0 && world_rank < state->size);
   group_.resize(static_cast<std::size_t>(state->size));
   std::iota(group_.begin(), group_.end(), 0);
+  interrupt_seen_ = state_->interrupt_epoch.load(std::memory_order_acquire);
 }
 
 Comm::Comm(WorldState* state, int world_rank, int context, std::vector<int> group)
@@ -21,6 +22,7 @@ Comm::Comm(WorldState* state, int world_rank, int context, std::vector<int> grou
   auto it = std::find(group_.begin(), group_.end(), world_rank_);
   PICPRK_ASSERT_MSG(it != group_.end(), "rank not a member of its own communicator");
   rank_ = static_cast<int>(it - group_.begin());
+  interrupt_seen_ = state_->interrupt_epoch.load(std::memory_order_acquire);
 }
 
 int Comm::group_index(int wrank) const {
@@ -43,15 +45,21 @@ void Comm::send_internal(std::vector<std::byte> bytes, int dst, int tag) {
       case FaultDecision::Kind::Deliver:
         break;
       case FaultDecision::Kind::Drop:
-        return;  // lost on the wire; the watchdog surfaces the hang
+        copies = 0;  // lost on the wire
+        break;
       case FaultDecision::Kind::Duplicate:
         copies = 2;
         break;
       case FaultDecision::Kind::Delay: {
-        // Sender-side latency; chunked so an abort cuts it short.
+        // Sender-side latency; chunked so an abort or a recovery
+        // interrupt cuts it short.
         auto remaining = std::chrono::milliseconds(decision.delay_ms);
         while (remaining.count() > 0) {
           if (state_->abort.load(std::memory_order_acquire)) throw WorldAborted{};
+          if (state_->interrupt_epoch.load(std::memory_order_acquire) !=
+              interrupt_seen_) {
+            throw RecvInterrupted{};
+          }
           const auto slice = std::min(remaining, std::chrono::milliseconds(5));
           std::this_thread::sleep_for(slice);
           remaining -= slice;
@@ -60,22 +68,47 @@ void Comm::send_internal(std::vector<std::byte> bytes, int dst, int tag) {
       }
     }
   }
+  if (ReliableTransport* transport = state_->transport.get()) {
+    // The transport retains its own copy, heals a dropped wire copy by
+    // retransmission and swallows the duplicate in its dedup window.
+    Message msg;
+    msg.context = context_;
+    msg.source = world_rank_;
+    msg.tag = tag;
+    msg.payload = std::move(bytes);
+    transport->send(world_rank_, wdst, std::move(msg), copies);
+    return;
+  }
+  // Unreliable (legacy) path: a dropped message hangs the receiver (the
+  // watchdog's job to surface) and a duplicate reaches the mailbox. The
+  // extra copy is flagged so the residual drain can tell a would-be
+  // dedup-window hit from a genuine protocol leak.
   for (int c = 0; c < copies; ++c) {
     state_->bytes_sent.fetch_add(bytes.size(), std::memory_order_relaxed);
     state_->messages_sent.fetch_add(1, std::memory_order_relaxed);
-    state_->boxes[static_cast<std::size_t>(wdst)]->push(
-        Message{context_, world_rank_, tag,
-                c + 1 < copies ? bytes : std::move(bytes)});
+    Message msg;
+    msg.context = context_;
+    msg.source = world_rank_;
+    msg.tag = tag;
+    if (c > 0) msg.flags |= kFlagInjectedDup;
+    msg.payload = c + 1 < copies ? bytes : std::move(bytes);
+    state_->boxes[static_cast<std::size_t>(wdst)]->push(std::move(msg));
   }
 }
 
 Message Comm::recv_bytes(int src, int tag) { return recv_internal(src, tag); }
 
+Mailbox::WaitParams Comm::wait_params() const {
+  Mailbox::WaitParams wp = state_->wait_params(world_rank_);
+  wp.interrupt_baseline = interrupt_seen_;
+  return wp;
+}
+
 Message Comm::recv_internal(int src, int tag) {
   PICPRK_EXPECTS(src == kAnySource || (src >= 0 && src < size()));
   const int wsrc = src == kAnySource ? kAnySource : group_[static_cast<std::size_t>(src)];
   Message msg = state_->boxes[static_cast<std::size_t>(world_rank_)]->pop(
-      context_, wsrc, tag, state_->wait_params(world_rank_));
+      context_, wsrc, tag, wait_params());
   // Translate the source back into this communicator's rank space for
   // user-facing receives; internal callers use group_index explicitly.
   return msg;
@@ -85,7 +118,7 @@ Status Comm::probe(int src, int tag) {
   PICPRK_EXPECTS(src == kAnySource || (src >= 0 && src < size()));
   const int wsrc = src == kAnySource ? kAnySource : group_[static_cast<std::size_t>(src)];
   Status st = state_->boxes[static_cast<std::size_t>(world_rank_)]->probe_wait(
-      context_, wsrc, tag, state_->wait_params(world_rank_));
+      context_, wsrc, tag, wait_params());
   st.source = group_index(st.source);
   return st;
 }

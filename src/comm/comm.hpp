@@ -525,6 +525,22 @@ class Comm {
   /// injected slow-rank stall) observe a shutdown and bail out.
   const std::atomic<bool>& abort_flag() const { return state_->abort; }
 
+  // ------------------------------------------------- localized recovery
+
+  /// Adopts the current interrupt epoch: blocking calls stop throwing
+  /// RecvInterrupted for the recovery event that has just been handled.
+  /// Called by the recovery coordinator after the rendezvous.
+  void acknowledge_interrupt() {
+    interrupt_seen_ = state_->interrupt_epoch.load(std::memory_order_acquire);
+  }
+
+  /// Restarts the internal collective tag streams from zero. Only legal
+  /// when all in-flight traffic has been drained (the coordinator's
+  /// serial section does exactly that); afterwards every rank resumes
+  /// with aligned sequence numbers regardless of how far its collective
+  /// schedule had advanced before the failure.
+  void reset_collective_sequences() { seq_.fill(0); }
+
  private:
   Comm(WorldState* state, int world_rank, int context, std::vector<int> group);
 
@@ -595,12 +611,17 @@ class Comm {
   Message recv_bytes(int src, int tag);
   Message recv_internal(int src, int tag);
 
+  /// World wait params with this Comm's interrupt baseline filled in.
+  Mailbox::WaitParams wait_params() const;
+
   WorldState* state_;
   int world_rank_;
   int context_;
   int rank_;                 // my index within group_
   std::vector<int> group_;   // world ranks of this communicator's members
   std::array<int, detail::kNumOps> seq_{};
+  /// Last interrupt epoch this rank acknowledged (see mailbox.hpp).
+  std::uint64_t interrupt_seen_ = 0;
 };
 
 }  // namespace picprk::comm

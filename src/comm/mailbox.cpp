@@ -3,9 +3,26 @@
 #include <sstream>
 #include <utility>
 
+#include "comm/reliable.hpp"
+
 namespace picprk::comm {
 
 namespace {
+
+/// True when the recovery coordinator has raised the interrupt epoch
+/// past the caller's baseline.
+bool interrupted(const Mailbox::WaitParams& wait) {
+  return wait.interrupt != nullptr &&
+         wait.interrupt->load(std::memory_order_acquire) != wait.interrupt_baseline;
+}
+
+/// True when the deadline expiry should be deferred: the reliable
+/// transport still has in-budget retransmissions addressed to us, so
+/// the awaited message may yet arrive in-band.
+bool retries_in_flight(const Mailbox::WaitParams& wait) {
+  return wait.transport != nullptr && wait.self >= 0 &&
+         wait.transport->retry_pending_to(wait.self);
+}
 
 /// RAII publisher of a rank's blocked state. Constructed just before the
 /// first cv wait (the fast path never touches the registry); the odd
@@ -88,10 +105,11 @@ void Mailbox::push(Message msg) {
 Message Mailbox::pop(int context, int source, int tag, const WaitParams& wait) {
   util::LockGuard lock(mutex_);
   std::optional<BlockScope> blocked;
-  const auto deadline_at = std::chrono::steady_clock::now() + wait.deadline;
+  auto deadline_at = std::chrono::steady_clock::now() + wait.deadline;
   for (;;) {
     if (auto msg = take_match(context, source, tag)) return std::move(*msg);
     if (wait.abort && wait.abort->load(std::memory_order_acquire)) throw WorldAborted{};
+    if (interrupted(wait)) throw RecvInterrupted{};
     if (!blocked) blocked.emplace(wait.slot, 1, context, source, tag);
     if (wait.deadline.count() > 0) {
       if (cv_.wait_until(mutex_, deadline_at) == std::cv_status::timeout) {
@@ -99,6 +117,13 @@ Message Mailbox::pop(int context, int source, int tag, const WaitParams& wait) {
         if (auto msg = take_match(context, source, tag)) return std::move(*msg);
         if (wait.abort && wait.abort->load(std::memory_order_acquire))
           throw WorldAborted{};
+        if (interrupted(wait)) throw RecvInterrupted{};
+        if (retries_in_flight(wait)) {
+          // The transport is still retrying traffic to us; re-arm the
+          // deadline so the timeout only fires once the budget is gone.
+          deadline_at = std::chrono::steady_clock::now() + wait.deadline;
+          continue;
+        }
         throw_timeout("recv", wait.deadline, context, source, tag);
       }
     } else {
@@ -115,16 +140,22 @@ std::optional<Status> Mailbox::probe(int context, int source, int tag) const {
 Status Mailbox::probe_wait(int context, int source, int tag, const WaitParams& wait) {
   util::LockGuard lock(mutex_);
   std::optional<BlockScope> blocked;
-  const auto deadline_at = std::chrono::steady_clock::now() + wait.deadline;
+  auto deadline_at = std::chrono::steady_clock::now() + wait.deadline;
   for (;;) {
     if (auto status = find_match(context, source, tag)) return *status;
     if (wait.abort && wait.abort->load(std::memory_order_acquire)) throw WorldAborted{};
+    if (interrupted(wait)) throw RecvInterrupted{};
     if (!blocked) blocked.emplace(wait.slot, 2, context, source, tag);
     if (wait.deadline.count() > 0) {
       if (cv_.wait_until(mutex_, deadline_at) == std::cv_status::timeout) {
         if (auto status = find_match(context, source, tag)) return *status;
         if (wait.abort && wait.abort->load(std::memory_order_acquire))
           throw WorldAborted{};
+        if (interrupted(wait)) throw RecvInterrupted{};
+        if (retries_in_flight(wait)) {
+          deadline_at = std::chrono::steady_clock::now() + wait.deadline;
+          continue;
+        }
         throw_timeout("probe", wait.deadline, context, source, tag);
       }
     } else {

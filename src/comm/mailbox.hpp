@@ -30,6 +30,18 @@ class WorldAborted : public std::runtime_error {
   WorldAborted() : std::runtime_error("threadcomm world aborted by another rank") {}
 };
 
+/// Thrown out of blocking operations when the recovery coordinator
+/// raises the world's interrupt epoch: every surviving rank unwinds to
+/// its driver's recovery handler and rendezvouses there. Messages that
+/// are already deliverable are still delivered first (the interrupt is
+/// only checked once matching fails), so e.g. a buddy-checkpoint copy
+/// pushed before the raise is never lost to the interrupt.
+class RecvInterrupted : public std::runtime_error {
+ public:
+  RecvInterrupted()
+      : std::runtime_error("threadcomm recv interrupted for localized recovery") {}
+};
+
 /// Thrown out of a blocking recv/probe when the configured deadline
 /// expires before a matching message arrives — the watchdog's per-call
 /// conversion of a hang into a typed, catchable error.
@@ -63,6 +75,8 @@ struct BlockedSlot {
   std::atomic<int> tag{0};
 };
 
+class ReliableTransport;
+
 class Mailbox {
  public:
   /// Parameters of a blocking wait, bundled so call sites stay stable as
@@ -73,6 +87,19 @@ class Mailbox {
     std::chrono::milliseconds deadline{0};
     /// Registry entry of the waiting rank (may be null).
     BlockedSlot* slot = nullptr;
+    /// Reliable transport of the world (null = off). A deadline expiry
+    /// is deferred — the deadline re-arms — while the transport still
+    /// has retransmit budget for traffic addressed to `self`, so
+    /// CommTimeout only fires once in-band retries are exhausted.
+    const ReliableTransport* transport = nullptr;
+    /// World rank of the waiting thread (for retry_pending_to).
+    int self = -1;
+    /// Recovery-interrupt epoch of the world (null = never interrupts).
+    /// When it differs from `interrupt_baseline`, blocked calls throw
+    /// RecvInterrupted *after* failing to match — deliverable messages
+    /// win over the interrupt.
+    const std::atomic<std::uint64_t>* interrupt = nullptr;
+    std::uint64_t interrupt_baseline = 0;
   };
 
   /// Enqueues a message and wakes matching receivers.

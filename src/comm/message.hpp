@@ -41,12 +41,32 @@ struct Status {
   std::size_t bytes = 0;
 };
 
+// ------------------------------------------------------ envelope flags
+// Transport-level markers carried on the wire. Application code never
+// sets them; the reliable transport and the fault injector do.
+
+/// Stream-sequenced message of the reliable transport (seq/ack valid).
+inline constexpr std::uint8_t kFlagReliable = 0x1;
+/// Retransmitted copy (control-plane resend; excluded from the
+/// residual-leak tally of World::run).
+inline constexpr std::uint8_t kFlagRetransmit = 0x2;
+/// Extra copy manufactured by an injected Duplicate fault. Without the
+/// reliable transport the copy reaches the mailbox; marking it lets the
+/// residual drain distinguish a dedup-window hit from a genuine leak.
+inline constexpr std::uint8_t kFlagInjectedDup = 0x4;
+
 /// A delivered message. `context` scopes communicators (Comm::split);
 /// user tags are non-negative, internal collective tags are negative.
+/// `seq`/`ack` belong to the reliable transport: per-(source, dest)
+/// stream sequence number and cumulative acknowledgement piggybacked on
+/// the reverse direction; both 0 on unreliable worlds.
 struct Message {
   int context = 0;
   int source = 0;
   int tag = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t ack = 0;
+  std::uint8_t flags = 0;
   std::vector<std::byte> payload;
 };
 

@@ -1,0 +1,173 @@
+#include "comm/reliable.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "comm/mailbox.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace picprk::comm {
+
+ReliableTransport::ReliableTransport(int size, const ReliabilityOptions& options,
+                                     const std::vector<std::unique_ptr<Mailbox>>* boxes,
+                                     std::atomic<std::uint64_t>* bytes_sent,
+                                     std::atomic<std::uint64_t>* messages_sent)
+    : size_(size),
+      options_(options),
+      boxes_(boxes),
+      bytes_sent_(bytes_sent),
+      messages_sent_(messages_sent),
+      channels_(static_cast<std::size_t>(size) * static_cast<std::size_t>(size)),
+      pending_to_(static_cast<std::size_t>(size)) {
+  PICPRK_EXPECTS(size >= 1);
+  PICPRK_EXPECTS(options.rto_ms > 0);
+  PICPRK_EXPECTS(options.max_retransmits >= 1);
+}
+
+void ReliableTransport::push_locked(int dst, Message msg) {
+  bytes_sent_->fetch_add(msg.payload.size(), std::memory_order_relaxed);
+  messages_sent_->fetch_add(1, std::memory_order_relaxed);
+  (*boxes_)[static_cast<std::size_t>(dst)]->push(std::move(msg));
+}
+
+void ReliableTransport::prune_locked(Channel& ch, int dst, std::uint64_t acked_up_to) {
+  while (!ch.unacked.empty() && ch.unacked.front().seq <= acked_up_to) {
+    ch.unacked.pop_front();
+    pending_to_[static_cast<std::size_t>(dst)].fetch_sub(1, std::memory_order_acq_rel);
+    ++stats_.acked;
+  }
+}
+
+void ReliableTransport::deliver_locked(int src, int dst, Message msg) {
+  // The piggybacked cumulative ack covers the reverse (dst -> src)
+  // stream: everything src has already taken off its mailbox.
+  prune_locked(chan(dst, src), src, msg.ack);
+
+  Channel& fwd = chan(src, dst);
+  if (msg.seq <= fwd.rx_delivered) {
+    ++stats_.dup_dropped;  // dedup-window hit: already delivered
+    return;
+  }
+  if (msg.seq == fwd.rx_delivered + 1) {
+    fwd.rx_delivered = msg.seq;
+    push_locked(dst, std::move(msg));
+    // Flush the consecutive run the arrival unblocked.
+    auto it = fwd.reorder.begin();
+    while (it != fwd.reorder.end() && it->first == fwd.rx_delivered + 1) {
+      fwd.rx_delivered = it->first;
+      push_locked(dst, std::move(it->second));
+      it = fwd.reorder.erase(it);
+    }
+    return;
+  }
+  // A gap precedes this message (an earlier copy is still in flight or
+  // was dropped); stash until the retransmit pump fills the gap.
+  const auto [it, inserted] = fwd.reorder.emplace(msg.seq, std::move(msg));
+  (void)it;
+  if (inserted) {
+    ++stats_.reordered;
+  } else {
+    ++stats_.dup_dropped;
+  }
+}
+
+void ReliableTransport::send(int src, int dst, Message msg, int copies) {
+  PICPRK_EXPECTS(src >= 0 && src < size_);
+  PICPRK_EXPECTS(dst >= 0 && dst < size_);
+  PICPRK_EXPECTS(copies >= 0 && copies <= 2);
+  std::scoped_lock lock(mutex_);
+  Channel& fwd = chan(src, dst);
+  msg.seq = ++fwd.tx_next;
+  msg.ack = chan(dst, src).rx_delivered;
+  msg.flags |= kFlagReliable;
+
+  Unacked entry;
+  entry.seq = msg.seq;
+  entry.msg = msg;  // full copy retained until acknowledged
+  entry.last_send = Clock::now();
+  fwd.unacked.push_back(std::move(entry));
+  pending_to_[static_cast<std::size_t>(dst)].fetch_add(1, std::memory_order_acq_rel);
+
+  if (copies >= 2) {
+    Message dup = msg;
+    dup.flags |= kFlagInjectedDup;
+    deliver_locked(src, dst, std::move(dup));
+  }
+  if (copies >= 1) deliver_locked(src, dst, std::move(msg));
+  // copies == 0: dropped on the wire; the retained copy heals it.
+}
+
+ReliableTransport::Clock::duration ReliableTransport::backoff(
+    std::size_t chan_index, std::uint64_t seq, int attempts) const {
+  const int shift = std::min(attempts, 6);  // cap the exponential at 64x
+  const std::int64_t base_ms = static_cast<std::int64_t>(options_.rto_ms) << shift;
+  const util::CounterRng rng(options_.jitter_seed, chan_index, seq);
+  const double jitter =
+      rng.double_at(static_cast<std::uint64_t>(attempts)) * 0.25 *
+      static_cast<double>(base_ms);
+  return std::chrono::milliseconds(base_ms + static_cast<std::int64_t>(jitter));
+}
+
+void ReliableTransport::pump_once() {
+  std::scoped_lock lock(mutex_);
+  const auto now = Clock::now();
+  for (int src = 0; src < size_; ++src) {
+    for (int dst = 0; dst < size_; ++dst) {
+      Channel& ch = chan(src, dst);
+      if (ch.unacked.empty()) continue;
+      // In-process shortcut for lost acks: the channel's own rx cursor
+      // is ground truth for what the receiver has taken.
+      prune_locked(ch, dst, ch.rx_delivered);
+      const std::size_t chan_index =
+          static_cast<std::size_t>(src) * static_cast<std::size_t>(size_) +
+          static_cast<std::size_t>(dst);
+      for (auto it = ch.unacked.begin(); it != ch.unacked.end();) {
+        Unacked& u = *it;
+        if (now - u.last_send < backoff(chan_index, u.seq, u.attempts)) {
+          ++it;
+          continue;
+        }
+        if (u.attempts >= options_.max_retransmits) {
+          // Budget exhausted: give up so the receiver's CommTimeout can
+          // finally surface the suspected-permanent failure.
+          ++stats_.abandoned;
+          pending_to_[static_cast<std::size_t>(dst)].fetch_sub(
+              1, std::memory_order_acq_rel);
+          it = ch.unacked.erase(it);
+          continue;
+        }
+        ++u.attempts;
+        u.last_send = now;
+        ++stats_.retransmits;
+        if (!options_.lose_retransmits) {
+          Message copy = u.msg;
+          copy.flags |= kFlagRetransmit;
+          copy.ack = chan(dst, src).rx_delivered;  // refresh the piggyback
+          deliver_locked(src, dst, std::move(copy));
+        }
+        ++it;
+      }
+    }
+  }
+}
+
+void ReliableTransport::flush() {
+  std::scoped_lock lock(mutex_);
+  for (Channel& ch : channels_) {
+    ch.unacked.clear();
+    ch.reorder.clear();
+    // Fast-forward the stream past every abandoned sequence number:
+    // nothing below tx_next can arrive any more (all copies are gone),
+    // so the next send must be the next in-order delivery.
+    ch.rx_delivered = ch.tx_next;
+  }
+  for (auto& pending : pending_to_) pending.store(0, std::memory_order_release);
+}
+
+TransportStats ReliableTransport::stats() const {
+  std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+}  // namespace picprk::comm

@@ -1,0 +1,168 @@
+// Reliable in-band delivery for threadcomm (docs/RESILIENCE.md, level 1
+// of the recovery ladder). Sits *under* the per-rank mailboxes: every
+// send is stamped with a per-(source, destination) stream sequence
+// number and a cumulative acknowledgement piggybacked for the reverse
+// direction, a copy is retained until acknowledged, and a pump thread
+// retransmits unacknowledged messages with exponential backoff and
+// seeded jitter. The receive side delivers each stream exactly once and
+// in order through a bounded reorder/dedup window, so the drop,
+// duplicate and delay fates of ft::FaultInjector heal transparently —
+// CommTimeout becomes the signal of *suspected permanent* failure
+// instead of the first line of defense.
+//
+// Deliberately obs-free (the comm layer must not depend on the obs
+// subsystem): counters are plain relaxed atomics snapshot via stats().
+#pragma once
+
+#include <cstddef>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "comm/message.hpp"
+
+namespace picprk::comm {
+
+class Mailbox;
+
+/// Knobs of the reliable transport; defaults keep it off (zero cost:
+/// one null-pointer test per send).
+struct ReliabilityOptions {
+  bool enabled = false;
+  /// Base retransmit timeout in ms; doubles per attempt (plus jitter).
+  int rto_ms = 20;
+  /// Retransmit budget per message; once exhausted the message is
+  /// abandoned and a blocked receiver's CommTimeout may finally fire.
+  int max_retransmits = 8;
+  /// Seed of the deterministic backoff jitter (counter-hashed per
+  /// channel/sequence/attempt, so two runs retransmit identically).
+  std::uint64_t jitter_seed = 0x9E3779B9u;
+  /// Test hook: black-hole every retransmission too, so a test can pin
+  /// that CommTimeout fires only once the budget is exhausted.
+  bool lose_retransmits = false;
+};
+
+/// Lifetime tallies of one transport, snapshot under its lock.
+struct TransportStats {
+  std::uint64_t retransmits = 0;   ///< copies resent by the pump
+  std::uint64_t dup_dropped = 0;   ///< dedup-window hits discarded
+  std::uint64_t reordered = 0;     ///< arrivals stashed out of order
+  std::uint64_t acked = 0;         ///< unacked entries retired
+  std::uint64_t abandoned = 0;     ///< entries past the retransmit budget
+};
+
+/// One reliability domain spanning all ordered rank pairs of a world.
+/// A single lock guards every channel: threadcomm worlds are small
+/// (P <= 16 in every configuration the kernel runs), reliability is
+/// opt-in, and correctness under concurrent senders, the pump and the
+/// receive-side flush matters far more than send-path parallelism here.
+///
+/// Lock ordering: the transport lock is taken *before* any mailbox lock
+/// (delivery pushes under the transport lock). Code holding a mailbox
+/// lock must never enter the transport — the mailbox's timeout path
+/// only reads the lock-free retry_pending_to() counters.
+class ReliableTransport {
+ public:
+  ReliableTransport(int size, const ReliabilityOptions& options,
+                    const std::vector<std::unique_ptr<Mailbox>>* boxes,
+                    std::atomic<std::uint64_t>* bytes_sent,
+                    std::atomic<std::uint64_t>* messages_sent);
+
+  ReliableTransport(const ReliableTransport&) = delete;
+  ReliableTransport& operator=(const ReliableTransport&) = delete;
+
+  /// Accepts one application send on the src -> dst stream: stamps
+  /// seq/ack, retains a retransmittable copy, then feeds `copies`
+  /// wire copies through the receive pipeline. `copies` encodes the
+  /// injected fault fate: 0 = dropped on the wire (the pump heals it),
+  /// 1 = normal delivery, 2 = injected duplicate (the dedup window
+  /// swallows the extra copy).
+  void send(int src, int dst, Message msg, int copies);
+
+  /// One retransmit sweep: retires acknowledged entries, resends those
+  /// past their (backoff + jitter) deadline, abandons those past the
+  /// budget. Called periodically by World::run's pump thread.
+  void pump_once();
+
+  /// True while some unacknowledged message addressed to `rank` still
+  /// has retransmit budget left. Lock-free; the mailbox timeout path
+  /// polls this to defer CommTimeout until retries are truly exhausted.
+  bool retry_pending_to(int rank) const {
+    return pending_to_[static_cast<std::size_t>(rank)].load(
+               std::memory_order_acquire) > 0;
+  }
+
+  /// Discards all in-flight state (unacked copies and reorder stashes)
+  /// and fast-forwards every stream past the abandoned sequence numbers,
+  /// so a recovery that drained the mailboxes cannot wedge on a gap that
+  /// will never be filled. Streams stay aligned: sender and receiver
+  /// state live in the same object.
+  void flush();
+
+  TransportStats stats() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Unacked {
+    std::uint64_t seq = 0;
+    Message msg;  ///< full retransmittable copy
+    Clock::time_point last_send;
+    int attempts = 0;  ///< retransmissions so far
+  };
+
+  /// Directional stream state for one ordered (src, dst) pair. The tx
+  /// half is written by senders on src, the rx half by the delivery
+  /// pipeline on behalf of dst; both live here because the transport is
+  /// in-process and one lock covers them.
+  struct Channel {
+    std::uint64_t tx_next = 0;       ///< last sequence number assigned
+    std::deque<Unacked> unacked;     ///< ascending by seq
+    std::uint64_t rx_delivered = 0;  ///< cumulative: all seqs <= this pushed
+    std::map<std::uint64_t, Message> reorder;  ///< seqs past a gap
+  };
+
+  Channel& chan(int src, int dst) {
+    return channels_[static_cast<std::size_t>(src) * static_cast<std::size_t>(size_) +
+                     static_cast<std::size_t>(dst)];
+  }
+
+  /// Receive pipeline for one wire copy: processes the piggybacked ack,
+  /// then dedups/reorders/pushes on the src -> dst stream.
+  void deliver_locked(int src, int dst, Message msg);
+
+  /// Pushes one in-order message into dst's mailbox (counts it like a
+  /// legacy send would).
+  void push_locked(int dst, Message msg);
+
+  /// Retires acknowledged entries of (src, dst); `acked_up_to` comes
+  /// from a piggybacked ack or the channel's own rx cursor.
+  void prune_locked(Channel& ch, int dst, std::uint64_t acked_up_to);
+
+  /// Backoff deadline for attempt `attempts` of `seq` on channel index
+  /// `chan_index`: rto * 2^attempts plus up to 25% deterministic jitter.
+  Clock::duration backoff(std::size_t chan_index, std::uint64_t seq,
+                          int attempts) const;
+
+  const int size_;
+  const ReliabilityOptions options_;
+  const std::vector<std::unique_ptr<Mailbox>>* boxes_;
+  std::atomic<std::uint64_t>* bytes_sent_;
+  std::atomic<std::uint64_t>* messages_sent_;
+
+  mutable std::mutex mutex_;
+  std::vector<Channel> channels_;  // size * size, indexed src * size + dst
+  /// Per-destination count of unacked entries still within budget;
+  /// lock-free so the mailbox timeout path can read it while holding
+  /// its own lock (see the lock-ordering note above).
+  std::vector<std::atomic<int>> pending_to_;
+
+  TransportStats stats_;  // guarded by mutex_
+};
+
+}  // namespace picprk::comm

@@ -49,10 +49,19 @@ WorldState::WorldState(int size_in, const WorldOptions& options_in)
     : size(size_in), options(options_in), blocked(static_cast<std::size_t>(size_in)) {
   boxes.reserve(static_cast<std::size_t>(size));
   for (int i = 0; i < size; ++i) boxes.push_back(std::make_unique<Mailbox>());
+  if (options.reliable.enabled) {
+    transport = std::make_unique<ReliableTransport>(size, options.reliable, &boxes,
+                                                    &bytes_sent, &messages_sent);
+  }
 }
 
 void WorldState::signal_abort() {
   abort.store(true, std::memory_order_release);
+  for (auto& box : boxes) box->notify_abort();
+}
+
+void WorldState::raise_interrupt() {
+  interrupt_epoch.fetch_add(1, std::memory_order_acq_rel);
   for (auto& box : boxes) box->notify_abort();
 }
 
@@ -137,6 +146,25 @@ void World::run(const std::function<void(Comm&)>& rank_main) {
     });
   }
 
+  // Retransmit pump of the reliable transport: periodically retires
+  // acknowledged copies and resends those past their backoff deadline.
+  // Same lifetime pattern as the watchdog; stopped after the rank
+  // threads join so a late retransmission cannot race the drain below.
+  std::atomic<bool> stop_pump{false};
+  std::thread pump;
+  if (state_->transport != nullptr) {
+    state_->transport->flush();  // no stale in-flight state from a previous run
+    pump = std::thread([this, &stop_pump] {
+      const auto poll = std::clamp<std::chrono::milliseconds>(
+          std::chrono::milliseconds(state_->options.reliable.rto_ms) / 4,
+          std::chrono::milliseconds(1), std::chrono::milliseconds(5));
+      while (!stop_pump.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(poll);
+        state_->transport->pump_once();
+      }
+    });
+  }
+
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(size_));
   for (int r = 0; r < size_; ++r) {
@@ -156,24 +184,40 @@ void World::run(const std::function<void(Comm&)>& rank_main) {
   for (auto& t : threads) t.join();
   stop_watchdog.store(true, std::memory_order_release);
   if (watchdog.joinable()) watchdog.join();
+  stop_pump.store(true, std::memory_order_release);
+  if (pump.joinable()) pump.join();
 
   // After an aborted run the mailboxes may hold messages whose receivers
   // died mid-protocol. Drain and report them so the next run() starts
-  // from a clean world instead of inheriting stale envelopes.
+  // from a clean world instead of inheriting stale envelopes. Copies the
+  // transport layer manufactured — injected duplicates a dedup window
+  // would have swallowed, and retransmissions — are tallied separately:
+  // they are healing debris, not application leaks.
   residual_messages_ = 0;
+  residual_duplicates_ = 0;
   if (std::exception_ptr error = first_error.take()) {
     std::ostringstream os;
     for (int r = 0; r < size_; ++r) {
       const auto residue = state_->boxes[static_cast<std::size_t>(r)]->drain();
-      if (residue.empty()) continue;
+      std::uint64_t leaked = 0;
+      for (const Message& msg : residue) {
+        if ((msg.flags & (kFlagInjectedDup | kFlagRetransmit)) != 0) {
+          ++residual_duplicates_;
+        } else {
+          ++leaked;
+        }
+      }
+      if (leaked == 0) continue;
       if (residual_messages_ > 0) os << ", ";
-      os << residue.size() << " to rank " << r;
-      residual_messages_ += residue.size();
+      os << leaked << " to rank " << r;
+      residual_messages_ += leaked;
     }
-    if (residual_messages_ > 0) {
+    if (state_->transport != nullptr) state_->transport->flush();
+    if (residual_messages_ > 0 || residual_duplicates_ > 0) {
       PICPRK_WARN("threadcomm: drained " << residual_messages_
                                          << " residual message(s) after aborted run ("
-                                         << os.str() << ')');
+                                         << os.str() << "; " << residual_duplicates_
+                                         << " transport duplicate(s) excluded)");
     }
     std::rethrow_exception(error);
   }
@@ -185,6 +229,10 @@ std::uint64_t World::bytes_sent() const {
 
 std::uint64_t World::messages_sent() const {
   return state_->messages_sent.load(std::memory_order_relaxed);
+}
+
+TransportStats World::transport_stats() const {
+  return state_->transport != nullptr ? state_->transport->stats() : TransportStats{};
 }
 
 }  // namespace picprk::comm

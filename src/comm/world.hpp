@@ -26,6 +26,7 @@
 
 #include "comm/fault_hook.hpp"
 #include "comm/mailbox.hpp"
+#include "comm/reliable.hpp"
 
 namespace picprk::comm {
 
@@ -51,6 +52,8 @@ struct WorldOptions {
   /// Verify mailboxes are empty when run() starts (a correct program
   /// consumes everything it is sent; leftovers are a bug).
   bool check_clean_mailboxes = true;
+  /// Reliable in-band delivery (seq/ack/retransmit); off by default.
+  ReliabilityOptions reliable;
 };
 
 /// Shared runtime state; lives for the duration of World::run.
@@ -69,15 +72,29 @@ struct WorldState {
   /// Total payload bytes pushed through mailboxes (diagnostics).
   std::atomic<std::uint64_t> bytes_sent{0};
   std::atomic<std::uint64_t> messages_sent{0};
+  /// Reliable transport (null when options.reliable.enabled is false).
+  std::unique_ptr<ReliableTransport> transport;
+  /// Localized-recovery interrupt epoch; bumped by raise_interrupt().
+  /// Blocking calls compare it against their caller's baseline and
+  /// throw RecvInterrupted on mismatch.
+  std::atomic<std::uint64_t> interrupt_epoch{0};
 
   void signal_abort();
 
-  /// WaitParams for a blocking call by `world_rank`.
+  /// Bumps the interrupt epoch and wakes every blocked rank so they can
+  /// unwind into their driver's localized-recovery handler.
+  void raise_interrupt();
+
+  /// WaitParams for a blocking call by `world_rank`. The caller (Comm)
+  /// fills interrupt_baseline with its last acknowledged epoch.
   Mailbox::WaitParams wait_params(int world_rank) {
     Mailbox::WaitParams wp;
     wp.abort = &abort;
     wp.deadline = std::chrono::milliseconds(options.timeout_ms);
     wp.slot = &blocked[static_cast<std::size_t>(world_rank)];
+    wp.transport = transport.get();
+    wp.self = world_rank;
+    wp.interrupt = &interrupt_epoch;
     return wp;
   }
 };
@@ -102,13 +119,27 @@ class World {
   std::uint64_t messages_sent() const;
 
   /// Residual messages drained after the most recent aborted run
-  /// (0 after a clean run).
+  /// (0 after a clean run). Transport-manufactured copies (injected
+  /// duplicates, retransmissions) are excluded: a dedup-window hit left
+  /// in a mailbox is healing debris, not a leak.
   std::uint64_t residual_messages() const { return residual_messages_; }
+
+  /// Transport copies excluded from the residual tally of the most
+  /// recent aborted run.
+  std::uint64_t residual_duplicates() const { return residual_duplicates_; }
+
+  /// Reliable-transport tallies (all zero when reliability is off).
+  TransportStats transport_stats() const;
+
+  /// Shared runtime state, for the recovery coordinator (src/ft): the
+  /// drain/flush/interrupt hooks of localized recovery live there.
+  WorldState& state() { return *state_; }
 
  private:
   int size_;
   std::shared_ptr<WorldState> state_;
   std::uint64_t residual_messages_ = 0;
+  std::uint64_t residual_duplicates_ = 0;
 };
 
 }  // namespace picprk::comm

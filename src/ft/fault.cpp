@@ -30,6 +30,109 @@ FaultKind parse_kind(const std::string& name) {
                               "' (kill|stall|drop|dup|delay)");
 }
 
+int parse_int(const std::string& key, const std::string& value) {
+  std::size_t consumed = 0;
+  int parsed = 0;
+  try {
+    parsed = std::stoi(value, &consumed);
+  } catch (const std::exception&) {
+    consumed = std::string::npos;
+  }
+  if (consumed != value.size()) {
+    throw std::invalid_argument("fault plan: " + key + "= expects an integer, got '" +
+                                value + "'");
+  }
+  return parsed;
+}
+
+double parse_prob(const std::string& value) {
+  std::size_t consumed = 0;
+  double parsed = 0.0;
+  try {
+    parsed = std::stod(value, &consumed);
+  } catch (const std::exception&) {
+    consumed = std::string::npos;
+  }
+  if (consumed != value.size()) {
+    throw std::invalid_argument("fault plan: prob= expects a number, got '" + value +
+                                "'");
+  }
+  return parsed;
+}
+
+/// Which keys an entry spelled out explicitly — validation distinguishes
+/// "defaulted" from "given a default-looking value".
+struct SeenKeys {
+  bool rank = false, step = false, ms = false, prob = false, src = false, dst = false;
+};
+
+/// Per-spec semantic validation; every rejection names the offending
+/// construct so a CLI typo fails loudly at parse time instead of
+/// silently producing a plan that never fires (mirrors the lb spec
+/// parser's check_keys).
+void validate_spec(const FaultSpec& spec, const SeenKeys& seen) {
+  const std::string kind{to_string(spec.kind)};
+  if (is_step_fault(spec.kind)) {
+    if (!seen.rank) {
+      throw std::invalid_argument("fault plan: " + kind + " requires rank=");
+    }
+    if (spec.rank < 0) {
+      throw std::invalid_argument("fault plan: " + kind + " rank= must be >= 0, got " +
+                                  std::to_string(spec.rank));
+    }
+    if (seen.prob) {
+      throw std::invalid_argument("fault plan: " + kind +
+                                  " fires at an exact (rank, step) and does not take "
+                                  "prob= (message faults only)");
+    }
+    if (seen.src || seen.dst) {
+      throw std::invalid_argument("fault plan: " + kind +
+                                  " does not take src=/dst= (message faults only)");
+    }
+    if (spec.kind == FaultKind::Kill && seen.ms) {
+      throw std::invalid_argument(
+          "fault plan: kill does not take ms= (a killed rank never comes back; "
+          "use stall for a timed hang)");
+    }
+  } else {
+    if (!seen.prob) {
+      throw std::invalid_argument("fault plan: " + kind + " requires prob=");
+    }
+    if (spec.probability < 0.0 || spec.probability > 1.0) {
+      throw std::invalid_argument("fault plan: prob must be in [0, 1]");
+    }
+    if (seen.rank) {
+      throw std::invalid_argument("fault plan: " + kind +
+                                  " targets messages, not ranks — filter endpoints "
+                                  "with src=/dst= instead of rank=");
+    }
+    if (seen.step) {
+      throw std::invalid_argument("fault plan: " + kind +
+                                  " does not take step= (message faults fire "
+                                  "probabilistically per send)");
+    }
+    if (seen.ms && spec.kind != FaultKind::Delay) {
+      throw std::invalid_argument("fault plan: " + kind +
+                                  " does not take ms= (only stall and delay do)");
+    }
+    if (spec.kind == FaultKind::Delay && spec.ms < 0) {
+      throw std::invalid_argument(
+          "fault plan: delay ms= must be a finite number of milliseconds "
+          "('inf' is only valid for stall)");
+    }
+    if (seen.src && spec.src < 0) {
+      throw std::invalid_argument("fault plan: src= must be >= 0 (omit the key to "
+                                  "match any sender), got " +
+                                  std::to_string(spec.src));
+    }
+    if (seen.dst && spec.dst < 0) {
+      throw std::invalid_argument("fault plan: dst= must be >= 0 (omit the key to "
+                                  "match any receiver), got " +
+                                  std::to_string(spec.dst));
+    }
+  }
+}
+
 }  // namespace
 
 const char* to_string(FaultKind kind) {
@@ -56,6 +159,7 @@ FaultPlan FaultPlan::parse(const std::string& text, std::uint64_t seed) {
     const std::size_t colon = entry.find(':');
     FaultSpec spec;
     spec.kind = parse_kind(entry.substr(0, colon));
+    SeenKeys seen;
     std::size_t p = colon == std::string::npos ? entry.size() : colon + 1;
     while (p < entry.size()) {
       const std::size_t comma = std::min(entry.find(',', p), entry.size());
@@ -69,30 +173,52 @@ FaultPlan FaultPlan::parse(const std::string& text, std::uint64_t seed) {
       const std::string key = kv.substr(0, eq);
       const std::string value = kv.substr(eq + 1);
       if (key == "rank") {
-        spec.rank = std::stoi(value);
+        spec.rank = parse_int(key, value);
+        seen.rank = true;
       } else if (key == "step") {
-        spec.step = static_cast<std::uint32_t>(std::stoul(value));
+        const int step = parse_int(key, value);
+        if (step < 0) {
+          throw std::invalid_argument("fault plan: step= must be >= 0, got " + value);
+        }
+        spec.step = static_cast<std::uint32_t>(step);
+        seen.step = true;
       } else if (key == "ms") {
-        spec.ms = value == "inf" ? -1 : std::stoi(value);
+        spec.ms = value == "inf" ? -1 : parse_int(key, value);
+        if (value != "inf" && spec.ms < 0) {
+          throw std::invalid_argument("fault plan: ms= must be >= 0 or 'inf', got " +
+                                      value);
+        }
+        seen.ms = true;
       } else if (key == "prob") {
-        spec.probability = std::stod(value);
+        spec.probability = parse_prob(value);
+        seen.prob = true;
       } else if (key == "src") {
-        spec.src = std::stoi(value);
+        spec.src = parse_int(key, value);
+        seen.src = true;
       } else if (key == "dst") {
-        spec.dst = std::stoi(value);
+        spec.dst = parse_int(key, value);
+        seen.dst = true;
       } else {
         throw std::invalid_argument("fault plan: unknown key '" + key + "'");
       }
     }
-    if (is_step_fault(spec.kind) && spec.rank < 0) {
-      throw std::invalid_argument(std::string("fault plan: ") + to_string(spec.kind) +
-                                  " requires rank=");
-    }
-    if (!is_step_fault(spec.kind) &&
-        (spec.probability < 0.0 || spec.probability > 1.0)) {
-      throw std::invalid_argument("fault plan: prob must be in [0, 1]");
-    }
+    validate_spec(spec, seen);
     plan.specs.push_back(spec);
+  }
+  // Cross-spec checks: step faults are one-shot latches keyed by
+  // (rank, step), so two targeting the same point would race for the
+  // same firing slot — reject the plan instead of firing one silently.
+  for (std::size_t i = 0; i < plan.specs.size(); ++i) {
+    const FaultSpec& a = plan.specs[i];
+    if (!is_step_fault(a.kind)) continue;
+    for (std::size_t j = i + 1; j < plan.specs.size(); ++j) {
+      const FaultSpec& b = plan.specs[j];
+      if (!is_step_fault(b.kind) || a.rank != b.rank || a.step != b.step) continue;
+      throw std::invalid_argument(
+          std::string("fault plan: conflicting step faults — ") + to_string(a.kind) +
+          " and " + to_string(b.kind) + " both target rank " + std::to_string(a.rank) +
+          " at step " + std::to_string(a.step));
+    }
   }
   return plan;
 }

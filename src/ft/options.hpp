@@ -9,6 +9,7 @@ namespace picprk::ft {
 
 class FaultInjector;
 class CheckpointStore;
+class RecoveryCoordinator;
 
 struct FtOptions {
   /// Step-level fault source (kills, stalls); also installed as the
@@ -17,6 +18,12 @@ struct FtOptions {
   /// Snapshot destination; must outlive the world so recovery can read
   /// it after an abort. Not owned.
   CheckpointStore* store = nullptr;
+  /// Localized-recovery coordinator (coordinator.hpp). When set, a
+  /// driver catching RankKilled declares the victim dead and every rank
+  /// joins the rendezvous instead of tearing the world down; null keeps
+  /// the rollback-only behaviour. Installed by par::run_resilient under
+  /// RecoveryMode::kLocal. Not owned.
+  RecoveryCoordinator* coordinator = nullptr;
   /// Checkpoint at the start of every N-th step (0 = never).
   std::uint32_t checkpoint_every = 0;
   /// This run is a recovery attempt: restore from the store's last
@@ -24,6 +31,7 @@ struct FtOptions {
   bool resume = false;
 
   bool checkpointing() const { return store != nullptr && checkpoint_every > 0; }
+  bool localized() const { return coordinator != nullptr && checkpointing(); }
   bool active() const { return injector != nullptr || checkpointing(); }
 };
 

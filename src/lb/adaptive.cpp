@@ -57,6 +57,9 @@ std::vector<std::int64_t> AdaptiveStrategy::rebalance_bounds(const BoundsInput& 
 
 std::vector<int> AdaptiveStrategy::rebalance_placement(const PlacementInput& in) {
   PICPRK_EXPECTS(placement_inner_ != nullptr);
+  // Degraded mode bypasses the cost gate: evacuating a dead worker's
+  // parts is mandatory correctness work, not an optimization to price.
+  if (!in.dead_workers.empty()) return placement_inner_->rebalance_placement(in);
   std::vector<double> wload(static_cast<std::size_t>(in.workers), 0.0);
   double total = 0.0;
   for (const PartLoad& p : in.parts) {

@@ -52,6 +52,9 @@ class AdaptiveStrategy final : public Strategy {
   std::string name() const override { return "adaptive"; }
   bool balances_bounds() const override { return bounds_inner_ != nullptr; }
   bool balances_placement() const override { return placement_inner_ != nullptr; }
+  bool supports_degraded() const override {
+    return placement_inner_ != nullptr && placement_inner_->supports_degraded();
+  }
   bool wants_y_phase() const override;
 
   std::vector<std::int64_t> rebalance_bounds(const BoundsInput& in) override;

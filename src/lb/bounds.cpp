@@ -105,7 +105,10 @@ std::vector<std::int64_t> DiffusionStrategy::rebalance_bounds(const BoundsInput&
 }
 
 std::vector<int> DiffusionStrategy::rebalance_placement(const PlacementInput& in) {
-  return diffusion_ring_placement(in.parts, in.workers, threshold_);
+  return plan_degraded(in, [t = threshold_](const std::vector<PartLoad>& parts,
+                                            int workers) {
+    return diffusion_ring_placement(parts, workers, t);
+  });
 }
 
 std::vector<std::int64_t> RcbStrategy::rebalance_bounds(const BoundsInput& in) {

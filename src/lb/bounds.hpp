@@ -51,6 +51,7 @@ class DiffusionStrategy final : public Strategy {
   std::string name() const override { return "diffusion"; }
   bool balances_bounds() const override { return true; }
   bool balances_placement() const override { return true; }
+  bool supports_degraded() const override { return true; }
   bool wants_y_phase() const override { return two_phase_; }
 
   std::vector<std::int64_t> rebalance_bounds(const BoundsInput& in) override;

@@ -232,4 +232,72 @@ std::vector<int> rotate_placement(const std::vector<PartLoad>& parts, int worker
   return out;
 }
 
+std::vector<int> plan_degraded(const PlacementInput& in, const PlanFn& plan) {
+  PICPRK_EXPECTS(in.workers >= 1);
+  if (in.dead_workers.empty()) return plan(in.parts, in.workers);
+
+  std::vector<bool> dead(static_cast<std::size_t>(in.workers), false);
+  for (const int w : in.dead_workers) {
+    PICPRK_EXPECTS(w >= 0 && w < in.workers);
+    dead[static_cast<std::size_t>(w)] = true;
+  }
+  std::vector<int> live;            // live-index -> world worker id
+  std::vector<int> live_index(      // world worker id -> live-index (or -1)
+      static_cast<std::size_t>(in.workers), -1);
+  for (int w = 0; w < in.workers; ++w) {
+    if (dead[static_cast<std::size_t>(w)]) continue;
+    live_index[static_cast<std::size_t>(w)] = static_cast<int>(live.size());
+    live.push_back(w);
+  }
+  PICPRK_ASSERT_MSG(!live.empty(), "lb: degraded plan with every worker dead");
+
+  // Pre-assign orphans to the least-loaded live worker, heaviest first:
+  // deterministic, and hands owner-respecting planners (refine, compact,
+  // diffusion) a well-formed placement to improve on.
+  std::vector<PartLoad> parts = in.parts;
+  std::vector<double> wload(live.size(), 0.0);
+  std::vector<std::size_t> orphans;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    PICPRK_EXPECTS(parts[i].owner >= 0 && parts[i].owner < in.workers);
+    if (dead[static_cast<std::size_t>(parts[i].owner)]) {
+      orphans.push_back(i);
+    } else {
+      wload[static_cast<std::size_t>(
+          live_index[static_cast<std::size_t>(parts[i].owner)])] += parts[i].load;
+    }
+  }
+  std::stable_sort(orphans.begin(), orphans.end(),
+                   [&parts](std::size_t a, std::size_t b) {
+                     return parts[a].load > parts[b].load;
+                   });
+  for (const std::size_t i : orphans) {
+    const auto lo = static_cast<std::size_t>(
+        std::min_element(wload.begin(), wload.end()) - wload.begin());
+    wload[lo] += parts[i].load;
+    parts[i].owner = live[lo];
+  }
+
+  // Plan in the dense live-index space, then map back to world ids.
+  for (auto& part : parts) {
+    part.owner = live_index[static_cast<std::size_t>(part.owner)];
+  }
+  const std::vector<int> live_plan = plan(parts, static_cast<int>(live.size()));
+  PICPRK_ASSERT_MSG(live_plan.size() == parts.size(),
+                    "lb: degraded planner returned a wrong-size map");
+  std::vector<int> out(live_plan.size());
+  for (std::size_t i = 0; i < live_plan.size(); ++i) {
+    PICPRK_ASSERT_MSG(
+        live_plan[i] >= 0 && live_plan[i] < static_cast<int>(live.size()),
+        "lb: degraded planner mapped a part outside the live worker set");
+    out[i] = live[static_cast<std::size_t>(live_plan[i])];
+  }
+  return out;
+}
+
+std::vector<int> evacuate_placement(const PlacementInput& in) {
+  return plan_degraded(in, [](const std::vector<PartLoad>& parts, int /*workers*/) {
+    return keep_placement(parts);
+  });
+}
+
 }  // namespace picprk::lb

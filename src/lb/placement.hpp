@@ -10,6 +10,7 @@
 // on every caller.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,30 @@ std::vector<int> compact_placement(const std::vector<PartLoad>& parts, int worke
 std::vector<int> rotate_placement(const std::vector<PartLoad>& parts, int workers);
 
 // ------------------------------------------------------------------
+// Degraded-mode planning (localized failure recovery).
+
+/// A plain placement planner over `workers` workers: same contract as
+/// the free functions above (owners of the input parts are valid worker
+/// ids in [0, workers)).
+using PlanFn =
+    std::function<std::vector<int>(const std::vector<PartLoad>&, int workers)>;
+
+/// Runs `plan` over the shrunken live-worker set of a degraded input:
+/// orphaned parts (owner in in.dead_workers) are pre-assigned to the
+/// least-loaded live worker in decreasing-load order (deterministic),
+/// owners are translated into the dense live-index space, `plan` runs
+/// over the live worker count, and the result is mapped back to world
+/// worker ids. With no dead workers this is exactly `plan(parts,
+/// workers)`. The returned plan never targets a dead worker.
+std::vector<int> plan_degraded(const PlacementInput& in, const PlanFn& plan);
+
+/// Minimal degraded plan: every surviving part keeps its worker and
+/// only orphans move (to the least-loaded live worker). The fallback
+/// for strategies that do not claim supports_degraded(), and the
+/// cheapest evacuation a recovery path can apply.
+std::vector<int> evacuate_placement(const PlacementInput& in);
+
+// ------------------------------------------------------------------
 // Strategy wrappers (registered under the same names the old
 // vpr::make_load_balancer factory used).
 
@@ -58,7 +83,10 @@ class NullStrategy final : public Strategy {
  public:
   std::string name() const override { return "null"; }
   bool balances_placement() const override { return true; }
+  bool supports_degraded() const override { return true; }
   std::vector<int> rebalance_placement(const PlacementInput& in) override {
+    // Even "no rebalancing" must evacuate orphans off dead workers.
+    if (!in.dead_workers.empty()) return evacuate_placement(in);
     return keep_placement(in.parts);
   }
 };
@@ -67,8 +95,11 @@ class GreedyStrategy final : public Strategy {
  public:
   std::string name() const override { return "greedy"; }
   bool balances_placement() const override { return true; }
+  bool supports_degraded() const override { return true; }
   std::vector<int> rebalance_placement(const PlacementInput& in) override {
-    return greedy_placement(in.parts, in.workers);
+    return plan_degraded(in, [](const std::vector<PartLoad>& parts, int workers) {
+      return greedy_placement(parts, workers);
+    });
   }
 };
 
@@ -77,8 +108,12 @@ class RefineStrategy final : public Strategy {
   explicit RefineStrategy(double tolerance = 1.05) : tolerance_(tolerance) {}
   std::string name() const override { return "refine"; }
   bool balances_placement() const override { return true; }
+  bool supports_degraded() const override { return true; }
   std::vector<int> rebalance_placement(const PlacementInput& in) override {
-    return refine_placement(in.parts, in.workers, tolerance_);
+    return plan_degraded(in, [t = tolerance_](const std::vector<PartLoad>& parts,
+                                              int workers) {
+      return refine_placement(parts, workers, t);
+    });
   }
 
  private:
@@ -90,8 +125,12 @@ class CompactStrategy final : public Strategy {
   explicit CompactStrategy(double tolerance = 1.05) : tolerance_(tolerance) {}
   std::string name() const override { return "compact"; }
   bool balances_placement() const override { return true; }
+  bool supports_degraded() const override { return true; }
   std::vector<int> rebalance_placement(const PlacementInput& in) override {
-    return compact_placement(in.parts, in.workers, tolerance_);
+    return plan_degraded(in, [t = tolerance_](const std::vector<PartLoad>& parts,
+                                              int workers) {
+      return compact_placement(parts, workers, t);
+    });
   }
 
  private:
@@ -102,8 +141,11 @@ class RotateStrategy final : public Strategy {
  public:
   std::string name() const override { return "rotate"; }
   bool balances_placement() const override { return true; }
+  bool supports_degraded() const override { return true; }
   std::vector<int> rebalance_placement(const PlacementInput& in) override {
-    return rotate_placement(in.parts, in.workers);
+    return plan_degraded(in, [](const std::vector<PartLoad>& parts, int workers) {
+      return rotate_placement(parts, workers);
+    });
   }
 };
 

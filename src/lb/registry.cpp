@@ -87,12 +87,12 @@ const std::vector<Entry>& entries() {
       {{"adaptive",
         "cost-model wrapper: rebalance only when predicted imbalance cost "
         "exceeds the measured cost of the previous LB event",
-        true, true},
+        true, true, true},
        build_adaptive},
       {{"compact",
         "locality-hinted refine: sheds border parts onto the neighbor-hosting "
         "worker (§V-B future-work remark)",
-        false, true},
+        false, true, true},
        [](const Options& opts) -> std::unique_ptr<Strategy> {
          check_keys("compact", opts, {"tolerance"});
          return std::make_unique<CompactStrategy>(opt_double(opts, "tolerance", 1.05));
@@ -100,7 +100,7 @@ const std::vector<Entry>& entries() {
       {{"diffusion",
         "§IV-B boundary diffusion à la Cybenko (bounds) / worker-ring "
         "diffusion (placement)",
-        true, true},
+        true, true, true},
        [](const Options& opts) -> std::unique_ptr<Strategy> {
          check_keys("diffusion", opts, {"threshold", "border", "two_phase"});
          return std::make_unique<DiffusionStrategy>(
@@ -110,12 +110,12 @@ const std::vector<Entry>& entries() {
       {{"greedy",
         "Charm-style GreedyLB: heaviest part onto the least-loaded worker "
         "(the paper's choice)",
-        false, true},
+        false, true, true},
        [](const Options& opts) -> std::unique_ptr<Strategy> {
          check_keys("greedy", opts, {});
          return std::make_unique<GreedyStrategy>();
        }},
-      {{"null", "no rebalancing: the statically mapped baseline", false, true},
+      {{"null", "no rebalancing: the statically mapped baseline", false, true, true},
        [](const Options& opts) -> std::unique_ptr<Strategy> {
          check_keys("null", opts, {});
          return std::make_unique<NullStrategy>();
@@ -123,7 +123,7 @@ const std::vector<Entry>& entries() {
       {{"rcb",
         "global recursive-coordinate-bisection repartition (Sauget & Latu "
         "style)",
-        true, false},
+        true, false, false},
        [](const Options& opts) -> std::unique_ptr<Strategy> {
          check_keys("rcb", opts, {"threshold", "two_phase"});
          return std::make_unique<RcbStrategy>(opt_double(opts, "threshold", 0.05),
@@ -132,7 +132,7 @@ const std::vector<Entry>& entries() {
       {{"refine",
         "Charm-style RefineLB: move parts off overloaded workers until below "
         "tolerance × average",
-        false, true},
+        false, true, true},
        [](const Options& opts) -> std::unique_ptr<Strategy> {
          check_keys("refine", opts, {"tolerance"});
          return std::make_unique<RefineStrategy>(opt_double(opts, "tolerance", 1.05));
@@ -140,7 +140,7 @@ const std::vector<Entry>& entries() {
       {{"rotate",
         "pathological: every part to the next worker (prices migration with "
         "zero benefit)",
-        false, true},
+        false, true, true},
        [](const Options& opts) -> std::unique_ptr<Strategy> {
          check_keys("rotate", opts, {});
          return std::make_unique<RotateStrategy>();

@@ -21,6 +21,7 @@ struct Descriptor {
   std::string summary;
   bool bounds = false;     ///< implements rebalance_bounds
   bool placement = false;  ///< implements rebalance_placement
+  bool degraded = false;   ///< placement plans honour PlacementInput::dead_workers
 };
 
 /// Strategy options parsed from the `name:key=val,key=val` spec syntax.

@@ -83,6 +83,13 @@ struct PlacementInput {
   std::vector<PartLoad> parts;
   /// See BoundsInput::interval_compute_seconds.
   double interval_compute_seconds = 0.0;
+  /// Degraded mode (localized failure recovery, docs/RESILIENCE.md):
+  /// workers that have died, sorted ascending. The plan must map every
+  /// part — including orphans whose current owner is dead — onto the
+  /// surviving workers only. Empty (the default) = all workers live.
+  /// Callers must only pass a non-empty set to strategies that claim
+  /// supports_degraded().
+  std::vector<int> dead_workers;
 };
 
 /// Globally-reduced measurements of one applied plan, reported back to
@@ -112,6 +119,12 @@ class Strategy {
   /// Callers must not invoke a decision the strategy does not claim.
   virtual bool balances_bounds() const { return false; }
   virtual bool balances_placement() const { return false; }
+
+  /// Whether rebalance_placement honours PlacementInput::dead_workers —
+  /// plans over the shrunken live-worker set and evacuates orphaned
+  /// parts. Callers with dead workers must check this (and fall back to
+  /// lb::evacuate_placement otherwise).
+  virtual bool supports_degraded() const { return false; }
 
   /// Boundary decision: returns the new bounds (same size, strictly
   /// increasing, same span). Returning the input unchanged means "no

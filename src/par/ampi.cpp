@@ -229,14 +229,24 @@ DriverResult run_ampi(const RunConfig& config) {
   const obs::StepInstruments inst(config.obs, "ampi", 0, "driver", 0,
                                   static_cast<std::size_t>(config.steps) * 2 + 8);
   const bool checkpointing = config.ft.checkpointing();
+  // Localized recovery (docs/RESILIENCE.md): a killed VP marks its
+  // *worker* dead — the vpr analogue of a rank failure. Every VP is
+  // restored in-process from the store and the dead worker is retired;
+  // its VPs are re-placed through the balancer's degraded path and the
+  // run continues on the shrunken worker set. Requires per-step
+  // checkpoints so survivors replay at most one superstep.
+  const bool local_mode =
+      config.resilience.recovery == RecoveryMode::kLocal && checkpointing;
+  const std::uint32_t cadence =
+      local_mode ? 1 : (checkpointing ? config.ft.checkpoint_every : 0);
   std::uint64_t checkpoint_rounds = 0, checkpoint_bytes = 0;
-  std::uint32_t recoveries = 0;
+  std::uint32_t recoveries = 0, localized = 0, replayed = 0;
   /// Rollback attempts before an injected VP death is rethrown.
   constexpr std::uint32_t kMaxVpRecoveries = 3;
 
   util::Timer wall;
   for (std::uint32_t step = 0; step < config.steps;) {
-    if (checkpointing && step % config.ft.checkpoint_every == 0) {
+    if (checkpointing && step % cadence == 0) {
       obs::Phase phase(obs::kPhaseCheckpoint, &checkpoint_seconds, inst.lane,
                        inst.checkpoint);
       // Double in-memory checkpoint per VP: primary + buddy copy, both
@@ -253,6 +263,30 @@ DriverResult run_ampi(const RunConfig& config) {
       runtime.run(1);
     } catch (const ft::RankKilled& e) {
       if (!checkpointing) throw;
+      if (local_mode) {
+        // The killed VP's host worker dies with everything it ran: drop
+        // the primary of every co-located VP (only buddy copies survive).
+        const int dead_worker = runtime.worker_of(e.rank());
+        for (int v = 0; v < vps; ++v) {
+          if (runtime.worker_of(v) == dead_worker) config.ft.store->drop_primary(v);
+        }
+        const auto consistent = config.ft.store->consistent_step(vps);
+        if (!consistent || localized >= kMaxVpRecoveries) throw;
+        runtime.rewind(*consistent);
+        for (int v = 0; v < vps; ++v) {
+          auto bytes = config.ft.store->load(v, *consistent);
+          PICPRK_ASSERT_MSG(bytes.has_value(),
+                            "consistent checkpoint is missing a vp snapshot");
+          vpr::pup_unpack(runtime.vp(v), std::move(*bytes));
+        }
+        // Shrink the live set; the dead worker's VPs evacuate through
+        // the balancer's degraded plan before the next superstep.
+        runtime.retire_worker(dead_worker);
+        replayed += step - *consistent;
+        step = *consistent;
+        ++localized;
+        continue;
+      }
       config.ft.store->drop_primary(e.rank());
       const auto consistent = config.ft.store->consistent_step(vps);
       if (!consistent || recoveries >= kMaxVpRecoveries) throw;
@@ -277,7 +311,9 @@ DriverResult run_ampi(const RunConfig& config) {
         worker_load[static_cast<std::size_t>(runtime.worker_of(v))] += load;
         total += load;
       }
-      const double mean = total / static_cast<double>(workers);
+      // λ over live workers: a retired worker's permanent zero must not
+      // deflate the mean (its max contribution is already zero).
+      const double mean = total / static_cast<double>(runtime.live_workers());
       double max = 0.0;
       for (double w : worker_load) max = std::max(max, w);
       const double lambda = mean > 0 ? max / mean : 1.0;
@@ -331,7 +367,8 @@ DriverResult run_ampi(const RunConfig& config) {
   for (auto w : per_worker)
     result.max_particles_per_rank = std::max(result.max_particles_per_rank, w);
   result.ideal_particles_per_rank =
-      static_cast<double>(verify.checked) / static_cast<double>(workers);
+      static_cast<double>(verify.checked) /
+      static_cast<double>(runtime.live_workers());
   result.seconds = seconds;
   result.phases = PhaseBreakdown{stats.step_seconds - stats.lb_seconds, 0.0,
                                  stats.lb_seconds, checkpoint_seconds};
@@ -341,7 +378,9 @@ DriverResult run_ampi(const RunConfig& config) {
   result.lb_bytes = stats.migrated_bytes;
   result.checkpoints = checkpoint_rounds;
   result.checkpoint_bytes = checkpoint_bytes;
-  result.recoveries = recoveries;
+  result.recoveries = recoveries + localized;
+  result.localized_recoveries = localized;
+  result.replayed_steps = replayed;
   return result;
 }
 

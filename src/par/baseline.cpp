@@ -2,11 +2,14 @@
 
 #include <string>
 
+#include "comm/mailbox.hpp"
+#include "ft/coordinator.hpp"
 #include "par/decomposition.hpp"
 #include "par/exchange.hpp"
 #include "par/resilient.hpp"
 #include "pic/charge.hpp"
 #include "pic/mover.hpp"
+#include "util/assert.hpp"
 #include "util/timer.hpp"
 
 namespace picprk::par {
@@ -50,8 +53,40 @@ DriverResult run_baseline(comm::Comm& comm, const DriverConfig& config) {
     }
   }
 
+  // Localized recovery (docs/RESILIENCE.md): on a confirmed rank kill
+  // every rank — the logical victim's thread survives in-process and is
+  // promoted as its own spare — rendezvouses at the coordinator, only
+  // the dead rank restores from its buddy copy and everyone replays at
+  // most one step. Null coordinator = classical full-run rollback.
+  ft::RecoveryCoordinator* coordinator =
+      config.ft.localized() ? config.ft.coordinator : nullptr;
+  std::uint32_t localized = 0, replayed = 0;
+  const auto restore_local = [&](std::uint32_t failed_step) -> std::uint32_t {
+    const std::uint32_t restore = coordinator->join(comm);
+    auto snap = restore_snapshot(comm.rank(), comm.size(), *config.ft.store);
+    PICPRK_ASSERT_MSG(snap && snap->step == restore,
+                      "localized recovery: no snapshot at the agreed step");
+    particles = std::move(snap->particles);
+    tracker.restore_removed_sum(snap->removed_sum);
+    exchange_buffers.totals.sent = snap->sent;
+    exchange_buffers.totals.bytes = snap->bytes;
+    // Samples taken during the replayed fraction are discarded — the
+    // series must read as if the failure never happened.
+    if (result.imbalance_series.size() > snap->samples) {
+      result.imbalance_series.resize(snap->samples);
+    }
+    if (result.step_samples.size() > snap->samples) {
+      result.step_samples.resize(snap->samples);
+    }
+    replayed += failed_step - restore;
+    ++localized;
+    return restore;
+  };
+
   util::Timer wall;
-  for (std::uint32_t step = start_step; step < config.steps; ++step) {
+  std::uint32_t step = start_step;
+  while (step < config.steps) {
+    try {
     // Snapshot the start-of-step state, then poll scripted step faults;
     // a kill at a checkpoint step therefore rolls back to that step.
     if (config.ft.checkpointing() && step % config.ft.checkpoint_every == 0) {
@@ -63,6 +98,7 @@ DriverResult run_baseline(comm::Comm& comm, const DriverConfig& config) {
       snap.removed_sum = tracker.removed_sum();
       snap.sent = exchange_buffers.totals.sent;
       snap.bytes = exchange_buffers.totals.bytes;
+      snap.samples = result.imbalance_series.size();
       checkpoint_bytes += checkpoint_exchange(comm, *config.ft.store, snap);
       ++checkpoint_rounds;
     }
@@ -99,6 +135,15 @@ DriverResult run_baseline(comm::Comm& comm, const DriverConfig& config) {
         result.imbalance_series.push_back(sample_imbalance(comm, particles.size()));
       }
     }
+    ++step;
+    } catch (const ft::RankKilled& e) {
+      if (coordinator == nullptr) throw;
+      coordinator->declare_dead(e.rank(), e.step());
+      step = restore_local(step);
+    } catch (const comm::RecvInterrupted&) {
+      if (coordinator == nullptr) throw;
+      step = restore_local(step);
+    }
   }
   const double seconds = wall.elapsed();
 
@@ -112,6 +157,9 @@ DriverResult run_baseline(comm::Comm& comm, const DriverConfig& config) {
     result.checkpoints = checkpoint_rounds;
     result.checkpoint_bytes = comm.allreduce_value(
         checkpoint_bytes, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    result.localized_recoveries = localized;
+    result.replayed_steps = comm.allreduce_value(
+        replayed, [](std::uint32_t a, std::uint32_t b) { return a > b ? a : b; });
   }
   return result;
 }

@@ -5,6 +5,8 @@
 #include <string>
 
 #include "comm/cart.hpp"
+#include "comm/mailbox.hpp"
+#include "ft/coordinator.hpp"
 #include "lb/registry.hpp"
 #include "par/decomposition.hpp"
 #include "par/exchange.hpp"
@@ -262,7 +264,44 @@ DriverResult run_diffusion(comm::Comm& comm, const RunConfig& config) {
     return true;
   };
 
-  for (std::uint32_t step = start_step; step < config.steps; ++step) {
+  // Localized recovery (docs/RESILIENCE.md): identical ladder rung to
+  // run_baseline, plus the movable decomposition — the restore replays
+  // the checkpointed bounds and rebuilds block/slab before re-entering
+  // the loop, and the LB measurement interval restarts at the restored
+  // step so the cost model never sees a half-replayed interval.
+  ft::RecoveryCoordinator* coordinator =
+      config.ft.localized() ? config.ft.coordinator : nullptr;
+  std::uint32_t localized = 0, replayed = 0;
+  const auto restore_local = [&](std::uint32_t failed_step) -> std::uint32_t {
+    const std::uint32_t restore = coordinator->join(comm);
+    auto snap = restore_snapshot(comm.rank(), comm.size(), *config.ft.store);
+    PICPRK_ASSERT_MSG(snap && snap->step == restore,
+                      "localized recovery: no snapshot at the agreed step");
+    decomp.set_x_bounds(snap->x_bounds);
+    decomp.set_y_bounds(snap->y_bounds);
+    rebuild_slab();
+    particles = std::move(snap->particles);
+    tracker.restore_removed_sum(snap->removed_sum);
+    exchange_buffers.totals.sent = snap->sent;
+    exchange_buffers.totals.bytes = snap->bytes;
+    mesh_stats.transfers = snap->lb_actions;
+    mesh_stats.bytes_sent = snap->lb_bytes;
+    if (result.imbalance_series.size() > snap->samples) {
+      result.imbalance_series.resize(snap->samples);
+    }
+    if (result.step_samples.size() > snap->samples) {
+      result.step_samples.resize(snap->samples);
+    }
+    interval_compute_start = compute_seconds;
+    last_lb_step = restore;
+    replayed += failed_step - restore;
+    ++localized;
+    return restore;
+  };
+
+  std::uint32_t step = start_step;
+  while (step < config.steps) {
+    try {
     if (config.ft.checkpointing() && step % config.ft.checkpoint_every == 0) {
       obs::Phase phase(obs::kPhaseCheckpoint, &checkpoint_seconds, inst.lane,
                        inst.checkpoint);
@@ -276,6 +315,7 @@ DriverResult run_diffusion(comm::Comm& comm, const RunConfig& config) {
       snap.bytes = exchange_buffers.totals.bytes;
       snap.lb_actions = mesh_stats.transfers;
       snap.lb_bytes = mesh_stats.bytes_sent;
+      snap.samples = result.imbalance_series.size();
       checkpoint_bytes += checkpoint_exchange(comm, *config.ft.store, snap);
       ++checkpoint_rounds;
     }
@@ -355,6 +395,15 @@ DriverResult run_diffusion(comm::Comm& comm, const RunConfig& config) {
         result.imbalance_series.push_back(sample_imbalance(comm, particles.size()));
       }
     }
+    ++step;
+    } catch (const ft::RankKilled& e) {
+      if (coordinator == nullptr) throw;
+      coordinator->declare_dead(e.rank(), e.step());
+      step = restore_local(step);
+    } catch (const comm::RecvInterrupted&) {
+      if (coordinator == nullptr) throw;
+      step = restore_local(step);
+    }
   }
   const double seconds = wall.elapsed();
 
@@ -370,6 +419,9 @@ DriverResult run_diffusion(comm::Comm& comm, const RunConfig& config) {
     result.checkpoints = checkpoint_rounds;
     result.checkpoint_bytes = comm.allreduce_value(
         checkpoint_bytes, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    result.localized_recoveries = localized;
+    result.replayed_steps = comm.allreduce_value(
+        replayed, [](std::uint32_t a, std::uint32_t b) { return a > b ? a : b; });
   }
   return result;
 }

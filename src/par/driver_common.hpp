@@ -69,6 +69,8 @@ struct DriverResult {
   std::uint64_t checkpoints = 0;       ///< checkpoint rounds completed
   std::uint64_t checkpoint_bytes = 0;  ///< snapshot bytes packed + shipped, global
   std::uint32_t recoveries = 0;        ///< rollbacks/restarts behind this result
+  std::uint32_t localized_recoveries = 0;  ///< in-place buddy restores (no restart)
+  std::uint32_t replayed_steps = 0;  ///< max steps any rank re-ran, over all repairs
 
   /// max/mean particle ratio sampled every `sample_every` steps.
   std::vector<double> imbalance_series;

@@ -1,9 +1,11 @@
 #include "par/resilient.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "comm/comm.hpp"
 #include "comm/world.hpp"
+#include "ft/coordinator.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 
@@ -19,6 +21,7 @@ void DriverSnapshot::pup(vpr::Pup& p) {
   p(bytes);
   p(lb_actions);
   p(lb_bytes);
+  p(samples);
 }
 
 std::uint64_t checkpoint_exchange(comm::Comm& comm, ft::CheckpointStore& store,
@@ -58,6 +61,8 @@ DriverResult run_resilient(const RunConfig& config, const DriverFn& driver,
   const int ranks = config.ranks;
   const ResilienceOptions& options = config.resilience;
   PICPRK_EXPECTS(ranks >= 1);
+  options.validate();
+  const bool local_mode = options.recovery == RecoveryMode::kLocal;
 
   ft::FaultInjector injector(options.plan);
   ft::CheckpointStore store;
@@ -66,20 +71,32 @@ DriverResult run_resilient(const RunConfig& config, const DriverFn& driver,
   world_options.timeout_ms = options.timeout_ms;
   world_options.deadlock_ms = options.deadlock_ms;
   world_options.fault_hook = options.plan.empty() ? nullptr : &injector;
+  world_options.reliable.enabled = options.reliable;
+  world_options.reliable.rto_ms = options.rto_ms;
+  world_options.reliable.max_retransmits = options.retransmit_budget;
   comm::World world(ranks, world_options);
+
+  // Localized recovery needs every step checkpointed so the surviving
+  // ranks replay at most one step (validated above: cadence > 0).
+  std::optional<ft::RecoveryCoordinator> coordinator;
+  if (local_mode) {
+    coordinator.emplace(&store, ranks,
+                        options.timeout_ms > 0 ? options.timeout_ms : 10000);
+  }
 
   RunConfig cfg = config;
   cfg.ft.injector = options.plan.empty() ? nullptr : &injector;
   cfg.ft.store = options.checkpoint_every > 0 ? &store : nullptr;
-  cfg.ft.checkpoint_every = options.checkpoint_every;
+  cfg.ft.checkpoint_every = local_mode ? 1 : options.checkpoint_every;
+  cfg.ft.coordinator = coordinator ? &*coordinator : nullptr;
   cfg.ft.resume = false;
 
-  std::uint32_t recoveries = 0;
+  std::uint32_t rollbacks = 0;
   std::uint64_t residual = 0;
   std::vector<std::string> failures;
 
   const auto can_recover = [&] {
-    return cfg.ft.checkpointing() && recoveries < options.max_recoveries &&
+    return cfg.ft.checkpointing() && rollbacks < options.max_recoveries &&
            store.consistent_step(ranks).has_value();
   };
   const auto note_failure = [&](const char* kind, const std::exception& e) {
@@ -89,9 +106,24 @@ DriverResult run_resilient(const RunConfig& config, const DriverFn& driver,
                                                            : " -- not recoverable"));
   };
 
+  // Per-process obs mirrors of the ladder's outcome counters — the
+  // instrument the acceptance criteria read ("zero rollbacks").
+  obs::Counter* rollback_counter = nullptr;
+  obs::Counter* localized_counter = nullptr;
+  obs::Counter* replayed_counter = nullptr;
+  if (cfg.obs.registry != nullptr) {
+    rollback_counter = &cfg.obs.registry->register_counter("ft/rollbacks");
+    localized_counter = &cfg.obs.registry->register_counter("ft/localized_recoveries");
+    replayed_counter = &cfg.obs.registry->register_counter("ft/replayed_steps");
+  }
+
   DriverResult result;
   for (;;) {
     try {
+      if (coordinator) {
+        coordinator->attach(&world.state());
+        coordinator->begin_run();
+      }
       world.run([&](comm::Comm& comm) {
         DriverResult local = driver(comm, cfg);
         // Results are identical on every rank; rank 0 publishes.
@@ -100,9 +132,17 @@ DriverResult run_resilient(const RunConfig& config, const DriverFn& driver,
       break;
     } catch (const ft::RankKilled& e) {
       // The dead rank's memory is gone: only buddy copies of its
-      // snapshots survive into the recovery attempt.
+      // snapshots survive into the recovery attempt. (Under localized
+      // recovery the drivers catch RankKilled in-process; reaching this
+      // handler means the rendezvous path itself gave up.)
       store.drop_primary(e.rank());
       note_failure("rank-killed", e);
+      if (!can_recover()) throw;
+    } catch (const ft::RecoveryFailed& e) {
+      // The localized rung failed (rendezvous timeout, or no consistent
+      // line) — fall down to the rollback rung. declare_dead() already
+      // dropped the victim's primary copies.
+      note_failure("recovery-failed", e);
       if (!can_recover()) throw;
     } catch (const comm::CommTimeout& e) {
       note_failure("comm-timeout", e);
@@ -113,13 +153,25 @@ DriverResult run_resilient(const RunConfig& config, const DriverFn& driver,
     }
     // A clean rerun resets the world's counter: record the drain now.
     residual += world.residual_messages();
-    ++recoveries;
+    ++rollbacks;
+    if (rollback_counter != nullptr) rollback_counter->add();
     cfg.ft.resume = true;
   }
 
-  result.recoveries = recoveries;
+  const std::uint32_t localized =
+      std::max(result.localized_recoveries,
+               coordinator ? coordinator->recoveries() : 0u);
+  result.localized_recoveries = localized;
+  result.recoveries = rollbacks + localized;
+  if (localized_counter != nullptr && localized > 0) localized_counter->add(localized);
+  if (replayed_counter != nullptr && result.replayed_steps > 0) {
+    replayed_counter->add(result.replayed_steps);
+  }
   if (telemetry) {
-    telemetry->recoveries = recoveries;
+    telemetry->recoveries = result.recoveries;
+    telemetry->rollbacks = rollbacks;
+    telemetry->localized_recoveries = localized;
+    telemetry->replayed_steps = result.replayed_steps;
     telemetry->trace = injector.trace();
     telemetry->dropped = injector.dropped();
     telemetry->duplicated = injector.duplicated();
@@ -127,7 +179,14 @@ DriverResult run_resilient(const RunConfig& config, const DriverFn& driver,
     telemetry->kills = injector.kills();
     telemetry->stalls = injector.stalls();
     telemetry->checkpoint_saves = store.saves();
-    telemetry->residual_messages = residual;
+    telemetry->residual_messages = residual + world.residual_messages();
+    telemetry->residual_duplicates = world.residual_duplicates();
+    if (coordinator) telemetry->drained_messages = coordinator->drained_messages();
+    const comm::TransportStats ts = world.transport_stats();
+    telemetry->retransmits = ts.retransmits;
+    telemetry->dup_dropped = ts.dup_dropped;
+    telemetry->reordered = ts.reordered;
+    telemetry->abandoned = ts.abandoned;
     telemetry->failures = std::move(failures);
   }
   return result;

@@ -38,6 +38,9 @@ struct DriverSnapshot {
   std::uint64_t bytes = 0;        ///< exchange bytes so far
   std::uint64_t lb_actions = 0;   ///< mesh transfers so far (diffusion)
   std::uint64_t lb_bytes = 0;     ///< mesh bytes so far (diffusion)
+  /// Sampling-series length (imbalance_series entries) at snapshot time,
+  /// so a localized restore can truncate the partially-replayed series.
+  std::uint64_t samples = 0;
 
   void pup(vpr::Pup& p);
 };
@@ -61,11 +64,21 @@ std::optional<DriverSnapshot> restore_snapshot(int rank, int slots,
 
 /// What the recovery loop observed — for tools and tests.
 struct ResilienceTelemetry {
-  std::uint32_t recoveries = 0;
+  std::uint32_t recoveries = 0;  ///< all repairs (rollbacks + localized)
+  std::uint32_t rollbacks = 0;   ///< full world-teardown recoveries only
+  std::uint32_t localized_recoveries = 0;  ///< in-place buddy restores
+  std::uint32_t replayed_steps = 0;  ///< max steps any survivor re-ran
   std::vector<ft::FaultEvent> trace;  ///< deterministic fired-fault trace
   std::uint64_t dropped = 0, duplicated = 0, delayed = 0, kills = 0, stalls = 0;
   std::uint64_t checkpoint_saves = 0;
   std::uint64_t residual_messages = 0;  ///< drained over all aborted runs
+  std::uint64_t residual_duplicates = 0;  ///< drained dup/retransmit copies
+  std::uint64_t drained_messages = 0;  ///< drained by localized rendezvous
+  // Reliable-transport tallies (zero when options.reliable is false).
+  std::uint64_t retransmits = 0;
+  std::uint64_t dup_dropped = 0;  ///< dedup-window hits at the receiver
+  std::uint64_t reordered = 0;
+  std::uint64_t abandoned = 0;  ///< messages past the retransmit budget
   std::vector<std::string> failures;    ///< what() of every caught failure
 };
 

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 #include "ft/fault.hpp"
@@ -34,6 +35,21 @@ struct LbOptions {
   bool measured = false;
 };
 
+/// How a confirmed rank failure is repaired — the middle and bottom
+/// rungs of the retry → localized-recovery → rollback ladder
+/// (docs/RESILIENCE.md).
+enum class RecoveryMode {
+  /// Tear the world down and re-run every rank from the last consistent
+  /// checkpoint (the classical global rung; the only one before this
+  /// option existed).
+  kRollback,
+  /// Keep the world alive: the surviving ranks rendezvous in-process,
+  /// only the dead rank's state is rebuilt from its buddy copy, and
+  /// everyone replays at most one step. Falls back to kRollback when
+  /// the rendezvous itself fails. Forces checkpoint_every = 1.
+  kLocal,
+};
+
 /// Knobs of one resilient run; defaults = no faults, no checkpoints.
 /// (Lives here so a RunConfig fully describes a resilient run; the
 /// recovery loop itself is par/resilient.hpp.)
@@ -47,9 +63,50 @@ struct ResilienceOptions {
   int deadlock_ms = 0;
   /// Give up (rethrow) after this many rollbacks.
   std::uint32_t max_recoveries = 3;
+  /// Repair rung for confirmed rank failures.
+  RecoveryMode recovery = RecoveryMode::kRollback;
+  /// In-band reliable transport (comm/reliable.hpp): message-fault
+  /// drops/dups/reorders heal transparently under the mailbox; a
+  /// CommTimeout then signals *suspected permanent* failure instead of
+  /// a lost packet.
+  bool reliable = false;
+  /// Retransmit timer of the reliable transport in ms.
+  int rto_ms = 20;
+  /// Retransmissions per message before the transport abandons it.
+  int retransmit_budget = 8;
 
   bool active() const {
-    return !plan.empty() || checkpoint_every > 0 || timeout_ms > 0 || deadlock_ms > 0;
+    return !plan.empty() || checkpoint_every > 0 || timeout_ms > 0 ||
+           deadlock_ms > 0 || recovery == RecoveryMode::kLocal || reliable;
+  }
+
+  /// Loud cross-knob validation, mirroring the lb spec parser: a
+  /// nonsensical combination throws std::invalid_argument naming the
+  /// knobs instead of silently running a plan that cannot work.
+  void validate() const {
+    if (recovery == RecoveryMode::kLocal && checkpoint_every == 0) {
+      throw std::invalid_argument(
+          "resilience: recovery=local requires checkpointing "
+          "(checkpoint_every > 0); localized recovery restores the dead "
+          "rank from its buddy copy");
+    }
+    if (reliable && rto_ms <= 0) {
+      throw std::invalid_argument(
+          "resilience: reliable transport requires rto_ms > 0, got " +
+          std::to_string(rto_ms));
+    }
+    if (reliable && retransmit_budget < 0) {
+      throw std::invalid_argument(
+          "resilience: retransmit_budget must be >= 0, got " +
+          std::to_string(retransmit_budget));
+    }
+    if (reliable && timeout_ms > 0 && timeout_ms < rto_ms) {
+      throw std::invalid_argument(
+          "resilience: timeout_ms (" + std::to_string(timeout_ms) +
+          ") is shorter than the retransmit interval rto_ms (" +
+          std::to_string(rto_ms) +
+          ") — every recv would time out before the first retransmission");
+    }
   }
 };
 

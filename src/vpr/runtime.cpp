@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "lb/placement.hpp"
 #include "lb/registry.hpp"
 #include "util/assert.hpp"
 #include "util/first_error.hpp"
@@ -286,21 +287,17 @@ void Runtime::route_messages() {
   }
 }
 
-void Runtime::run_load_balancer(std::uint32_t global_step) {
-  obs::Phase phase(obs::kPhaseLb, &stats_.lb_seconds, nullptr, lb_hist_);
-  util::Timer event_timer;  // feedback clock for cost-model strategies
-  ++stats_.lb_invocations;
-  if (lb_invocations_counter_ != nullptr) lb_invocations_counter_->add();
-
+lb::PlacementInput Runtime::build_placement_input(std::uint32_t global_step,
+                                                  std::vector<double>* worker_load,
+                                                  double* total_measured) const {
   lb::PlacementInput input;
   input.metric = config_.use_measured_load ? lb::LoadMetric::kComputeSeconds
                                            : lb::LoadMetric::kParticles;
   input.step = global_step;
   input.interval_steps = config_.lb_interval;
   input.workers = config_.workers;
+  input.dead_workers = dead_workers_;
   input.parts.resize(static_cast<std::size_t>(config_.vps));
-  std::vector<double> worker_load(static_cast<std::size_t>(config_.workers), 0.0);
-  double total_measured = 0.0;
   for (int v = 0; v < config_.vps; ++v) {
     auto& entry = input.parts[static_cast<std::size_t>(v)];
     entry.part = v;
@@ -309,30 +306,30 @@ void Runtime::run_load_balancer(std::uint32_t global_step) {
                      ? vp_measured_seconds_[static_cast<std::size_t>(v)]
                      : vps_[static_cast<std::size_t>(v)]->load();
     entry.neighbors = vps_[static_cast<std::size_t>(v)]->neighbor_vps();
-    worker_load[static_cast<std::size_t>(entry.owner)] += entry.load;
-    total_measured += vp_measured_seconds_[static_cast<std::size_t>(v)];
+    if (worker_load != nullptr) {
+      (*worker_load)[static_cast<std::size_t>(entry.owner)] += entry.load;
+    }
+    if (total_measured != nullptr) {
+      *total_measured += vp_measured_seconds_[static_cast<std::size_t>(v)];
+    }
   }
-  if (balancer_->wants_feedback()) {
-    // Mean measured compute seconds per worker over the closing interval
-    // (single process: trivially identical for every observer).
-    input.interval_compute_seconds =
-        total_measured / static_cast<double>(config_.workers);
-  }
-  stats_.imbalance_before_lb.push_back(
-      util::imbalance(std::span<const double>(worker_load)).ratio);
+  return input;
+}
 
-  const std::vector<int> remap = balancer_->rebalance_placement(input);
+double Runtime::apply_placement(const lb::PlacementInput& input,
+                                const std::vector<int>& remap) {
   PICPRK_ASSERT_MSG(remap.size() == input.parts.size(),
                     "balancer returned wrong-size map");
-
   const std::uint64_t migrations_before = stats_.migrations;
   const std::uint64_t migrated_bytes_before = stats_.migrated_bytes;
   double moved_load = 0.0;
-
   for (int v = 0; v < config_.vps; ++v) {
     const int target = remap[static_cast<std::size_t>(v)];
     PICPRK_ASSERT_MSG(target >= 0 && target < config_.workers,
                       "balancer mapped a VP to an invalid worker");
+    PICPRK_ASSERT_MSG(
+        !std::binary_search(dead_workers_.begin(), dead_workers_.end(), target),
+        "balancer mapped a VP to a retired worker");
     if (target == vp_worker_[static_cast<std::size_t>(v)]) continue;
     // Migrate: PUP-pack the complete VP state, recreate it from the
     // factory, and unpack — exactly the cost a distributed runtime pays
@@ -351,6 +348,49 @@ void Runtime::run_load_balancer(std::uint32_t global_step) {
     migrations_counter_->add(stats_.migrations - migrations_before);
     migrated_bytes_counter_->add(stats_.migrated_bytes - migrated_bytes_before);
   }
+  return moved_load;
+}
+
+void Runtime::run_load_balancer(std::uint32_t global_step) {
+  obs::Phase phase(obs::kPhaseLb, &stats_.lb_seconds, nullptr, lb_hist_);
+  util::Timer event_timer;  // feedback clock for cost-model strategies
+  ++stats_.lb_invocations;
+  if (lb_invocations_counter_ != nullptr) lb_invocations_counter_->add();
+
+  std::vector<double> worker_load(static_cast<std::size_t>(config_.workers), 0.0);
+  double total_measured = 0.0;
+  lb::PlacementInput in =
+      build_placement_input(global_step, &worker_load, &total_measured);
+  if (balancer_->wants_feedback()) {
+    // Mean measured compute seconds per worker over the closing interval
+    // (single process: trivially identical for every observer).
+    in.interval_compute_seconds =
+        total_measured / static_cast<double>(config_.workers);
+  }
+  // λ over the *live* workers only — a retired worker's permanent zero
+  // would otherwise deflate the mean without describing any real core.
+  std::vector<double> live_load;
+  live_load.reserve(worker_load.size());
+  for (int w = 0; w < config_.workers; ++w) {
+    if (!std::binary_search(dead_workers_.begin(), dead_workers_.end(), w)) {
+      live_load.push_back(worker_load[static_cast<std::size_t>(w)]);
+    }
+  }
+  stats_.imbalance_before_lb.push_back(
+      util::imbalance(std::span<const double>(live_load)).ratio);
+
+  // A balancer without degraded support must not see dead workers; fall
+  // back to pure evacuation so orphans still leave (the caller is
+  // expected to have checked supports_degraded() before relying on
+  // quality, this keeps correctness regardless).
+  const std::vector<int> remap =
+      (!dead_workers_.empty() && !balancer_->supports_degraded())
+          ? lb::evacuate_placement(in)
+          : balancer_->rebalance_placement(in);
+
+  const std::uint64_t migrations_before = stats_.migrations;
+  const std::uint64_t migrated_bytes_before = stats_.migrated_bytes;
+  const double moved_load = apply_placement(in, remap);
   if (balancer_->wants_feedback()) {
     lb::ApplyFeedback feedback;
     if (stats_.migrations != migrations_before) {
@@ -362,6 +402,26 @@ void Runtime::run_load_balancer(std::uint32_t global_step) {
   }
   // Measured loads describe the epoch that ended here.
   std::fill(vp_measured_seconds_.begin(), vp_measured_seconds_.end(), 0.0);
+}
+
+void Runtime::retire_worker(int worker) {
+  PICPRK_EXPECTS(worker >= 0 && worker < config_.workers);
+  if (std::binary_search(dead_workers_.begin(), dead_workers_.end(), worker)) return;
+  dead_workers_.push_back(worker);
+  std::sort(dead_workers_.begin(), dead_workers_.end());
+  PICPRK_ASSERT_MSG(static_cast<int>(dead_workers_.size()) < config_.workers,
+                    "vpr: every worker retired — nothing left to run VPs");
+  // Evacuate immediately through the balancer's degraded path so the
+  // next superstep never schedules a VP on the dead worker.
+  obs::Phase phase(obs::kPhaseLb, &stats_.lb_seconds, nullptr, lb_hist_);
+  const lb::PlacementInput input =
+      build_placement_input(current_step_, nullptr, nullptr);
+  const std::vector<int> remap = balancer_->supports_degraded()
+                                     ? balancer_->rebalance_placement(input)
+                                     : lb::evacuate_placement(input);
+  apply_placement(input, remap);
+  PICPRK_TRACE("vpr: retired worker " << worker << ", " << live_workers()
+                                      << " live");
 }
 
 }  // namespace picprk::vpr

@@ -87,6 +87,22 @@ class Runtime {
   /// restoring VP state (pup_unpack from a checkpoint) afterwards.
   void rewind(std::uint32_t step);
 
+  /// Localized failure recovery (docs/RESILIENCE.md): permanently
+  /// retires `worker` from the live set and immediately re-places its
+  /// VPs through the balancer's degraded path (fallback: pure
+  /// evacuation onto the least-loaded survivor). Subsequent LB rounds
+  /// plan over the shrunken live set; the retired worker thread keeps
+  /// participating in barriers but runs no VPs. Call between run()
+  /// invocations, after restoring VP state. At least one worker must
+  /// stay live.
+  void retire_worker(int worker);
+
+  /// Workers retired so far, sorted ascending.
+  const std::vector<int>& dead_workers() const { return dead_workers_; }
+  int live_workers() const {
+    return config_.workers - static_cast<int>(dead_workers_.size());
+  }
+
   /// Sequential post-run iteration over all VPs (e.g. for verification).
   template <typename F>
   void for_each_vp(F&& fn) {
@@ -102,12 +118,18 @@ class Runtime {
   void superstep_worker(int worker, std::uint32_t global_step, Pool& pool);
   void route_messages();
   void run_load_balancer(std::uint32_t global_step);
+  lb::PlacementInput build_placement_input(std::uint32_t global_step,
+                                           std::vector<double>* worker_load,
+                                           double* total_measured) const;
+  double apply_placement(const lb::PlacementInput& input,
+                         const std::vector<int>& remap);
 
   RuntimeConfig config_;
   Factory factory_;
   std::unique_ptr<lb::Strategy> balancer_;
   std::vector<std::unique_ptr<VirtualProcessor>> vps_;
   std::vector<int> vp_worker_;
+  std::vector<int> dead_workers_;  ///< retired workers, sorted ascending
   std::vector<double> vp_measured_seconds_;  ///< since last LB
   // Telemetry handles, registered once at construction (null when
   // config_.obs is inactive). Lanes are per VP; a VP's lane is written

@@ -57,6 +57,58 @@ TEST(FaultPlan, RejectsMalformedInput) {
   EXPECT_THROW(FaultPlan::parse("kill:step=3", 1), std::invalid_argument);  // no rank
 }
 
+TEST(FaultPlan, RejectsSemanticallyInvalidKeyCombinations) {
+  // Step faults take no message-fault keys and vice versa; each rejection
+  // must name the offending construct (mirrors the lb spec parser).
+  EXPECT_THROW(FaultPlan::parse("kill:rank=1,step=2,prob=0.5", 1),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("kill:rank=1,step=2,src=0", 1),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("kill:rank=1,step=2,ms=5", 1),
+               std::invalid_argument);  // a killed rank never comes back
+  EXPECT_THROW(FaultPlan::parse("stall:rank=1,step=2,dst=3,ms=5", 1),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("drop:prob=0.5,rank=1", 1), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("drop:prob=0.5,step=3", 1), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("drop:prob=0.5,ms=2", 1),
+               std::invalid_argument);  // only stall and delay take ms=
+  EXPECT_THROW(FaultPlan::parse("dup:dst=1", 1), std::invalid_argument);  // no prob
+  EXPECT_THROW(FaultPlan::parse("delay:prob=0.5,ms=inf", 1),
+               std::invalid_argument);  // inf is stall-only
+  EXPECT_THROW(FaultPlan::parse("delay:prob=0.5,ms=-3", 1), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("drop:prob=0.5,src=-2", 1), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("kill:rank=-1,step=2", 1), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("kill:rank=1,step=-4", 1), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("drop:prob=half", 1), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("kill:rank=two,step=2", 1), std::invalid_argument);
+}
+
+TEST(FaultPlan, RejectionMessagesNameTheOffendingKey) {
+  try {
+    FaultPlan::parse("kill:rank=1,step=2,prob=0.5", 1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("prob"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("kill"), std::string::npos);
+  }
+  try {
+    FaultPlan::parse("drop:prob=0.5,rank=1", 1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("rank"), std::string::npos);
+  }
+}
+
+TEST(FaultPlan, RejectsConflictingStepFaults) {
+  // Two one-shot latches on the same (rank, step) would race for the
+  // same firing slot.
+  EXPECT_THROW(FaultPlan::parse("kill:rank=1,step=2;stall:rank=1,step=2,ms=5", 1),
+               std::invalid_argument);
+  // Different rank or step is fine.
+  EXPECT_NO_THROW(FaultPlan::parse("kill:rank=1,step=2;stall:rank=2,step=2,ms=5", 1));
+  EXPECT_NO_THROW(FaultPlan::parse("kill:rank=1,step=2;kill:rank=1,step=3", 1));
+}
+
 TEST(FaultInjector, KillThrowsTypedExceptionOnceOnly) {
   FaultInjector injector(FaultPlan::parse("kill:rank=2,step=7", 1));
   injector.begin_step(2, 6);  // wrong step: nothing

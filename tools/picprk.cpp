@@ -12,6 +12,8 @@
 //   picprk --impl model --cores 384 --steps 6000   # performance model
 //   picprk --impl baseline --ranks 4 --faults kill:rank=1,step=40
 //          --checkpoint-every 16 --timeout-ms 2000   # resilience drill
+//   picprk --impl diffusion --faults "drop:prob=0.01;kill:rank=1,step=40"
+//          --reliable --recover local --checkpoint-every 1   # full ladder
 //
 // Exit codes: 0 verified, 1 verification failed, 2 usage/unhandled error,
 // 3 comm timeout, 4 deadlock detected, 5 unrecovered rank death. Every
@@ -78,10 +80,10 @@ pic::EventSchedule parse_events(const util::ArgParser& args, std::int64_t cells)
 /// `--balancer list`: the registry as a table (name, capabilities,
 /// summary) — the enumerable assessment matrix of the lb subsystem.
 int print_balancer_list() {
-  util::Table table({"name", "bounds", "placement", "summary"});
+  util::Table table({"name", "bounds", "placement", "degraded", "summary"});
   for (const lb::Descriptor& d : lb::registered_strategies()) {
     table.add_row({d.name, d.bounds ? "yes" : "-", d.placement ? "yes" : "-",
-                   d.summary});
+                   d.degraded ? "yes" : "-", d.summary});
   }
   table.print(std::cout);
   return 0;
@@ -177,7 +179,9 @@ std::string driver_machine_extra(const picprk::par::DriverResult& r) {
          " exchanged=" + std::to_string(r.particles_exchanged) +
          " checkpoints=" + std::to_string(r.checkpoints) +
          " checkpoint_bytes=" + std::to_string(r.checkpoint_bytes) +
-         " recoveries=" + std::to_string(r.recoveries);
+         " recoveries=" + std::to_string(r.recoveries) +
+         " localized=" + std::to_string(r.localized_recoveries) +
+         " replayed=" + std::to_string(r.replayed_steps);
 }
 
 /// The run's knobs as the "config" object of the metrics document, so
@@ -309,6 +313,16 @@ int main(int argc, char** argv) try {
   args.add_int("timeout-ms", 0, "blocking recv/probe deadline in ms (0 = none)");
   args.add_int("deadlock-ms", 0, "deadlock-detector window in ms (0 = off)");
   args.add_int("max-recoveries", 3, "rollbacks before giving up");
+  args.add_string("recover", "rollback",
+                  "repair rung for confirmed rank failures: rollback | local "
+                  "(local = in-place buddy restore, survivors replay <= 1 step)");
+  args.add_flag("reliable", false,
+                "in-band reliable transport (seq/ack/retransmit): message "
+                "faults heal without any rollback");
+  args.add_int("rto-ms", 20, "reliable transport: base retransmit timer in ms");
+  args.add_int("retransmit-budget", 8,
+               "reliable transport: retransmissions per message before the "
+               "transport abandons it");
   // Performance model.
   args.add_int("cores", 96, "model: core count");
   // Observability (docs/OBSERVABILITY.md); parallel drivers only.
@@ -412,6 +426,18 @@ int main(int argc, char** argv) try {
   cfg.resilience.deadlock_ms = static_cast<int>(args.get_int("deadlock-ms"));
   cfg.resilience.max_recoveries =
       static_cast<std::uint32_t>(args.get_int("max-recoveries"));
+  const std::string recover = args.get_string("recover");
+  if (recover == "local") {
+    cfg.resilience.recovery = par::RecoveryMode::kLocal;
+  } else if (recover != "rollback") {
+    throw std::invalid_argument("unknown --recover: " + recover +
+                                " (rollback|local)");
+  }
+  cfg.resilience.reliable = args.get_flag("reliable");
+  cfg.resilience.rto_ms = static_cast<int>(args.get_int("rto-ms"));
+  cfg.resilience.retransmit_budget =
+      static_cast<int>(args.get_int("retransmit-budget"));
+  cfg.resilience.validate();  // loud cross-knob rejection at parse time
   const bool resilient = cfg.resilience.active();
 
   if (impl == "ampi") {
@@ -446,9 +472,12 @@ int main(int argc, char** argv) try {
     };
 
     par::DriverResult result;
+    std::string ft_extra;
     if (resilient) {
       par::ResilienceTelemetry rtel;
       result = par::run_resilient(cfg, driver, &rtel);
+      // "ft/rollbacks", "ft/localized_recoveries" and "ft/replayed_steps"
+      // are registered by run_resilient itself on cfg.obs.registry.
       if (observing) {
         registry.register_counter("ft/dropped").add(rtel.dropped);
         registry.register_counter("ft/duplicated").add(rtel.duplicated);
@@ -457,7 +486,13 @@ int main(int argc, char** argv) try {
         registry.register_counter("ft/stalls").add(rtel.stalls);
         registry.register_counter("ft/checkpoint_saves").add(rtel.checkpoint_saves);
         registry.register_counter("ft/residual_messages").add(rtel.residual_messages);
+        registry.register_counter("ft/retransmits").add(rtel.retransmits);
+        registry.register_counter("ft/dup_dropped").add(rtel.dup_dropped);
+        registry.register_counter("ft/abandoned").add(rtel.abandoned);
       }
+      ft_extra = " rollbacks=" + std::to_string(rtel.rollbacks) +
+                 " retransmits=" + std::to_string(rtel.retransmits) +
+                 " dup_dropped=" + std::to_string(rtel.dup_dropped);
     } else {
       comm::World world(cfg.ranks);
       world.run([&](comm::Comm& comm) {
@@ -472,7 +507,7 @@ int main(int argc, char** argv) try {
     return report(impl.c_str(), result.ok, result.final_particles, result.seconds,
                   std::to_string(result.particles_exchanged) + " exchanged, max/rank " +
                       std::to_string(result.max_particles_per_rank),
-                  driver_machine_extra(result));
+                  driver_machine_extra(result) + ft_extra);
   }
 
   std::cerr << "unknown --impl: " << impl << "\n" << args.usage();
