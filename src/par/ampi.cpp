@@ -9,6 +9,7 @@
 #include "ft/fault.hpp"
 #include "pic/charge.hpp"
 #include "pic/mover.hpp"
+#include "pic/tiling.hpp"
 #include "util/assert.hpp"
 #include "util/timer.hpp"
 #include "vpr/pup.hpp"
@@ -55,6 +56,7 @@ class PicVp final : public vpr::VirtualProcessor {
   PicVp(int id, std::shared_ptr<const SharedState> shared)
       : VirtualProcessor(id), shared_(std::move(shared)) {
     block_ = shared_->vp_block(id);
+    tiles_.reset_region(block_);
     const pic::AlternatingColumnCharges pattern(shared_->init_params.mesh_q);
     slab_ = pic::ChargeSlab::sample(pattern, block_.x0, block_.y0, block_.width() + 1,
                                     block_.height() + 1);
@@ -63,7 +65,9 @@ class PicVp final : public vpr::VirtualProcessor {
   /// Loads the initial particle population (called once, not on
   /// migration — migrated state arrives via pup()).
   void populate() {
-    particles_ = shared_->init.create_block(block_.x0, block_.x1, block_.y0, block_.y1);
+    particles_ = pic::to_soa(
+        shared_->init.create_block(block_.x0, block_.x1, block_.y0, block_.y1));
+    tiles_.mark_dirty();
   }
 
   void step(vpr::VpContext& ctx) override {
@@ -77,11 +81,14 @@ class PicVp final : public vpr::VirtualProcessor {
       shared_->ft.injector->begin_step(id(), step);
     }
 
-    if (!shared_->events.empty()) {
+    // Events are rare: stage through the AoS wire form only on steps
+    // where something is scheduled (free otherwise).
+    if (!shared_->events.empty() && shared_->events.scheduled_at(step)) {
+      std::vector<pic::Particle> staging = pic::to_aos(particles_);
       for (std::size_t e = 0; e < shared_->events.removals().size(); ++e) {
         if (shared_->events.removals()[e].step != step) continue;
         const pic::CellRegion& region = shared_->events.removals()[e].region;
-        for (const pic::Particle& p : particles_) {
+        for (const pic::Particle& p : staging) {
           const auto cx = grid.cell_of(p.x);
           const auto cy = grid.cell_of(p.y);
           if (region.contains_cell(cx, cy) && shared_->events.removes(shared_->init, e, p.id)) {
@@ -90,22 +97,31 @@ class PicVp final : public vpr::VirtualProcessor {
         }
       }
       shared_->events.apply_step(shared_->init, step, block_.x0, block_.x1, block_.y0,
-                                 block_.y1, particles_);
+                                 block_.y1, staging);
+      particles_.assign(staging);
+      tiles_.mark_dirty();
     }
 
-    pic::move_all(std::span<pic::Particle>(particles_), grid, slab_,
-                  shared_->init_params.dt);
+    pic::move_all_tiled(particles_, tiles_, grid, slab_, shared_->init_params.dt);
 
     // Route emigrants to their owner VPs (static VP decomposition). All
     // routing scratch is VP-owned and reused every step; outgoing byte
     // payloads come from the pool that recycles delivered messages, so
-    // steady-state routing allocates nothing.
-    route_keep_.clear();
+    // steady-state routing allocates nothing. Keepers compact stably in
+    // place (tile ranges shrink without a re-sort); emigrants leave as
+    // AoS wire records.
     route_dst_.clear();
-    for (const pic::Particle& p : particles_) {
-      const int owner = shared_->owner_vp(p.x, p.y);
+    const std::size_t n = particles_.size();
+    route_owner_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      route_owner_[i] = shared_->owner_vp(particles_.x[i], particles_.y[i]);
+    }
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const int owner = route_owner_[i];
       if (owner == id()) {
-        route_keep_.push_back(p);
+        if (w != i) particles_.move_row(w, i);
+        ++w;
         continue;
       }
       std::size_t b = 0;
@@ -115,9 +131,10 @@ class PicVp final : public vpr::VirtualProcessor {
         if (route_buckets_.size() < route_dst_.size()) route_buckets_.emplace_back();
         route_buckets_[b].clear();
       }
-      route_buckets_[b].push_back(p);
+      route_buckets_[b].push_back(particles_.get(i));
     }
-    std::swap(particles_, route_keep_);
+    particles_.truncate(w);
+    tiles_.compact_ranges(std::span<const int>(route_owner_.data(), n), id());
     for (std::size_t b = 0; b < route_dst_.size(); ++b) {
       const std::vector<pic::Particle>& bucket = route_buckets_[b];
       sent_particles_ += bucket.size();
@@ -130,9 +147,13 @@ class PicVp final : public vpr::VirtualProcessor {
   void deliver(int /*src_vp*/, std::vector<std::byte> payload) override {
     PICPRK_ASSERT(payload.size() % sizeof(pic::Particle) == 0);
     const std::size_t count = payload.size() / sizeof(pic::Particle);
-    const std::size_t old_size = particles_.size();
-    particles_.resize(old_size + count);
-    if (count > 0) std::memcpy(particles_.data() + old_size, payload.data(), payload.size());
+    if (count > 0) {
+      // Wire records land in the untiled tail; the tile index stays
+      // valid and the next move's flat pass covers them.
+      recv_scratch_.resize(count);
+      std::memcpy(recv_scratch_.data(), payload.data(), payload.size());
+      particles_.append(std::span<const pic::Particle>(recv_scratch_));
+    }
     byte_pool_.release(std::move(payload));  // becomes next step's send staging
   }
 
@@ -170,12 +191,13 @@ class PicVp final : public vpr::VirtualProcessor {
         for (std::int64_t i = 0; i < sw; ++i) values.push_back(slab_.at(sx0 + i, sy0 + j));
       p(values);
     }
-    p(particles_);
+    particles_.pup(p);  // stages through the AoS wire form
     p(removed_id_sum_);
     p(sent_particles_);
+    if (p.unpacking()) tiles_.mark_dirty();
   }
 
-  const std::vector<pic::Particle>& particles() const { return particles_; }
+  const pic::ParticleSoA& particles() const { return particles_; }
   std::uint64_t removed_id_sum() const { return removed_id_sum_; }
   std::uint64_t sent_particles() const { return sent_particles_; }
 
@@ -185,13 +207,15 @@ class PicVp final : public vpr::VirtualProcessor {
   std::shared_ptr<const SharedState> shared_;  // pup:transient — re-injected by the factory
   pic::CellRegion block_;
   pic::ChargeSlab slab_;
-  std::vector<pic::Particle> particles_;
+  pic::ParticleSoA particles_;
+  pic::TileIndex tiles_;  // pup:transient — rebuilt from the store after unpack
   std::uint64_t removed_id_sum_ = 0;
   std::uint64_t sent_particles_ = 0;
   // Routing scratch: a migrated VP simply re-warms its buffers.
-  std::vector<pic::Particle> route_keep_;              // pup:transient
+  std::vector<int> route_owner_;                       // pup:transient
   std::vector<std::vector<pic::Particle>> route_buckets_;  // pup:transient
   std::vector<int> route_dst_;                         // pup:transient
+  std::vector<pic::Particle> recv_scratch_;            // pup:transient
   comm::BufferPool byte_pool_;                         // pup:transient
 };
 
@@ -340,8 +364,9 @@ DriverResult run_ampi(const RunConfig& config) {
   std::vector<std::uint64_t> per_worker(static_cast<std::size_t>(workers), 0);
   runtime.for_each_vp([&](vpr::VirtualProcessor& vp_base) {
     auto& vp = static_cast<PicVp&>(vp_base);
+    const std::vector<pic::Particle> aos = pic::to_aos(vp.particles());
     verify = pic::merge(verify,
-                        pic::verify_particles(std::span<const pic::Particle>(vp.particles()),
+                        pic::verify_particles(std::span<const pic::Particle>(aos),
                                               config.init.grid, config.steps,
                                               config.verify_epsilon));
     removed_sum += vp.removed_id_sum();

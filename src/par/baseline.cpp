@@ -21,8 +21,11 @@ DriverResult run_baseline(comm::Comm& comm, const DriverConfig& config) {
   const pic::CellRegion block = decomp.block_of(comm.rank());
 
   const pic::Initializer init(config.init);
-  std::vector<pic::Particle> particles =
-      init.create_block(block.x0, block.x1, block.y0, block.y1);
+  // Production store is SoA + cell tiles; the AoS form only appears at
+  // wire boundaries (checkpoints, verification).
+  pic::ParticleSoA particles =
+      pic::to_soa(init.create_block(block.x0, block.x1, block.y0, block.y1));
+  pic::TileIndex tiles(block);
   const pic::AlternatingColumnCharges pattern(config.init.mesh_q);
   const pic::ChargeSlab slab = pic::ChargeSlab::sample(
       pattern, block.x0, block.y0, block.width() + 1, block.height() + 1);
@@ -46,7 +49,8 @@ DriverResult run_baseline(comm::Comm& comm, const DriverConfig& config) {
   if (config.ft.resume && config.ft.store != nullptr) {
     if (auto snap = restore_snapshot(comm.rank(), comm.size(), *config.ft.store)) {
       start_step = snap->step;
-      particles = std::move(snap->particles);
+      particles.assign(std::span<const pic::Particle>(snap->particles));
+      tiles.mark_dirty();
       tracker.restore_removed_sum(snap->removed_sum);
       exchange_buffers.totals.sent = snap->sent;
       exchange_buffers.totals.bytes = snap->bytes;
@@ -66,7 +70,8 @@ DriverResult run_baseline(comm::Comm& comm, const DriverConfig& config) {
     auto snap = restore_snapshot(comm.rank(), comm.size(), *config.ft.store);
     PICPRK_ASSERT_MSG(snap && snap->step == restore,
                       "localized recovery: no snapshot at the agreed step");
-    particles = std::move(snap->particles);
+    particles.assign(std::span<const pic::Particle>(snap->particles));
+    tiles.mark_dirty();
     tracker.restore_removed_sum(snap->removed_sum);
     exchange_buffers.totals.sent = snap->sent;
     exchange_buffers.totals.bytes = snap->bytes;
@@ -94,7 +99,7 @@ DriverResult run_baseline(comm::Comm& comm, const DriverConfig& config) {
                        inst.checkpoint);
       DriverSnapshot snap;
       snap.step = step;
-      snap.particles = particles;
+      snap.particles = pic::to_aos(particles);  // wire form
       snap.removed_sum = tracker.removed_sum();
       snap.sent = exchange_buffers.totals.sent;
       snap.bytes = exchange_buffers.totals.bytes;
@@ -106,22 +111,27 @@ DriverResult run_baseline(comm::Comm& comm, const DriverConfig& config) {
       config.ft.injector->begin_step(comm.world_rank(), step, &comm.abort_flag());
     }
 
-    if (!config.events.empty()) tracker.apply(step, block, particles);
+    if (!config.events.empty()) tracker.apply(step, block, particles, &tiles);
 
     {
       obs::Phase phase(obs::kPhaseCompute, &compute_seconds, inst.lane, inst.compute);
       if (config.omp_mover) {
-        pic::move_all_omp(std::span<pic::Particle>(particles), grid, slab,
-                          config.init.dt);
+        // Hybrid path: flat SoA mover with the rank's OpenMP team. The
+        // tile index just stays dirty (only the tiled mover freshens it).
+        pic::move_all_soa(particles, grid, slab, config.init.dt);
       } else {
-        pic::move_all(std::span<pic::Particle>(particles), grid, slab, config.init.dt);
+        pic::move_all_tiled(particles, tiles, grid, slab, config.init.dt);
       }
     }
+#if defined(PICPRK_EXPENSIVE_CHECKS)
+    PICPRK_ASSERT_MSG(!tiles.fresh() || tiles.check(particles, grid),
+                      "tile index invariant broken after move");
+#endif
 
     {
       obs::Phase phase(obs::kPhaseExchange, &exchange_seconds, inst.lane,
                        inst.exchange);
-      exchange_particles(comm, decomp, particles, exchange_buffers);
+      exchange_particles(comm, decomp, particles, &tiles, exchange_buffers);
     }
     if (inst.steps != nullptr) inst.steps->add();
 
@@ -147,8 +157,10 @@ DriverResult run_baseline(comm::Comm& comm, const DriverConfig& config) {
   }
   const double seconds = wall.elapsed();
 
-  const pic::VerifyResult local_verify = verify_particles(
-      std::span<const pic::Particle>(particles), grid, config.steps, config.verify_epsilon);
+  const std::vector<pic::Particle> final_particles = pic::to_aos(particles);
+  const pic::VerifyResult local_verify =
+      verify_particles(std::span<const pic::Particle>(final_particles), grid,
+                       config.steps, config.verify_epsilon);
   finalize_result(
       comm, config, local_verify, tracker, particles.size(), seconds,
       PhaseBreakdown{compute_seconds, exchange_seconds, 0.0, checkpoint_seconds},

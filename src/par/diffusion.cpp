@@ -160,8 +160,10 @@ DriverResult run_diffusion(comm::Comm& comm, const RunConfig& config) {
 
   const pic::Initializer init(config.init);
   pic::CellRegion block = decomp.block_of(comm.rank());
-  std::vector<pic::Particle> particles =
-      init.create_block(block.x0, block.x1, block.y0, block.y1);
+  // Production store is SoA + cell tiles; AoS only at wire boundaries.
+  pic::ParticleSoA particles =
+      pic::to_soa(init.create_block(block.x0, block.x1, block.y0, block.y1));
+  pic::TileIndex tiles(block);
   const pic::AlternatingColumnCharges pattern(config.init.mesh_q);
   pic::ChargeSlab slab = pic::ChargeSlab::sample(
       pattern, block.x0, block.y0, block.width() + 1, block.height() + 1);
@@ -187,6 +189,9 @@ DriverResult run_diffusion(comm::Comm& comm, const RunConfig& config) {
     block = decomp.block_of(comm.rank());
     slab = pic::ChargeSlab::sample(pattern, block.x0, block.y0, block.width() + 1,
                                    block.height() + 1);
+    // The tile index follows the owned block; re-targeting marks it
+    // dirty, so the next tiled move re-sorts against the new region.
+    tiles.reset_region(block);
   };
 
   std::uint32_t start_step = 0;
@@ -199,7 +204,8 @@ DriverResult run_diffusion(comm::Comm& comm, const RunConfig& config) {
       decomp.set_x_bounds(snap->x_bounds);
       decomp.set_y_bounds(snap->y_bounds);
       rebuild_slab();
-      particles = std::move(snap->particles);
+      particles.assign(std::span<const pic::Particle>(snap->particles));
+      tiles.mark_dirty();
       tracker.restore_removed_sum(snap->removed_sum);
       exchange_buffers.totals.sent = snap->sent;
       exchange_buffers.totals.bytes = snap->bytes;
@@ -258,7 +264,7 @@ DriverResult run_diffusion(comm::Comm& comm, const RunConfig& config) {
       decomp.set_y_bounds(new_b);
     }
     rebuild_slab();
-    exchange_particles(comm, decomp, particles, exchange_buffers);
+    exchange_particles(comm, decomp, particles, &tiles, exchange_buffers);
     PICPRK_DEBUG("rank " << comm.rank() << " step " << step << ": " << strategy->name()
                          << " moved axis-" << axis << " boundaries");
     return true;
@@ -280,7 +286,8 @@ DriverResult run_diffusion(comm::Comm& comm, const RunConfig& config) {
     decomp.set_x_bounds(snap->x_bounds);
     decomp.set_y_bounds(snap->y_bounds);
     rebuild_slab();
-    particles = std::move(snap->particles);
+    particles.assign(std::span<const pic::Particle>(snap->particles));
+    tiles.mark_dirty();
     tracker.restore_removed_sum(snap->removed_sum);
     exchange_buffers.totals.sent = snap->sent;
     exchange_buffers.totals.bytes = snap->bytes;
@@ -309,7 +316,7 @@ DriverResult run_diffusion(comm::Comm& comm, const RunConfig& config) {
       snap.step = step;
       snap.x_bounds = decomp.x_bounds();
       snap.y_bounds = decomp.y_bounds();
-      snap.particles = particles;
+      snap.particles = pic::to_aos(particles);  // wire form
       snap.removed_sum = tracker.removed_sum();
       snap.sent = exchange_buffers.totals.sent;
       snap.bytes = exchange_buffers.totals.bytes;
@@ -323,17 +330,21 @@ DriverResult run_diffusion(comm::Comm& comm, const RunConfig& config) {
       config.ft.injector->begin_step(comm.world_rank(), step, &comm.abort_flag());
     }
 
-    if (!config.events.empty()) tracker.apply(step, block, particles);
+    if (!config.events.empty()) tracker.apply(step, block, particles, &tiles);
 
     {
       obs::Phase phase(obs::kPhaseCompute, &compute_seconds, inst.lane, inst.compute);
-      pic::move_all(std::span<pic::Particle>(particles), grid, slab, config.init.dt);
+      pic::move_all_tiled(particles, tiles, grid, slab, config.init.dt);
     }
+#if defined(PICPRK_EXPENSIVE_CHECKS)
+    PICPRK_ASSERT_MSG(!tiles.fresh() || tiles.check(particles, grid),
+                      "tile index invariant broken after move");
+#endif
 
     {
       obs::Phase phase(obs::kPhaseExchange, &exchange_seconds, inst.lane,
                        inst.exchange);
-      exchange_particles(comm, decomp, particles, exchange_buffers);
+      exchange_particles(comm, decomp, particles, &tiles, exchange_buffers);
     }
 
     if (lb_every > 0 && step > 0 && step % lb_every == 0) {
@@ -407,8 +418,10 @@ DriverResult run_diffusion(comm::Comm& comm, const RunConfig& config) {
   }
   const double seconds = wall.elapsed();
 
-  const pic::VerifyResult local_verify = verify_particles(
-      std::span<const pic::Particle>(particles), grid, config.steps, config.verify_epsilon);
+  const std::vector<pic::Particle> final_particles = pic::to_aos(particles);
+  const pic::VerifyResult local_verify =
+      verify_particles(std::span<const pic::Particle>(final_particles), grid,
+                       config.steps, config.verify_epsilon);
   finalize_result(
       comm, config, local_verify, tracker, particles.size(), seconds,
       PhaseBreakdown{compute_seconds, exchange_seconds, lb_seconds,

@@ -34,6 +34,15 @@ void EventTracker::apply(std::uint32_t step, const pic::CellRegion& block,
   events_.apply_step(init_, step, block.x0, block.x1, block.y0, block.y1, particles);
 }
 
+void EventTracker::apply(std::uint32_t step, const pic::CellRegion& block,
+                         pic::ParticleSoA& particles, pic::TileIndex* tiles) {
+  if (!events_.scheduled_at(step)) return;
+  std::vector<pic::Particle> staging = pic::to_aos(particles);
+  apply(step, block, staging);
+  particles.assign(staging);
+  if (tiles != nullptr) tiles->mark_dirty();
+}
+
 std::uint64_t EventTracker::finalize(comm::Comm& comm) const {
   const std::uint64_t removed = comm.allreduce_value<std::uint64_t>(
       local_removed_sum_, [](std::uint64_t a, std::uint64_t b) { return a + b; });

@@ -14,6 +14,7 @@
 #include "obs/sinks.hpp"
 #include "pic/events.hpp"
 #include "pic/init.hpp"
+#include "pic/tiling.hpp"
 #include "pic/verify.hpp"
 
 namespace picprk::par {
@@ -91,6 +92,13 @@ class EventTracker {
   /// (restricted to its block) and records removed ids.
   void apply(std::uint32_t step, const pic::CellRegion& block,
              std::vector<pic::Particle>& particles);
+
+  /// SoA-store variant: events are rare, so they run on an AoS staging
+  /// copy and the store is rebuilt from it — only on steps where
+  /// something is actually scheduled (free otherwise). Invalidates a
+  /// maintained tile index (population and order change); may be null.
+  void apply(std::uint32_t step, const pic::CellRegion& block,
+             pic::ParticleSoA& particles, pic::TileIndex* tiles);
 
   /// Expected global id checksum; collective (one allreduce).
   std::uint64_t finalize(comm::Comm& comm) const;

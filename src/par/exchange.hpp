@@ -26,6 +26,7 @@
 #include "obs/registry.hpp"
 #include "par/decomposition.hpp"
 #include "pic/particle.hpp"
+#include "pic/tiling.hpp"
 
 namespace picprk::par {
 
@@ -180,6 +181,78 @@ ExchangeStats exchange_particles_by(comm::Comm& comm, OwnerFn&& owner_of,
   return exchange_particles_by(comm, std::forward<OwnerFn>(owner_of), mine, buffers);
 }
 
+/// SoA-store exchange: same protocol and wire format as the AoS
+/// overload — emigrants are packed into the flat 80-byte-record
+/// alltoallv payload, immigrants are unpacked onto the end of the store
+/// — with the keeper compaction applied column-wise. The result order
+/// contract is unchanged (keepers stable-first, then immigrants by
+/// source rank), so a TileIndex over the store survives: pass it and
+/// its tile ranges are shrunk in step with the compaction (immigrants
+/// land in the index tail); pass nullptr when no index is maintained.
+template <typename OwnerFn>
+ExchangeStats exchange_particles_by(comm::Comm& comm, OwnerFn&& owner_of,
+                                    pic::ParticleSoA& mine, pic::TileIndex* tiles,
+                                    ExchangeBuffers& buffers) {
+  const auto p = static_cast<std::size_t>(comm.size());
+  const auto me = static_cast<std::size_t>(comm.rank());
+  const std::size_t n = mine.size();
+
+  // Pass 1: destination of every row + per-destination counts.
+  buffers.fit(buffers.owner, n);
+  buffers.fit(buffers.send_counts, p);
+  buffers.fit(buffers.cursor, p);
+  buffers.fit(buffers.recv_counts, p);
+  std::fill(buffers.send_counts.begin(), buffers.send_counts.end(), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int dst = owner_of(mine.x[i], mine.y[i]);
+    buffers.owner[i] = dst;
+    ++buffers.send_counts[static_cast<std::size_t>(dst)];
+  }
+  const std::uint64_t keepers = buffers.send_counts[me];
+  buffers.send_counts[me] = 0;  // keepers are not traffic
+
+  // Pass 2: compact keepers in place (stable, all columns in lockstep)
+  // and counting-sort the emigrants into the packed AoS wire buffer.
+  std::uint64_t offset = 0;
+  for (std::size_t r = 0; r < p; ++r) {
+    buffers.cursor[r] = offset;
+    offset += buffers.send_counts[r];
+  }
+  buffers.fit(buffers.packed, n - static_cast<std::size_t>(keepers));
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (buffers.owner[i] == static_cast<int>(me)) {
+      mine.move_row(w, i);
+      ++w;
+    } else {
+      buffers.packed[buffers.cursor[static_cast<std::size_t>(buffers.owner[i])]++] =
+          mine.get(i);
+    }
+  }
+  mine.truncate(w);  // shrink: never reallocates
+  if (tiles != nullptr) {
+    tiles->compact_ranges(std::span<const int>(buffers.owner.data(), n),
+                          static_cast<int>(me));
+  }
+
+  const std::size_t recv_capacity = buffers.received.capacity();
+  comm.alltoallv(std::span<const pic::Particle>(buffers.packed),
+                 std::span<const std::uint64_t>(buffers.send_counts), buffers.received,
+                 buffers.recv_counts, &buffers.pool);
+  if (buffers.received.capacity() > recv_capacity) buffers.note_growth();
+
+  const std::size_t mine_capacity = mine.capacity();
+  mine.append(std::span<const pic::Particle>(buffers.received));
+  if (mine.capacity() > mine_capacity) buffers.note_growth();
+
+  ExchangeStats stats;
+  stats.sent = static_cast<std::uint64_t>(n) - keepers;
+  stats.bytes = stats.sent * sizeof(pic::Particle);
+  stats.received = buffers.received.size();
+  buffers.note_traffic(stats);
+  return stats;
+}
+
 /// Routes emigrants in `mine` to their owners and appends immigrants.
 /// Collective over `comm`. Post-condition: every particle in `mine`
 /// belongs to this rank's block (verified exhaustively only under
@@ -192,5 +265,10 @@ ExchangeStats exchange_particles(comm::Comm& comm, const Decomposition2D& decomp
 /// Convenience overload with a throwaway workspace.
 ExchangeStats exchange_particles(comm::Comm& comm, const Decomposition2D& decomp,
                                  std::vector<pic::Particle>& mine);
+
+/// SoA-store variant of exchange_particles; `tiles` may be null.
+ExchangeStats exchange_particles(comm::Comm& comm, const Decomposition2D& decomp,
+                                 pic::ParticleSoA& mine, pic::TileIndex* tiles,
+                                 ExchangeBuffers& buffers);
 
 }  // namespace picprk::par

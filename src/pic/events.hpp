@@ -51,6 +51,18 @@ class EventSchedule {
   const std::vector<RemovalEvent>& removals() const { return removals_; }
   bool empty() const { return injections_.empty() && removals_.empty(); }
 
+  /// Whether any event fires at `step` — the guard the SoA drivers use
+  /// to skip the AoS staging round-trip on ordinary steps.
+  bool scheduled_at(std::uint32_t step) const {
+    for (const InjectionEvent& e : injections_) {
+      if (e.step == step) return true;
+    }
+    for (const RemovalEvent& e : removals_) {
+      if (e.step == step) return true;
+    }
+    return false;
+  }
+
   /// Deterministic number of particles event `e` injects into cell (cx,cy).
   std::uint64_t injected_in_cell(const Initializer& init, std::size_t event_index,
                                  std::int64_t cx, std::int64_t cy) const;

@@ -28,6 +28,7 @@
 #include "pic/charge.hpp"
 #include "pic/geometry.hpp"
 #include "pic/particle.hpp"
+#include "pic/tiling.hpp"
 #include "util/annotations.hpp"
 
 namespace picprk::pic {
@@ -151,10 +152,14 @@ PICPRK_HOT void move_particle(Particle& p, const GridSpec& grid, const Charges& 
   move_scalars(p.x, p.y, p.vx, p.vy, p.q, grid, charges, dt);
 }
 
-/// Moves a span of particles (the serial kernel).
+/// Moves a span of AoS wire records. Not a production hot path any
+/// more — the drivers run on the SoA store (move_all_soa /
+/// move_all_tiled) — but kept as the layout-equivalence oracle: it
+/// routes through the same move_scalars kernel, so the SoA movers must
+/// match it bit-for-bit.
 template <typename Charges>
-PICPRK_HOT void move_all(std::span<Particle> particles, const GridSpec& grid,
-                         const Charges& charges, double dt) {
+void move_all(std::span<Particle> particles, const GridSpec& grid,
+              const Charges& charges, double dt) {
   for (Particle& p : particles) move_particle(p, grid, charges, dt);
 }
 
@@ -163,8 +168,9 @@ PICPRK_HOT void move_all(std::span<Particle> particles, const GridSpec& grid,
 /// is fine here — every particle costs the same, so shared-memory
 /// imbalance cannot arise from a flat particle array (which is exactly
 /// why the PRK's load-balancing problem is a distributed-memory one).
+/// Like move_all, retained as a compatibility/oracle path.
 template <typename Charges>
-PICPRK_HOT void move_all_omp(std::span<Particle> particles, const GridSpec& grid,
+void move_all_omp(std::span<Particle> particles, const GridSpec& grid,
                   const Charges& charges, double dt) {
   const auto n = static_cast<std::int64_t>(particles.size());
 #if defined(PICPRK_HAVE_OPENMP)
@@ -197,6 +203,86 @@ PICPRK_HOT void move_all_soa(ParticleSoA& soa, const GridSpec& grid, const Charg
     const auto s = static_cast<std::size_t>(i);
     move_scalars(x[s], y[s], vx[s], vy[s], q[s], grid, charges, dt);
   }
+}
+
+/// One tile's unwrapped advance: the autovectorized inner loop of the
+/// tiled mover. The four corner charges and the cell base coordinates
+/// are loop invariants of the whole call, so the body is straight-line
+/// arithmetic over the position/velocity/charge columns — no cell
+/// lookup, no charge gather, no branches. A standalone function because
+/// the vectorizer needs the `restrict` guarantee to come from PARAMETERS
+/// (on block-scope pointers GCC drops it, and ten pairwise runtime alias
+/// checks exceed the vectorizer's versioning budget). The periodic wrap
+/// deliberately stays out: splitting it into the caller's scalar pass
+/// changes nothing bit-wise (cx/cy come from the pre-move position and
+/// the velocity update is wrap-independent).
+PICPRK_HOT inline void move_tile(double* __restrict x, double* __restrict y,
+                                 double* __restrict vx, double* __restrict vy,
+                                 const double* __restrict q, std::size_t n,
+                                 double base_x, double base_y, CornerCharges c, double h,
+                                 double dt) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const Force f = corner_force(x[i] - base_x, y[i] - base_y, q[i], c, h);
+    x[i] = x[i] + vx[i] * dt + 0.5 * f.fx * dt * dt;
+    y[i] = y[i] + vy[i] * dt + 0.5 * f.fy * dt * dt;
+    vx[i] += f.fx * dt;
+    vy[i] += f.fy * dt;
+  }
+}
+
+/// Tail share of the store above which move_all_tiled re-sorts before
+/// moving: immigrants/injected rows accumulate in the index tail (moved
+/// by the scalar kernel) until re-tiling pays for itself. See
+/// docs/PERFORMANCE.md for the cost model behind the cadence.
+inline constexpr double kRetileTailFraction = 0.25;
+
+/// Tiled SoA mover: the production hot path.
+///
+/// With the store grouped by cell (TileIndex), each tile runs the
+/// vectorized move_tile kernel — GCC vectorizes it at the default
+/// target ISA (the CI vectorization-report job and
+/// tools/check_vectorization.sh pin this) — followed by a scalar
+/// periodic-wrap pass. Results are bit-identical to
+/// move_all/move_all_soa.
+///
+/// A dirty index is rebuilt first; rows in the index's untiled tail
+/// (immigrants, injected particles, out-of-region residents) go through
+/// the fused scalar kernel. After the move the index revalidates itself
+/// (see tiling.hpp) so the common uniform-drift case never re-sorts.
+template <typename Charges>
+PICPRK_HOT void move_all_tiled(ParticleSoA& soa, TileIndex& tiles, const GridSpec& grid,
+                               const Charges& charges, double dt) {
+  if (!tiles.fresh() || tiles.tail_fraction(soa) > kRetileTailFraction) {
+    tiles.rebuild(soa, grid);
+  }
+  const double h = grid.h;
+  const double length = grid.length();
+  double* const x = soa.x.data();
+  double* const y = soa.y.data();
+  double* const vx = soa.vx.data();
+  double* const vy = soa.vy.data();
+  const double* const q = soa.q.data();
+
+  for (const TileIndex::Tile& t : tiles.tiles()) {
+    const std::size_t begin = t.begin;
+    const std::size_t end = t.end;
+    const CornerCharges c = corner_charges(charges, t.cx, t.cy);
+    const double base_x = static_cast<double>(t.cx) * h;
+    const double base_y = static_cast<double>(t.cy) * h;
+    move_tile(x + begin, y + begin, vx + begin, vy + begin, q + begin, end - begin,
+              base_x, base_y, c, h, dt);
+    // Periodic wrap: branchy, so a separate scalar pass.
+    for (std::size_t i = begin; i < end; ++i) {
+      x[i] = wrap(x[i], length);
+      y[i] = wrap(y[i], length);
+    }
+  }
+
+  const std::size_t n = soa.size();
+  for (std::size_t i = tiles.tail_begin(); i < n; ++i) {
+    move_scalars(x[i], y[i], vx[i], vy[i], q[i], grid, charges, dt);
+  }
+  tiles.revalidate_after_move(soa, grid);
 }
 
 // ------------------------------------------------------------ reference

@@ -1,0 +1,32 @@
+// Fixture: PICPRK_HOT bodies that convert layouts or loop over AoS
+// Particle records must fail the soa rule.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#define PICPRK_HOT __attribute__((hot))
+
+struct Particle {
+  double x = 0.0;
+};
+
+struct ParticleSoA {
+  std::vector<double> x;
+};
+
+inline std::vector<Particle> to_aos(const ParticleSoA& soa) {
+  std::vector<Particle> out(soa.x.size());
+  for (std::size_t i = 0; i < soa.x.size(); ++i) out[i].x = soa.x[i];
+  return out;
+}
+
+PICPRK_HOT inline double bad_convert(const ParticleSoA& soa) {
+  double sum = 0.0;
+  for (const Particle& p : to_aos(soa)) sum += p.x;  // banned: to_aos + AoS loop
+  return sum;
+}
+
+PICPRK_HOT inline void bad_aos_loop(std::vector<Particle>& particles, double dt) {
+  for (Particle& p : particles) p.x += dt;  // banned: AoS traversal in a hot body
+}

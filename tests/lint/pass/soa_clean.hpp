@@ -1,0 +1,35 @@
+// Fixture: a PICPRK_HOT body that reads SoA columns passes, and the
+// banned tokens are legal outside hot functions. "to_aos" in this
+// comment must not trip the checker.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#define PICPRK_HOT __attribute__((hot))
+
+struct Particle {
+  double x = 0.0;
+};
+
+struct ParticleSoA {
+  std::vector<double> x;
+};
+
+// Mentioning the SoA store is fine: whole-word matching on "Particle"
+// must not fire on "ParticleSoA".
+PICPRK_HOT inline void advance_columns(ParticleSoA& soa, double dt) {
+  for (std::size_t i = 0; i < soa.x.size(); ++i) soa.x[i] += dt;
+}
+
+// Cold boundary code converts layouts freely.
+inline std::vector<Particle> to_aos(const ParticleSoA& soa) {
+  std::vector<Particle> out(soa.x.size());
+  for (std::size_t i = 0; i < soa.x.size(); ++i) out[i].x = soa.x[i];
+  return out;
+}
+
+inline void checkpoint(const ParticleSoA& soa, std::vector<Particle>& wire) {
+  wire = to_aos(soa);
+  for (const Particle& p : wire) (void)p;  // AoS loop outside a hot body: fine
+}

@@ -25,6 +25,11 @@
 //            rank must replay the identical plan from the identical
 //            (allreduced) input — a single clock read inside a decision
 //            desynchronises the replicated strategy state forever.
+//   soa      PICPRK_HOT function bodies operate on the SoA particle
+//            store: no layout conversion (to_aos / to_soa — an O(n)
+//            copy hidden in a hot path) and no loops over AoS Particle
+//            records (the wire form exists for communication
+//            boundaries; compute kernels read columns).
 //
 // The checker is deliberately textual (comment/string-stripped token
 // scanning, not a C++ parser): it is fast, has zero dependencies, and
@@ -375,6 +380,66 @@ void check_lb(const SourceFile& f, std::vector<Violation>& out) {
                              " body — decisions see only pre-aggregated "
                              "loads, they never talk to the runtime"});
         }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------- rule: soa
+
+/// Layout-conversion helpers: each hides an O(n) copy of the whole
+/// particle population. Fine at setup/checkpoint/verify boundaries,
+/// never inside a hot kernel.
+const char* const kSoaBannedWords[] = {"to_aos", "to_soa"};
+
+/// Enforces the SoA compute contract: hot kernels read the columnar
+/// store. A `for (... Particle ...)` loop in a hot body means someone
+/// re-introduced per-record AoS traversal (one cache line per particle
+/// touched for every attribute, and no vectorization).
+void check_soa(const SourceFile& f, std::vector<Violation>& out) {
+  const std::string_view clean = f.clean;
+  for (std::size_t pos = find_word(clean, "PICPRK_HOT", 0);
+       pos != std::string_view::npos; pos = find_word(clean, "PICPRK_HOT", pos + 1)) {
+    const std::string_view line = f.raw_line(f.line_of(pos));
+    if (line.find("#define") != std::string_view::npos) continue;
+    std::size_t brace = std::string_view::npos;
+    for (std::size_t i = pos; i < clean.size(); ++i) {
+      if (clean[i] == ';') break;
+      if (clean[i] == '{') {
+        brace = i;
+        break;
+      }
+    }
+    if (brace == std::string_view::npos) continue;
+    const std::size_t close = matching(clean, brace, '{', '}');
+    if (close == std::string_view::npos) continue;  // `hot` already reports this
+    const std::string_view body = clean.substr(brace, close - brace + 1);
+    for (const char* banned : kSoaBannedWords) {
+      const std::size_t hit = find_word(body, banned, 0);
+      if (hit != std::string_view::npos) {
+        out.push_back({f.path, f.line_of(brace + hit), "soa",
+                       std::string("'") + banned +
+                           "' in a PICPRK_HOT function body — layout "
+                           "conversion is an O(n) copy; hot kernels operate "
+                           "on the SoA store directly"});
+      }
+    }
+    // Loops whose header names the AoS record: `for (const Particle& p
+    // : v)` and friends. Whole-word matching keeps ParticleSoA legal.
+    for (std::size_t fp = find_word(body, "for", 0); fp != std::string_view::npos;
+         fp = find_word(body, "for", fp + 1)) {
+      std::size_t open = fp + 3;
+      while (open < body.size() && std::isspace(static_cast<unsigned char>(body[open]))) ++open;
+      if (open >= body.size() || body[open] != '(') continue;
+      const std::size_t head_close = matching(body, open, '(', ')');
+      if (head_close == std::string_view::npos) continue;
+      const std::string_view head = body.substr(open, head_close - open + 1);
+      const std::size_t hit = find_word(head, "Particle", 0);
+      if (hit != std::string_view::npos) {
+        out.push_back({f.path, f.line_of(brace + open + hit), "soa",
+                       "loop over AoS Particle records in a PICPRK_HOT "
+                       "function body — the wire form is for communication "
+                       "boundaries; compute kernels read SoA columns"});
       }
     }
   }
@@ -767,7 +832,7 @@ void collect_files(const fs::path& p, std::vector<fs::path>& out) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::set<std::string> rules = {"hot", "pup", "tags", "headers", "obs", "lb"};
+  std::set<std::string> rules = {"hot", "pup", "tags", "headers", "obs", "lb", "soa"};
   std::set<std::string> enabled;
   std::vector<fs::path> include_roots;
   std::vector<fs::path> inputs;
@@ -776,7 +841,7 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--rule") {
       if (++i >= argc || rules.count(argv[i]) == 0) {
-        std::cerr << "picprk-lint: --rule needs one of: hot pup tags headers obs lb\n";
+        std::cerr << "picprk-lint: --rule needs one of: hot pup tags headers obs lb soa\n";
         return 2;
       }
       enabled.insert(argv[i]);
@@ -844,6 +909,7 @@ int main(int argc, char** argv) {
     if (enabled.count("hot")) check_hot(f, violations);
     if (enabled.count("obs")) check_obs(f, violations);
     if (enabled.count("lb")) check_lb(f, violations);
+    if (enabled.count("soa")) check_soa(f, violations);
     if (enabled.count("headers")) check_headers(f, include_roots, violations);
   }
   if (enabled.count("pup")) check_pup(files, violations);
