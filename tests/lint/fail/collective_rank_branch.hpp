@@ -1,0 +1,35 @@
+// Fixture: a collective reached under a rank-derived branch must fail.
+// The token scanner could never catch this — the collective here is two
+// calls deep, and the branch is in the caller, not next to the
+// comm::World call. A rank that takes the other arm of the branch never
+// enters the collective and the rest of the world deadlocks in it.
+#pragma once
+
+namespace fixture {
+
+struct World {
+  int rank() const { return 0; }
+  void barrier() {}
+  double allreduce_value(double v) { return v; }
+};
+
+/// Transitively performs a collective: callers inherit the obligation.
+inline void flush_epoch(World& world) {
+  world.barrier();
+}
+
+inline void step(World& world, int rank) {
+  if (rank == 0) {
+    flush_epoch(world);  // violation: collective under a rank branch
+  }
+}
+
+inline double reduce_if_root(World& world) {
+  double sum = 0.0;
+  if (world.rank() == 0) {
+    sum = world.allreduce_value(1.0);  // violation: direct conditional collective
+  }
+  return sum;
+}
+
+}  // namespace fixture

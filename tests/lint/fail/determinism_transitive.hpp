@@ -1,0 +1,39 @@
+// Fixture: transitive impurity below an LB decision entry point must
+// fail. The rebalance_placement body itself is spotless — the clock
+// read hides two calls down, where the per-function token scan (the v1
+// `lb` rule) never looks. A wall-clock-seeded decision diverges across
+// ranks and the replicated plan replay desynchronises.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+/// Level 2: the actual impurity.
+inline double weight_noise() {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<double>(t.count() % 7);
+}
+
+/// Level 1: pure-looking plumbing.
+inline double adjusted_weight(double w) {
+  return w + weight_noise();
+}
+
+struct Plan {
+  std::vector<int> owner;
+};
+
+/// Entry point: every token in this body passes the v1 scan.
+inline Plan rebalance_placement(const std::vector<double>& weights) {
+  Plan plan;
+  plan.owner.resize(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    plan.owner[i] = adjusted_weight(weights[i]) > 1.0 ? 1 : 0;
+  }
+  return plan;
+}
+
+}  // namespace fixture

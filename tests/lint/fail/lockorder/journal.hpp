@@ -1,0 +1,32 @@
+// Fixture (1/2): lock-order cycle across translation units. Journal
+// takes journal_mutex_ then calls into Ledger, which takes
+// ledger_mutex_ (see ledger.hpp for the opposite order). Neither file
+// is wrong in isolation — only the project-wide acquisition graph sees
+// the deadlock, which is exactly what the token scanner could not do.
+#pragma once
+
+namespace fixture {
+
+struct Mutex {};
+struct LockGuard {
+  explicit LockGuard(Mutex& m) { (void)m; }
+};
+
+void ledger_audit();
+
+class Journal {
+ public:
+  void append() {
+    LockGuard lock(journal_mutex_);
+    ledger_audit();  // acquires Ledger::ledger_mutex_ while we hold ours
+  }
+
+  void journal_note() {
+    LockGuard lock(journal_mutex_);
+  }
+
+ private:
+  Mutex journal_mutex_;
+};
+
+}  // namespace fixture

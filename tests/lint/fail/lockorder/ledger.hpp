@@ -1,0 +1,31 @@
+// Fixture (2/2): the other half of the cycle. Ledger takes
+// ledger_mutex_ then calls Journal::journal_note(), which takes
+// journal_mutex_ — the opposite order from journal.hpp. Two threads
+// running append() and reconcile() concurrently deadlock.
+#pragma once
+
+#include "journal.hpp"
+
+namespace fixture {
+
+class Ledger {
+ public:
+  void reconcile(Journal& journal) {
+    LockGuard lock(ledger_mutex_);
+    journal.journal_note();  // acquires Journal::journal_mutex_ under ours
+  }
+
+  void audit() {
+    LockGuard lock(ledger_mutex_);
+  }
+
+ private:
+  Mutex ledger_mutex_;
+};
+
+inline void ledger_audit() {
+  Ledger ledger;
+  ledger.audit();
+}
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// Fixture: the suppression grammar is itself linted. Every directive
+// below is bad in a different way and must be reported under the
+// `suppress` meta-rule: reasons are mandatory, rules must exist, and a
+// suppression with nothing to suppress is stale documentation.
+#pragma once
+
+#include <cstddef>
+
+#define PICPRK_HOT __attribute__((hot))
+
+// Unknown rule name: violation.
+// picprk-lint: suppress(hotpath: misspelled rule)
+PICPRK_HOT inline int a(int x) { return x; }
+
+// Empty reason: violation.
+// picprk-lint: suppress(hot:)
+PICPRK_HOT inline int b(int x) { return x; }
+
+// Unknown directive: violation.
+// picprk-lint: silence(hot: no such directive)
+PICPRK_HOT inline int c(int x) { return x; }
+
+// Well-formed but nothing to suppress on the next line: violation
+// (unused suppression).
+// picprk-lint: suppress(hot: there is no finding here)
+PICPRK_HOT inline int d(int x) { return x; }

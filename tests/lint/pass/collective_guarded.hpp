@@ -1,0 +1,39 @@
+// Fixture: collectives under replicated conditions are fine, and a
+// rank-derived branch with an explicit collective-guard justification
+// passes. Mirrors the shapes the tree actually uses: every rank
+// evaluates `step % every == 0` or `config.active()` identically, so
+// the collective sequence stays replicated.
+#pragma once
+
+namespace fixture {
+
+struct World {
+  int rank() const { return 0; }
+  void barrier() {}
+  double allreduce_value(double v) { return v; }
+};
+
+struct Config {
+  bool active() const { return true; }
+};
+
+/// Replicated condition: every rank computes the same truth value.
+inline void maybe_checkpoint(World& world, const Config& config, int step) {
+  if (config.active() && step % 16 == 0) {
+    world.barrier();
+  }
+}
+
+/// Rank-derived branch, but every arm re-joins the same collective: the
+/// guard documents why this cannot desequence the world.
+inline double staged_reduce(World& world, int rank) {
+  double contribution = 0.0;
+  if (rank == 0) {
+    contribution = 1.0;
+    // picprk-lint: collective-guard(all ranks reach this allreduce; the branch only changes the local contribution)
+    contribution = world.allreduce_value(contribution);
+  }
+  return contribution;
+}
+
+}  // namespace fixture

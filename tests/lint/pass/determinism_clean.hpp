@@ -1,0 +1,36 @@
+// Fixture: a decision chain that only touches pure std:: math passes.
+// Unresolved calls (std::sqrt, std::accumulate, container methods) are
+// the implicit whitelist — the walk only follows calls that resolve to
+// indexed project definitions.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace fixture {
+
+inline double smoothed(double w) {
+  return std::sqrt(std::abs(w)) + 0.5;
+}
+
+inline double total_weight(const std::vector<double>& weights) {
+  return std::accumulate(weights.begin(), weights.end(), 0.0);
+}
+
+struct Plan {
+  std::vector<int> owner;
+};
+
+inline Plan rebalance_placement(const std::vector<double>& weights) {
+  Plan plan;
+  plan.owner.resize(weights.size());
+  const double mean = total_weight(weights) / static_cast<double>(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    plan.owner[i] = smoothed(weights[i]) > mean ? 1 : 0;
+  }
+  return plan;
+}
+
+}  // namespace fixture

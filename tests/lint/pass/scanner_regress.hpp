@@ -1,0 +1,45 @@
+// Fixture: false-positive regressions for the v1 token scanner. Every
+// construct here is legal, clean code that the old line-oriented
+// find_word scan misread; the v2 lexer (which splices continuations and
+// lexes strings, comments and whole preprocessor directives before the
+// rules run) must stay quiet on all of it.
+#pragma once
+
+#define PICPRK_HOT __attribute__((hot))
+
+// 1. An identifier split across a line continuation. The raw text puts
+//    the word "new" alone at the start of the next physical line, which
+//    the per-line scanner flagged as the banned allocator token; after
+//    phase-2 splicing it is the single identifier `count_new`.
+PICPRK_HOT inline int splice_ident(int x) {
+  int count_\
+new = 0;
+  count_\
+new += x;
+  return count_\
+new;
+}
+
+// 2. A multi-line macro definition. The old scanner only skipped lines
+//    that themselves start with '#', so the tag argument in the
+//    replacement text — never live code — tripped the file-wide tags
+//    rule. The whole directive is one token in v2, invisible to rules.
+#define REGRESS_SEND(world, dst, buf) \
+  (world).send(dst, buf, 42)
+
+// 3. A raw string with embedded quotes in a hot body. Naive quote
+//    matching resynchronises at the first inner '"' and reads the rest
+//    of the payload as code, flagging the banned words; the v2 lexer
+//    consumes the literal, delimiter to delimiter, as one token.
+PICPRK_HOT inline const char* hot_label() {
+  return R"lbl(say "throw new push_back" loudly)lbl";
+}
+
+// 4. A // comment continued into the next physical line by a trailing
+//    backslash inside a hot body: the second physical line is still
+//    comment text, but per-line stripping saw it as code.
+PICPRK_HOT inline double identity(double x) {
+  // the next physical line belongs to this comment \
+     fmod(x, resize(new))
+  return x;
+}

@@ -1,0 +1,25 @@
+// Fixture: the suppression grammar, used correctly. Each directive
+// names a real rule, carries a reason, and silences a finding that
+// actually exists — so the suppress audit has nothing to say either.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#define PICPRK_HOT __attribute__((hot))
+
+struct Scratch {
+  std::vector<double> buf;
+};
+
+/// Startup-only resize inside a hot-tagged wrapper: the allocation is
+/// real but intentional, so it is suppressed with a reason.
+PICPRK_HOT inline void warm(Scratch& s, std::size_t n) {
+  // picprk-lint: suppress(hot: one-time warmup before the step loop; never on the per-step path)
+  s.buf.resize(n);
+}
+
+/// Same-line form.
+PICPRK_HOT inline void warm2(Scratch& s, std::size_t n) {
+  s.buf.reserve(n);  // picprk-lint: suppress(hot: capacity pre-touch at startup only)
+}

@@ -1,0 +1,138 @@
+// Unit suite for the picprk-lint v2 lexer: the constructs the rules
+// depend on getting right — line-continuation splicing, raw strings,
+// digraphs, whole-directive tokens, comment capture — plus the plain
+// token taxonomy.
+#include "lint/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace lint = picprk::lint;
+
+namespace {
+
+std::vector<std::string> texts(const lint::LexResult& lx, lint::TokKind kind) {
+  std::vector<std::string> out;
+  for (const lint::Token& t : lx.tokens) {
+    if (t.kind == kind) out.push_back(t.text);
+  }
+  return out;
+}
+
+bool has_ident(const lint::LexResult& lx, const std::string& s) {
+  const auto ids = texts(lx, lint::TokKind::kIdentifier);
+  return std::find(ids.begin(), ids.end(), s) != ids.end();
+}
+
+TEST(Lexer, SplicesIdentifierAcrossContinuation) {
+  const lint::LexResult lx = lint::lex("int count_\\\nnew = 0;\n");
+  EXPECT_TRUE(has_ident(lx, "count_new"));
+  EXPECT_FALSE(has_ident(lx, "new"));
+}
+
+TEST(Lexer, ContinuedLineCommentSwallowsNextPhysicalLine) {
+  const lint::LexResult lx = lint::lex("// comment \\\nfmod(x)\nint y;\n");
+  EXPECT_FALSE(has_ident(lx, "fmod"));
+  EXPECT_TRUE(has_ident(lx, "y"));
+  ASSERT_EQ(lx.comments.size(), 1u);
+  EXPECT_NE(lx.comments[0].text.find("fmod"), std::string::npos);
+}
+
+TEST(Lexer, RawStringWithEmbeddedQuotesIsOneToken) {
+  const lint::LexResult lx =
+      lint::lex("const char* s = R\"lbl(say \"new throw\" loudly)lbl\";\n");
+  EXPECT_FALSE(has_ident(lx, "new"));
+  EXPECT_FALSE(has_ident(lx, "throw"));
+  const auto strs = texts(lx, lint::TokKind::kString);
+  ASSERT_EQ(strs.size(), 1u);
+  EXPECT_NE(strs[0].find("loudly"), std::string::npos);
+}
+
+TEST(Lexer, EncodedRawStringPrefixes) {
+  const lint::LexResult lx = lint::lex("auto a = u8R\"(new)\"; auto b = LR\"(throw)\";\n");
+  EXPECT_FALSE(has_ident(lx, "new"));
+  EXPECT_FALSE(has_ident(lx, "throw"));
+  EXPECT_EQ(texts(lx, lint::TokKind::kString).size(), 2u);
+}
+
+TEST(Lexer, MultiLineDefineIsOneDirectiveToken) {
+  const lint::LexResult lx =
+      lint::lex("#define APPEND(v, x) \\\n  (v).push_back(x)\nint z;\n");
+  const auto dirs = texts(lx, lint::TokKind::kDirective);
+  ASSERT_EQ(dirs.size(), 1u);
+  EXPECT_NE(dirs[0].find("push_back"), std::string::npos);
+  EXPECT_FALSE(has_ident(lx, "push_back"));
+  EXPECT_TRUE(has_ident(lx, "z"));
+}
+
+TEST(Lexer, IncludeDirectiveKeepsAnglePayload) {
+  const lint::LexResult lx = lint::lex("#include <vector>\n#include \"a/b.hpp\"\n");
+  const auto dirs = texts(lx, lint::TokKind::kDirective);
+  ASSERT_EQ(dirs.size(), 2u);
+  EXPECT_NE(dirs[0].find("<vector"), std::string::npos);
+  EXPECT_NE(dirs[1].find("a/b.hpp"), std::string::npos);
+}
+
+TEST(Lexer, DigraphsNormalise) {
+  const lint::LexResult lx = lint::lex("int a<:2:> = <%1, 2%>;\n");
+  const auto ps = texts(lx, lint::TokKind::kPunct);
+  EXPECT_NE(std::find(ps.begin(), ps.end(), "["), ps.end());
+  EXPECT_NE(std::find(ps.begin(), ps.end(), "]"), ps.end());
+  EXPECT_NE(std::find(ps.begin(), ps.end(), "{"), ps.end());
+  EXPECT_NE(std::find(ps.begin(), ps.end(), "}"), ps.end());
+}
+
+TEST(Lexer, BlockCommentSpansLinesAndIsCaptured) {
+  const lint::LexResult lx = lint::lex("int a; /* new\nthrow */ int b;\n");
+  EXPECT_FALSE(has_ident(lx, "new"));
+  EXPECT_TRUE(has_ident(lx, "b"));
+  ASSERT_EQ(lx.comments.size(), 1u);
+  EXPECT_EQ(lx.comments[0].line, 1);
+  EXPECT_EQ(lx.comments[0].end_line, 2);
+}
+
+TEST(Lexer, PpNumberWithSeparatorsAndExponent) {
+  const lint::LexResult lx = lint::lex("double d = 1'000'000.5e-3;\n");
+  const auto nums = texts(lx, lint::TokKind::kNumber);
+  ASSERT_EQ(nums.size(), 1u);
+  EXPECT_EQ(nums[0], "1'000'000.5e-3");
+}
+
+TEST(Lexer, MultiCharPunctuatorsLongestMatch) {
+  const lint::LexResult lx = lint::lex("a <<= b; c <=> d; e->*f; x::y;\n");
+  const auto ps = texts(lx, lint::TokKind::kPunct);
+  EXPECT_NE(std::find(ps.begin(), ps.end(), "<<="), ps.end());
+  EXPECT_NE(std::find(ps.begin(), ps.end(), "<=>"), ps.end());
+  EXPECT_NE(std::find(ps.begin(), ps.end(), "->*"), ps.end());
+  EXPECT_NE(std::find(ps.begin(), ps.end(), "::"), ps.end());
+}
+
+TEST(Lexer, LinePositionsSurviveSplicing) {
+  const lint::LexResult lx = lint::lex("int a;\nint b_\\\nc;\nint d;\n");
+  int line_bc = 0, line_d = 0;
+  for (const lint::Token& t : lx.tokens) {
+    if (t.text == "b_c") line_bc = t.line;
+    if (t.text == "d") line_d = t.line;
+  }
+  EXPECT_EQ(line_bc, 2);
+  EXPECT_EQ(line_d, 4);
+}
+
+TEST(Lexer, StringsAndCharsKeepKindAndEscapes) {
+  const lint::LexResult lx =
+      lint::lex("const char* s = \"a\\\"new\\\"b\"; char c = '\\'';\n");
+  EXPECT_FALSE(has_ident(lx, "new"));
+  EXPECT_EQ(texts(lx, lint::TokKind::kString).size(), 1u);
+  EXPECT_EQ(texts(lx, lint::TokKind::kChar).size(), 1u);
+}
+
+TEST(Lexer, KeywordPredicate) {
+  EXPECT_TRUE(lint::is_keyword("constexpr"));
+  EXPECT_TRUE(lint::is_keyword("co_await"));
+  EXPECT_FALSE(lint::is_keyword("rebalance_bounds"));
+}
+
+}  // namespace

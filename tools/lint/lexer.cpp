@@ -1,0 +1,372 @@
+#include "lint/lexer.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace picprk::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_cont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// One logical character after phase-2 translation (line splicing):
+/// the character plus where it came from in the raw text.
+struct LChar {
+  char c;
+  std::size_t offset;
+  int line;
+};
+
+/// Splices backslash-newline pairs away, keeping raw positions. This is
+/// the phase the v1 scanner lacked: after it, an identifier broken by a
+/// continuation is contiguous, and a continued // comment or #define is
+/// one logical line.
+std::vector<LChar> splice(const std::string& src) {
+  std::vector<LChar> out;
+  out.reserve(src.size());
+  int line = 1;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    if (c == '\\' && i + 1 < src.size() &&
+        (src[i + 1] == '\n' || (src[i + 1] == '\r' && i + 2 < src.size() &&
+                                src[i + 2] == '\n'))) {
+      i += src[i + 1] == '\r' ? 2 : 1;
+      ++line;
+      continue;
+    }
+    out.push_back({c, i, line});
+    if (c == '\n') ++line;
+  }
+  return out;
+}
+
+const std::set<std::string>& keywords() {
+  static const std::set<std::string> kw = {
+      "alignas",   "alignof",  "and",        "and_eq",   "asm",
+      "auto",      "bitand",   "bitor",      "bool",     "break",
+      "case",      "catch",    "char",       "char8_t",  "char16_t",
+      "char32_t",  "class",    "compl",      "concept",  "const",
+      "consteval", "constexpr", "constinit", "const_cast", "continue",
+      "co_await",  "co_return", "co_yield",  "decltype", "default",
+      "delete",    "do",       "double",     "dynamic_cast", "else",
+      "enum",      "explicit", "export",     "extern",   "false",
+      "float",     "for",      "friend",     "goto",     "if",
+      "inline",    "int",      "long",       "mutable",  "namespace",
+      "new",       "noexcept", "not",        "not_eq",   "nullptr",
+      "operator",  "or",       "or_eq",      "private",  "protected",
+      "public",    "register", "reinterpret_cast", "requires", "return",
+      "short",     "signed",   "sizeof",     "static",   "static_assert",
+      "static_cast", "struct", "switch",     "template", "this",
+      "thread_local", "throw", "true",       "try",      "typedef",
+      "typeid",    "typename", "union",      "unsigned", "using",
+      "virtual",   "void",     "volatile",   "wchar_t",  "while",
+      "xor",       "xor_eq",
+  };
+  return kw;
+}
+
+/// Multi-character punctuators, longest first within each head char.
+/// >> and << stay fused (stream operators); rules that match template
+/// angle brackets treat ">>" as two closers.
+const char* const kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "<=>",
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&",
+    "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", ".*", "##",
+};
+
+struct Lexer {
+  const std::vector<LChar>& s;
+  std::size_t i = 0;
+  LexResult out;
+
+  explicit Lexer(const std::vector<LChar>& spliced) : s(spliced) {}
+
+  bool eof() const { return i >= s.size(); }
+  char at(std::size_t k) const { return k < s.size() ? s[k].c : '\0'; }
+  char cur() const { return at(i); }
+  char peek(std::size_t n = 1) const { return at(i + n); }
+
+  void push(TokKind kind, std::size_t begin, std::size_t end) {
+    Token t;
+    t.kind = kind;
+    t.text.reserve(end - begin);
+    for (std::size_t k = begin; k < end; ++k) t.text.push_back(s[k].c);
+    t.offset = s[begin].offset;
+    t.line = s[begin].line;
+    out.tokens.push_back(std::move(t));
+  }
+
+  /// Consumes // to end of logical line; records the comment.
+  void line_comment() {
+    const std::size_t begin = i;
+    i += 2;
+    const std::size_t text_begin = i;
+    while (!eof() && cur() != '\n') ++i;
+    Comment c;
+    c.line = s[begin].line;
+    c.end_line = i > 0 && i <= s.size() ? s[i - 1].line : c.line;
+    for (std::size_t k = text_begin; k < i; ++k) c.text.push_back(s[k].c);
+    out.comments.push_back(std::move(c));
+  }
+
+  /// Consumes a (non-nesting) block comment; records it.
+  void block_comment() {
+    const std::size_t begin = i;
+    i += 2;
+    const std::size_t text_begin = i;
+    std::size_t text_end = i;
+    while (!eof()) {
+      if (cur() == '*' && peek() == '/') {
+        text_end = i;
+        i += 2;
+        break;
+      }
+      ++i;
+      text_end = i;
+    }
+    Comment c;
+    c.line = s[begin].line;
+    c.end_line = text_end > 0 ? s[std::min(text_end, s.size() - 1)].line : c.line;
+    for (std::size_t k = text_begin; k < text_end; ++k) c.text.push_back(s[k].c);
+    out.comments.push_back(std::move(c));
+  }
+
+  /// Ordinary string/char literal body after the opening quote.
+  void quoted(char quote) {
+    ++i;  // opening quote
+    while (!eof()) {
+      if (cur() == '\\' && i + 1 < s.size()) {
+        i += 2;
+        continue;
+      }
+      if (cur() == quote || cur() == '\n') {  // unterminated: stop at EOL
+        ++i;
+        return;
+      }
+      ++i;
+    }
+  }
+
+  /// Raw string body after `R"`: d-char-seq ( ... ) d-char-seq ".
+  void raw_string() {
+    ++i;  // opening quote
+    std::string delim;
+    while (!eof() && cur() != '(' && cur() != '\n') {
+      delim.push_back(cur());
+      ++i;
+    }
+    if (eof() || cur() != '(') return;  // malformed; give up at this point
+    ++i;
+    const std::string closer = ")" + delim + "\"";
+    std::string window;
+    while (!eof()) {
+      window.push_back(cur());
+      ++i;
+      if (window.size() > closer.size())
+        window.erase(window.begin());
+      if (window == closer) return;
+    }
+  }
+
+  /// A whole preprocessor directive (continuations already spliced), with
+  /// embedded comments handled: // ends the text, /* */ is skipped even
+  /// across newlines inside the comment.
+  void directive() {
+    const std::size_t begin = i;
+    Token t;
+    t.kind = TokKind::kDirective;
+    t.offset = s[begin].offset;
+    t.line = s[begin].line;
+    while (!eof() && cur() != '\n') {
+      if (cur() == '/' && peek() == '/') {
+        line_comment();
+        break;
+      }
+      if (cur() == '/' && peek() == '*') {
+        block_comment();
+        t.text.push_back(' ');
+        continue;
+      }
+      if (cur() == '"') {
+        const std::size_t q = i;
+        quoted('"');
+        for (std::size_t k = q; k < i; ++k) t.text.push_back(s[k].c);
+        continue;
+      }
+      if (cur() == '<' && t.text.find("include") != std::string::npos) {
+        while (!eof() && cur() != '\n' && cur() != '>') {
+          t.text.push_back(cur());
+          ++i;
+        }
+        continue;
+      }
+      t.text.push_back(cur());
+      ++i;
+    }
+    out.tokens.push_back(std::move(t));
+  }
+
+  void run() {
+    bool at_line_start = true;
+    while (!eof()) {
+      const char c = cur();
+      if (c == '\n') {
+        at_line_start = true;
+        ++i;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (c == '/' && peek() == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && peek() == '*') {
+        block_comment();
+        continue;
+      }
+      if (at_line_start && (c == '#' || (c == '%' && peek() == ':'))) {
+        directive();
+        at_line_start = true;
+        continue;
+      }
+      at_line_start = false;
+      if (ident_start(c)) {
+        const std::size_t begin = i;
+        while (!eof() && ident_cont(cur())) ++i;
+        // String-literal encoding prefixes: u8R"(..)", LR"(..)", R"(..)",
+        // u"..", L'x' — the identifier chars are part of the literal.
+        std::string word;
+        for (std::size_t k = begin; k < i; ++k) word.push_back(s[k].c);
+        const bool str_prefix = word == "R" || word == "u8R" || word == "uR" ||
+                                word == "UR" || word == "LR";
+        const bool plain_prefix =
+            word == "u8" || word == "u" || word == "U" || word == "L";
+        if (str_prefix && cur() == '"') {
+          raw_string();
+          push(TokKind::kString, begin, i);
+          continue;
+        }
+        if (plain_prefix && cur() == '"') {
+          quoted('"');
+          push(TokKind::kString, begin, i);
+          continue;
+        }
+        if (plain_prefix && cur() == '\'') {
+          quoted('\'');
+          push(TokKind::kChar, begin, i);
+          continue;
+        }
+        push(TokKind::kIdentifier, begin, i);
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(peek())))) {
+        // pp-number: digits, identifier chars, '.', digit separators, and
+        // sign chars after an exponent.
+        const std::size_t begin = i;
+        ++i;
+        while (!eof()) {
+          const char d = cur();
+          if (ident_cont(d) || d == '.') {
+            ++i;
+          } else if (d == '\'' && ident_cont(peek())) {
+            i += 2;
+          } else if ((d == '+' || d == '-') &&
+                     (at(i - 1) == 'e' || at(i - 1) == 'E' ||
+                      at(i - 1) == 'p' || at(i - 1) == 'P')) {
+            ++i;
+          } else {
+            break;
+          }
+        }
+        push(TokKind::kNumber, begin, i);
+        continue;
+      }
+      if (c == '"') {
+        const std::size_t begin = i;
+        quoted('"');
+        push(TokKind::kString, begin, i);
+        continue;
+      }
+      if (c == '\'') {
+        const std::size_t begin = i;
+        quoted('\'');
+        push(TokKind::kChar, begin, i);
+        continue;
+      }
+      // Digraphs normalise to the primary spelling.
+      if (c == '<' && peek() == '%') {
+        Token t{TokKind::kPunct, "{", s[i].offset, s[i].line};
+        out.tokens.push_back(std::move(t));
+        i += 2;
+        continue;
+      }
+      if (c == '%' && peek() == '>') {
+        Token t{TokKind::kPunct, "}", s[i].offset, s[i].line};
+        out.tokens.push_back(std::move(t));
+        i += 2;
+        continue;
+      }
+      if (c == '<' && peek() == ':' && peek(2) != ':' && peek(2) != '>') {
+        Token t{TokKind::kPunct, "[", s[i].offset, s[i].line};
+        out.tokens.push_back(std::move(t));
+        i += 2;
+        continue;
+      }
+      if (c == ':' && peek() == '>') {
+        Token t{TokKind::kPunct, "]", s[i].offset, s[i].line};
+        out.tokens.push_back(std::move(t));
+        i += 2;
+        continue;
+      }
+      // Multi-char punctuators, longest match.
+      bool matched = false;
+      for (const char* p : kPuncts) {
+        const std::size_t n = std::string_view(p).size();
+        bool ok = true;
+        for (std::size_t k = 0; k < n; ++k) {
+          if (at(i + k) != p[k]) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) {
+          push(TokKind::kPunct, i, i + n);
+          i += n;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+      push(TokKind::kPunct, i, i + 1);
+      ++i;
+    }
+    Token eof_tok;
+    eof_tok.kind = TokKind::kEof;
+    eof_tok.offset = s.empty() ? 0 : s.back().offset + 1;
+    eof_tok.line = s.empty() ? 1 : s.back().line;
+    out.tokens.push_back(std::move(eof_tok));
+  }
+};
+
+}  // namespace
+
+LexResult lex(const std::string& src) {
+  const std::vector<LChar> spliced = splice(src);
+  Lexer lx(spliced);
+  lx.run();
+  return std::move(lx.out);
+}
+
+bool is_keyword(const std::string& s) { return keywords().count(s) != 0; }
+
+}  // namespace picprk::lint

@@ -1,0 +1,69 @@
+// picprk-lint v2 analysis core, stage 1: a self-contained C++ lexer.
+//
+// The v1 checker scanned comment-stripped text with substring matching,
+// which cannot see identifiers spliced across line continuations, raw
+// string literals, or multi-line preprocessor definitions. This lexer
+// produces a token stream with source positions so the rules operate on
+// real lexical structure:
+//
+//  * line continuations (backslash-newline) are spliced away before
+//    tokenization, so `count_\<newline>new` is one identifier;
+//  * comments never reach the token stream but are retained separately
+//    (with line spans) for the suppression directives and the
+//    `pup:transient` / `collective-guard` annotations the rules read;
+//  * string/char literals are single tokens — banned words inside them
+//    can never match — including raw strings R"delim(...)delim" and
+//    encoding prefixes (u8, u, U, L);
+//  * a preprocessor directive is one token carrying its full spliced
+//    text, so a multi-line #define can be recognised (and skipped) as a
+//    unit instead of line-by-line;
+//  * digit separators (1'000'000) are part of the number token, and the
+//    primary digraphs (<% %> <: :> %:) are normalised to their
+//    canonical spellings.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace picprk::lint {
+
+enum class TokKind : std::uint8_t {
+  kIdentifier,  ///< identifiers and keywords (see is_keyword)
+  kNumber,      ///< pp-number, digit separators included
+  kString,      ///< string literal, prefixes and raw strings included
+  kChar,        ///< character literal
+  kPunct,       ///< operator / punctuator, longest-match, digraphs mapped
+  kDirective,   ///< whole preprocessor directive, continuations spliced
+  kEof,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;        ///< spelling with line continuations spliced out
+  std::size_t offset = 0;  ///< byte offset of the first character in the raw text
+  int line = 0;            ///< 1-based line of the first character
+};
+
+/// A comment, kept out-of-band: rules consult comments by line for the
+/// suppression / annotation grammar (docs/STATIC_ANALYSIS.md).
+struct Comment {
+  int line = 0;      ///< line the comment starts on
+  int end_line = 0;  ///< line it ends on (block comments may span)
+  std::string text;  ///< body without the // or /* */ markers
+};
+
+struct LexResult {
+  std::vector<Token> tokens;  ///< terminated by one kEof token
+  std::vector<Comment> comments;
+};
+
+/// Tokenizes a C++ translation unit. Never fails: unterminated literals
+/// lex to end-of-input, unknown bytes become single-char punctuators.
+LexResult lex(const std::string& src);
+
+/// True for C++ keywords (alternative operator spellings included).
+bool is_keyword(const std::string& s);
+
+}  // namespace picprk::lint

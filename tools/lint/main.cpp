@@ -1,0 +1,174 @@
+// picprk-lint v2 — call-graph-aware SPMD safety analysis for the picprk
+// tree. Pipeline: lexer (lint/lexer.*) -> symbol index + call graph
+// (lint/index.*) -> rules + suppression audit (lint/rules.*) -> report
+// back-ends (lint/report.*). See docs/STATIC_ANALYSIS.md.
+//
+// Usage:
+//   picprk-lint [--rule R]... [--include-root DIR]...
+//               [--json] [--gha] [--sarif FILE] [--list-rules] PATH...
+//
+// Exit codes: 0 clean, 1 violations found, 2 usage/IO error.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/index.hpp"
+#include "lint/report.hpp"
+#include "lint/rules.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using picprk::lint::SourceFile;
+
+bool is_source_file(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc";
+}
+
+int usage(std::ostream& os) {
+  os << "usage: picprk-lint [--rule R]... [--include-root DIR]...\n"
+        "                   [--json] [--gha] [--sarif FILE] [--list-rules]\n"
+        "                   PATH...\n"
+        "rules: ";
+  bool first = true;
+  for (const std::string& r : picprk::lint::all_rules()) {
+    if (!first) os << " ";
+    first = false;
+    os << r;
+  }
+  os << "\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::set<std::string> enabled;
+  picprk::lint::RuleOptions opts;
+  std::vector<fs::path> paths;
+  bool json = false;
+  bool gha = false;
+  std::string sarif_path;
+
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--rule") {
+      if (++a >= argc) return usage(std::cerr);
+      if (picprk::lint::all_rules().count(argv[a]) == 0) {
+        std::cerr << "picprk-lint: unknown rule '" << argv[a] << "'\n";
+        return usage(std::cerr);
+      }
+      enabled.insert(argv[a]);
+    } else if (arg == "--include-root") {
+      if (++a >= argc) return usage(std::cerr);
+      opts.include_roots.emplace_back(argv[a]);
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--gha") {
+      gha = true;
+    } else if (arg == "--sarif") {
+      if (++a >= argc) return usage(std::cerr);
+      sarif_path = argv[a];
+    } else if (arg == "--dump-index") {
+      json = false;
+      gha = false;
+      enabled.insert("__dump__");
+    } else if (arg == "--list-rules") {
+      for (const std::string& r : picprk::lint::all_rules()) {
+        std::cout << r << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "picprk-lint: unknown option '" << arg << "'\n";
+      return usage(std::cerr);
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+  if (paths.empty()) return usage(std::cerr);
+  if (enabled.empty()) enabled = picprk::lint::all_rules();
+
+  std::vector<SourceFile> files;
+  for (const fs::path& p : paths) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (auto it = fs::recursive_directory_iterator(p, ec);
+           it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_regular_file() && is_source_file(it->path())) {
+          files.push_back({it->path(), "", {}});
+        }
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back({p, "", {}});
+    } else {
+      std::cerr << "picprk-lint: cannot read '" << p.string() << "'\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.path < b.path;
+            });
+  for (SourceFile& f : files) {
+    std::ifstream in(f.path);
+    if (!in) {
+      std::cerr << "picprk-lint: cannot open '" << f.path.string() << "'\n";
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    f.text = ss.str();
+  }
+
+  const picprk::lint::Index index = picprk::lint::build_index(std::move(files));
+  const picprk::lint::CallGraph graph = picprk::lint::build_call_graph(index);
+  if (enabled.count("__dump__")) {
+    // Debug view of what the indexer recognised (not a stable format).
+    for (const auto& fn : index.functions) {
+      std::cout << "fn " << fn.qualified << " @" << fn.line
+                << (fn.is_hot ? " [hot]" : "") << " calls:";
+      for (const auto& c : fn.calls) std::cout << " " << c.name;
+      for (const auto& g : fn.guards) std::cout << " guard(" << g.arg << ")";
+      std::cout << "\n";
+    }
+    for (const auto& cd : index.classes) {
+      std::cout << "class " << cd.qualified << " @" << cd.line
+                << (cd.declares_pup ? " [pup]" : "") << " members:";
+      for (const auto& m : cd.members) std::cout << " " << m.name;
+      std::cout << "\n";
+    }
+    for (const auto& m : index.mutexes) {
+      std::cout << "mutex " << m.class_name << "::" << m.member << "\n";
+    }
+    return 0;
+  }
+  const std::vector<picprk::lint::Violation> vs =
+      picprk::lint::run_rules(index, graph, enabled, opts);
+
+  if (json) {
+    picprk::lint::report_json(vs, std::cout);
+  } else {
+    picprk::lint::report_text(vs, std::cout);
+  }
+  if (gha) picprk::lint::report_gha(vs, std::cout);
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path);
+    if (!out) {
+      std::cerr << "picprk-lint: cannot write '" << sarif_path << "'\n";
+      return 2;
+    }
+    picprk::lint::report_sarif(vs, out);
+  }
+  if (!vs.empty() && !json && !gha) {
+    std::cerr << "picprk-lint: " << vs.size() << " violation"
+              << (vs.size() == 1 ? "" : "s") << "\n";
+  }
+  return vs.empty() ? 0 : 1;
+}

@@ -1,0 +1,100 @@
+#include "lint/report.hpp"
+
+#include <map>
+#include <string>
+
+namespace picprk::lint {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void report_text(const std::vector<Violation>& vs, std::ostream& os) {
+  for (const Violation& v : vs) {
+    os << v.file.string() << ":" << v.line << ": [" << v.rule << "] "
+       << v.message << "\n";
+  }
+}
+
+void report_json(const std::vector<Violation>& vs, std::ostream& os) {
+  for (const Violation& v : vs) {
+    os << "{\"file\":\"" << json_escape(v.file.string()) << "\",\"line\":"
+       << v.line << ",\"rule\":\"" << json_escape(v.rule)
+       << "\",\"message\":\"" << json_escape(v.message) << "\"}\n";
+  }
+}
+
+void report_gha(const std::vector<Violation>& vs, std::ostream& os) {
+  for (const Violation& v : vs) {
+    // ::error annotation values must escape %, CR and LF.
+    std::string msg = "[" + v.rule + "] " + v.message;
+    std::string escaped;
+    for (const char c : msg) {
+      if (c == '%') escaped += "%25";
+      else if (c == '\n') escaped += "%0A";
+      else if (c == '\r') escaped += "%0D";
+      else escaped += c;
+    }
+    os << "::error file=" << v.file.string() << ",line=" << v.line
+       << ",title=picprk-lint::" << escaped << "\n";
+  }
+}
+
+void report_sarif(const std::vector<Violation>& vs, std::ostream& os) {
+  std::map<std::string, std::size_t> rule_ids;
+  for (const Violation& v : vs) rule_ids.emplace(v.rule, rule_ids.size());
+  os << "{\n"
+        "  \"version\": \"2.1.0\",\n"
+        "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+        "  \"runs\": [{\n"
+        "    \"tool\": {\"driver\": {\n"
+        "      \"name\": \"picprk-lint\",\n"
+        "      \"informationUri\": \"docs/STATIC_ANALYSIS.md\",\n"
+        "      \"rules\": [";
+  bool first = true;
+  for (const auto& [rule, unused] : rule_ids) {
+    (void)unused;
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"id\": \"" << json_escape(rule) << "\"}";
+  }
+  os << "]\n    }},\n    \"results\": [";
+  first = true;
+  for (const Violation& v : vs) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n      {\"ruleId\": \"" << json_escape(v.rule)
+       << "\", \"level\": \"error\", \"message\": {\"text\": \""
+       << json_escape(v.message)
+       << "\"}, \"locations\": [{\"physicalLocation\": {\"artifactLocation\": "
+          "{\"uri\": \""
+       << json_escape(v.file.generic_string())
+       << "\"}, \"region\": {\"startLine\": " << v.line << "}}}]}";
+  }
+  os << "\n    ]\n  }]\n}\n";
+}
+
+}  // namespace picprk::lint

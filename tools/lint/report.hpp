@@ -1,0 +1,18 @@
+// picprk-lint v2 output back-ends: plain text, one-JSON-object-per-line
+// (machine-readable findings for CI post-processing), SARIF 2.1.0, and
+// GitHub Actions ::error annotations.
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "lint/rules.hpp"
+
+namespace picprk::lint {
+
+void report_text(const std::vector<Violation>& vs, std::ostream& os);
+void report_json(const std::vector<Violation>& vs, std::ostream& os);
+void report_gha(const std::vector<Violation>& vs, std::ostream& os);
+void report_sarif(const std::vector<Violation>& vs, std::ostream& os);
+
+}  // namespace picprk::lint

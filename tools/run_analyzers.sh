@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Deep static analysis over src/ with the compilers' own analyzers:
+# GCC -fanalyzer and, when clang is available, the Clang static
+# analyzer (scan-build's --analyze mode). Complements picprk-lint —
+# the lint checks project invariants, the compiler analyzers check
+# memory/UB properties the lint does not model.
+#
+#   tools/run_analyzers.sh [--update-baseline]
+#
+# Findings are normalised (path:line: analyzer: message) and diffed
+# against the checked-in baseline in tools/analyzer_baseline.txt:
+# the run fails only on findings NOT in the baseline, so known
+# (triaged) findings don't block CI while new ones do. Pass
+# --update-baseline to rewrite the baseline from the current run.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+baseline="${repo_root}/tools/analyzer_baseline.txt"
+update=0
+[ "${1:-}" = "--update-baseline" ] && update=1
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "${workdir}"' EXIT
+findings="${workdir}/findings.txt"
+: > "${findings}"
+
+mapfile -t tus < <(find "${repo_root}/src" -name '*.cpp' | sort)
+common_flags=( -std=c++20 -I "${repo_root}/src" -c -o /dev/null )
+
+# ---- GCC -fanalyzer -------------------------------------------------------
+if command -v g++ >/dev/null 2>&1; then
+  echo "run_analyzers.sh: g++ -fanalyzer over ${#tus[@]} TU(s)"
+  for tu in "${tus[@]}"; do
+    g++ -fanalyzer "${common_flags[@]}" "${tu}" 2>> "${workdir}/gcc_raw.txt" || true
+  done
+  # Keep only the primary diagnostic lines; strip the repo prefix and
+  # column so the baseline is stable across checkouts and compiler
+  # point releases.
+  sed -n 's/^\([^:]*\):\([0-9]*\):[0-9]*: warning: \(.*\) \[\(-Wanalyzer[^]]*\)\]$/\1:\2: gcc: \3 [\4]/p' \
+      "${workdir}/gcc_raw.txt" \
+    | sed "s|^${repo_root}/||" | sort -u >> "${findings}"
+else
+  echo "run_analyzers.sh: g++ not found; skipping -fanalyzer leg" >&2
+fi
+
+# ---- Clang static analyzer ------------------------------------------------
+clangxx=""
+for candidate in clang++ clang++-19 clang++-18 clang++-17; do
+  if command -v "${candidate}" >/dev/null 2>&1; then
+    clangxx="${candidate}"
+    break
+  fi
+done
+if [ -n "${clangxx}" ]; then
+  echo "run_analyzers.sh: ${clangxx} --analyze over ${#tus[@]} TU(s)"
+  for tu in "${tus[@]}"; do
+    "${clangxx}" --analyze --analyzer-output text \
+      "${common_flags[@]}" "${tu}" 2>> "${workdir}/clang_raw.txt" || true
+  done
+  sed -n 's/^\([^:]*\):\([0-9]*\):[0-9]*: warning: \(.*\)$/\1:\2: clang: \3/p' \
+      "${workdir}/clang_raw.txt" \
+    | sed "s|^${repo_root}/||" | sort -u >> "${findings}"
+else
+  echo "run_analyzers.sh: clang++ not found; skipping clang --analyze leg" >&2
+fi
+
+sort -u "${findings}" -o "${findings}"
+
+if [ "${update}" -eq 1 ]; then
+  {
+    echo "# Known findings from tools/run_analyzers.sh, one per line"
+    echo "# (path:line: analyzer: message). Each entry has been triaged:"
+    echo "# it is either a false positive or an accepted risk with the"
+    echo "# reasoning recorded in docs/STATIC_ANALYSIS.md. New findings"
+    echo "# fail CI until triaged here."
+    cat "${findings}"
+  } > "${baseline}"
+  echo "run_analyzers.sh: baseline rewritten with $(wc -l < "${findings}") finding(s)"
+  exit 0
+fi
+
+grep -v '^#' "${baseline}" 2>/dev/null | sed '/^$/d' | sort -u > "${workdir}/known.txt"
+new=$(comm -23 "${findings}" "${workdir}/known.txt")
+fixed=$(comm -13 "${findings}" "${workdir}/known.txt")
+
+if [ -n "${fixed}" ]; then
+  echo "run_analyzers.sh: baseline entries no longer reported (prune them):"
+  printf '%s\n' "${fixed}"
+fi
+if [ -n "${new}" ]; then
+  echo "run_analyzers.sh: NEW analyzer findings (triage, then either fix or"
+  echo "add to tools/analyzer_baseline.txt with a note):"
+  printf '%s\n' "${new}"
+  exit 1
+fi
+echo "run_analyzers.sh: clean ($(wc -l < "${findings}") known finding(s) in baseline)"
+exit 0

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Runs picprk-lint over the project sources, building the tool first if
+# the build tree doesn't have it yet.
+#
+#   tools/run_lint.sh [build-dir] [picprk-lint args ...]
+#
+# Default build dir: build/. With no extra args, lints src/ under every
+# rule with the project include root — the same invocation as the
+# lint.tree ctest entry and the CI lint step. Extra args are passed
+# through, so `tools/run_lint.sh build --rule determinism src/lb` or
+# `tools/run_lint.sh build --gha src` work as expected.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+shift $(( $# > 0 ? 1 : 0 ))
+
+lint_bin="${build_dir}/tools/picprk-lint"
+if [ ! -x "${lint_bin}" ]; then
+  echo "run_lint.sh: building picprk-lint in ${build_dir}" >&2
+  cmake -B "${build_dir}" -S "${repo_root}" >/dev/null || exit 2
+  cmake --build "${build_dir}" --target picprk-lint -j >/dev/null || exit 2
+fi
+
+if [ "$#" -gt 0 ]; then
+  exec "${lint_bin}" "$@"
+fi
+exec "${lint_bin}" --include-root "${repo_root}/src" "${repo_root}/src"

@@ -37,6 +37,16 @@ if [ ! -f "${build_dir}/compile_commands.json" ]; then
   exit 2
 fi
 
+# A reconfigure (new flags, new targets) leaves the compile database
+# stale; regenerate it so tidy sees the commands the build actually
+# uses.
+if [ "${build_dir}/CMakeCache.txt" -nt "${build_dir}/compile_commands.json" ]; then
+  echo "run_tidy.sh: CMakeCache.txt is newer than compile_commands.json; reconfiguring"
+  cmake -B "${build_dir}" -S "${repo_root}" >/dev/null || exit 2
+fi
+
+echo "run_tidy.sh: using $("${tidy_bin}" --version | sed -n 's/^.*version/version/p' | head -1) (${tidy_bin})"
+
 if [ "$#" -gt 0 ]; then
   files=( "$@" )
 else
