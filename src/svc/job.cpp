@@ -1,0 +1,231 @@
+#include "svc/job.hpp"
+
+#include <algorithm>
+#include <span>
+
+#include "pic/init.hpp"
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+#include "vpr/pup.hpp"
+
+namespace picprk::svc {
+
+namespace {
+
+/// Rollback attempts before a job gives up and fails.
+constexpr std::uint32_t kMaxRecoveries = 3;
+
+}  // namespace
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+Job::Job(int id, JobSpec spec) : id_(id), spec_(std::move(spec)) {
+  spec_.run.workers = 1;  // the server's pool supplies the parallelism
+  if (spec_.kill_vp >= 0) {
+    ft::FaultPlan plan;
+    plan.seed = 1;
+    ft::FaultSpec kill;
+    kill.kind = ft::FaultKind::Kill;
+    kill.rank = spec_.kill_vp;
+    kill.step = spec_.kill_step;
+    plan.specs.push_back(kill);
+    injector_ = std::make_unique<ft::FaultInjector>(std::move(plan));
+  }
+  if (spec_.checkpoint_every > 0) store_ = std::make_unique<ft::CheckpointStore>();
+  spec_.run.ft.injector = injector_.get();
+  spec_.run.ft.store = store_.get();
+  spec_.run.ft.checkpoint_every = spec_.checkpoint_every;
+  // Registry: this job's own. Trace: deliberately none — every vpr
+  // runtime names its VP lanes under pid 1, so per-job runtimes sharing
+  // one Trace would collide; the server instead keeps one lane per job
+  // (pid = job id) and records the job's quanta there.
+  spec_.run.obs.registry = &registry_;
+  spec_.run.obs.trace = nullptr;
+
+  const int vps = spec_.run.overdecomposition;
+  shared_ = std::make_shared<const par::PicVpShared>(spec_.run, vps);
+
+  vpr::RuntimeConfig rt;
+  rt.workers = 1;  // inline superstep path: no nested threads under the pool
+  rt.vps = vps;
+  rt.lb_interval = spec_.run.lb.every;
+  rt.balancer = spec_.run.lb.strategy.empty() ? "greedy" : spec_.run.lb.strategy;
+  rt.use_measured_load = spec_.run.lb.measured;
+  rt.obs.registry = &registry_;
+  auto shared = shared_;
+  runtime_ = std::make_unique<vpr::Runtime>(
+      rt, [shared](int vp) { return std::make_unique<par::PicVp>(vp, shared); });
+  runtime_->for_each_vp(
+      [](vpr::VirtualProcessor& vp) { static_cast<par::PicVp&>(vp).populate(); });
+  step_hist_ = &registry_.register_histogram("svc/step_seconds", 0.0, 0.02, 200);
+}
+
+void Job::checkpoint_all(std::uint32_t step) {
+  const int vps = runtime_->vps();
+  for (int v = 0; v < vps; ++v) {
+    std::vector<std::byte> packed = vpr::pup_pack(runtime_->vp(v));
+    store_->save_buddy(v, step, packed);
+    store_->save(v, step, std::move(packed));
+  }
+}
+
+bool Job::recover() {
+  const int vps = runtime_->vps();
+  const auto consistent = store_->consistent_step(vps);
+  if (!consistent || recoveries_ >= kMaxRecoveries) return false;
+  runtime_->rewind(*consistent);
+  for (int v = 0; v < vps; ++v) {
+    auto bytes = store_->load(v, *consistent);
+    if (!bytes) return false;
+    vpr::pup_unpack(runtime_->vp(v), std::move(*bytes));
+  }
+  steps_done_ = *consistent;
+  ++recoveries_;
+  return true;
+}
+
+void Job::sample(std::uint32_t step) {
+  const int vps = runtime_->vps();
+  double total = 0.0, max = 0.0;
+  for (int v = 0; v < vps; ++v) {
+    const double load = runtime_->vp(v).load();
+    total += load;
+    max = std::max(max, load);
+  }
+  const double mean = total / static_cast<double>(vps);
+  obs::StepSample s;
+  s.step = static_cast<int>(step);
+  s.lambda = mean > 0 ? max / mean : 1.0;
+  s.max_load = max;
+  s.mean_load = mean;
+  s.lambda_compute = s.lambda;  // single-tenant view: counts double as load
+  samples_.push_back(s);
+}
+
+void Job::advance(std::uint32_t n) {
+  if (state_ != JobState::kRunning || n == 0) return;
+  ++cycles_;
+  const bool checkpointing = spec_.checkpoint_every > 0;
+  util::Timer quantum_timer;
+  std::uint32_t executed = 0;
+  try {
+    while (executed < n && steps_done_ < spec_.run.steps) {
+      if (checkpointing && steps_done_ % spec_.checkpoint_every == 0) {
+        checkpoint_all(steps_done_);
+      }
+      util::Timer step_timer;
+      try {
+        runtime_->run(1);
+      } catch (const ft::RankKilled& e) {
+        // The drill killed one of *this job's* VPs. Lose its primary
+        // snapshots, roll the job back through its own store, and keep
+        // going — neighbours never see any of it.
+        store_->drop_primary(e.rank());
+        if (!recover()) throw;
+        continue;
+      }
+      ++steps_done_;
+      ++executed;
+      step_hist_->observe(step_timer.elapsed());
+      if (spec_.run.sample_every > 0 && steps_done_ % spec_.run.sample_every == 0) {
+        sample(steps_done_);
+      }
+    }
+  } catch (const std::exception& e) {
+    state_ = JobState::kFailed;
+    failure_ = e.what();
+    result_.recoveries = recoveries_;
+    seconds_ += quantum_timer.elapsed();
+    return;
+  }
+  const double elapsed = quantum_timer.elapsed();
+  seconds_ += elapsed;
+  if (executed > 0) {
+    const double per_step = elapsed / static_cast<double>(executed);
+    // EWMA with a half-life of one cycle: reactive enough to follow a
+    // job through its skew drift, stable enough for placement.
+    cost_per_step_ =
+        cost_per_step_ <= 0.0 ? per_step : 0.5 * cost_per_step_ + 0.5 * per_step;
+  }
+  if (steps_done_ >= spec_.run.steps) finalize();
+}
+
+void Job::cancel() {
+  if (state_ != JobState::kRunning) return;
+  state_ = JobState::kCancelled;
+  result_.recoveries = recoveries_;
+}
+
+void Job::finalize() {
+  pic::VerifyResult verify;
+  std::uint64_t removed = 0;
+  runtime_->for_each_vp([&](vpr::VirtualProcessor& base) {
+    auto& vp = static_cast<par::PicVp&>(base);
+    const std::vector<pic::Particle> aos = pic::to_aos(vp.particles());
+    verify = pic::merge(verify, pic::verify_particles(
+                                    std::span<const pic::Particle>(aos),
+                                    spec_.run.init.grid, spec_.run.steps,
+                                    spec_.run.verify_epsilon));
+    removed += vp.removed_id_sum();
+  });
+  const std::uint64_t expected =
+      par::vpr_expected_checksum(shared_->init, spec_.run.events, removed);
+
+  result_.ok = verify.ok(expected);
+  result_.final_particles = verify.checked;
+  result_.id_checksum = verify.id_checksum;
+  result_.expected_checksum = expected;
+  result_.recoveries = recoveries_;
+  result_.migrations = runtime_->stats().migrations;
+
+  // Headline scalars into the job registry so the per-tenant metrics
+  // document is self-contained (same idea as picprk's absorb_result).
+  registry_.register_gauge("job/seconds").set(seconds_);
+  registry_.register_gauge("job/steps").set(static_cast<double>(steps_done_));
+  registry_.register_gauge("job/final_particles")
+      .set(static_cast<double>(result_.final_particles));
+  registry_.register_counter("job/recoveries").add(recoveries_);
+  registry_.register_counter("job/migrations").add(result_.migrations);
+  if (injector_ != nullptr) {
+    for (const auto& view : injector_->metrics().counters()) {
+      registry_.register_counter(view.name).add(view.value);
+    }
+  }
+  if (store_ != nullptr) {
+    for (const auto& view : store_->metrics().counters()) {
+      registry_.register_counter(view.name).add(view.value);
+    }
+  }
+  state_ = JobState::kDone;
+}
+
+util::JsonObject Job::config_json() const {
+  util::JsonObject config;
+  config.add("job", spec_.name);
+  config.add("cells", spec_.run.init.grid.cells);
+  config.add("particles", spec_.run.init.total_particles);
+  config.add("steps", static_cast<std::int64_t>(spec_.run.steps));
+  config.add("dist", pic::distribution_name(spec_.run.init.distribution));
+  config.add("d", static_cast<std::int64_t>(spec_.run.overdecomposition));
+  config.add("balancer",
+             spec_.run.lb.strategy.empty() ? "greedy" : spec_.run.lb.strategy);
+  config.add("lb_every", static_cast<std::int64_t>(spec_.run.lb.every));
+  config.add("weight", spec_.weight);
+  config.add("seed", spec_.run.init.seed);
+  config.add("checkpoint_every", static_cast<std::int64_t>(spec_.checkpoint_every));
+  return config;
+}
+
+}  // namespace picprk::svc

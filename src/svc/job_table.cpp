@@ -1,0 +1,49 @@
+#include "svc/job_table.hpp"
+
+namespace picprk::svc {
+
+JobTable::JobTable(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+Job& JobTable::submit(JobSpec spec) {
+  if (active_count() >= capacity_) throw AdmissionError(spec.name, capacity_);
+  for (const auto& job : jobs_) {
+    if (job->state() == JobState::kRunning && job->name() == spec.name) {
+      throw std::invalid_argument("svc: job '" + spec.name + "' is already running");
+    }
+  }
+  jobs_.push_back(std::make_unique<Job>(next_id_++, std::move(spec)));
+  return *jobs_.back();
+}
+
+Job* JobTable::find(const std::string& name) {
+  // Newest first, so a resubmitted name resolves to the live instance.
+  for (auto it = jobs_.rbegin(); it != jobs_.rend(); ++it) {
+    if ((*it)->name() == name) return it->get();
+  }
+  return nullptr;
+}
+
+std::vector<Job*> JobTable::active() {
+  std::vector<Job*> out;
+  for (const auto& job : jobs_) {
+    if (job->state() == JobState::kRunning) out.push_back(job.get());
+  }
+  return out;
+}
+
+std::vector<Job*> JobTable::all() {
+  std::vector<Job*> out;
+  out.reserve(jobs_.size());
+  for (const auto& job : jobs_) out.push_back(job.get());
+  return out;
+}
+
+std::size_t JobTable::active_count() const {
+  std::size_t n = 0;
+  for (const auto& job : jobs_) {
+    if (job->state() == JobState::kRunning) ++n;
+  }
+  return n;
+}
+
+}  // namespace picprk::svc

@@ -1,0 +1,65 @@
+// Admission control of the job server: a bounded table of live tenants.
+// The bound is the backpressure mechanism — a submit beyond capacity is
+// rejected loudly with a typed AdmissionError (never silently queued,
+// never silently dropped), so a client always knows whether its job got
+// a seat. Externally synchronized, like everything on the server's
+// control path.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "svc/job.hpp"
+
+namespace picprk::svc {
+
+/// Typed rejection: the table is at capacity. Carries the job name and
+/// the capacity so callers (and tests) can report precisely.
+class AdmissionError : public std::runtime_error {
+ public:
+  AdmissionError(std::string job, std::size_t capacity)
+      : std::runtime_error("svc: job '" + job + "' rejected — server at capacity (" +
+                           std::to_string(capacity) + " active jobs); drain first"),
+        job_(std::move(job)),
+        capacity_(capacity) {}
+
+  const std::string& job() const noexcept { return job_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::string job_;
+  std::size_t capacity_;
+};
+
+class JobTable {
+ public:
+  explicit JobTable(std::size_t capacity);
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Admits a job (ids are assigned 1, 2, ... — id 0 is the server's own
+  /// trace lane). Throws AdmissionError when the active count is at
+  /// capacity and std::invalid_argument on a duplicate live name.
+  Job& submit(JobSpec spec);
+
+  /// nullptr when no live job has that name.
+  Job* find(const std::string& name);
+
+  /// Running jobs, in admission order (deterministic scheduler input).
+  std::vector<Job*> active();
+
+  /// Every job ever admitted, in admission order (for the drain table).
+  std::vector<Job*> all();
+
+  std::size_t active_count() const;
+
+ private:
+  std::size_t capacity_;
+  int next_id_ = 1;
+  std::vector<std::unique_ptr<Job>> jobs_;
+};
+
+}  // namespace picprk::svc

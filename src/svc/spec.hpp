@@ -1,0 +1,66 @@
+// Job-spec grammar of the multi-tenant service mode (docs/SERVICE.md).
+// One tenant = one line in the serve input stream:
+//
+//   submit <name>:key=val,key=val,...
+//   cancel <name>
+//   drain
+//
+// The spec part reuses the lb registry's `name:key=val,...` splitter
+// (lb::parse_spec), so tenants describe a kernel instance exactly the
+// way balancers describe their knobs. Keys cover the kernel (cells,
+// particles, steps, dist, ...), the per-job vpr shape (d, balancer,
+// lb_every), the scheduler share (weight) and the fault drill (kill_vp,
+// kill_step, checkpoint_every). The balancer value encodes its own
+// nested options with '/' instead of ',' — `balancer=adaptive/inner=rcb`
+// — because ',' already separates spec keys; likewise the fault knobs
+// are dedicated keys instead of an embedded FaultPlan string (whose
+// grammar collides with the spec splitter on ',' and '=').
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "par/run_config.hpp"
+
+namespace picprk::svc {
+
+/// One tenant's job description, parsed from a `name:key=val,...` line.
+struct JobSpec {
+  std::string name;
+  /// The kernel instance. workers is pinned to 1: a job's supersteps run
+  /// inline inside one pool task per cycle (the job is the super-VP the
+  /// cross-job scheduler places); overdecomposition gives the VP count.
+  par::RunConfig run;
+  /// Weighted fair share: steps granted per cycle = quantum × weight.
+  double weight = 1.0;
+  /// Scripted fault drill, isolated to this tenant: kill VP `kill_vp`
+  /// at step `kill_step` (-1 = no fault). Requires checkpoint_every > 0
+  /// so the job can roll itself back.
+  int kill_vp = -1;
+  std::uint32_t kill_step = 0;
+  /// Buddy-checkpoint the job's VPs every N steps (0 = never); the
+  /// store lives inside the job, so checkpoint namespaces never collide
+  /// across tenants.
+  std::uint32_t checkpoint_every = 0;
+};
+
+/// Parses one job spec. Throws std::invalid_argument (naming the job
+/// and the offending key) on unknown keys, malformed values or
+/// nonsensical combinations (kill without checkpointing, kill_vp out of
+/// the VP range, weight <= 0).
+JobSpec parse_job_spec(const std::string& text);
+
+/// One parsed line of the serve input stream.
+struct Command {
+  enum class Kind { kSubmit, kCancel, kDrain };
+  Kind kind = Kind::kDrain;
+  JobSpec spec;        ///< kSubmit only
+  std::string target;  ///< kCancel only: the job name
+};
+
+/// Parses one input line; std::nullopt for blank lines and '#' comments.
+/// Throws std::invalid_argument on unknown verbs or malformed specs.
+std::optional<Command> parse_command(const std::string& line);
+
+}  // namespace picprk::svc

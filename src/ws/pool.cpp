@@ -3,9 +3,8 @@
 #include <atomic>
 #include <deque>
 #include <optional>
-#include <thread>
-
 #include <string>
+#include <thread>
 
 #include "comm/cart.hpp"
 #include "util/assert.hpp"
@@ -43,12 +42,160 @@ class TaskDeque {
     return t;
   }
 
+  /// Abandon-everything drain (error path); returns how many tasks were
+  /// still queued.
+  std::size_t drain() {
+    util::LockGuard lock(mutex_);
+    const std::size_t n = deque_.size();
+    deque_.clear();
+    return n;
+  }
+
+  bool empty() {
+    util::LockGuard lock(mutex_);
+    return deque_.empty();
+  }
+
  private:
   util::Mutex mutex_;
   std::deque<std::size_t> deque_ PICPRK_GUARDED_BY(mutex_);
 };
 
 }  // namespace
+
+/// Persistent worker threads plus the per-run dispatch state. Threads
+/// are spawned once at pool construction and park on `cv` between
+/// run() calls (the same generation-ticket scheme as vpr's superstep
+/// pool); each run publishes its task function, wakes everyone, and
+/// waits for all workers to report done. The deques are members — not
+/// run-locals — precisely so reuse is auditable: every dispatch ends by
+/// proving (or restoring, on the error path) "all deques empty".
+struct WorkStealingPool::Shared {
+  explicit Shared(WorkStealingPool& p) : pool(p) {
+    const auto n = static_cast<std::size_t>(pool.workers_);
+    deques = std::deque<TaskDeque>(n);
+    initial_owner.clear();
+    executed_per_worker.assign(n, 0);
+    steals_per_worker.assign(n, 0);
+    threads.reserve(n);
+    for (int w = 0; w < pool.workers_; ++w) {
+      threads.emplace_back([this, w] { worker_loop(w); });
+    }
+  }
+
+  ~Shared() {
+    {
+      util::LockGuard lock(mutex);
+      shutdown = true;
+    }
+    cv.notify_all();
+    for (auto& t : threads) t.join();
+  }
+
+  /// One batch: tasks already dealt into the deques by the caller.
+  void dispatch(const std::function<void(std::size_t, int)>& fn_ref, bool steal) {
+    {
+      util::LockGuard lock(mutex);
+      fn = &fn_ref;
+      allow_steal = steal;
+      done_count = 0;
+      ++generation;
+    }
+    cv.notify_all();
+    {
+      util::LockGuard lock(mutex);
+      while (done_count != pool.workers_) done_cv.wait(mutex);
+      fn = nullptr;
+    }
+  }
+
+  void worker_loop(int w) {
+    std::uint64_t my_generation = 0;
+    for (;;) {
+      const std::function<void(std::size_t, int)>* body = nullptr;
+      bool steal = true;
+      {
+        util::LockGuard lock(mutex);
+        while (!shutdown && generation <= my_generation) cv.wait(mutex);
+        if (shutdown) return;
+        my_generation = generation;
+        body = fn;
+        steal = allow_steal;
+      }
+      run_tasks(w, *body, steal);
+      {
+        util::LockGuard lock(mutex);
+        ++done_count;
+      }
+      done_cv.notify_all();
+    }
+  }
+
+  /// The task loop one worker executes for one run.
+  void run_tasks(int w, const std::function<void(std::size_t, int)>& body, bool steal) {
+    util::SplitMix64 rng(0xA11C0DEull + static_cast<std::uint64_t>(w));
+    std::uint64_t executed = 0;
+    // Each worker tallies its own steals into its stats slot — no
+    // shared atomic on the task path (summed once after the batch).
+    std::uint64_t stolen = 0;
+    obs::Phase phase("tasks", nullptr,
+                     pool.worker_lanes_.empty()
+                         ? nullptr
+                         : pool.worker_lanes_[static_cast<std::size_t>(w)],
+                     pool.run_hist_);
+    try {
+      while (remaining.load(std::memory_order_acquire) > 0 && !error.failed()) {
+        std::optional<std::size_t> task = deques[static_cast<std::size_t>(w)].pop_back();
+        if (!task && steal && pool.workers_ > 1) {
+          // Steal attempt from a random victim; a couple of tries, then
+          // re-check the termination condition.
+          for (int attempt = 0; attempt < 2 * pool.workers_ && !task; ++attempt) {
+            const int victim = static_cast<int>(
+                rng.next_below(static_cast<std::uint64_t>(pool.workers_)));
+            if (victim == w) continue;
+            task = deques[static_cast<std::size_t>(victim)].pop_front();
+          }
+        }
+        if (!task) {
+          if (!steal) break;  // static schedule: own deque drained
+          std::this_thread::yield();
+          continue;
+        }
+        if (initial_owner[*task] != w) ++stolen;
+        body(*task, w);
+        ++executed;
+        remaining.fetch_sub(1, std::memory_order_acq_rel);
+      }
+    } catch (...) {
+      error.record_current();
+    }
+    executed_per_worker[static_cast<std::size_t>(w)] = executed;
+    steals_per_worker[static_cast<std::size_t>(w)] = stolen;
+  }
+
+  WorkStealingPool& pool;
+  std::vector<std::thread> threads;
+
+  // Task queues and per-run bookkeeping. The deques are written by the
+  // dispatching client before workers wake and drained to empty before
+  // dispatch() returns; the per-worker tally slots are each written by
+  // exactly one worker during a run and read after the batch completes.
+  std::deque<TaskDeque> deques;
+  std::vector<int> initial_owner;
+  std::atomic<std::size_t> remaining{0};
+  util::FirstError error;
+  std::vector<std::uint64_t> executed_per_worker;
+  std::vector<std::uint64_t> steals_per_worker;
+
+  util::Mutex mutex;
+  util::CondVar cv;       ///< workers wait here for the next batch
+  util::CondVar done_cv;  ///< dispatch waits here for batch completion
+  bool shutdown PICPRK_GUARDED_BY(mutex) = false;
+  std::uint64_t generation PICPRK_GUARDED_BY(mutex) = 0;
+  const std::function<void(std::size_t, int)>* fn PICPRK_GUARDED_BY(mutex) = nullptr;
+  bool allow_steal PICPRK_GUARDED_BY(mutex) = true;
+  int done_count PICPRK_GUARDED_BY(mutex) = 0;
+};
 
 WorkStealingPool::WorkStealingPool(int workers, const obs::Hooks& hooks)
     : workers_(workers) {
@@ -67,11 +214,32 @@ WorkStealingPool::WorkStealingPool(int workers, const obs::Hooks& hooks)
       run_hist_ = &hooks.registry->register_histogram("ws/run_seconds", 0.0, 0.05, 100);
     }
   }
+  // The single-worker pool runs inline (no threads, no parking); only
+  // multi-worker pools spawn the persistent crew.
+  if (workers_ > 1) shared_ = std::make_unique<Shared>(*this);
 }
+
+WorkStealingPool::~WorkStealingPool() = default;
 
 PoolStats WorkStealingPool::run(std::size_t count,
                                 const std::function<void(std::size_t, int)>& fn,
                                 bool allow_steal) {
+  // Blockwise dealing: contiguous task ranges per worker, preserving
+  // the spatial locality of adjacent tasks.
+  std::vector<int> owners(count);
+  for (int w = 0; w < workers_; ++w) {
+    const auto range = comm::block_range(static_cast<std::int64_t>(count), workers_, w);
+    for (std::int64_t t = range.lo; t < range.hi; ++t) {
+      owners[static_cast<std::size_t>(t)] = w;
+    }
+  }
+  return run_placed(count, std::span<const int>(owners), fn, allow_steal);
+}
+
+PoolStats WorkStealingPool::run_placed(std::size_t count, std::span<const int> owners,
+                                       const std::function<void(std::size_t, int)>& fn,
+                                       bool allow_steal) {
+  PICPRK_EXPECTS(owners.size() == count);
   PoolStats stats;
   stats.tasks = count;
   stats.executed_per_worker.assign(static_cast<std::size_t>(workers_), 0);
@@ -79,70 +247,56 @@ PoolStats WorkStealingPool::run(std::size_t count,
   if (count == 0) return stats;
   if (tasks_counter_ != nullptr) tasks_counter_->add(count);
 
-  std::vector<TaskDeque> deques(static_cast<std::size_t>(workers_));
-  std::vector<int> initial_owner(count);
-  for (int w = 0; w < workers_; ++w) {
-    const auto range = comm::block_range(static_cast<std::int64_t>(count), workers_, w);
-    for (std::int64_t t = range.lo; t < range.hi; ++t) {
-      deques[static_cast<std::size_t>(w)].push(static_cast<std::size_t>(t));
-      initial_owner[static_cast<std::size_t>(t)] = w;
-    }
-  }
-
-  std::atomic<std::size_t> remaining{count};
-  util::FirstError first_error;
-
-  auto worker_body = [&](int w) {
-    util::SplitMix64 rng(0xA11C0DEull + static_cast<std::uint64_t>(w));
-    std::uint64_t executed = 0;
-    // Each worker tallies its own steals into its PoolStats slot — no
-    // shared atomic on the task path (summed once after the join).
-    std::uint64_t stolen = 0;
-    obs::Phase phase("tasks", nullptr,
-                     worker_lanes_.empty() ? nullptr
-                                           : worker_lanes_[static_cast<std::size_t>(w)],
-                     run_hist_);
-    try {
-      while (remaining.load(std::memory_order_acquire) > 0 && !first_error.failed()) {
-        std::optional<std::size_t> task = deques[static_cast<std::size_t>(w)].pop_back();
-        if (!task && allow_steal && workers_ > 1) {
-          // Steal attempt from a random victim; a couple of tries, then
-          // re-check the termination condition.
-          for (int attempt = 0; attempt < 2 * workers_ && !task; ++attempt) {
-            const int victim =
-                static_cast<int>(rng.next_below(static_cast<std::uint64_t>(workers_)));
-            if (victim == w) continue;
-            task = deques[static_cast<std::size_t>(victim)].pop_front();
-          }
-        }
-        if (!task) {
-          if (!allow_steal) break;  // static schedule: own deque drained
-          std::this_thread::yield();
-          continue;
-        }
-        if (initial_owner[*task] != w) ++stolen;
-        fn(*task, w);
-        ++executed;
-        remaining.fetch_sub(1, std::memory_order_acq_rel);
-      }
-    } catch (...) {
-      first_error.record_current();
-    }
-    stats.executed_per_worker[static_cast<std::size_t>(w)] = executed;
-    stats.steals_per_worker[static_cast<std::size_t>(w)] = stolen;
-  };
-
   if (workers_ == 1) {
-    worker_body(0);
-  } else {
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<std::size_t>(workers_));
-    for (int w = 0; w < workers_; ++w) threads.emplace_back(worker_body, w);
-    for (auto& t : threads) t.join();
+    // Inline path: no threads; the placement is necessarily worker 0.
+    obs::Phase phase("tasks", nullptr,
+                     worker_lanes_.empty() ? nullptr : worker_lanes_[0], run_hist_);
+    for (std::size_t t = 0; t < count; ++t) {
+      PICPRK_EXPECTS(owners[t] == 0);
+      fn(t, 0);
+      ++stats.executed_per_worker[0];
+    }
+    return stats;
   }
-  first_error.rethrow_if_any();
-  PICPRK_ASSERT_MSG(remaining.load() == 0, "work-stealing pool lost tasks");
-  for (const std::uint64_t s : stats.steals_per_worker) stats.steals += s;
+
+  Shared& sh = *shared_;
+  // Deal the batch. The previous dispatch left every deque empty (it
+  // asserts so below), so this run starts from a clean pool whatever
+  // happened before — including a task exception.
+  sh.initial_owner.assign(owners.begin(), owners.end());
+  for (std::size_t t = 0; t < count; ++t) {
+    PICPRK_EXPECTS(owners[t] >= 0 && owners[t] < workers_);
+    sh.deques[static_cast<std::size_t>(owners[t])].push(t);
+  }
+  sh.remaining.store(count, std::memory_order_release);
+  std::fill(sh.executed_per_worker.begin(), sh.executed_per_worker.end(), 0);
+  std::fill(sh.steals_per_worker.begin(), sh.steals_per_worker.end(), 0);
+
+  sh.dispatch(fn, allow_steal);
+
+  for (int w = 0; w < workers_; ++w) {
+    stats.executed_per_worker[static_cast<std::size_t>(w)] =
+        sh.executed_per_worker[static_cast<std::size_t>(w)];
+    stats.steals_per_worker[static_cast<std::size_t>(w)] =
+        sh.steals_per_worker[static_cast<std::size_t>(w)];
+    stats.steals += stats.steals_per_worker[static_cast<std::size_t>(w)];
+  }
+
+  if (sh.error.failed()) {
+    // Queue-drain path: abandon whatever the failed batch left queued
+    // so the *next* client attaches to a clean pool, then propagate the
+    // first exception (record/rethrow clears it — the pool stays
+    // reusable).
+    std::size_t abandoned = 0;
+    for (auto& d : sh.deques) abandoned += d.drain();
+    sh.remaining.store(0, std::memory_order_release);
+    PICPRK_ASSERT_MSG(abandoned <= count, "work-stealing pool invented tasks");
+    sh.error.rethrow_if_any();
+  }
+  PICPRK_ASSERT_MSG(sh.remaining.load() == 0, "work-stealing pool lost tasks");
+  for (auto& d : sh.deques) {
+    PICPRK_ASSERT_MSG(d.empty(), "work-stealing pool left tasks queued");
+  }
   if (steals_counter_ != nullptr) steals_counter_->add(stats.steals);
   return stats;
 }

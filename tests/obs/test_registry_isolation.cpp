@@ -1,0 +1,89 @@
+// Instance hygiene of the obs and ft layers (docs/SERVICE.md): nothing
+// funnels through process-global state, so two registries — or two
+// fault injectors, two checkpoint stores, two traces — are as isolated
+// as two processes. The multi-tenant job server leans on this: every
+// tenant owns its instances, and these tests pin that a same-named
+// instrument in another instance never bleeds through.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ft/checkpoint.hpp"
+#include "ft/fault.hpp"
+#include "obs/phase.hpp"
+#include "obs/registry.hpp"
+
+namespace {
+
+using picprk::obs::Registry;
+
+TEST(RegistryIsolationTest, SameNamesInTwoRegistriesAreIndependent) {
+  Registry a, b;
+  auto& ca = a.register_counter("svc/steps");
+  auto& cb = b.register_counter("svc/steps");
+  ca.add(41);
+  cb.add(1);
+  EXPECT_EQ(ca.value(), 41u);
+  EXPECT_EQ(cb.value(), 1u);
+
+  auto& ga = a.register_gauge("svc/lambda");
+  auto& gb = b.register_gauge("svc/lambda");
+  ga.set(3.5);
+  EXPECT_DOUBLE_EQ(ga.value(), 3.5);
+  EXPECT_DOUBLE_EQ(gb.value(), 0.0);
+
+  auto& ha = a.register_histogram("svc/step_seconds", 0.0, 1.0, 10);
+  auto& hb = b.register_histogram("svc/step_seconds", 0.0, 1.0, 10);
+  ha.observe(0.25);
+  ha.observe(0.75);
+  EXPECT_EQ(ha.count(), 2u);
+  EXPECT_EQ(hb.count(), 0u);
+}
+
+TEST(RegistryIsolationTest, RegistrationIsIdempotentPerInstanceOnly) {
+  Registry a, b;
+  auto& first = a.register_counter("ws/tasks");
+  auto& again = a.register_counter("ws/tasks");
+  EXPECT_EQ(&first, &again);  // same registry: same instrument
+  auto& other = b.register_counter("ws/tasks");
+  EXPECT_NE(&first, &other);  // different registry: different instrument
+}
+
+TEST(RegistryIsolationTest, FaultInjectorCountsStayWithTheInstance) {
+  using picprk::ft::FaultInjector;
+  using picprk::ft::FaultPlan;
+  FaultInjector a(FaultPlan::parse("kill:rank=0,step=3", 1));
+  FaultInjector b(FaultPlan::parse("kill:rank=0,step=3", 1));
+  EXPECT_THROW(a.begin_step(0, 3), picprk::ft::RankKilled);
+  EXPECT_EQ(a.kills(), 1u);
+  EXPECT_EQ(b.kills(), 0u);  // b's identical plan has not fired
+  b.begin_step(0, 2);        // non-matching step: still armed
+  EXPECT_EQ(b.kills(), 0u);
+}
+
+TEST(RegistryIsolationTest, CheckpointStoresAreDisjointNamespaces) {
+  picprk::ft::CheckpointStore a, b;
+  a.save(0, 5, std::vector<std::byte>(16));
+  EXPECT_TRUE(a.consistent_step(1).has_value());
+  // Tenant b never checkpointed: slot 0 at step 5 must not exist there.
+  EXPECT_FALSE(b.consistent_step(1).has_value());
+  EXPECT_FALSE(b.load(0, 5).has_value());
+  EXPECT_EQ(a.saves(), 1u);
+  EXPECT_EQ(b.saves(), 0u);
+}
+
+TEST(RegistryIsolationTest, TracesKeepSeparateLaneSets) {
+  picprk::obs::Trace a, b;
+  auto& lane_a = a.lane(1, "job a", 0, "steps");
+  auto& lane_b = b.lane(1, "job b", 0, "steps");
+  lane_a.record("step", 0.0, 10.0);
+  if (picprk::obs::kEnabled) {
+    EXPECT_EQ(a.event_count(), 1u);
+    EXPECT_EQ(b.event_count(), 0u);
+    EXPECT_NE(&lane_a, &lane_b);
+  }
+}
+
+}  // namespace

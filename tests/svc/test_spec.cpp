@@ -1,0 +1,111 @@
+// The serve job-spec grammar: `name:key=val,...` lines (lb::parse_spec
+// reuse), the submit/cancel/drain command verbs, and the loud rejection
+// of malformed or nonsensical specs.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "pic/init.hpp"
+#include "svc/spec.hpp"
+
+namespace {
+
+using picprk::svc::Command;
+using picprk::svc::JobSpec;
+using picprk::svc::parse_command;
+using picprk::svc::parse_job_spec;
+
+TEST(JobSpecTest, BareNameGetsDefaults) {
+  const JobSpec spec = parse_job_spec("tenant0");
+  EXPECT_EQ(spec.name, "tenant0");
+  EXPECT_EQ(spec.run.workers, 1);  // jobs are super-VPs on the shared pool
+  EXPECT_EQ(spec.run.overdecomposition, 4);
+  EXPECT_EQ(spec.run.steps, 64u);
+  EXPECT_DOUBLE_EQ(spec.weight, 1.0);
+  EXPECT_EQ(spec.kill_vp, -1);
+  EXPECT_EQ(picprk::pic::distribution_name(spec.run.init.distribution), "uniform");
+}
+
+TEST(JobSpecTest, FullSpecRoundTrips) {
+  const JobSpec spec = parse_job_spec(
+      "hot:cells=96,particles=50000,steps=128,dist=geometric,r=0.97,k=1,"
+      "seed=7,d=8,lb_every=4,weight=2.5,sample_every=16");
+  EXPECT_EQ(spec.name, "hot");
+  EXPECT_EQ(spec.run.init.grid.cells, 96);
+  EXPECT_EQ(spec.run.init.total_particles, 50000u);
+  EXPECT_EQ(spec.run.steps, 128u);
+  EXPECT_EQ(spec.run.init.k, 1);
+  EXPECT_EQ(spec.run.init.seed, 7u);
+  EXPECT_EQ(spec.run.overdecomposition, 8);
+  EXPECT_EQ(spec.run.lb.every, 4u);
+  EXPECT_DOUBLE_EQ(spec.weight, 2.5);
+  EXPECT_EQ(spec.run.sample_every, 16u);
+  // distribution_name renders the parameters too: geometric(r=0.97...).
+  EXPECT_EQ(picprk::pic::distribution_name(spec.run.init.distribution)
+                .rfind("geometric(", 0),
+            0u);
+}
+
+TEST(JobSpecTest, BalancerValueTranslatesSlashesToNestedOptions) {
+  const JobSpec spec = parse_job_spec("a:balancer=adaptive/inner=rcb/hysteresis=2");
+  EXPECT_EQ(spec.run.lb.strategy, "adaptive:inner=rcb,hysteresis=2");
+  const JobSpec plain = parse_job_spec("b:balancer=rcb");
+  EXPECT_EQ(plain.run.lb.strategy, "rcb");
+}
+
+TEST(JobSpecTest, FaultDrillKnobs) {
+  const JobSpec spec =
+      parse_job_spec("drill:kill_vp=2,kill_step=10,checkpoint_every=4");
+  EXPECT_EQ(spec.kill_vp, 2);
+  EXPECT_EQ(spec.kill_step, 10u);
+  EXPECT_EQ(spec.checkpoint_every, 4u);
+}
+
+TEST(JobSpecTest, RejectsNonsense) {
+  // Unknown key, malformed value, bad combinations: all loud.
+  EXPECT_THROW(parse_job_spec("a:frobnicate=1"), std::invalid_argument);
+  EXPECT_THROW(parse_job_spec("a:steps=abc"), std::invalid_argument);
+  EXPECT_THROW(parse_job_spec("a:weight=0"), std::invalid_argument);
+  EXPECT_THROW(parse_job_spec("a:weight=-1"), std::invalid_argument);
+  EXPECT_THROW(parse_job_spec("a:steps=0"), std::invalid_argument);
+  EXPECT_THROW(parse_job_spec("a:dist=bogus"), std::invalid_argument);
+  // kill without a checkpoint cadence is unrecoverable by construction.
+  EXPECT_THROW(parse_job_spec("a:kill_vp=1"), std::invalid_argument);
+  // kill_vp outside the VP range [0, d).
+  EXPECT_THROW(parse_job_spec("a:d=4,kill_vp=4,checkpoint_every=2"),
+               std::invalid_argument);
+  // Spec-syntax errors surface from the shared splitter.
+  EXPECT_THROW(parse_job_spec("a:steps"), std::invalid_argument);
+  EXPECT_THROW(parse_job_spec(":steps=4"), std::invalid_argument);
+}
+
+TEST(ServeCommandTest, VerbsParse) {
+  const auto submit = parse_command("submit jobA:dist=uniform,steps=8");
+  ASSERT_TRUE(submit.has_value());
+  EXPECT_EQ(submit->kind, Command::Kind::kSubmit);
+  EXPECT_EQ(submit->spec.name, "jobA");
+
+  const auto cancel = parse_command("  cancel jobA  ");
+  ASSERT_TRUE(cancel.has_value());
+  EXPECT_EQ(cancel->kind, Command::Kind::kCancel);
+  EXPECT_EQ(cancel->target, "jobA");
+
+  const auto drain = parse_command("drain");
+  ASSERT_TRUE(drain.has_value());
+  EXPECT_EQ(drain->kind, Command::Kind::kDrain);
+}
+
+TEST(ServeCommandTest, BlankAndCommentLinesAreSkipped) {
+  EXPECT_FALSE(parse_command("").has_value());
+  EXPECT_FALSE(parse_command("   \t ").has_value());
+  EXPECT_FALSE(parse_command("# a comment").has_value());
+}
+
+TEST(ServeCommandTest, MalformedCommandsAreLoud) {
+  EXPECT_THROW(parse_command("submit"), std::invalid_argument);
+  EXPECT_THROW(parse_command("cancel"), std::invalid_argument);
+  EXPECT_THROW(parse_command("drain now"), std::invalid_argument);
+  EXPECT_THROW(parse_command("restart jobA"), std::invalid_argument);
+}
+
+}  // namespace

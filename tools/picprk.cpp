@@ -14,11 +14,14 @@
 //          --checkpoint-every 16 --timeout-ms 2000   # resilience drill
 //   picprk --impl diffusion --faults "drop:prob=0.01;kill:rank=1,step=40"
 //          --reliable --recover local --checkpoint-every 1   # full ladder
+//   echo "submit a:dist=geometric,particles=50000" | picprk serve
+//          --workers 4 --metrics-dir out          # multi-tenant job server
 //
 // Exit codes: 0 verified, 1 verification failed, 2 usage/unhandled error,
 // 3 comm timeout, 4 deadlock detected, 5 unrecovered rank death. Every
 // run additionally prints one machine-readable "RESULT key=value ..."
 // line on stdout for harnesses to parse.
+#include <fstream>
 #include <iostream>
 
 #include "comm/world.hpp"
@@ -34,6 +37,7 @@
 #include "par/resilient.hpp"
 #include "perfsim/engine.hpp"
 #include "pic/simulation.hpp"
+#include "svc/server.hpp"
 #include "util/cli.hpp"
 #include "util/report.hpp"
 #include "util/table.hpp"
@@ -250,6 +254,52 @@ void flush_observability(const util::ArgParser& args, const std::string& impl,
   obs::print_summary(std::cout, registry, samples);
 }
 
+/// `picprk serve`: the multi-tenant job server (docs/SERVICE.md). Jobs
+/// arrive as submit/cancel/drain lines on stdin or from --jobs; every
+/// tenant prints its own RESULT line and (with --metrics-dir) its own
+/// picprk-bench-v1 document.
+int run_serve(int argc, char** argv) {
+  util::ArgParser args("picprk serve",
+                       "multi-tenant job server: many kernels, one shared runtime");
+  args.add_int("workers", 4, "shared-pool worker threads");
+  args.add_string("scheduler", "greedy",
+                  "cross-job placement strategy (lb registry spec)");
+  args.add_int("quantum", 8, "supersteps granted per cycle at weight 1");
+  args.add_int("queue-capacity", 16,
+               "admission bound: live jobs beyond this are rejected");
+  args.add_string("jobs", "-", "command file with submit/cancel/drain lines "
+                               "('-' = stdin)");
+  args.add_string("metrics-dir", "",
+                  "write per-job metrics JSON documents into this directory");
+  args.add_string("trace-out", "",
+                  "write a Chrome trace with one lane per job (pid = job id)");
+  args.add_flag("no-steal", false,
+                "execute the cross-job placement verbatim (no work stealing)");
+  args.add_flag("static-cost", false,
+                "ignore measured step cost in placement (reproducible plans)");
+  if (!args.parse(argc, argv)) return 0;
+
+  svc::ServerConfig cfg;
+  cfg.workers = static_cast<int>(args.get_int("workers"));
+  cfg.scheduler = args.get_string("scheduler");
+  cfg.quantum = static_cast<std::uint32_t>(args.get_int("quantum"));
+  cfg.queue_capacity = static_cast<std::size_t>(args.get_int("queue-capacity"));
+  cfg.metrics_dir = args.get_string("metrics-dir");
+  cfg.trace_path = args.get_string("trace-out");
+  cfg.allow_steal = !args.get_flag("no-steal");
+  cfg.measured_cost = !args.get_flag("static-cost");
+  svc::Server server(cfg);
+
+  const std::string jobs_path = args.get_string("jobs");
+  if (jobs_path == "-") return server.run_commands(std::cin, std::cout);
+  std::ifstream in(jobs_path);
+  if (!in) {
+    std::cerr << "picprk serve: cannot open " << jobs_path << '\n';
+    return 2;
+  }
+  return server.run_commands(in, std::cout);
+}
+
 /// Selected implementation, for the RESULT line of a faulted run.
 std::string g_impl = "unknown";
 
@@ -263,6 +313,11 @@ int report_fault(const char* status, const std::string& what, int code) {
 }  // namespace
 
 int main(int argc, char** argv) try {
+  // Subcommand dispatch: `picprk serve` owns its own flag set.
+  if (argc >= 2 && std::string(argv[1]) == "serve") {
+    return run_serve(argc - 1, argv + 1);
+  }
+
   util::ArgParser args("picprk", "the PIC Parallel Research Kernel");
   args.add_string("impl", "serial",
                   "serial | baseline | diffusion | ampi | model");
