@@ -6,7 +6,13 @@
 #include <thread>
 #include <tuple>
 
+#include "comm/reliable.hpp"
+
 namespace picprk::comm {
+
+bool Comm::transport_retry_pending() const {
+  return state_->transport != nullptr && state_->transport->retry_pending_to(world_rank_);
+}
 
 Comm::Comm(WorldState* state, int world_rank)
     : state_(state), world_rank_(world_rank), context_(0), rank_(world_rank) {
@@ -121,6 +127,26 @@ Status Comm::probe(int src, int tag) {
       context_, wsrc, tag, wait_params());
   st.source = group_index(st.source);
   return st;
+}
+
+std::optional<std::vector<std::byte>> Comm::try_recv_buffer(int src, int tag,
+                                                            Status* status) {
+  PICPRK_EXPECTS(src == kAnySource || (src >= 0 && src < size()));
+  const int wsrc = src == kAnySource ? kAnySource : group_[static_cast<std::size_t>(src)];
+  auto msg =
+      state_->boxes[static_cast<std::size_t>(world_rank_)]->try_pop(context_, wsrc, tag);
+  if (!msg) {
+    // Match the blocking path's precedence: a deliverable message wins
+    // over abort/interrupt, so those are only checked on an empty match.
+    const Mailbox::WaitParams wp = wait_params();
+    if (wp.abort && wp.abort->load(std::memory_order_acquire)) throw WorldAborted{};
+    if (wp.interrupt &&
+        wp.interrupt->load(std::memory_order_acquire) != wp.interrupt_baseline)
+      throw RecvInterrupted{};
+    return std::nullopt;
+  }
+  if (status) *status = Status{group_index(msg->source), msg->tag, msg->payload.size()};
+  return std::move(msg->payload);
 }
 
 std::optional<Status> Comm::iprobe(int src, int tag) {

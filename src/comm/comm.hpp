@@ -226,6 +226,39 @@ class Comm {
   /// Non-blocking probe.
   std::optional<Status> iprobe(int src, int tag);
 
+  /// Nonblocking receive: removes and returns the earliest matching
+  /// payload if one is queued right now, else nullopt — the try-drain
+  /// progress primitive of the async engine (par/async). Matching the
+  /// blocking path, a deliverable message wins over a pending abort or
+  /// recovery interrupt: those are only surfaced (as WorldAborted /
+  /// RecvInterrupted) when no message matches.
+  std::optional<std::vector<std::byte>> try_recv_buffer(int src, int tag,
+                                                        Status* status = nullptr);
+
+  /// Typed nonblocking receive; the message length determines the count.
+  template <typename T>
+  std::optional<std::vector<T>> try_recv(int src, int tag, Status* status = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto bytes = try_recv_buffer(src, tag, status);
+    if (!bytes) return std::nullopt;
+    return from_bytes<T>(*bytes);
+  }
+
+  /// Nonblocking receive of exactly one value.
+  template <typename T>
+  std::optional<T> try_recv_value(int src, int tag, Status* status = nullptr) {
+    auto v = try_recv<T>(src, tag, status);
+    if (!v) return std::nullopt;
+    PICPRK_ASSERT_MSG(v->size() == 1, "try_recv_value expected exactly one element");
+    return v->front();
+  }
+
+  /// True while the reliable transport still has retransmit budget for
+  /// traffic addressed to this rank (always false on unreliable worlds).
+  /// A try-drain loop polls this to defer its progress timeout exactly
+  /// like a blocking recv defers its deadline.
+  bool transport_retry_pending() const;
+
   // --------------------------------------------------------- collectives
 
   /// Dissemination barrier, O(log P) rounds.

@@ -132,6 +132,11 @@ Message Mailbox::pop(int context, int source, int tag, const WaitParams& wait) {
   }
 }
 
+std::optional<Message> Mailbox::try_pop(int context, int source, int tag) {
+  util::LockGuard lock(mutex_);
+  return take_match(context, source, tag);
+}
+
 std::optional<Status> Mailbox::probe(int context, int source, int tag) const {
   util::LockGuard lock(mutex_);
   return find_match(context, source, tag);

@@ -110,6 +110,11 @@ class Mailbox {
   /// CommTimeout if the deadline expires first.
   Message pop(int context, int source, int tag, const WaitParams& wait);
 
+  /// Nonblocking pop: removes and returns the earliest message matching
+  /// (context, source, tag) if one is queued right now, else nullopt.
+  /// Never waits — the async engine's try-drain progress primitive.
+  std::optional<Message> try_pop(int context, int source, int tag);
+
   /// Non-destructive match test; returns envelope info of the earliest
   /// matching message, or nullopt if none is queued right now.
   std::optional<Status> probe(int context, int source, int tag) const;

@@ -33,6 +33,14 @@ inline constexpr int kWestwardTag = 2001;
 inline constexpr int kEastwardTag = 2002;
 inline constexpr int kSouthwardTag = 2003;  ///< rows, incl. x-halo entries
 inline constexpr int kNorthwardTag = 2004;
+/// Async engine (par/async): step-stamped particle payloads between VPs.
+inline constexpr int kAsyncParticlesTag = 3001;
+/// Async engine: the Mattern termination-detection token on the rank ring.
+inline constexpr int kAsyncTokenTag = 3002;
+/// Async engine: rank 0's step-complete announcement.
+inline constexpr int kAsyncTermTag = 3003;
+/// Async engine: packed VP state moving to a new owner at an LB point.
+inline constexpr int kAsyncMigrateTag = 3004;
 
 /// Envelope metadata returned by probe and recv.
 struct Status {

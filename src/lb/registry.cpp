@@ -6,6 +6,7 @@
 #include "lb/adaptive.hpp"
 #include "lb/bounds.hpp"
 #include "lb/placement.hpp"
+#include "lb/steal.hpp"
 
 namespace picprk::lb {
 
@@ -144,6 +145,14 @@ const std::vector<Entry>& entries() {
        [](const Options& opts) -> std::unique_ptr<Strategy> {
          check_keys("rotate", opts, {});
          return std::make_unique<RotateStrategy>();
+       }},
+      {{"steal",
+        "VP-level work stealing: workers below the mean pull parts off the "
+        "most loaded donor (steal-request/transfer replayed deterministically)",
+        false, true, true},
+       [](const Options& opts) -> std::unique_ptr<Strategy> {
+         check_keys("steal", opts, {"tolerance"});
+         return std::make_unique<StealStrategy>(opt_double(opts, "tolerance", 1.05));
        }},
   };
   return table;

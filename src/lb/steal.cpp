@@ -1,0 +1,85 @@
+#include "lb/steal.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace picprk::lb {
+
+namespace {
+
+/// Donor's best offering for a thief `gap` below it: the heaviest part
+/// no bigger than half the gap (so the transfer cannot overshoot), or
+/// the lightest part when even that is too coarse but still shrinks the
+/// gap. Returns npos when the donor has nothing useful to give.
+std::size_t pick_transfer(const std::vector<PartLoad>& parts, const std::vector<int>& owner,
+                          int donor, double gap) {
+  constexpr auto npos = static_cast<std::size_t>(-1);
+  std::size_t best = npos;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (owner[i] != donor || parts[i].load <= 0.0) continue;
+    if (parts[i].load > gap * 0.5) continue;
+    if (best == npos || parts[i].load > parts[best].load) best = i;
+  }
+  if (best != npos) return best;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (owner[i] != donor || parts[i].load <= 0.0) continue;
+    if (parts[i].load >= gap) continue;  // would invert the imbalance
+    if (best == npos || parts[i].load < parts[best].load) best = i;
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<int> steal_placement(const std::vector<PartLoad>& parts, int workers,
+                                 double tolerance) {
+  PICPRK_EXPECTS(workers >= 1);
+  PICPRK_EXPECTS(tolerance >= 1.0);
+  std::vector<int> out(parts.size());
+  std::vector<double> wload(static_cast<std::size_t>(workers), 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    out[i] = parts[i].owner;
+    PICPRK_EXPECTS(out[i] >= 0 && out[i] < workers);
+    wload[static_cast<std::size_t>(out[i])] += parts[i].load;
+    total += parts[i].load;
+  }
+  if (workers == 1 || parts.empty()) return out;
+  const double mean = total / static_cast<double>(workers);
+
+  // Request/transfer rounds. Each transfer strictly decreases Σ load²
+  // (the donated load fits inside the pairwise gap), so the plan
+  // converges; the guard bounds pathological float dithering.
+  std::vector<int> thieves;
+  for (std::size_t round = 0; round < parts.size() * 4 + 16; ++round) {
+    thieves.clear();
+    for (int w = 0; w < workers; ++w) {
+      if (wload[static_cast<std::size_t>(w)] < mean) thieves.push_back(w);
+    }
+    std::stable_sort(thieves.begin(), thieves.end(), [&](int a, int b) {
+      return wload[static_cast<std::size_t>(a)] < wload[static_cast<std::size_t>(b)];
+    });
+    bool progress = false;
+    for (int thief : thieves) {
+      const auto donor = static_cast<int>(
+          std::max_element(wload.begin(), wload.end()) - wload.begin());
+      if (donor == thief) break;
+      if (wload[static_cast<std::size_t>(donor)] <= mean * tolerance) break;
+      const double gap =
+          wload[static_cast<std::size_t>(donor)] - wload[static_cast<std::size_t>(thief)];
+      const std::size_t pick = pick_transfer(parts, out, donor, gap);
+      if (pick == static_cast<std::size_t>(-1)) continue;
+      out[pick] = thief;
+      wload[static_cast<std::size_t>(donor)] -= parts[pick].load;
+      wload[static_cast<std::size_t>(thief)] += parts[pick].load;
+      progress = true;
+    }
+    if (!progress) break;
+  }
+  return out;
+}
+
+}  // namespace picprk::lb

@@ -1,0 +1,48 @@
+// VP-level work stealing as a registered placement strategy. The async
+// engine (par/async) runs VPs under distributed termination detection,
+// so its quiet points are natural steal rounds: `steal_placement` is a
+// pure, deterministic replay of the classic steal-request/transfer
+// protocol — underloaded workers issue requests in ascending-load
+// order, the currently most-loaded worker serves each request by
+// handing over parts — evaluated identically on every rank from the
+// allgathered loads (the lb `determinism` lint rule forbids RNG, clock
+// or comm inside a strategy).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lb/placement.hpp"
+#include "lb/strategy.hpp"
+
+namespace picprk::lb {
+
+/// Steal-request/transfer placement: repeated rounds where every worker
+/// below the mean load requests work and the most-loaded worker donates
+/// the heaviest part that fits half the pairwise gap (falling back to
+/// its lightest part while that still shrinks the gap). Rounds repeat
+/// until every worker is within `tolerance` of the mean or no transfer
+/// makes progress. Ties break on the lowest worker/part id, so the plan
+/// is a pure function of (parts, workers, tolerance).
+std::vector<int> steal_placement(const std::vector<PartLoad>& parts, int workers,
+                                 double tolerance);
+
+/// `steal` in the registry: placement capability only, degraded-aware.
+class StealStrategy final : public Strategy {
+ public:
+  explicit StealStrategy(double tolerance = 1.05) : tolerance_(tolerance) {}
+  std::string name() const override { return "steal"; }
+  bool balances_placement() const override { return true; }
+  bool supports_degraded() const override { return true; }
+  std::vector<int> rebalance_placement(const PlacementInput& in) override {
+    return plan_degraded(in, [t = tolerance_](const std::vector<PartLoad>& parts,
+                                              int workers) {
+      return steal_placement(parts, workers, t);
+    });
+  }
+
+ private:
+  double tolerance_;
+};
+
+}  // namespace picprk::lb

@@ -47,6 +47,7 @@ inline constexpr const char* kPhaseLb = "lb";                  ///< balance + mi
 inline constexpr const char* kPhaseCheckpoint = "checkpoint";  ///< snapshot round
 inline constexpr const char* kPhaseStep = "step";              ///< vpr VP superstep
 inline constexpr const char* kPhaseDeliver = "deliver";        ///< vpr message delivery
+inline constexpr const char* kPhaseWait = "wait";  ///< async drain / termination
 
 #if defined(PICPRK_OBS_ENABLED)
 

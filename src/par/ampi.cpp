@@ -150,24 +150,19 @@ DriverResult run_ampi(const RunConfig& config) {
   const double seconds = wall.elapsed();
 
   // Verification + bookkeeping across all VPs.
-  pic::VerifyResult verify;
-  std::uint64_t removed_sum = 0, sent = 0;
+  VpVerifyTally tally;
   std::vector<std::uint64_t> per_worker(static_cast<std::size_t>(workers), 0);
   runtime.for_each_vp([&](vpr::VirtualProcessor& vp_base) {
     auto& vp = static_cast<PicVp&>(vp_base);
-    const std::vector<pic::Particle> aos = pic::to_aos(vp.particles());
-    verify = pic::merge(verify,
-                        pic::verify_particles(std::span<const pic::Particle>(aos),
-                                              config.init.grid, config.steps,
-                                              config.verify_epsilon));
-    removed_sum += vp.removed_id_sum();
-    sent += vp.sent_particles();
+    accumulate_vp_verification(vp, config, tally);
     per_worker[static_cast<std::size_t>(runtime.worker_of(vp.id()))] +=
         vp.particles().size();
   });
+  const pic::VerifyResult& verify = tally.verify;
+  const std::uint64_t sent = tally.sent_particles;
 
   const std::uint64_t expected =
-      vpr_expected_checksum(shared->init, config.events, removed_sum);
+      vpr_expected_checksum(shared->init, config.events, tally.removed_id_sum);
 
   const vpr::RuntimeStats& stats = runtime.stats();
   result.verification = verify;

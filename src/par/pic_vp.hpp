@@ -98,4 +98,19 @@ std::uint64_t vpr_expected_checksum(const pic::Initializer& init,
                                     const pic::EventSchedule& events,
                                     std::uint64_t removed_id_sum);
 
+/// End-of-run verification tallies over a set of vpr-hosted PicVps.
+struct VpVerifyTally {
+  pic::VerifyResult verify;
+  std::uint64_t removed_id_sum = 0;
+  std::uint64_t sent_particles = 0;
+};
+
+/// Folds one VP's final population into the closed-form check: position
+/// verification against the analytic trajectory plus the removed-id and
+/// sent-particle tallies that feed `vpr_expected_checksum`. Shared by
+/// run_ampi, run_async and svc::Job so every host of the VP classes
+/// finalizes against the identical invariant.
+void accumulate_vp_verification(const PicVp& vp, const DriverConfig& config,
+                                VpVerifyTally& tally);
+
 }  // namespace picprk::par

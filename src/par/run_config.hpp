@@ -112,6 +112,10 @@ struct ResilienceOptions {
 
 /// The complete description of one parallel run.
 struct RunConfig : DriverConfig {
+  /// Which engine executes the run — a par::engine_names() entry
+  /// ("serial", "baseline", "diffusion", "ampi", "async"). Resolved by
+  /// par::make_engine; drivers themselves never read it.
+  std::string impl = "baseline";
   /// threadcomm ranks (baseline/diffusion drivers).
   int ranks = 4;
   /// ampi: worker threads.

@@ -169,19 +169,13 @@ void Job::cancel() {
 }
 
 void Job::finalize() {
-  pic::VerifyResult verify;
-  std::uint64_t removed = 0;
+  par::VpVerifyTally tally;
   runtime_->for_each_vp([&](vpr::VirtualProcessor& base) {
-    auto& vp = static_cast<par::PicVp&>(base);
-    const std::vector<pic::Particle> aos = pic::to_aos(vp.particles());
-    verify = pic::merge(verify, pic::verify_particles(
-                                    std::span<const pic::Particle>(aos),
-                                    spec_.run.init.grid, spec_.run.steps,
-                                    spec_.run.verify_epsilon));
-    removed += vp.removed_id_sum();
+    accumulate_vp_verification(static_cast<par::PicVp&>(base), spec_.run, tally);
   });
+  const pic::VerifyResult& verify = tally.verify;
   const std::uint64_t expected =
-      par::vpr_expected_checksum(shared_->init, spec_.run.events, removed);
+      par::vpr_expected_checksum(shared_->init, spec_.run.events, tally.removed_id_sum);
 
   result_.ok = verify.ok(expected);
   result_.final_particles = verify.checked;

@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include "obs/sinks.hpp"
+#include "util/report.hpp"
 #include "util/table.hpp"
 
 namespace picprk::svc {
@@ -111,12 +112,18 @@ void Server::finish_job(Job& job, std::ostream& out) {
     out << "svc: job " << job.name() << " FAILED — " << job.failure() << '\n';
     all_ok_ = false;
   }
-  out << "RESULT impl=serve job=" << job.name() << " status=" << status
-      << " particles=" << r.final_particles
-      << " seconds=" << util::Table::fmt(job.seconds(), 6)
-      << " checksum=" << r.id_checksum << " expected=" << r.expected_checksum
-      << " steps=" << job.steps_done() << " cycles=" << job.cycles()
-      << " recoveries=" << r.recoveries << '\n';
+  out << util::ResultLine("serve")
+             .add("job", job.name())
+             .add("status", status)
+             .add("particles", r.final_particles)
+             .add("seconds", job.seconds())
+             .add("checksum", r.id_checksum)
+             .add("expected", r.expected_checksum)
+             .add("steps", static_cast<std::uint64_t>(job.steps_done()))
+             .add("cycles", static_cast<std::uint64_t>(job.cycles()))
+             .add("recoveries", static_cast<std::uint64_t>(r.recoveries))
+             .str()
+      << '\n';
 
   if (!config_.metrics_dir.empty()) {
     const std::string path =
@@ -214,7 +221,11 @@ int Server::run_commands(std::istream& in, std::ostream& out) {
           // Loud backpressure: the rejection is part of the protocol,
           // not a server failure.
           std::cerr << e.what() << '\n';
-          out << "RESULT impl=serve job=" << e.job() << " status=rejected\n";
+          out << util::ResultLine("serve")
+                     .add("job", e.job())
+                     .add("status", "rejected")
+                     .str()
+              << '\n';
         } catch (const std::exception& e) {
           std::cerr << "svc: " << e.what() << '\n';
           return 2;

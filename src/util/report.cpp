@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "util/assert.hpp"
+#include "util/table.hpp"
 
 namespace picprk::util {
 
@@ -145,5 +146,34 @@ bool write_json_file(const std::string& path, const JsonObject& object) {
   out << object.to_string(2) << '\n';
   return static_cast<bool>(out);
 }
+
+ResultLine::ResultLine(const std::string& impl) : line_("RESULT impl=" + impl) {}
+
+ResultLine& ResultLine::add(const std::string& key, const std::string& value) {
+  line_ += ' ' + key + '=' + value;
+  return *this;
+}
+
+ResultLine& ResultLine::add(const std::string& key, const char* value) {
+  return add(key, std::string(value));
+}
+
+ResultLine& ResultLine::add(const std::string& key, std::uint64_t value) {
+  return add(key, std::to_string(value));
+}
+
+ResultLine& ResultLine::add(const std::string& key, std::int64_t value) {
+  return add(key, std::to_string(value));
+}
+
+ResultLine& ResultLine::add(const std::string& key, int value) {
+  return add(key, std::to_string(value));
+}
+
+ResultLine& ResultLine::add(const std::string& key, double value) {
+  return add(key, Table::fmt(value, 6));
+}
+
+std::string ResultLine::str() const { return line_; }
 
 }  // namespace picprk::util

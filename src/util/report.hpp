@@ -65,4 +65,28 @@ class JsonObject {
 /// Writes a JSON document to a file; returns success.
 bool write_json_file(const std::string& path, const JsonObject& object);
 
+/// Builder for the one-line machine summary every picprk entry point
+/// emits ("RESULT impl=... status=... key=value ..."). Keys keep
+/// insertion order; values are rendered once, here, so the CLI, the job
+/// server and the engine facade cannot drift apart in format.
+class ResultLine {
+ public:
+  explicit ResultLine(const std::string& impl);
+
+  ResultLine& add(const std::string& key, const std::string& value);
+  ResultLine& add(const std::string& key, const char* value);
+  ResultLine& add(const std::string& key, std::uint64_t value);
+  ResultLine& add(const std::string& key, std::int64_t value);
+  ResultLine& add(const std::string& key, int value);
+  /// Doubles render via Table::fmt with 6 significant digits — the
+  /// format the chaos-soak and CI greps have always parsed.
+  ResultLine& add(const std::string& key, double value);
+
+  /// "RESULT impl=... k=v ..." (no trailing newline).
+  std::string str() const;
+
+ private:
+  std::string line_;
+};
+
 }  // namespace picprk::util

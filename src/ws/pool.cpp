@@ -212,6 +212,8 @@ WorkStealingPool::WorkStealingPool(int workers, const obs::Hooks& hooks)
       tasks_counter_ = &hooks.registry->register_counter("ws/tasks");
       steals_counter_ = &hooks.registry->register_counter("ws/steals");
       run_hist_ = &hooks.registry->register_histogram("ws/run_seconds", 0.0, 0.05, 100);
+      steals_per_run_hist_ =
+          &hooks.registry->register_histogram("ws/steals_per_run", 0.0, 128.0, 64);
     }
   }
   // The single-worker pool runs inline (no threads, no parking); only
@@ -256,6 +258,10 @@ PoolStats WorkStealingPool::run_placed(std::size_t count, std::span<const int> o
       fn(t, 0);
       ++stats.executed_per_worker[0];
     }
+    // Nothing to steal from, but the per-batch distribution still gets
+    // its sample — readers can divide ws/steals_per_run's count into
+    // ws/tasks without special-casing one-worker pools.
+    if (steals_per_run_hist_ != nullptr) steals_per_run_hist_->observe(0.0);
     return stats;
   }
 
@@ -298,6 +304,12 @@ PoolStats WorkStealingPool::run_placed(std::size_t count, std::span<const int> o
     PICPRK_ASSERT_MSG(d.empty(), "work-stealing pool left tasks queued");
   }
   if (steals_counter_ != nullptr) steals_counter_->add(stats.steals);
+  // Per-batch observation alongside the pool-lifetime aggregate: the
+  // histogram answers "how much did *this* dispatch steal", which the
+  // cumulative ws/steals counter cannot.
+  if (steals_per_run_hist_ != nullptr) {
+    steals_per_run_hist_->observe(static_cast<double>(stats.steals));
+  }
   return stats;
 }
 

@@ -83,6 +83,9 @@ class WorkStealingPool {
   obs::Counter* tasks_counter_ = nullptr;
   obs::Counter* steals_counter_ = nullptr;
   obs::Histogram* run_hist_ = nullptr;
+  /// Steal count of each run/run_placed batch — the per-dispatch
+  /// distribution, next to the pool-lifetime ws/steals aggregate.
+  obs::Histogram* steals_per_run_hist_ = nullptr;
 };
 
 }  // namespace picprk::ws

@@ -2,6 +2,7 @@
 // Charm-style balancer collection of §IV-C, formerly vpr::LoadBalancer).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 #include <vector>
 
@@ -121,6 +122,45 @@ TEST(DiffusionPlacementTest, BalancedStaysPut) {
 TEST(RotateStrategyTest, ShiftsEveryVp) {
   auto loads = make_loads({1, 2, 3}, {0, 1, 2});
   EXPECT_EQ(remap("rotate", loads, 3), (std::vector<int>{1, 2, 0}));
+}
+
+TEST(StealStrategyTest, ThievesDrainTheStraggler) {
+  // The async straggler scenario: one worker owns every heavy part.
+  auto loads = make_loads({10, 10, 10, 10, 1, 1, 1, 1},
+                          {0, 0, 0, 0, 1, 2, 3, 3});
+  auto placement = remap("steal", loads, 4);
+  const auto after = worker_loads(loads, placement, 4);
+  EXPECT_LE(max_over_mean(after), 1.25);
+  // The donor kept at least one of its own parts (steals, not eviction).
+  EXPECT_NE(std::count(placement.begin(), placement.begin() + 4, 0), 0);
+}
+
+TEST(StealStrategyTest, BalancedInputUntouched) {
+  auto loads = make_loads({5, 5, 5, 5}, {0, 1, 2, 3});
+  EXPECT_EQ(remap("steal:tolerance=1.10", loads, 4),
+            (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(StealStrategyTest, DeterministicReplay) {
+  auto loads = make_loads({9, 4, 7, 2, 5, 1}, {0, 0, 0, 1, 1, 2});
+  const auto a = remap("steal", loads, 3);
+  const auto b = remap("steal", loads, 3);
+  EXPECT_EQ(a, b);
+}
+
+TEST(StealStrategyTest, ZeroLoadPartsNeverTransfer) {
+  // Empty VPs carry no work — shipping them is pure migration cost and
+  // an infinite ping-pong hazard; they must stay where they are.
+  auto loads = make_loads({12, 0, 0, 0, 2, 2}, {0, 0, 0, 1, 1, 2});
+  const auto placement = remap("steal", loads, 3);
+  EXPECT_EQ(placement[1], 0);
+  EXPECT_EQ(placement[2], 0);
+  EXPECT_EQ(placement[3], 1);
+}
+
+TEST(StealStrategyTest, SingleWorkerDegenerate) {
+  auto loads = make_loads({3, 1, 4}, {0, 0, 0});
+  EXPECT_EQ(remap("steal", loads, 1), (std::vector<int>{0, 0, 0}));
 }
 
 }  // namespace

@@ -99,4 +99,27 @@ TEST(JsonFileTest, BadPathFails) {
   EXPECT_FALSE(write_json_file("/nonexistent_dir_xyz/file.json", o));
 }
 
+TEST(ResultLineTest, BuildsStableGrammar) {
+  picprk::util::ResultLine line("baseline");
+  line.add("status", "pass")
+      .add("particles", std::uint64_t{19937})
+      .add("checksum", std::uint64_t{198751953});
+  EXPECT_EQ(line.str(),
+            "RESULT impl=baseline status=pass particles=19937 "
+            "checksum=198751953");
+}
+
+TEST(ResultLineTest, DoublesUseSixDigitFormat) {
+  picprk::util::ResultLine line("serial");
+  line.add("seconds", 0.0511674);
+  // Table::fmt(v, 6) — the format the CI greps have always parsed.
+  EXPECT_EQ(line.str(), "RESULT impl=serial seconds=0.051167");
+}
+
+TEST(ResultLineTest, KeysKeepInsertionOrder) {
+  picprk::util::ResultLine line("serve");
+  line.add("job", std::string("a")).add("status", "rejected").add("steps", 0);
+  EXPECT_EQ(line.str(), "RESULT impl=serve job=a status=rejected steps=0");
+}
+
 }  // namespace

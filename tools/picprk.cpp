@@ -8,6 +8,7 @@
 //   picprk --impl diffusion --ranks 6 --dist geometric --r 0.98
 //          --balancer diffusion:border=4,two_phase=1 --lb-every 8
 //   picprk --impl ampi --workers 2 --d 8 --lb-every 16 --balancer compact
+//   picprk --impl async --ranks 4 --d 4 --balancer steal --lb-every 8
 //   picprk --balancer list                     # the lb strategy registry
 //   picprk --impl model --cores 384 --steps 6000   # performance model
 //   picprk --impl baseline --ranks 4 --faults kill:rank=1,step=40
@@ -25,18 +26,12 @@
 #include <iostream>
 
 #include "comm/world.hpp"
-#include "ft/checkpoint.hpp"
 #include "ft/fault.hpp"
 #include "lb/registry.hpp"
-#include "obs/phase.hpp"
 #include "obs/registry.hpp"
 #include "obs/sinks.hpp"
-#include "par/ampi.hpp"
-#include "par/baseline.hpp"
-#include "par/diffusion.hpp"
-#include "par/resilient.hpp"
+#include "par/engine.hpp"
 #include "perfsim/engine.hpp"
-#include "pic/simulation.hpp"
 #include "svc/server.hpp"
 #include "util/cli.hpp"
 #include "util/report.hpp"
@@ -93,99 +88,17 @@ int print_balancer_list() {
   return 0;
 }
 
-/// Resolves the uniform --balancer/--lb-every selection plus the
-/// deprecated per-driver flags into LbOptions. Legacy flags warn once on
-/// stderr and overlay onto the spec only when the named strategy accepts
-/// the key (and the spec does not already pin it).
-par::LbOptions resolve_lb_options(const util::ArgParser& args, const std::string& impl) {
+/// Resolves the uniform --balancer/--lb-every selection into LbOptions.
+/// The strategy-specific knobs travel inside the spec string only —
+/// the pre-v10 per-driver flags (--lb-threshold, --lb-border,
+/// --two-phase, --lb-frequency, --F) were removed; see
+/// docs/LOAD_BALANCING.md "Migrating from the removed flags".
+par::LbOptions resolve_lb_options(const util::ArgParser& args) {
   par::LbOptions lb;
   lb.strategy = args.get_string("balancer");
   lb.every = static_cast<std::uint32_t>(args.get_int("lb-every"));
   lb.measured = args.get_flag("measured-load");
-
-  const auto deprecated = [&](const char* flag, const std::string& instead) {
-    std::cerr << "picprk: --" << flag << " is deprecated; use " << instead << '\n';
-  };
-  if (!args.supplied("lb-every")) {
-    if (args.supplied("lb-frequency")) {
-      deprecated("lb-frequency", "--lb-every");
-      lb.every = static_cast<std::uint32_t>(args.get_int("lb-frequency"));
-    } else if (args.supplied("F")) {
-      deprecated("F", "--lb-every");
-      lb.every = static_cast<std::uint32_t>(args.get_int("F"));
-    }
-  }
-
-  // Overlay legacy strategy knobs onto the spec. The overlay targets the
-  // effective strategy (impl default when the spec is empty); keys the
-  // strategy does not accept are dropped with the warning only.
-  lb::ParsedSpec spec = lb::parse_spec(
-      lb.strategy.empty() ? (impl == "ampi" ? "greedy" : "diffusion") : lb.strategy);
-  const auto accepts = [&](const std::string& key) {
-    if (spec.name == "diffusion")
-      return key == "threshold" || key == "border" || key == "two_phase";
-    if (spec.name == "rcb") return key == "threshold" || key == "two_phase";
-    return false;
-  };
-  const auto overlay = [&](const std::string& key, const std::string& value) {
-    if (accepts(key) && spec.options.find(key) == spec.options.end()) {
-      spec.options[key] = value;
-    }
-  };
-  bool overlaid = false;
-  if (args.supplied("lb-threshold")) {
-    deprecated("lb-threshold", "--balancer " + spec.name + ":threshold=...");
-    overlay("threshold", std::to_string(args.get_double("lb-threshold")));
-    overlaid = true;
-  }
-  if (args.supplied("lb-border")) {
-    deprecated("lb-border", "--balancer diffusion:border=...");
-    overlay("border", std::to_string(args.get_int("lb-border")));
-    overlaid = true;
-  }
-  if (args.supplied("two-phase")) {
-    deprecated("two-phase", "--balancer " + spec.name + ":two_phase=1");
-    overlay("two_phase", "1");
-    overlaid = true;
-  }
-  if (overlaid || !lb.strategy.empty()) {
-    std::string rebuilt = spec.name;
-    char sep = ':';
-    for (const auto& [key, value] : spec.options) {
-      rebuilt += sep;
-      rebuilt += key + "=" + value;
-      sep = ',';
-    }
-    lb.strategy = rebuilt;
-  }
   return lb;
-}
-
-int report(const char* impl, bool ok, std::uint64_t particles, double seconds,
-           const std::string& extra = {}, const std::string& machine_extra = {}) {
-  std::cout << impl << ": " << (ok ? "VERIFIED" : "VERIFICATION FAILED") << " — "
-            << particles << " particles, " << util::Table::fmt(seconds, 3) << " s";
-  if (!extra.empty()) std::cout << " (" << extra << ')';
-  std::cout << '\n';
-  // One-line machine-readable summary (stable key=value grammar).
-  std::cout << "RESULT impl=" << impl << " status=" << (ok ? "pass" : "fail")
-            << " particles=" << particles << " seconds="
-            << util::Table::fmt(seconds, 6);
-  if (!machine_extra.empty()) std::cout << ' ' << machine_extra;
-  std::cout << '\n';
-  return ok ? 0 : 1;
-}
-
-/// RESULT trailer shared by the threadcomm/vpr drivers.
-std::string driver_machine_extra(const picprk::par::DriverResult& r) {
-  return "checksum=" + std::to_string(r.verification.id_checksum) +
-         " expected=" + std::to_string(r.expected_id_checksum) +
-         " exchanged=" + std::to_string(r.particles_exchanged) +
-         " checkpoints=" + std::to_string(r.checkpoints) +
-         " checkpoint_bytes=" + std::to_string(r.checkpoint_bytes) +
-         " recoveries=" + std::to_string(r.recoveries) +
-         " localized=" + std::to_string(r.localized_recoveries) +
-         " replayed=" + std::to_string(r.replayed_steps);
 }
 
 /// The run's knobs as the "config" object of the metrics document, so
@@ -205,33 +118,6 @@ util::JsonObject run_config_json(const util::ArgParser& args, const std::string&
   config.add("balancer", args.get_string("balancer"));
   config.add("lb_every", args.get_int("lb-every"));
   return config;
-}
-
-/// Folds a finished driver result into the run registry as gauges and
-/// counters, so the metrics document carries the headline scalars next
-/// to the per-phase instruments.
-void absorb_result(obs::Registry& registry, const picprk::par::DriverResult& r) {
-  registry.register_gauge("run/seconds").set(r.seconds);
-  registry.register_gauge("run/final_particles").set(static_cast<double>(r.final_particles));
-  registry.register_gauge("run/max_particles_per_rank")
-      .set(static_cast<double>(r.max_particles_per_rank));
-  registry.register_gauge("run/phase_compute_seconds").set(r.phases.compute);
-  registry.register_gauge("run/phase_exchange_seconds").set(r.phases.exchange);
-  registry.register_gauge("run/phase_lb_seconds").set(r.phases.lb);
-  registry.register_gauge("run/phase_checkpoint_seconds").set(r.phases.checkpoint);
-  registry.register_counter("run/particles_exchanged").add(r.particles_exchanged);
-  registry.register_counter("run/exchange_bytes").add(r.exchange_bytes);
-  registry.register_counter("run/lb_actions").add(r.lb_actions);
-  registry.register_counter("run/checkpoints").add(r.checkpoints);
-  registry.register_counter("run/recoveries").add(r.recoveries);
-}
-
-/// Copies every counter of a per-instance registry (fault injector,
-/// checkpoint store) into the run registry for export.
-void absorb_counters(obs::Registry& registry, const obs::Registry& source) {
-  for (const auto& view : source.counters()) {
-    registry.register_counter(view.name).add(view.value);
-  }
 }
 
 /// Post-run sink flush: writes the requested trace/metrics files and
@@ -306,7 +192,7 @@ std::string g_impl = "unknown";
 /// Machine-readable failure line + exit code for a typed fault outcome.
 int report_fault(const char* status, const std::string& what, int code) {
   std::cerr << "picprk: " << what << '\n';
-  std::cout << "RESULT impl=" << g_impl << " status=" << status << '\n';
+  std::cout << util::ResultLine(g_impl).add("status", status).str() << '\n';
   return code;
 }
 
@@ -318,9 +204,23 @@ int main(int argc, char** argv) try {
     return run_serve(argc - 1, argv + 1);
   }
 
+  // Targeted rejection of the pre-v10 LB flags: the generic "unknown
+  // option" would leave users guessing where the knob went.
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag(argv[i]);
+    if (flag == "--lb-threshold" || flag == "--lb-border" ||
+        flag == "--two-phase" || flag == "--lb-frequency" || flag == "--F") {
+      std::cerr << "picprk: " << flag
+                << " was removed; use --balancer name[:key=val,...] and "
+                   "--lb-every (see docs/LOAD_BALANCING.md \"Migrating from "
+                   "the removed flags\")\n";
+      return 2;
+    }
+  }
+
   util::ArgParser args("picprk", "the PIC Parallel Research Kernel");
   args.add_string("impl", "serial",
-                  "serial | baseline | diffusion | ampi | model");
+                  "serial | baseline | diffusion | ampi | async | model");
   args.add_int("cells", 200, "mesh cells per dimension (even)");
   args.add_int("particles", 100000, "requested particle count");
   args.add_int("steps", 200, "time steps");
@@ -350,16 +250,7 @@ int main(int argc, char** argv) try {
   args.add_int("lb-every", 16, "steps between LB invocations (0 = never)");
   args.add_flag("measured-load", false, "balance on measured compute time");
   args.add_int("workers", 2, "ampi: worker threads");
-  args.add_int("d", 4, "ampi: over-decomposition degree");
-  // Deprecated aliases, kept for script compatibility (the model impl
-  // still reads them as plain perfsim parameters, without warnings).
-  args.add_int("lb-frequency", 16, "deprecated alias of --lb-every");
-  args.add_double("lb-threshold", 0.1,
-                  "deprecated: use --balancer <name>:threshold=...");
-  args.add_int("lb-border", 1, "deprecated: use --balancer diffusion:border=...");
-  args.add_flag("two-phase", false,
-                "deprecated: use --balancer <name>:two_phase=1");
-  args.add_int("F", 16, "deprecated alias of --lb-every");
+  args.add_int("d", 4, "ampi/async: over-decomposition degree");
   // Resilience (docs/RESILIENCE.md).
   args.add_string("faults", "",
                   "fault plan, e.g. kill:rank=1,step=40;drop:prob=0.01,src=0");
@@ -401,16 +292,6 @@ int main(int argc, char** argv) try {
   const std::string impl = args.get_string("impl");
   g_impl = impl;
 
-  if (impl == "serial") {
-    pic::SimulationConfig cfg;
-    cfg.init = init;
-    cfg.steps = steps;
-    cfg.events = parse_events(args, init.grid.cells);
-    const auto r = pic::run_serial(cfg);
-    return report("serial", r.ok(), r.final_particles, r.seconds,
-                  "max err " + util::Table::fmt(r.verification.max_position_error, 9));
-  }
-
   if (impl == "model") {
     perfsim::MachineModel machine;
     machine.t_particle = 140e-9;
@@ -420,16 +301,26 @@ int main(int argc, char** argv) try {
     run.shift_per_step = 2 * init.k + 1;
     const int cores = static_cast<int>(args.get_int("cores"));
     const auto base = engine.run_static(cores, run);
-    const auto diff = engine.run_diffusion(
-        cores, run,
-        perfsim::DiffusionModelParams{
-            static_cast<std::uint32_t>(args.get_int("lb-frequency")),
-            args.get_double("lb-threshold"), args.get_int("lb-border")});
+    // The diffusion column of the model reads its knobs from the same
+    // --balancer spec as the real driver (defaults match lb/diffusion).
+    perfsim::DiffusionModelParams dp;
+    dp.frequency = static_cast<std::uint32_t>(args.get_int("lb-every"));
+    dp.threshold = 0.1;
+    dp.border_width = 1;
+    const std::string spec_text = args.get_string("balancer");
+    const lb::ParsedSpec spec =
+        lb::parse_spec(spec_text.empty() ? "diffusion" : spec_text);
+    if (auto it = spec.options.find("threshold"); it != spec.options.end()) {
+      dp.threshold = std::stod(it->second);
+    }
+    if (auto it = spec.options.find("border"); it != spec.options.end()) {
+      dp.border_width = std::stol(it->second);
+    }
+    const auto diff = engine.run_diffusion(cores, run, dp);
     perfsim::VprModelParams vp;
     vp.overdecomposition = static_cast<int>(args.get_int("d"));
-    vp.lb_interval = static_cast<std::uint32_t>(
-        args.supplied("F") ? args.get_int("F") : args.get_int("lb-every"));
-    if (!args.get_string("balancer").empty()) vp.balancer = args.get_string("balancer");
+    vp.lb_interval = static_cast<std::uint32_t>(args.get_int("lb-every"));
+    if (!spec_text.empty()) vp.balancer = spec_text;
     const auto ampi = engine.run_vpr(cores, run, vp);
     util::Table table({"impl", "seconds", "avg imbalance", "max particles/core"});
     table.add_row({"mpi-2d", util::Table::fmt(base.seconds, 2),
@@ -445,16 +336,17 @@ int main(int argc, char** argv) try {
     return 0;
   }
 
-  // Everything below runs a real parallel driver: parse the command line
-  // into one RunConfig and pass it by const reference everywhere.
+  // Everything below runs a real kernel: parse the command line into
+  // one RunConfig and hand it to the engine named by --impl.
   par::RunConfig cfg;
+  cfg.impl = impl;
   cfg.init = init;
   cfg.steps = steps;
   cfg.events = parse_events(args, init.grid.cells);
   cfg.ranks = static_cast<int>(args.get_int("ranks"));
   cfg.workers = static_cast<int>(args.get_int("workers"));
   cfg.overdecomposition = static_cast<int>(args.get_int("d"));
-  cfg.lb = resolve_lb_options(args, impl);
+  cfg.lb = resolve_lb_options(args);
 
   // Telemetry sinks live in main so one registry/trace spans the whole
   // run regardless of driver; with neither flag given the hooks stay
@@ -492,81 +384,17 @@ int main(int argc, char** argv) try {
   cfg.resilience.rto_ms = static_cast<int>(args.get_int("rto-ms"));
   cfg.resilience.retransmit_budget =
       static_cast<int>(args.get_int("retransmit-budget"));
-  cfg.resilience.validate();  // loud cross-knob rejection at parse time
-  const bool resilient = cfg.resilience.active();
-
-  if (impl == "ampi") {
-    // Under vpr there is no World: install the hooks directly; the driver
-    // recovers in-process (rewind + pup_unpack).
-    ft::FaultInjector injector(cfg.resilience.plan);
-    ft::CheckpointStore store;
-    if (resilient) {
-      cfg.ft.injector = cfg.resilience.plan.empty() ? nullptr : &injector;
-      cfg.ft.store = cfg.resilience.checkpoint_every > 0 ? &store : nullptr;
-      cfg.ft.checkpoint_every = cfg.resilience.checkpoint_every;
-    }
-    const auto r = par::run_ampi(cfg);
-    if (observing) {
-      absorb_result(registry, r);
-      if (resilient) {
-        absorb_counters(registry, injector.metrics());
-        absorb_counters(registry, store.metrics());
-      }
-      flush_observability(args, impl, registry, trace, r.step_samples);
-    }
-    return report("ampi", r.ok, r.final_particles, r.seconds,
-                  std::to_string(r.lb_actions) + " migrations, max/worker " +
-                      std::to_string(r.max_particles_per_rank),
-                  driver_machine_extra(r));
+  // make_engine validates the resilience knobs and resolves --impl; an
+  // unknown impl surfaces as std::invalid_argument (exit 2) below. The
+  // engine owns the whole run: world/hook wiring, the resilient re-run
+  // loop and telemetry absorption into cfg.obs.registry.
+  const std::unique_ptr<par::Engine> engine = par::make_engine(cfg);
+  const par::RunReport result = engine->run();
+  if (observing) {
+    flush_observability(args, impl, registry, trace, result.result.step_samples);
   }
-
-  if (impl == "baseline" || impl == "diffusion") {
-    const par::DriverFn driver = [&](comm::Comm& comm, const par::RunConfig& rc) {
-      return impl == "baseline" ? par::run_baseline(comm, rc)
-                                : par::run_diffusion(comm, rc);
-    };
-
-    par::DriverResult result;
-    std::string ft_extra;
-    if (resilient) {
-      par::ResilienceTelemetry rtel;
-      result = par::run_resilient(cfg, driver, &rtel);
-      // "ft/rollbacks", "ft/localized_recoveries" and "ft/replayed_steps"
-      // are registered by run_resilient itself on cfg.obs.registry.
-      if (observing) {
-        registry.register_counter("ft/dropped").add(rtel.dropped);
-        registry.register_counter("ft/duplicated").add(rtel.duplicated);
-        registry.register_counter("ft/delayed").add(rtel.delayed);
-        registry.register_counter("ft/kills").add(rtel.kills);
-        registry.register_counter("ft/stalls").add(rtel.stalls);
-        registry.register_counter("ft/checkpoint_saves").add(rtel.checkpoint_saves);
-        registry.register_counter("ft/residual_messages").add(rtel.residual_messages);
-        registry.register_counter("ft/retransmits").add(rtel.retransmits);
-        registry.register_counter("ft/dup_dropped").add(rtel.dup_dropped);
-        registry.register_counter("ft/abandoned").add(rtel.abandoned);
-      }
-      ft_extra = " rollbacks=" + std::to_string(rtel.rollbacks) +
-                 " retransmits=" + std::to_string(rtel.retransmits) +
-                 " dup_dropped=" + std::to_string(rtel.dup_dropped);
-    } else {
-      comm::World world(cfg.ranks);
-      world.run([&](comm::Comm& comm) {
-        par::DriverResult r = driver(comm, cfg);
-        if (comm.rank() == 0) result = r;
-      });
-    }
-    if (observing) {
-      absorb_result(registry, result);
-      flush_observability(args, impl, registry, trace, result.step_samples);
-    }
-    return report(impl.c_str(), result.ok, result.final_particles, result.seconds,
-                  std::to_string(result.particles_exchanged) + " exchanged, max/rank " +
-                      std::to_string(result.max_particles_per_rank),
-                  driver_machine_extra(result) + ft_extra);
-  }
-
-  std::cerr << "unknown --impl: " << impl << "\n" << args.usage();
-  return 2;
+  std::cout << result.human_summary() << '\n' << result.result_line() << '\n';
+  return result.exit_code();
 } catch (const picprk::comm::CommTimeout& e) {
   return report_fault("comm-timeout", e.what(), 3);
 } catch (const picprk::comm::DeadlockDetected& e) {
